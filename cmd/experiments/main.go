@@ -1,0 +1,78 @@
+// Command experiments regenerates every table and figure reproduction
+// of the paper's evaluation (see DESIGN.md §3 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments [-run E5] [-list]
+//
+// Without flags it runs all experiments E1..E13 and prints their
+// tables; the exit status is non-zero if any experiment's pass
+// condition fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"viewupdate/internal/experiments"
+)
+
+func main() {
+	runID := flag.String("run", "", "run only the experiment with this id (e.g. E5)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	outPath := flag.String("o", "", "also write the report to this file")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %-50s [%s]\n", e.ID, e.Title, e.Exhibit)
+		}
+		return
+	}
+
+	var report strings.Builder
+	emit := func(format string, args ...interface{}) {
+		s := fmt.Sprintf(format, args...)
+		fmt.Print(s)
+		report.WriteString(s)
+	}
+
+	failures := 0
+	ran := 0
+	for _, e := range all {
+		if *runID != "" && e.ID != *runID {
+			continue
+		}
+		ran++
+		emit("%s — %s (%s)\n", e.ID, e.Title, e.Exhibit)
+		tb, ok, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s ERROR: %v\n", e.ID, err)
+			failures++
+			continue
+		}
+		emit("%s\n", tb)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "%s: pass condition FAILED\n", e.ID)
+			failures++
+		}
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(report.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *outPath, err)
+			os.Exit(1)
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches -run=%s\n", *runID)
+		os.Exit(2)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failures)
+		os.Exit(1)
+	}
+	fmt.Printf("all %d experiments passed\n", ran)
+}

@@ -1,0 +1,160 @@
+// Command vupdate is an interactive shell (and script runner) for the
+// view-update engine: define domains, tables and views, issue view
+// updates, inspect the complete candidate-translation sets, and install
+// translator policies.
+//
+// Usage:
+//
+//	vupdate                 # REPL on stdin
+//	vupdate -f script.sql   # execute a script, then exit
+//	vupdate -e 'SHOW TABLES' # execute one statement, then exit
+//
+// The statement language (see internal/sqlish):
+//
+//	CREATE DOMAIN LocDom AS STRING ('New York', 'San Francisco');
+//	CREATE DOMAIN NoDom AS INT RANGE 1 TO 100;
+//	CREATE TABLE EMP (EmpNo NoDom, Location LocDom, PRIMARY KEY (EmpNo));
+//	CREATE VIEW V AS SELECT * FROM EMP WHERE Location = 'New York';
+//	CREATE JOIN VIEW J ROOT CV WITH CV (X) REFERENCES PV;
+//	INSERT INTO V VALUES (1, 'New York');
+//	DELETE FROM V WHERE EmpNo = 1;
+//	UPDATE V SET Location = 'New York' WHERE EmpNo = 2;
+//	SHOW CANDIDATES FOR DELETE FROM V WHERE EmpNo = 1;
+//	SET POLICY V PREFER 'D-1', 'D-2';
+//	SET DEFAULT V.Status = 'active';
+//	SELECT * FROM V;  SHOW TABLES;  SHOW VIEWS;  SHOW POLICIES;
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"viewupdate/internal/dialog"
+	"viewupdate/internal/sqlish"
+)
+
+func main() {
+	file := flag.String("f", "", "execute the statements in this file and exit")
+	expr := flag.String("e", "", "execute this statement and exit")
+	flag.Parse()
+
+	session := sqlish.NewSession()
+
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		out, err := session.ExecScript(string(data))
+		if out != "" {
+			fmt.Print(out)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *expr != "" {
+		out, err := session.ExecLine(*expr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		return
+	}
+
+	fmt.Println("vupdate — view update translator shell (PODS '85 reproduction)")
+	fmt.Println("statements end with ';'; type 'help;' for a summary, 'exit;' to quit")
+	repl(session)
+}
+
+func repl(session *sqlish.Session) {
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("vupdate> ")
+		} else {
+			fmt.Print("      -> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		stmtText := strings.TrimSpace(buf.String())
+		if !strings.HasSuffix(strings.TrimRight(stmtText, " \t\n"), ";") {
+			prompt()
+			continue
+		}
+		buf.Reset()
+		trimmed := strings.TrimRight(stmtText, "; \t\n")
+		switch strings.ToLower(trimmed) {
+		case "":
+			prompt()
+			continue
+		case "exit", "quit":
+			return
+		case "help":
+			fmt.Println(helpText)
+			prompt()
+			continue
+		}
+		// CONFIGURE VIEW <name>; runs the translator-selection dialog
+		// (the paper's "additional semantics" gathered at view
+		// definition time) on this terminal.
+		if fields := strings.Fields(trimmed); len(fields) == 3 &&
+			strings.EqualFold(fields[0], "configure") && strings.EqualFold(fields[1], "view") {
+			name := fields[2]
+			v := session.View(name)
+			if v == nil {
+				fmt.Println("error: unknown view", name)
+			} else if p, err := dialog.RunScanner(scanner, os.Stdout, v); err != nil {
+				fmt.Println("error:", err)
+			} else if err := session.SetCustomPolicy(name, p); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("translator for %s configured\n", name)
+			}
+			prompt()
+			continue
+		}
+		out, err := session.ExecScript(stmtText)
+		if out != "" {
+			fmt.Print(out)
+			if !strings.HasSuffix(out, "\n") {
+				fmt.Println()
+			}
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+		}
+		prompt()
+	}
+}
+
+const helpText = `statements:
+  CREATE DOMAIN name AS STRING ('a','b') | INT RANGE lo TO hi | INT (1,2) | BOOL;
+  CREATE TABLE name (col dom, ..., PRIMARY KEY (k), FOREIGN KEY (fk) REFERENCES parent);
+  CREATE VIEW name AS SELECT cols|* FROM table [WHERE a IN (...) AND b = v];
+  CREATE JOIN VIEW name ROOT spview [WITH spview (attrs) REFERENCES spview, ...];
+  INSERT INTO table|view VALUES (v, ...);
+  DELETE FROM table|view WHERE a = v [AND ...];     -- must match one row
+  UPDATE table|view SET a = v [, ...] WHERE ...;    -- single-row replacement
+  SELECT * FROM table|view [WHERE ...];
+  SHOW TABLES; SHOW VIEWS; SHOW POLICIES;
+  SHOW CANDIDATES FOR <insert|delete|update>;
+  SHOW EFFECTS FOR <insert|delete|update>;  -- preview translation + side effects
+  SHOW EFFECTS FOR <insert|delete|update>;   -- preview translation + side effects
+  SET POLICY view PREFER 'D-1', 'D-2';
+  SET DEFAULT view.attr = value;
+  SAVE TO 'file'; LOAD FROM 'file';   -- journal save / script replay
+  CONFIGURE VIEW name;   -- interactive translator-selection dialog`

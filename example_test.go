@@ -1,0 +1,122 @@
+package viewupdate_test
+
+import (
+	"fmt"
+	"log"
+
+	"viewupdate"
+)
+
+// buildPersonnel assembles the README's EMP schema.
+func buildPersonnel() (*viewupdate.Schema, *viewupdate.Relation) {
+	empNo, err := viewupdate.IntRangeDomain("EmpNoDom", 1, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names, err := viewupdate.StringDomain("NameDom", "Ada", "Ben", "Cy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	locs, err := viewupdate.StringDomain("LocDom", "New York", "San Francisco")
+	if err != nil {
+		log.Fatal(err)
+	}
+	emp, err := viewupdate.NewRelation("EMP", []viewupdate.Attribute{
+		{Name: "EmpNo", Domain: empNo},
+		{Name: "Name", Domain: names},
+		{Name: "Location", Domain: locs},
+	}, []string{"EmpNo"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sch := viewupdate.NewSchema()
+	if err := sch.AddRelation(emp); err != nil {
+		log.Fatal(err)
+	}
+	return sch, emp
+}
+
+// ExampleTranslator_Apply translates a view deletion under a policy
+// preferring real deletion (the paper's Susan).
+func ExampleTranslator_Apply() {
+	sch, emp := buildPersonnel()
+	sel := viewupdate.NewSelection(emp)
+	if err := sel.AddTerm("Location", viewupdate.Str("New York")); err != nil {
+		log.Fatal(err)
+	}
+	ny, err := viewupdate.NewSPView("NY", sel, []string{"EmpNo", "Name", "Location"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := viewupdate.Open(sch)
+	row, _ := viewupdate.MakeRow(emp, 1, "Ada", "New York")
+	if err := db.Load("EMP", row); err != nil {
+		log.Fatal(err)
+	}
+
+	tr := viewupdate.NewTranslator(ny, viewupdate.PreferClasses{Order: []string{"D-1"}})
+	victim, _ := viewupdate.MakeRow(ny.Schema(), 1, "Ada", "New York")
+	cand, err := tr.Apply(db, viewupdate.DeleteRequest(victim))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cand.Class, cand.Translation)
+	// Output: D-1 {DELETE EMP(1, 'Ada', 'New York')}
+}
+
+// ExampleEnumerate lists the complete candidate set for a deletion:
+// D-1 (destroy) and one D-2 per excluding value (flip out of the view).
+func ExampleEnumerate() {
+	sch, emp := buildPersonnel()
+	sel := viewupdate.NewSelection(emp)
+	if err := sel.AddTerm("Location", viewupdate.Str("New York")); err != nil {
+		log.Fatal(err)
+	}
+	ny, err := viewupdate.NewSPView("NY", sel, []string{"EmpNo", "Name", "Location"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := viewupdate.Open(sch)
+	row, _ := viewupdate.MakeRow(emp, 1, "Ada", "New York")
+	if err := db.Load("EMP", row); err != nil {
+		log.Fatal(err)
+	}
+
+	victim, _ := viewupdate.MakeRow(ny.Schema(), 1, "Ada", "New York")
+	cands, err := viewupdate.Enumerate(db, ny, viewupdate.DeleteRequest(victim))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range cands {
+		fmt.Println(c.Class, c.Translation)
+	}
+	// Output:
+	// D-1 {DELETE EMP(1, 'Ada', 'New York')}
+	// D-2 {REPLACE EMP(1, 'Ada', 'New York') -> EMP(1, 'Ada', 'San Francisco')}
+}
+
+// ExampleCheckCriteria shows the five criteria rejecting a gratuitous
+// two-step translation (criterion 5: no delete-insert pairs).
+func ExampleCheckCriteria() {
+	sch, emp := buildPersonnel()
+	v := viewupdate.IdentityView("All", emp)
+	db := viewupdate.Open(sch)
+	row, _ := viewupdate.MakeRow(emp, 1, "Ada", "New York")
+	if err := db.Load("EMP", row); err != nil {
+		log.Fatal(err)
+	}
+	old, _ := viewupdate.MakeRow(v.Schema(), 1, "Ada", "New York")
+	new, _ := viewupdate.MakeRow(v.Schema(), 2, "Ada", "New York")
+	r := viewupdate.ReplaceRequest(old, new)
+
+	// Hand-build the delete+insert pair the criteria forbid.
+	moved, _ := viewupdate.MakeRow(emp, 2, "Ada", "New York")
+	var tr viewupdate.Translation
+	tr.Add(viewupdate.NewDeleteOp(row))
+	tr.Add(viewupdate.NewInsertOp(moved))
+
+	for _, viol := range viewupdate.CheckCriteria(db, v, r, &tr, viewupdate.CheckOptions{}) {
+		fmt.Println(viol.Error())
+	}
+	// Output: criterion 5 violated: relation EMP has both deletions and insertions (convertible to a replacement)
+}

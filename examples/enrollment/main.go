@@ -1,0 +1,98 @@
+// Enrollment demonstrates join-view updates (§5 of the paper) on a
+// three-level reference tree: TRANSCRIPT = ENROLL ⋈ STUDENT ⋈ COURSE ⋈
+// DEPT, rooted at ENROLL. It walks SPJ-D (delete touches only the
+// root), SPJ-I (inserting a row may insert referenced parents), and
+// SPJ-R (the state-machine walk that re-points references, inserts new
+// parents, and repairs conflicting parent data), including the view
+// side effects on sibling rows that make join views special.
+//
+// Run with: go run ./examples/enrollment
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"viewupdate"
+	"viewupdate/internal/fixtures"
+)
+
+func main() {
+	u := fixtures.NewUniversity(20)
+	db := u.SmallInstance()
+
+	show := func(title string) {
+		fmt.Printf("\n%s\n", title)
+		for _, row := range u.View.Materialize(db).Slice() {
+			fmt.Println("  ", row)
+		}
+	}
+	fmt.Println("TRANSCRIPT view: ENROLL(EID*, Stu, Crs, Grade) ⋈ STUDENT(SID*, ...)")
+	fmt.Println("                 ⋈ COURSE(CID*, ..., Dpt) ⋈ DEPT(DName*, Building)")
+	show("initial view:")
+
+	tr := viewupdate.NewTranslator(u.View, viewupdate.RejectAmbiguous{})
+
+	// SPJ-I: a new enrollment for a brand-new student. The translation
+	// inserts into both ENROLL and STUDENT, atomically.
+	newRow := u.ViewTuple(3, "s3", "db", 2, "Cy", 1, "Databases", "cs", "Gates")
+	cand, err := tr.Apply(db, viewupdate.InsertRequest(newRow))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSPJ-I insert enrollment #3 for new student s3:\n  [%s]\n  %s\n",
+		cand.Class, cand.Translation)
+	show("view after insert:")
+
+	// SPJ-R, shallow: change only the grade — one root replacement.
+	old := u.ViewTuple(1, "s1", "db", 4, "Ada", 2, "Databases", "cs", "Gates")
+	regraded := u.ViewTuple(1, "s1", "db", 3, "Ada", 2, "Databases", "cs", "Gates")
+	cand, err = tr.Apply(db, viewupdate.ReplaceRequest(old, regraded))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSPJ-R regrade enrollment #1:\n  [%s]\n  %s\n", cand.Class, cand.Translation)
+
+	// SPJ-R, deep: move course 'os' into the ee department and claim
+	// its building is Soda. The walk replaces COURSE (re-pointing its
+	// Dpt) and replaces DEPT ee's conflicting building — a view side
+	// effect for everything else in ee.
+	old2 := u.ViewTuple(2, "s2", "os", 3, "Ben", 3, "Systems", "cs", "Gates")
+	moved := u.ViewTuple(2, "s2", "os", 3, "Ben", 3, "Systems", "ee", "Soda")
+	cand, err = tr.Apply(db, viewupdate.ReplaceRequest(old2, moved))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSPJ-R move course os to ee (building corrected to Soda):\n  [%s]\n  %s\n",
+		cand.Class, cand.Translation)
+	show("view after replacements:")
+
+	// SPJ-D: deleting an enrollment touches only ENROLL; students,
+	// courses and departments survive.
+	victim := u.ViewTuple(3, "s3", "db", 2, "Cy", 1, "Databases", "cs", "Gates")
+	cand, err = tr.Apply(db, viewupdate.DeleteRequest(victim))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSPJ-D drop enrollment #3:\n  [%s]\n  %s\n", cand.Class, cand.Translation)
+	fmt.Printf("student s3 still exists in STUDENT: %d students total\n", db.Len("STUDENT"))
+	show("final view:")
+
+	// Requests that equate join attributes inconsistently (here the
+	// enrollment claims student s2 but carries s1's student columns)
+	// are rejected up front, leaving the database untouched.
+	snapshot := db.Clone()
+	inconsistent, err := viewupdate.MakeRow(u.View.Schema(),
+		9, "s2", "db", 1, "s1", "Ada", 2, "db", "Databases", "cs", "cs", "Gates")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := viewupdate.ValidateRequest(db, u.View, viewupdate.InsertRequest(inconsistent)); err != nil {
+		fmt.Printf("\njoin-inconsistent insert rejected as the paper requires:\n  %v\n", err)
+	} else {
+		log.Fatal("inconsistent insert should have been rejected")
+	}
+	if !db.Equal(snapshot) {
+		log.Fatal("rejected request must not change the database")
+	}
+}

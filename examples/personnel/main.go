@@ -1,0 +1,111 @@
+// Personnel reproduces the paper's §4-1 worked example in full: the
+// EMP relation with two locations and a baseball team, Susan's
+// location-scoped view and Frank's team-scoped view, and the two
+// deletions whose "reasonable translations" differ — a database
+// deletion for Susan, an attribute flip for Frank. It also prints the
+// discouraged alternative the paper discusses (moving employee #17 to
+// the other coast) to show it is enumerated but policy-rejected.
+//
+// Run with: go run ./examples/personnel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"viewupdate"
+	"viewupdate/internal/fixtures"
+)
+
+func main() {
+	f := fixtures.NewEmp(20)
+	db := f.PaperInstance()
+
+	fmt.Println("EMP relation:")
+	for _, t := range db.Tuples("EMP") {
+		fmt.Println("  ", t)
+	}
+
+	printView := func(name string, v viewupdate.View) {
+		fmt.Printf("\n%s (%s):\n", name, v.Name())
+		for _, row := range v.Materialize(db).Slice() {
+			fmt.Println("  ", row)
+		}
+	}
+	printView("Susan's view — SELECT * FROM EMP WHERE Location='New York'", f.ViewP)
+	printView("Frank's view — SELECT * FROM EMP WHERE Baseball=true", f.ViewB)
+
+	// --- Susan deletes employee #17 from her view. ---
+	emp17 := f.ViewTuple(f.ViewP, 17, "Susan", "New York", true)
+	cands, err := viewupdate.Enumerate(db, f.ViewP, viewupdate.DeleteRequest(emp17))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSusan requests: delete employee #17. Candidate translations:")
+	for i, c := range cands {
+		fmt.Printf("  %d. [%s] %s\n", i+1, c.Class, c.Translation)
+	}
+	fmt.Println("   (the D-2 candidate is the paper's \"move employee #17 to California\";")
+	fmt.Println("    \"we doubt that the California manager would be pleased\" — Susan's")
+	fmt.Println("    policy prefers the real deletion)")
+
+	susan := viewupdate.NewTranslator(f.ViewP,
+		viewupdate.PreferClasses{Label: "susan", Order: []string{"D-1"}})
+	chosen, err := susan.Apply(db, viewupdate.DeleteRequest(emp17))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("applied: [%s] %s\n", chosen.Class, chosen.Translation)
+	fmt.Println("employee #17 left the baseball view too (the paper's side note):")
+	printView("Frank's view now", f.ViewB)
+
+	// --- Frank deletes employee #14 from his view. ---
+	emp14 := f.ViewTuple(f.ViewB, 14, "Frank", "San Francisco", true)
+	cands, err = viewupdate.Enumerate(db, f.ViewB, viewupdate.DeleteRequest(emp14))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nFrank requests: delete employee #14. Candidate translations:")
+	for i, c := range cands {
+		fmt.Printf("  %d. [%s] %s\n", i+1, c.Class, c.Translation)
+	}
+	fmt.Println("   (deleting the employee because he left the team would be unreasonable")
+	fmt.Println("    \"unless you believe that baseball is all-important\" — Frank's policy")
+	fmt.Println("    flips the Baseball attribute instead)")
+
+	frank := viewupdate.NewTranslator(f.ViewB,
+		viewupdate.PreferClasses{Label: "frank", Order: []string{"D-2"}})
+	chosen, err = frank.Apply(db, viewupdate.DeleteRequest(emp14))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("applied: [%s] %s\n", chosen.Class, chosen.Translation)
+
+	fmt.Println("\nfinal EMP relation (employee #14 kept, off the team):")
+	for _, t := range db.Tuples("EMP") {
+		fmt.Println("  ", t)
+	}
+
+	// --- The replacement the paper hints at: a whole-relation user
+	// could express Susan's discouraged alternative as a replacement,
+	// which only someone "who can see the effects of that request"
+	// should issue. ---
+	whole := viewupdate.IdentityView("AllEmployees", f.Rel)
+	old := mustRow(whole, 8, "Carol", "New York", true)
+	new := mustRow(whole, 8, "Carol", "San Francisco", true)
+	all := viewupdate.NewTranslator(whole, viewupdate.RejectAmbiguous{})
+	chosen, err = all.Apply(db, viewupdate.ReplaceRequest(old, new))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrelocation issued against the full relation: [%s] %s\n",
+		chosen.Class, chosen.Translation)
+}
+
+func mustRow(v viewupdate.View, raw ...interface{}) viewupdate.Tuple {
+	t, err := viewupdate.MakeRow(v.Schema(), raw...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return t
+}

@@ -1,0 +1,33 @@
+-- The paper's §4-1 personnel scenario as a vupdate script.
+-- Run with: go run ./cmd/vupdate -f examples/scripts/personnel.sql
+
+CREATE DOMAIN EmpNoDom AS INT RANGE 1 TO 20;
+CREATE DOMAIN NameDom AS STRING ('Susan', 'Frank', 'Alice', 'Bob', 'Carol');
+CREATE DOMAIN LocDom AS STRING ('New York', 'San Francisco');
+CREATE DOMAIN TeamDom AS BOOL;
+
+CREATE TABLE EMP (EmpNo EmpNoDom, Name NameDom, Location LocDom,
+                  Baseball TeamDom, PRIMARY KEY (EmpNo));
+
+INSERT INTO EMP VALUES (17, 'Susan', 'New York', true);
+INSERT INTO EMP VALUES (14, 'Frank', 'San Francisco', true);
+INSERT INTO EMP VALUES (3, 'Alice', 'New York', false);
+INSERT INTO EMP VALUES (8, 'Carol', 'New York', true);
+
+-- Susan's view: the New York office.
+CREATE VIEW ViewP AS SELECT * FROM EMP WHERE Location = 'New York';
+-- Frank's view: the baseball team.
+CREATE VIEW ViewB AS SELECT * FROM EMP WHERE Baseball = true;
+
+-- The two legal translations of Susan's deletion, before deciding.
+SHOW CANDIDATES FOR DELETE FROM ViewP WHERE EmpNo = 17;
+
+-- Susan means it: deletion destroys the record.
+SET POLICY ViewP PREFER 'D-1';
+DELETE FROM ViewP WHERE EmpNo = 17;
+
+-- Frank means "off the team", not "fired".
+SET POLICY ViewB PREFER 'D-2';
+DELETE FROM ViewB WHERE EmpNo = 14;
+
+SELECT * FROM EMP;

@@ -1,0 +1,3 @@
+module viewupdate
+
+go 1.22

@@ -1,0 +1,295 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"viewupdate/internal/schema"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/value"
+)
+
+// This file implements general select–project–join expressions and the
+// SPJNF theorem of §5: "Any relational query where no projection
+// removes a join attribute and the selection conditions are
+// conjunctions of the form 'attribute in set' can be converted into an
+// equivalent relational query that is in SPJNF" (selections first,
+// projections next, joins last).
+//
+// Attribute names are assumed globally unique across the base relations
+// of one expression, so a column name identifies its owning relation.
+
+// A Row is an evaluated result row: column name -> value.
+type Row map[string]value.Value
+
+// encodeRow canonically encodes a row over the given column order.
+func encodeRow(cols []string, r Row) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(r[c].Encode())
+	}
+	return b.String()
+}
+
+// A Result is a set of rows over an ordered column list.
+type Result struct {
+	Cols []string
+	rows map[string]Row
+}
+
+// NewResult returns an empty result with the given columns.
+func NewResult(cols []string) *Result {
+	cp := make([]string, len(cols))
+	copy(cp, cols)
+	return &Result{Cols: cp, rows: make(map[string]Row)}
+}
+
+// Add inserts a row (set semantics).
+func (r *Result) Add(row Row) { r.rows[encodeRow(r.Cols, row)] = row }
+
+// Len returns the number of rows.
+func (r *Result) Len() int { return len(r.rows) }
+
+// Rows returns the rows in deterministic order.
+func (r *Result) Rows() []Row {
+	keys := make([]string, 0, len(r.rows))
+	for k := range r.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Row, len(keys))
+	for i, k := range keys {
+		out[i] = r.rows[k]
+	}
+	return out
+}
+
+// Equal reports whether two results have the same column set and rows.
+// Column order is immaterial: rows are compared by name.
+func (r *Result) Equal(o *Result) bool {
+	if len(r.Cols) != len(o.Cols) || r.Len() != o.Len() {
+		return false
+	}
+	mine := make(map[string]bool, len(r.Cols))
+	for _, c := range r.Cols {
+		mine[c] = true
+	}
+	for _, c := range o.Cols {
+		if !mine[c] {
+			return false
+		}
+	}
+	canon := make([]string, len(r.Cols))
+	copy(canon, r.Cols)
+	sort.Strings(canon)
+	index := func(res *Result) map[string]bool {
+		m := make(map[string]bool, res.Len())
+		for _, row := range res.rows {
+			m[encodeRow(canon, row)] = true
+		}
+		return m
+	}
+	a, b := index(r), index(o)
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// A Source supplies base-relation contents to expression evaluation.
+type Source interface {
+	// RelationTuples returns the tuples of the named relation.
+	RelationTuples(name string) []tuple.T
+	// RelationSchema returns the schema of the named relation.
+	RelationSchema(name string) *schema.Relation
+}
+
+// An Expr is a relational expression node.
+type Expr interface {
+	// Eval evaluates the expression against src.
+	Eval(src Source) (*Result, error)
+	// String renders the expression.
+	String() string
+}
+
+// Rel is a base-relation leaf.
+type Rel struct{ Name string }
+
+// Eval implements Expr.
+func (r Rel) Eval(src Source) (*Result, error) {
+	sch := src.RelationSchema(r.Name)
+	if sch == nil {
+		return nil, fmt.Errorf("algebra: unknown relation %s", r.Name)
+	}
+	res := NewResult(sch.AttributeNames())
+	for _, t := range src.RelationTuples(r.Name) {
+		row := make(Row, sch.Arity())
+		for i, a := range sch.Attributes() {
+			row[a.Name] = t.At(i)
+		}
+		res.Add(row)
+	}
+	return res, nil
+}
+
+func (r Rel) String() string { return r.Name }
+
+// Select filters the input by one term Attr ∈ Vals.
+type Select struct {
+	Input Expr
+	Attr  string
+	Vals  []value.Value
+}
+
+// Eval implements Expr.
+func (s Select) Eval(src Source) (*Result, error) {
+	in, err := s.Input.Eval(src)
+	if err != nil {
+		return nil, err
+	}
+	found := false
+	for _, c := range in.Cols {
+		if c == s.Attr {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("algebra: selection attribute %s absent from input of %s", s.Attr, s)
+	}
+	sel := make(map[value.Value]bool, len(s.Vals))
+	for _, v := range s.Vals {
+		sel[v] = true
+	}
+	out := NewResult(in.Cols)
+	for _, row := range in.Rows() {
+		if sel[row[s.Attr]] {
+			out.Add(row)
+		}
+	}
+	return out, nil
+}
+
+func (s Select) String() string {
+	parts := make([]string, len(s.Vals))
+	for i, v := range s.Vals {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("σ[%s∈{%s}](%s)", s.Attr, strings.Join(parts, ","), s.Input)
+}
+
+// Project keeps only the named columns.
+type Project struct {
+	Input Expr
+	Attrs []string
+}
+
+// Eval implements Expr.
+func (p Project) Eval(src Source) (*Result, error) {
+	in, err := p.Input.Eval(src)
+	if err != nil {
+		return nil, err
+	}
+	have := make(map[string]bool, len(in.Cols))
+	for _, c := range in.Cols {
+		have[c] = true
+	}
+	for _, a := range p.Attrs {
+		if !have[a] {
+			return nil, fmt.Errorf("algebra: projection attribute %s absent from input of %s", a, p)
+		}
+	}
+	out := NewResult(p.Attrs)
+	for _, row := range in.Rows() {
+		nr := make(Row, len(p.Attrs))
+		for _, a := range p.Attrs {
+			nr[a] = row[a]
+		}
+		out.Add(nr)
+	}
+	return out, nil
+}
+
+func (p Project) String() string {
+	return fmt.Sprintf("π[%s](%s)", strings.Join(p.Attrs, ","), p.Input)
+}
+
+// Join is an equi-join equating Left's LeftAttrs with Right's
+// RightAttrs position-wise; the output carries the columns of both
+// inputs (all names distinct except for the equated pairs, which both
+// appear and always hold equal values — as in the paper's view class,
+// where join attributes appear in the view).
+type Join struct {
+	Left       Expr
+	Right      Expr
+	LeftAttrs  []string
+	RightAttrs []string
+}
+
+// Eval implements Expr (hash join on the equated attributes).
+func (j Join) Eval(src Source) (*Result, error) {
+	if len(j.LeftAttrs) != len(j.RightAttrs) || len(j.LeftAttrs) == 0 {
+		return nil, fmt.Errorf("algebra: malformed join attribute lists in %s", j)
+	}
+	l, err := j.Left.Eval(src)
+	if err != nil {
+		return nil, err
+	}
+	r, err := j.Right.Eval(src)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range j.LeftAttrs {
+		if !hasCol(l.Cols, a) {
+			return nil, fmt.Errorf("algebra: join attribute %s absent from left input of %s", a, j)
+		}
+	}
+	for _, a := range j.RightAttrs {
+		if !hasCol(r.Cols, a) {
+			return nil, fmt.Errorf("algebra: join attribute %s absent from right input of %s", a, j)
+		}
+	}
+	cols := append(append([]string{}, l.Cols...), r.Cols...)
+	out := NewResult(cols)
+	index := make(map[string][]Row)
+	for _, row := range r.Rows() {
+		index[encodeRow(j.RightAttrs, row)] = append(index[encodeRow(j.RightAttrs, row)], row)
+	}
+	for _, lrow := range l.Rows() {
+		k := encodeRow(j.LeftAttrs, lrow)
+		for _, rrow := range index[k] {
+			nr := make(Row, len(cols))
+			for c, v := range lrow {
+				nr[c] = v
+			}
+			for c, v := range rrow {
+				nr[c] = v
+			}
+			out.Add(nr)
+		}
+	}
+	return out, nil
+}
+
+func hasCol(cols []string, c string) bool {
+	for _, x := range cols {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+func (j Join) String() string {
+	pairs := make([]string, len(j.LeftAttrs))
+	for i := range j.LeftAttrs {
+		pairs[i] = j.LeftAttrs[i] + "=" + j.RightAttrs[i]
+	}
+	return fmt.Sprintf("(%s ⋈[%s] %s)", j.Left, strings.Join(pairs, ","), j.Right)
+}

@@ -1,0 +1,314 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"viewupdate/internal/schema"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/value"
+)
+
+// mapSource is a simple in-memory algebra.Source for tests.
+type mapSource struct {
+	schemas map[string]*schema.Relation
+	tuples  map[string][]tuple.T
+}
+
+func (m *mapSource) RelationTuples(name string) []tuple.T        { return m.tuples[name] }
+func (m *mapSource) RelationSchema(name string) *schema.Relation { return m.schemas[name] }
+
+// figSource builds the paper's AB/CXD instance (§5-1) as a Source.
+func figSource(t testing.TB) *mapSource {
+	t.Helper()
+	aDom := schema.MustDomain("ADom", value.NewString("a"), value.NewString("a1"), value.NewString("a2"))
+	bDom := schema.MustDomain("BDom", value.NewInt(1), value.NewInt(2), value.NewInt(3))
+	cDom := schema.MustDomain("CDom", value.NewString("c1"), value.NewString("c2"), value.NewString("c3"))
+	dDom := schema.MustDomain("DDom", value.NewInt(7), value.NewInt(8), value.NewInt(9))
+	ab := schema.MustRelation("AB", []schema.Attribute{
+		{Name: "A", Domain: aDom},
+		{Name: "B", Domain: bDom},
+	}, []string{"A"})
+	cxd := schema.MustRelation("CXD", []schema.Attribute{
+		{Name: "C", Domain: cDom},
+		{Name: "X", Domain: aDom},
+		{Name: "D", Domain: dDom},
+	}, []string{"C"})
+	abT := func(a string, b int64) tuple.T {
+		return tuple.MustNew(ab, value.NewString(a), value.NewInt(b))
+	}
+	cxdT := func(c, x string, d int64) tuple.T {
+		return tuple.MustNew(cxd, value.NewString(c), value.NewString(x), value.NewInt(d))
+	}
+	return &mapSource{
+		schemas: map[string]*schema.Relation{"AB": ab, "CXD": cxd},
+		tuples: map[string][]tuple.T{
+			"AB":  {abT("a", 1), abT("a1", 2), abT("a2", 3)},
+			"CXD": {cxdT("c1", "a", 7), cxdT("c2", "a", 8), cxdT("c3", "a2", 9)},
+		},
+	}
+}
+
+func TestRelEval(t *testing.T) {
+	src := figSource(t)
+	res, err := (Rel{Name: "AB"}).Eval(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 || len(res.Cols) != 2 {
+		t.Fatalf("AB eval wrong: %d rows, cols %v", res.Len(), res.Cols)
+	}
+	if _, err := (Rel{Name: "missing"}).Eval(src); err == nil {
+		t.Fatal("unknown relation should fail")
+	}
+}
+
+func TestSelectEval(t *testing.T) {
+	src := figSource(t)
+	e := Select{Input: Rel{Name: "CXD"}, Attr: "X", Vals: []value.Value{value.NewString("a")}}
+	res, err := e.Eval(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("selection should keep 2 rows, got %d", res.Len())
+	}
+	bad := Select{Input: Rel{Name: "CXD"}, Attr: "nope", Vals: []value.Value{value.NewString("a")}}
+	if _, err := bad.Eval(src); err == nil {
+		t.Fatal("selection on absent column should fail")
+	}
+}
+
+func TestProjectEval(t *testing.T) {
+	src := figSource(t)
+	e := Project{Input: Rel{Name: "CXD"}, Attrs: []string{"C", "X"}}
+	res, err := e.Eval(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 || len(res.Cols) != 2 {
+		t.Fatalf("projection wrong: %d rows, %v", res.Len(), res.Cols)
+	}
+	// Projection can merge rows (set semantics).
+	e2 := Project{Input: Rel{Name: "CXD"}, Attrs: []string{"X"}}
+	res2, err := e2.Eval(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Len() != 2 {
+		t.Fatalf("set semantics should merge duplicate X values, got %d", res2.Len())
+	}
+	bad := Project{Input: Rel{Name: "CXD"}, Attrs: []string{"nope"}}
+	if _, err := bad.Eval(src); err == nil {
+		t.Fatal("projection of absent column should fail")
+	}
+}
+
+func TestJoinEval(t *testing.T) {
+	src := figSource(t)
+	e := Join{
+		Left: Rel{Name: "CXD"}, Right: Rel{Name: "AB"},
+		LeftAttrs: []string{"X"}, RightAttrs: []string{"A"},
+	}
+	res, err := e.Eval(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("join should produce 3 rows, got %d", res.Len())
+	}
+	for _, row := range res.Rows() {
+		if row["X"] != row["A"] {
+			t.Fatalf("join row violates X=A: %v", row)
+		}
+	}
+	bad := Join{Left: Rel{Name: "CXD"}, Right: Rel{Name: "AB"}, LeftAttrs: []string{"X"}}
+	if _, err := bad.Eval(src); err == nil {
+		t.Fatal("malformed join should fail")
+	}
+	bad2 := Join{Left: Rel{Name: "CXD"}, Right: Rel{Name: "AB"},
+		LeftAttrs: []string{"nope"}, RightAttrs: []string{"A"}}
+	if _, err := bad2.Eval(src); err == nil {
+		t.Fatal("join on absent column should fail")
+	}
+}
+
+func TestResultEqual(t *testing.T) {
+	a := NewResult([]string{"X", "Y"})
+	b := NewResult([]string{"Y", "X"}) // column order immaterial
+	row := Row{"X": value.NewInt(1), "Y": value.NewInt(2)}
+	a.Add(row)
+	b.Add(row)
+	if !a.Equal(b) {
+		t.Fatal("results with same rows should be equal")
+	}
+	b.Add(Row{"X": value.NewInt(3), "Y": value.NewInt(4)})
+	if a.Equal(b) {
+		t.Fatal("different cardinality should differ")
+	}
+	c := NewResult([]string{"X", "Z"})
+	c.Add(Row{"X": value.NewInt(1), "Z": value.NewInt(2)})
+	if a.Equal(c) {
+		t.Fatal("different columns should differ")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := Project{
+		Input: Select{Input: Rel{Name: "AB"}, Attr: "B", Vals: []value.Value{value.NewInt(1)}},
+		Attrs: []string{"A"},
+	}
+	s := e.String()
+	if !strings.Contains(s, "π[A]") || !strings.Contains(s, "σ[B∈{1}]") || !strings.Contains(s, "AB") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// TestSPJNFTheorem validates §5's conversion theorem on the paper's
+// figure: an expression with interleaved selections and projections
+// around the join evaluates identically to its SPJNF normal form.
+func TestSPJNFTheorem(t *testing.T) {
+	src := figSource(t)
+	// π[C,X,A,B] σ[B∈{1,2}] ( σ[X∈{a,a2}](CXD) ⋈ AB ) with a
+	// mid-stream projection on the left input.
+	orig := Project{
+		Input: Select{
+			Input: Join{
+				Left: Project{
+					Input: Select{Input: Rel{Name: "CXD"}, Attr: "X",
+						Vals: []value.Value{value.NewString("a"), value.NewString("a2")}},
+					Attrs: []string{"C", "X"},
+				},
+				Right:      Rel{Name: "AB"},
+				LeftAttrs:  []string{"X"},
+				RightAttrs: []string{"A"},
+			},
+			Attr: "B",
+			Vals: []value.Value{value.NewInt(1), value.NewInt(2)},
+		},
+		Attrs: []string{"C", "X", "A", "B"},
+	}
+	n, err := Normalize(orig, src)
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if len(n.Bases) != 2 || len(n.Joins) != 1 {
+		t.Fatalf("normal form shape wrong: %+v", n)
+	}
+	want, err := orig.Eval(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.Expr().Eval(src)
+	if err != nil {
+		t.Fatalf("normal form eval: %v", err)
+	}
+	if !want.Equal(got) {
+		t.Fatalf("SPJNF result differs:\noriginal: %v\nnormal:   %v", want.Rows(), got.Rows())
+	}
+	if s := n.String(); !strings.Contains(s, "⋈") {
+		t.Fatalf("SPJNF String = %q", s)
+	}
+}
+
+// TestSPJNFSelectionAboveProjectionOfHiddenColumn checks that a
+// selection applied before a projection that later drops the selected
+// column still normalizes correctly (the selection moves to the base).
+func TestSPJNFSelectionPushdown(t *testing.T) {
+	src := figSource(t)
+	orig := Project{
+		Input: Select{Input: Rel{Name: "CXD"}, Attr: "D", Vals: []value.Value{value.NewInt(7)}},
+		Attrs: []string{"C", "X"},
+	}
+	n, err := Normalize(orig, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := orig.Eval(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.Expr().Eval(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Fatalf("pushdown differs: %v vs %v", want.Rows(), got.Rows())
+	}
+	if want.Len() != 1 {
+		t.Fatalf("selection should keep exactly one row, got %d", want.Len())
+	}
+}
+
+// TestSPJNFPreconditionViolations checks that expressions outside the
+// theorem's class are rejected.
+func TestSPJNFPreconditionViolations(t *testing.T) {
+	src := figSource(t)
+	// Projection removes the join attribute X.
+	bad := Join{
+		Left:       Project{Input: Rel{Name: "CXD"}, Attrs: []string{"C", "X"}},
+		Right:      Rel{Name: "AB"},
+		LeftAttrs:  []string{"X"},
+		RightAttrs: []string{"A"},
+	}
+	badOuter := Project{Input: bad, Attrs: []string{"C", "B"}}
+	if _, err := Normalize(badOuter, src); err == nil {
+		t.Fatal("projection removing a join attribute should be rejected")
+	}
+	// Self-join.
+	self := Join{
+		Left: Rel{Name: "AB"}, Right: Rel{Name: "AB"},
+		LeftAttrs: []string{"A"}, RightAttrs: []string{"A"},
+	}
+	if _, err := Normalize(self, src); err == nil {
+		t.Fatal("self-join should be rejected")
+	}
+	// Unknown relation.
+	if _, err := Normalize(Rel{Name: "missing"}, src); err == nil {
+		t.Fatal("unknown relation should be rejected")
+	}
+}
+
+// TestSPJNFThreeWay normalizes a three-relation chain and compares
+// results.
+func TestSPJNFThreeWay(t *testing.T) {
+	src := figSource(t)
+	// Add a third relation referencing CXD.
+	eDom := schema.MustDomain("EDom", value.NewString("e1"), value.NewString("e2"))
+	ce := schema.MustRelation("EC", []schema.Attribute{
+		{Name: "E", Domain: eDom},
+		{Name: "CR", Domain: src.schemas["CXD"].Attributes()[0].Domain},
+	}, []string{"E"})
+	src.schemas["EC"] = ce
+	src.tuples["EC"] = []tuple.T{
+		tuple.MustNew(ce, value.NewString("e1"), value.NewString("c1")),
+		tuple.MustNew(ce, value.NewString("e2"), value.NewString("c3")),
+	}
+	orig := Join{
+		Left: Join{
+			Left: Rel{Name: "EC"}, Right: Rel{Name: "CXD"},
+			LeftAttrs: []string{"CR"}, RightAttrs: []string{"C"},
+		},
+		Right:      Rel{Name: "AB"},
+		LeftAttrs:  []string{"X"},
+		RightAttrs: []string{"A"},
+	}
+	n, err := Normalize(orig, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := orig.Eval(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.Expr().Eval(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Fatalf("three-way differs:\n%v\n%v", want.Rows(), got.Rows())
+	}
+	if want.Len() != 2 {
+		t.Fatalf("expected 2 rows, got %d", want.Len())
+	}
+}

@@ -1,0 +1,113 @@
+package algebra
+
+import (
+	"fmt"
+
+	"viewupdate/internal/schema"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/value"
+)
+
+// A Projection selects an ordered subset of a relation's attributes.
+type Projection struct {
+	rel   *schema.Relation
+	attrs []string
+	keep  map[string]bool
+}
+
+// NewProjection builds a projection of rel onto attrs (each must exist,
+// no duplicates, at least one attribute).
+func NewProjection(rel *schema.Relation, attrs []string) (*Projection, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("algebra: empty projection of %s", rel.Name())
+	}
+	keep := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if !rel.Has(a) {
+			return nil, fmt.Errorf("algebra: projection attribute %s not in %s", a, rel.Name())
+		}
+		if keep[a] {
+			return nil, fmt.Errorf("algebra: projection repeats attribute %s", a)
+		}
+		keep[a] = true
+	}
+	cp := make([]string, len(attrs))
+	copy(cp, attrs)
+	return &Projection{rel: rel, attrs: cp, keep: keep}, nil
+}
+
+// IdentityProjection projects rel onto all of its attributes.
+func IdentityProjection(rel *schema.Relation) *Projection {
+	p, err := NewProjection(rel, rel.AttributeNames())
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Relation returns the base relation schema.
+func (p *Projection) Relation() *schema.Relation { return p.rel }
+
+// Attributes returns the projected attribute names in order (copy).
+func (p *Projection) Attributes() []string {
+	out := make([]string, len(p.attrs))
+	copy(out, p.attrs)
+	return out
+}
+
+// Keeps reports whether attr survives the projection.
+func (p *Projection) Keeps(attr string) bool { return p.keep[attr] }
+
+// IsIdentity reports whether every base attribute is kept.
+func (p *Projection) IsIdentity() bool { return len(p.attrs) == len(p.rel.Attributes()) }
+
+// RemovedAttributes returns the base attributes projected out, in
+// schema order.
+func (p *Projection) RemovedAttributes() []string {
+	var out []string
+	for _, a := range p.rel.Attributes() {
+		if !p.keep[a.Name] {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+// KeepsKey reports whether all key attributes survive (required for the
+// paper's view class: "the key of the relation must appear in the
+// view").
+func (p *Projection) KeepsKey() bool {
+	for _, k := range p.rel.Key() {
+		if !p.keep[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// DerivedSchema builds the relation schema of the projected result,
+// named name, with the base key as key. Fails unless the key is kept.
+func (p *Projection) DerivedSchema(name string) (*schema.Relation, error) {
+	if !p.KeepsKey() {
+		return nil, fmt.Errorf("algebra: projection of %s drops part of the key", p.rel.Name())
+	}
+	attrs := make([]schema.Attribute, len(p.attrs))
+	for i, a := range p.attrs {
+		base, _ := p.rel.Attribute(a)
+		attrs[i] = base
+	}
+	return schema.NewRelation(name, attrs, p.rel.Key())
+}
+
+// Apply projects a base tuple into the derived schema.
+func (p *Projection) Apply(derived *schema.Relation, t tuple.T) (tuple.T, error) {
+	vals := make([]value.Value, len(p.attrs))
+	for i, a := range p.attrs {
+		v, ok := t.Get(a)
+		if !ok {
+			return tuple.T{}, fmt.Errorf("algebra: tuple %s lacks attribute %s", t, a)
+		}
+		vals[i] = v
+	}
+	return tuple.New(derived, vals...)
+}

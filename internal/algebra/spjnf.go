@@ -1,0 +1,295 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"viewupdate/internal/value"
+)
+
+// SPJNF is the paper's Select-Project-Join Normal Form: per-relation
+// selections, then per-relation projections, then the joins. "Note in
+// particular that this implies that the join attributes must appear in
+// the view."
+type SPJNF struct {
+	// Bases lists the per-relation select-project stages in the order
+	// the relations first appear in the original expression.
+	Bases []SPBase
+	// Joins lists the join edges in original order. Attribute names
+	// refer to the (globally unique) base columns.
+	Joins []JoinEdge
+	// Output is the final column set (sorted).
+	Output []string
+}
+
+// SPBase is one base relation's select-project stage.
+type SPBase struct {
+	Rel   string
+	Terms map[string][]value.Value // attr -> selecting values (sorted)
+	Proj  []string                 // kept columns, in base schema order
+}
+
+// JoinEdge equates Left's LeftAttrs with Right's RightAttrs.
+type JoinEdge struct {
+	LeftAttrs  []string
+	RightAttrs []string
+}
+
+// Expr builds an evaluable expression in SPJNF shape (selections
+// innermost per relation, then projections, joins outermost,
+// left-deep in base order).
+func (n *SPJNF) Expr() Expr {
+	stages := make([]Expr, len(n.Bases))
+	for i, b := range n.Bases {
+		var e Expr = Rel{Name: b.Rel}
+		attrs := make([]string, 0, len(b.Terms))
+		for a := range b.Terms {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		for _, a := range attrs {
+			e = Select{Input: e, Attr: a, Vals: b.Terms[a]}
+		}
+		e = Project{Input: e, Attrs: b.Proj}
+		stages[i] = e
+	}
+	// Reconstruct joins by connecting stages with the recorded edges:
+	// attach stages to the accumulated left-deep tree greedily until
+	// all are joined (the edges form a connected graph over the bases
+	// in the paper's view class).
+	out := stages[0]
+	joined := map[int]bool{0: true}
+	haveCols := map[string]bool{}
+	for _, c := range n.Bases[0].Proj {
+		haveCols[c] = true
+	}
+	used := make([]bool, len(n.Joins))
+	for len(joined) < len(stages) {
+		progressed := false
+		for ei, e := range n.Joins {
+			if used[ei] {
+				continue
+			}
+			li, lok := n.ownerStage(e.LeftAttrs[0])
+			ri, rok := n.ownerStage(e.RightAttrs[0])
+			if !lok || !rok {
+				continue
+			}
+			var newIdx int
+			var la, ra []string
+			switch {
+			case joined[li] && !joined[ri]:
+				newIdx, la, ra = ri, e.LeftAttrs, e.RightAttrs
+			case joined[ri] && !joined[li]:
+				newIdx, la, ra = li, e.RightAttrs, e.LeftAttrs
+			default:
+				continue
+			}
+			out = Join{Left: out, Right: stages[newIdx], LeftAttrs: la, RightAttrs: ra}
+			joined[newIdx] = true
+			used[ei] = true
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	return out
+}
+
+// ownerStage returns the index of the base stage owning column c.
+func (n *SPJNF) ownerStage(c string) (int, bool) {
+	for i, b := range n.Bases {
+		for _, p := range b.Proj {
+			if p == c {
+				return i, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// String renders the normal form.
+func (n *SPJNF) String() string {
+	parts := make([]string, len(n.Bases))
+	for i, b := range n.Bases {
+		terms := make([]string, 0, len(b.Terms))
+		attrs := make([]string, 0, len(b.Terms))
+		for a := range b.Terms {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		for _, a := range attrs {
+			vals := make([]string, len(b.Terms[a]))
+			for j, v := range b.Terms[a] {
+				vals[j] = v.String()
+			}
+			terms = append(terms, fmt.Sprintf("%s∈{%s}", a, strings.Join(vals, ",")))
+		}
+		cond := "true"
+		if len(terms) > 0 {
+			cond = strings.Join(terms, "∧")
+		}
+		parts[i] = fmt.Sprintf("π[%s]σ[%s](%s)", strings.Join(b.Proj, ","), cond, b.Rel)
+	}
+	return strings.Join(parts, " ⋈ ")
+}
+
+// Normalize converts an arbitrary select-project-join expression into
+// SPJNF, implementing the theorem of §5. It fails if the expression
+// violates the theorem's preconditions: duplicate base relations,
+// non-unique column names, or a projection that removes a join
+// attribute.
+func Normalize(e Expr, src Source) (*SPJNF, error) {
+	n := &SPJNF{}
+	colOwner := map[string]string{} // column -> base relation
+	baseIdx := map[string]int{}
+
+	var outCols []string
+	var walk func(e Expr) ([]string, error)
+	walk = func(e Expr) ([]string, error) {
+		switch x := e.(type) {
+		case Rel:
+			sch := src.RelationSchema(x.Name)
+			if sch == nil {
+				return nil, fmt.Errorf("algebra: unknown relation %s", x.Name)
+			}
+			if _, dup := baseIdx[x.Name]; dup {
+				return nil, fmt.Errorf("algebra: relation %s appears twice (self-joins not in the paper's class)", x.Name)
+			}
+			baseIdx[x.Name] = len(n.Bases)
+			n.Bases = append(n.Bases, SPBase{Rel: x.Name, Terms: map[string][]value.Value{}})
+			cols := sch.AttributeNames()
+			for _, c := range cols {
+				if prev, clash := colOwner[c]; clash {
+					return nil, fmt.Errorf("algebra: column %s appears in both %s and %s", c, prev, x.Name)
+				}
+				colOwner[c] = x.Name
+			}
+			return cols, nil
+		case Select:
+			cols, err := walk(x.Input)
+			if err != nil {
+				return nil, err
+			}
+			if !hasCol(cols, x.Attr) {
+				return nil, fmt.Errorf("algebra: selection on absent column %s", x.Attr)
+			}
+			owner := colOwner[x.Attr]
+			b := &n.Bases[baseIdx[owner]]
+			b.Terms[x.Attr] = intersectVals(b.Terms[x.Attr], x.Vals)
+			return cols, nil
+		case Project:
+			cols, err := walk(x.Input)
+			if err != nil {
+				return nil, err
+			}
+			for _, a := range x.Attrs {
+				if !hasCol(cols, a) {
+					return nil, fmt.Errorf("algebra: projection on absent column %s", a)
+				}
+			}
+			return append([]string{}, x.Attrs...), nil
+		case Join:
+			lcols, err := walk(x.Left)
+			if err != nil {
+				return nil, err
+			}
+			rcols, err := walk(x.Right)
+			if err != nil {
+				return nil, err
+			}
+			if len(x.LeftAttrs) != len(x.RightAttrs) || len(x.LeftAttrs) == 0 {
+				return nil, fmt.Errorf("algebra: malformed join %s", x)
+			}
+			for _, a := range x.LeftAttrs {
+				if !hasCol(lcols, a) {
+					return nil, fmt.Errorf("algebra: join attribute %s missing from left side", a)
+				}
+			}
+			for _, a := range x.RightAttrs {
+				if !hasCol(rcols, a) {
+					return nil, fmt.Errorf("algebra: join attribute %s missing from right side", a)
+				}
+			}
+			n.Joins = append(n.Joins, JoinEdge{
+				LeftAttrs:  append([]string{}, x.LeftAttrs...),
+				RightAttrs: append([]string{}, x.RightAttrs...),
+			})
+			return append(append([]string{}, lcols...), rcols...), nil
+		default:
+			return nil, fmt.Errorf("algebra: unknown expression node %T", e)
+		}
+	}
+	cols, err := walk(e)
+	if err != nil {
+		return nil, err
+	}
+	outCols = cols
+
+	// Theorem precondition: no projection removed a join attribute —
+	// equivalently here, every join attribute survives to the output.
+	outSet := make(map[string]bool, len(outCols))
+	for _, c := range outCols {
+		outSet[c] = true
+	}
+	for _, j := range n.Joins {
+		for _, a := range append(append([]string{}, j.LeftAttrs...), j.RightAttrs...) {
+			if !outSet[a] {
+				return nil, fmt.Errorf("algebra: join attribute %s removed by a projection (outside the theorem's class)", a)
+			}
+		}
+	}
+
+	// Per-base projection: the output columns owned by the base, in
+	// base schema order. Intersected selections already accumulated.
+	for i := range n.Bases {
+		sch := src.RelationSchema(n.Bases[i].Rel)
+		var proj []string
+		for _, a := range sch.AttributeNames() {
+			if outSet[a] {
+				proj = append(proj, a)
+			}
+		}
+		if len(proj) == 0 {
+			return nil, fmt.Errorf("algebra: relation %s contributes no output columns", n.Bases[i].Rel)
+		}
+		n.Bases[i].Proj = proj
+	}
+
+	n.Output = append([]string{}, outCols...)
+	sort.Strings(n.Output)
+	return n, nil
+}
+
+// intersectVals intersects two selecting-value lists; a nil prev means
+// "unconstrained" (whole domain).
+func intersectVals(prev, next []value.Value) []value.Value {
+	if prev == nil {
+		out := append([]value.Value{}, next...)
+		sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+		return dedupVals(out)
+	}
+	in := make(map[value.Value]bool, len(next))
+	for _, v := range next {
+		in[v] = true
+	}
+	var out []value.Value
+	for _, v := range prev {
+		if in[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func dedupVals(sorted []value.Value) []value.Value {
+	var out []value.Value
+	for i, v := range sorted {
+		if i == 0 || sorted[i-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}

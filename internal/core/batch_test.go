@@ -1,0 +1,190 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"viewupdate/internal/fixtures"
+	"viewupdate/internal/schema"
+	"viewupdate/internal/storage"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/value"
+	"viewupdate/internal/view"
+)
+
+func TestBatchDisjointViews(t *testing.T) {
+	f := fixtures.NewABCXD()
+	db := storage.Open(f.Schema)
+	if err := db.LoadAll(
+		f.ABTuple("a", 1), f.ABTuple("a2", 2), f.CXDTuple("c1", "a", 3),
+	); err != nil {
+		t.Fatal(err)
+	}
+	v1 := view.Identity("V1", f.CXD)
+	v2 := view.Identity("V2", f.AB)
+	u1 := tuple.MustNew(v1.Schema(), value.NewString("c1"), value.NewString("a"), value.NewInt(3))
+	old2 := tuple.MustNew(v2.Schema(), value.NewString("a2"), value.NewInt(2))
+	new2 := tuple.MustNew(v2.Schema(), value.NewString("a2"), value.NewInt(1))
+
+	before1 := v1.Materialize(db)
+	before2 := v2.Materialize(db)
+
+	chosen, err := ApplyBatch(db, []BatchItem{
+		{View: v1, Request: DeleteRequest(u1)},
+		{View: v2, Request: ReplaceRequest(old2, new2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) != 2 {
+		t.Fatalf("want 2 choices, got %d", len(chosen))
+	}
+	want1, err := DeleteRequest(u1).ApplyToViewSet(before1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v1.Materialize(db).Equal(want1) {
+		t.Fatal("V1 did not change exactly")
+	}
+	want2, err := ReplaceRequest(old2, new2).ApplyToViewSet(before2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.Materialize(db).Equal(want2) {
+		t.Fatal("V2 did not change exactly")
+	}
+}
+
+func TestBatchRejectsOverlappingViews(t *testing.T) {
+	f := fixtures.NewEmp(20)
+	db := f.PaperInstance()
+	u17 := f.ViewTuple(f.ViewP, 17, "Susan", "New York", true)
+	u14 := f.ViewTuple(f.ViewB, 14, "Frank", "San Francisco", true)
+	_, _, err := TranslateBatch(db, []BatchItem{
+		{View: f.ViewP, Request: DeleteRequest(u17)},
+		{View: f.ViewB, Request: DeleteRequest(u14)},
+	})
+	if err == nil || !strings.Contains(err.Error(), "both touch relation EMP") {
+		t.Fatalf("overlapping views should be rejected, got %v", err)
+	}
+}
+
+func TestBatchAtomicity(t *testing.T) {
+	f := fixtures.NewABCXD()
+	db := storage.Open(f.Schema)
+	if err := db.LoadAll(f.ABTuple("a", 1), f.CXDTuple("c1", "a", 3)); err != nil {
+		t.Fatal(err)
+	}
+	v1 := view.Identity("V1", f.CXD)
+	v2 := view.Identity("V2", f.AB)
+	// Item 1 is fine; item 2's request is invalid (absent row).
+	u1 := tuple.MustNew(v1.Schema(), value.NewString("c1"), value.NewString("a"), value.NewInt(3))
+	ghost := tuple.MustNew(v2.Schema(), value.NewString("a2"), value.NewInt(2))
+	snapshot := db.Clone()
+	_, err := ApplyBatch(db, []BatchItem{
+		{View: v1, Request: DeleteRequest(u1)},
+		{View: v2, Request: DeleteRequest(ghost)},
+	})
+	if err == nil {
+		t.Fatal("batch with an invalid item should fail")
+	}
+	if !db.Equal(snapshot) {
+		t.Fatal("failed batch must not change the database")
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	f := fixtures.NewEmp(20)
+	db := f.PaperInstance()
+	if _, _, err := TranslateBatch(db, nil); err == nil {
+		t.Fatal("empty batch should fail")
+	}
+	if _, _, err := TranslateBatch(db, []BatchItem{{}}); err == nil {
+		t.Fatal("nil view should fail")
+	}
+	// Ambiguity inside an item propagates.
+	u17 := f.ViewTuple(f.ViewP, 17, "Susan", "New York", true)
+	_, _, err := TranslateBatch(db, []BatchItem{
+		{View: f.ViewP, Request: DeleteRequest(u17), Policy: RejectAmbiguous{}},
+	})
+	if err == nil {
+		t.Fatal("ambiguous item under RejectAmbiguous should fail")
+	}
+}
+
+// TestBatchWithJoinView: the composition lemma applies when one item is
+// a join view, as long as its base relations are disjoint from the
+// other items'.
+func TestBatchWithJoinView(t *testing.T) {
+	// One schema holding the AB/CXD pair plus an unrelated STATUS
+	// relation carrying an SP view.
+	aDom, err := schema.IntRangeDomain("BA", 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab := schema.MustRelation("AB", []schema.Attribute{
+		{Name: "A", Domain: aDom},
+		{Name: "B", Domain: aDom},
+	}, []string{"A"})
+	cxd := schema.MustRelation("CXD", []schema.Attribute{
+		{Name: "C", Domain: aDom},
+		{Name: "X", Domain: aDom},
+	}, []string{"C"})
+	status := schema.MustRelation("STATUS", []schema.Attribute{
+		{Name: "SK", Domain: aDom},
+		{Name: "SV", Domain: aDom},
+	}, []string{"SK"})
+	sch := schema.NewDatabase()
+	for _, r := range []*schema.Relation{ab, cxd, status} {
+		if err := sch.AddRelation(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sch.AddInclusion(schema.InclusionDependency{Child: "CXD", ChildAttrs: []string{"X"}, Parent: "AB"}); err != nil {
+		t.Fatal(err)
+	}
+	parent := &view.Node{SP: view.Identity("ABv", ab)}
+	root := &view.Node{SP: view.Identity("CXDv", cxd), Refs: []view.Ref{{Attrs: []string{"X"}, Target: parent}}}
+	jv, err := view.NewJoin("J", sch, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := view.Identity("S", status)
+
+	db := storage.Open(sch)
+	if err := db.LoadAll(
+		tuple.MustNew(ab, value.NewInt(1), value.NewInt(2)),
+		tuple.MustNew(cxd, value.NewInt(3), value.NewInt(1)),
+		tuple.MustNew(status, value.NewInt(7), value.NewInt(8)),
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	// Item 1: join-view insert; item 2: SP delete on STATUS.
+	ju := MustRow(jv.Schema(), 4, 5, 5, 6)
+	su := MustRow(sv.Schema(), 7, 8)
+	chosen, err := ApplyBatch(db, []BatchItem{
+		{View: jv, Request: InsertRequest(ju)},
+		{View: sv, Request: DeleteRequest(su)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) != 2 {
+		t.Fatalf("want 2 choices, got %d", len(chosen))
+	}
+	if !jv.Materialize(db).Contains(ju) {
+		t.Fatal("join insert missing")
+	}
+	if db.Len("STATUS") != 0 {
+		t.Fatal("status delete missing")
+	}
+	// Overlap detection catches the join view's relations too.
+	_, _, err = TranslateBatch(db, []BatchItem{
+		{View: jv, Request: DeleteRequest(ju)},
+		{View: view.Identity("AB2", ab), Request: DeleteRequest(MustRow(ab, 1, 2))},
+	})
+	if err == nil {
+		t.Fatal("join view sharing AB should be rejected")
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"viewupdate/internal/fixtures"
+	"viewupdate/internal/update"
+	"viewupdate/internal/view"
+)
+
+// TestDiamondMaterializeConvergence: rows whose reference paths to the
+// shared node diverge do not appear.
+func TestDiamondMaterializeConvergence(t *testing.T) {
+	d := fixtures.NewDiamond()
+	db := d.ConvergentInstance()
+	if !d.View.IsDAG() {
+		t.Fatal("diamond should be a DAG view")
+	}
+	rows := d.View.Materialize(db)
+	if rows.Len() != 1 {
+		t.Fatalf("want 1 convergent row, got %d: %v", rows.Len(), rows.Slice())
+	}
+	if !rows.Contains(d.ViewTuple(1, 1, 2, 5, 0)) {
+		t.Fatalf("wrong row: %v", rows.Slice())
+	}
+	// The shared node contributes its attributes once.
+	if d.View.Schema().Arity() != 9 {
+		t.Fatalf("arity = %d, want 9", d.View.Schema().Arity())
+	}
+}
+
+// TestDiamondSPJInsert: inserting a convergent row inserts each missing
+// node once — the shared node is not inserted twice.
+func TestDiamondSPJInsert(t *testing.T) {
+	d := fixtures.NewDiamond()
+	db := d.ConvergentInstance()
+	// New root 3 with brand-new A 7, B 8 and shared C 9.
+	u := d.ViewTuple(3, 7, 8, 9, 2)
+	cands, err := EnumerateJoinInsert(db, d.View, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 {
+		t.Fatalf("identity DAG should give 1 candidate, got %s", DescribeCandidates(cands))
+	}
+	tr := cands[0].Translation
+	if len(tr.Inserts()) != 4 {
+		t.Fatalf("want 4 inserts (ROOT, A, B, C once), got %s", tr)
+	}
+	cInserts := 0
+	for _, op := range tr.Ops() {
+		if op.Kind == update.Insert && op.RelationName() == "C" {
+			cInserts++
+		}
+	}
+	if cInserts != 1 {
+		t.Fatalf("shared node inserted %d times: %s", cInserts, tr)
+	}
+	if err := db.Apply(tr); err != nil {
+		t.Fatal(err)
+	}
+	if !d.View.Materialize(db).Contains(u) {
+		t.Fatal("inserted row missing")
+	}
+}
+
+// TestDiamondSPJReplace: re-pointing the root at a new shared C via
+// both arms replaces/creates nodes along both paths, with the shared
+// node handled once (the DAG state join).
+func TestDiamondSPJReplace(t *testing.T) {
+	d := fixtures.NewDiamond()
+	db := d.ConvergentInstance()
+	old := d.ViewTuple(1, 1, 2, 5, 0)
+	// Change the shared C's payload: ROOT/A/B projections unchanged
+	// (state R all the way), C replaced once.
+	new := d.ViewTuple(1, 1, 2, 5, 3)
+	cands, err := EnumerateJoinReplace(db, d.View, old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 {
+		t.Fatalf("got %s", DescribeCandidates(cands))
+	}
+	tr := cands[0].Translation
+	if tr.Len() != 1 || len(tr.Replacements()) != 1 || tr.Replacements()[0].Old.Relation().Name() != "C" {
+		t.Fatalf("want a single C replacement, got %s", tr)
+	}
+	if err := db.Apply(tr); err != nil {
+		t.Fatal(err)
+	}
+	if !d.View.Materialize(db).Contains(new) {
+		t.Fatal("replacement row missing")
+	}
+
+	// Side effects: changing the shared C affects every row referencing
+	// it through any path — here only row 1 exists, so none; but
+	// re-point A 1 to a fresh C while B 2 still references the old one:
+	// the view row diverges and disappears — SPJ-R must reject or the
+	// row would not realize the request. Build it: new view tuple keeps
+	// RA=1, RB=2 but claims CK 9 on both paths; A and B rows must be
+	// replaced to point at 9.
+	old2 := d.ViewTuple(1, 1, 2, 5, 3)
+	new2 := d.ViewTuple(1, 1, 2, 9, 2)
+	cands, err = EnumerateJoinReplace(db, d.View, old2, new2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr = cands[0].Translation
+	// A and B re-pointed, C 9 inserted: 2 replacements + 1 insert.
+	if len(tr.Replacements()) != 2 || len(tr.Inserts()) != 1 {
+		t.Fatalf("want A,B replaced and C inserted, got %s", tr)
+	}
+	if err := db.Apply(tr); err != nil {
+		t.Fatal(err)
+	}
+	if !d.View.Materialize(db).Contains(new2) {
+		t.Fatal("re-pointed row missing")
+	}
+}
+
+// TestDiamondSPJDelete: deletion touches only the root, as on trees.
+func TestDiamondSPJDelete(t *testing.T) {
+	d := fixtures.NewDiamond()
+	db := d.ConvergentInstance()
+	row := d.ViewTuple(1, 1, 2, 5, 0)
+	cands, err := EnumerateJoinDelete(db, d.View, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range cands[0].Translation.Ops() {
+		if op.RelationName() != "ROOT" {
+			t.Fatalf("SPJ-D must touch only the root, got %s", op)
+		}
+	}
+}
+
+// TestDiamondRequestValidation: join-inconsistent tuples (arms naming
+// different C keys) are rejected.
+func TestDiamondRequestValidation(t *testing.T) {
+	d := fixtures.NewDiamond()
+	db := d.ConvergentInstance()
+	// AC=5 but BC=6: the arms disagree.
+	bad, err := MakeRow(d.View.Schema(), 3, 1, 2, 1, 5, 5, 0, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateRequest(db, d.View, InsertRequest(bad)); err == nil {
+		t.Fatal("divergent view tuple should be rejected")
+	}
+}
+
+// TestDAGConstructionValidation: cycles and tree-constructor misuse are
+// rejected.
+func TestDAGConstructionValidation(t *testing.T) {
+	d := fixtures.NewDiamond()
+	// The tree constructor rejects the shared node.
+	cNode := &view.Node{SP: view.Identity("Cv", d.C)}
+	aNode := &view.Node{SP: view.Identity("Av", d.A), Refs: []view.Ref{{Attrs: []string{"AC"}, Target: cNode}}}
+	bNode := &view.Node{SP: view.Identity("Bv", d.B), Refs: []view.Ref{{Attrs: []string{"BC"}, Target: cNode}}}
+	rootNode := &view.Node{SP: view.Identity("ROOTv", d.Root), Refs: []view.Ref{
+		{Attrs: []string{"RA"}, Target: aNode},
+		{Attrs: []string{"RB"}, Target: bNode},
+	}}
+	if _, err := view.NewJoin("TreeReject", d.Schema, rootNode); err == nil ||
+		!strings.Contains(err.Error(), "not a tree") {
+		t.Fatalf("tree constructor should reject shared nodes, got %v", err)
+	}
+	// The DAG constructor accepts it.
+	if _, err := view.NewJoinDAG("DagOK", d.Schema, rootNode); err != nil {
+		t.Fatalf("DAG constructor should accept the diamond: %v", err)
+	}
+	// A tree view is not marked as DAG.
+	f := fixtures.NewABCXD()
+	if f.View.IsDAG() {
+		t.Fatal("tree views must not be marked DAG")
+	}
+}

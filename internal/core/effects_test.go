@@ -1,0 +1,81 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"viewupdate/internal/fixtures"
+	"viewupdate/internal/update"
+)
+
+// TestSideEffectsSPViewsNone: SP-view translations satisfying the
+// criteria never have view side effects.
+func TestSideEffectsSPViewsNone(t *testing.T) {
+	f := fixtures.NewEmp(20)
+	db := f.PaperInstance()
+	u := f.ViewTuple(f.ViewP, 17, "Susan", "New York", true)
+	r := DeleteRequest(u)
+	cands, err := Enumerate(db, f.ViewP, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		eff, err := SideEffects(db, f.ViewP, r, c.Translation)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eff.None() {
+			t.Fatalf("SP candidate %s has side effects: %s", c, eff)
+		}
+		if eff.String() != "no view side effects" {
+			t.Fatalf("String = %q", eff.String())
+		}
+	}
+}
+
+// TestSideEffectsSharedParent: rewriting a shared parent through a join
+// view changes the sibling rows — exactly one extra removed and one
+// extra added per sibling.
+func TestSideEffectsSharedParent(t *testing.T) {
+	f := fixtures.NewABCXD()
+	db := f.PaperInstance()
+	// c4 claims parent (a, 9) while AB holds (a, 1); sibling c1 also
+	// references a.
+	u := f.ViewTuple("c4", "a", 6, 9)
+	r := InsertRequest(u)
+	cands, err := EnumerateJoinInsert(db, f.View, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff, err := SideEffects(db, f.View, r, cands[0].Translation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.None() {
+		t.Fatal("shared-parent rewrite should have side effects")
+	}
+	if eff.ExtraRemoved.Len() != 1 || eff.ExtraAdded.Len() != 1 {
+		t.Fatalf("want one sibling changed, got %s", eff)
+	}
+	if !eff.ExtraRemoved.Contains(f.ViewTuple("c1", "a", 3, 1)) {
+		t.Fatalf("old sibling row missing from %v", eff.ExtraRemoved.Slice())
+	}
+	if !eff.ExtraAdded.Contains(f.ViewTuple("c1", "a", 3, 9)) {
+		t.Fatalf("new sibling row missing from %v", eff.ExtraAdded.Slice())
+	}
+	if !strings.Contains(eff.String(), "+1") || !strings.Contains(eff.String(), "-1") {
+		t.Fatalf("String = %q", eff.String())
+	}
+}
+
+// TestSideEffectsInapplicable: an inapplicable translation errors.
+func TestSideEffectsInapplicable(t *testing.T) {
+	f := fixtures.NewEmp(20)
+	db := f.PaperInstance()
+	u := f.ViewTuple(f.ViewP, 17, "Susan", "New York", true)
+	ghost := f.Tuple(19, "Judy", "New York", false)
+	tr := update.NewTranslation(update.NewDelete(ghost))
+	if _, err := SideEffects(db, f.ViewP, DeleteRequest(u), tr); err == nil {
+		t.Fatal("inapplicable translation should error")
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"viewupdate/internal/value"
+)
+
+// A Policy selects one translation among the complete candidate set.
+// The paper leaves this choice to "additional semantics" supplied by
+// the database administrator at view definition time; policies are the
+// executable form of those semantics.
+type Policy interface {
+	// Name identifies the policy.
+	Name() string
+	// Choose picks a candidate or fails (e.g. on ambiguity).
+	Choose(r Request, cands []Candidate) (Candidate, error)
+}
+
+// PickFirst deterministically picks the candidate with the smallest
+// canonical encoding. Useful as a default and in benchmarks.
+type PickFirst struct{}
+
+// Name implements Policy.
+func (PickFirst) Name() string { return "pick-first" }
+
+// Choose implements Policy.
+func (PickFirst) Choose(r Request, cands []Candidate) (Candidate, error) {
+	if len(cands) == 0 {
+		return Candidate{}, fmt.Errorf("core: no candidate translations for %s", r)
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.Translation.Encode() < best.Translation.Encode() {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// RejectAmbiguous accepts only a unique candidate.
+type RejectAmbiguous struct{}
+
+// Name implements Policy.
+func (RejectAmbiguous) Name() string { return "reject-ambiguous" }
+
+// Choose implements Policy.
+func (RejectAmbiguous) Choose(r Request, cands []Candidate) (Candidate, error) {
+	switch len(cands) {
+	case 0:
+		return Candidate{}, fmt.Errorf("core: no candidate translations for %s", r)
+	case 1:
+		return cands[0], nil
+	default:
+		return Candidate{}, fmt.Errorf("core: %d candidate translations for %s; additional semantics required", len(cands), r)
+	}
+}
+
+// classOf extracts the leaf algorithm-class tokens of a candidate's
+// class label: "SPJ-I(emp:I-1, dept:R-1)" yields {"I-1","R-1"};
+// "D-2" yields {"D-2"}.
+func classTokens(class string) []string {
+	cut := class
+	if i := strings.IndexByte(cut, '('); i >= 0 && strings.HasSuffix(cut, ")") {
+		cut = cut[i+1 : len(cut)-1]
+	}
+	parts := strings.Split(cut, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if i := strings.IndexByte(p, ':'); i >= 0 {
+			p = p[i+1:]
+		}
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PreferClasses ranks candidates by the earliest position of their
+// algorithm class in Order; among equals, the smallest encoding wins.
+// A candidate whose class does not appear in Order loses to any that
+// does. E.g. Order = ["D-1"] encodes "deletion means destroying the
+// object" (the paper's Susan), while Order = ["D-2"] encodes "deletion
+// means flipping the object out of the view" (the paper's Frank).
+type PreferClasses struct {
+	// Label names the policy for display.
+	Label string
+	// Order lists class names from most to least preferred.
+	Order []string
+}
+
+// Name implements Policy.
+func (p PreferClasses) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "prefer[" + strings.Join(p.Order, ">") + "]"
+}
+
+// rank returns the order index of the candidate's best token.
+func (p PreferClasses) rank(c Candidate) int {
+	best := len(p.Order)
+	for _, tok := range classTokens(c.Class) {
+		for i, want := range p.Order {
+			if tok == want && i < best {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// Choose implements Policy.
+func (p PreferClasses) Choose(r Request, cands []Candidate) (Candidate, error) {
+	if len(cands) == 0 {
+		return Candidate{}, fmt.Errorf("core: no candidate translations for %s", r)
+	}
+	sorted := append([]Candidate{}, cands...)
+	sort.Slice(sorted, func(i, j int) bool {
+		ri, rj := p.rank(sorted[i]), p.rank(sorted[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return sorted[i].Translation.Encode() < sorted[j].Translation.Encode()
+	})
+	return sorted[0], nil
+}
+
+// WithDefaults refines another policy by value preferences for the
+// arbitrary choices (extend-insert values, D-2 flip values, I-2
+// selecting values): candidates whose choices agree with more defaults
+// win. Keys match the Candidate.Choices keys (attribute names, possibly
+// role- or node-prefixed; an unprefixed default matches any prefixed
+// occurrence of the attribute).
+type WithDefaults struct {
+	Base     Policy
+	Defaults map[string]value.Value
+}
+
+// Name implements Policy.
+func (p WithDefaults) Name() string { return p.Base.Name() + "+defaults" }
+
+// score counts satisfied defaults.
+func (p WithDefaults) score(c Candidate) int {
+	n := 0
+	for k, v := range c.Choices {
+		if dv, ok := p.Defaults[k]; ok && dv == v {
+			n++
+			continue
+		}
+		// Unprefixed default for a prefixed choice key.
+		if i := strings.LastIndexByte(k, '.'); i >= 0 {
+			if dv, ok := p.Defaults[k[i+1:]]; ok && dv == v {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Choose implements Policy: the base policy decides the algorithm
+// class; the defaults then break ties among the candidates of that
+// class (the arbitrary value choices within one class are exactly what
+// distinguish its algorithms).
+func (p WithDefaults) Choose(r Request, cands []Candidate) (Candidate, error) {
+	if len(cands) == 0 {
+		return Candidate{}, fmt.Errorf("core: no candidate translations for %s", r)
+	}
+	picked, err := p.Base.Choose(r, cands)
+	if err != nil {
+		return Candidate{}, err
+	}
+	var sameClass []Candidate
+	for _, c := range cands {
+		if c.Class == picked.Class {
+			sameClass = append(sameClass, c)
+		}
+	}
+	bestScore := -1
+	for _, c := range sameClass {
+		if s := p.score(c); s > bestScore {
+			bestScore = s
+		}
+	}
+	var top []Candidate
+	for _, c := range sameClass {
+		if p.score(c) == bestScore {
+			top = append(top, c)
+		}
+	}
+	if len(top) == 1 {
+		return top[0], nil
+	}
+	return p.Base.Choose(r, top)
+}

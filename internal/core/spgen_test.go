@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+
+	"viewupdate/internal/fixtures"
+	"viewupdate/internal/update"
+	"viewupdate/internal/value"
+)
+
+// TestPaperExampleSusan reproduces §4-1: Susan (ViewP, New York) deletes
+// employee #17; the reasonable translation deletes the record (D-1),
+// and the questionable alternative "move employee #17 to California"
+// (here: San Francisco) is D-2 flipping Location.
+func TestPaperExampleSusan(t *testing.T) {
+	f := fixtures.NewEmp(20)
+	db := f.PaperInstance()
+	emp17 := f.ViewTuple(f.ViewP, 17, "Susan", "New York", true)
+
+	cands, err := EnumerateSPDelete(db, f.ViewP, emp17)
+	if err != nil {
+		t.Fatalf("EnumerateSPDelete: %v", err)
+	}
+	// D-1 (delete) plus D-2 for each (non-key selecting attr, excluding
+	// value): Location has one excluding value (San Francisco) => 2.
+	if len(cands) != 2 {
+		t.Fatalf("want 2 candidates, got %d:\n%s", len(cands), DescribeCandidates(cands))
+	}
+	byClass := map[string]Candidate{}
+	for _, c := range cands {
+		byClass[c.Class] = c
+	}
+	d1, ok := byClass["D-1"]
+	if !ok {
+		t.Fatalf("no D-1 candidate in %s", DescribeCandidates(cands))
+	}
+	if got := d1.Translation.Ops(); len(got) != 1 || got[0].Kind != update.Delete {
+		t.Fatalf("D-1 should be a single deletion, got %s", d1.Translation)
+	}
+	d2, ok := byClass["D-2"]
+	if !ok {
+		t.Fatalf("no D-2 candidate in %s", DescribeCandidates(cands))
+	}
+	repl := d2.Translation.Replacements()
+	if len(repl) != 1 {
+		t.Fatalf("D-2 should be a single replacement, got %s", d2.Translation)
+	}
+	if got := repl[0].New.MustGet("Location"); got != value.NewString("San Francisco") {
+		t.Fatalf("D-2 should move the employee to San Francisco, got %s", got)
+	}
+
+	// Susan's policy prefers real deletion.
+	susan := NewTranslator(f.ViewP, PreferClasses{Label: "susan", Order: []string{"D-1"}})
+	c, err := susan.Apply(db, DeleteRequest(emp17))
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if c.Class != "D-1" {
+		t.Fatalf("Susan's policy chose %s", c.Class)
+	}
+	if db.Contains(f.Tuple(17, "Susan", "New York", true)) {
+		t.Fatal("employee #17 should be gone from the database")
+	}
+	// "If the employee was a member of the baseball team, he has been
+	// removed from that also."
+	if f.ViewB.Materialize(db).Contains(f.ViewTuple(f.ViewB, 17, "Susan", "New York", true)) {
+		t.Fatal("employee #17 should be gone from the baseball view too")
+	}
+}
+
+// TestPaperExampleFrank reproduces §4-1: Frank (ViewB, Baseball=Yes)
+// deletes employee #14; "a reasonable translation ... is to replace the
+// Baseball attribute ... with a No" (D-2), not to delete the employee.
+func TestPaperExampleFrank(t *testing.T) {
+	f := fixtures.NewEmp(20)
+	db := f.PaperInstance()
+	emp14 := f.ViewTuple(f.ViewB, 14, "Frank", "San Francisco", true)
+
+	frank := NewTranslator(f.ViewB, PreferClasses{Label: "frank", Order: []string{"D-2"}})
+	c, err := frank.Apply(db, DeleteRequest(emp14))
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if c.Class != "D-2" {
+		t.Fatalf("Frank's policy chose %s", c.Class)
+	}
+	want := f.Tuple(14, "Frank", "San Francisco", false)
+	if !db.Contains(want) {
+		t.Fatalf("employee #14 should remain with Baseball=false; DB state: %v", db.Tuples("EMP"))
+	}
+	if f.ViewB.Materialize(db).Contains(emp14) {
+		t.Fatal("employee #14 should be out of the baseball view")
+	}
+}
+
+// TestInsertDichotomy checks the paper's claim that classes I-1 and I-2
+// "apply to a disjoint set of database states ... at least one valid
+// translation from class I-1 or from class I-2 but not both".
+func TestInsertDichotomy(t *testing.T) {
+	f := fixtures.NewEmp(20)
+	db := f.PaperInstance()
+
+	// No EMP #9 exists: I-1.
+	u := f.ViewTuple(f.ViewP, 9, "Ivan", "New York", false)
+	cands, err := EnumerateSPInsert(db, f.ViewP, u)
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	for _, c := range cands {
+		if c.Class != "I-1" {
+			t.Fatalf("expected only I-1, got %s", c.Class)
+		}
+	}
+	// Views project everything, so extend-insert is unique.
+	if len(cands) != 1 {
+		t.Fatalf("identity projection should give exactly one I-1, got %d", len(cands))
+	}
+	if !UniqueExtendInsert(f.ViewP) {
+		t.Fatal("UniqueExtendInsert should hold for a full projection")
+	}
+
+	// EMP #5 exists in San Francisco (invisible in ViewP): I-2.
+	u5 := f.ViewTuple(f.ViewP, 5, "Bob", "New York", false)
+	cands, err = EnumerateSPInsert(db, f.ViewP, u5)
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if len(cands) != 1 || cands[0].Class != "I-2" {
+		t.Fatalf("expected a single I-2, got %s", DescribeCandidates(cands))
+	}
+	repl := cands[0].Translation.Replacements()
+	if len(repl) != 1 {
+		t.Fatalf("I-2 should be one replacement, got %s", cands[0].Translation)
+	}
+	if repl[0].Old.Key() != repl[0].New.Key() {
+		t.Fatal("I-2 must not change the key")
+	}
+
+	// The request becomes invalid when the view already has the key.
+	u3 := f.ViewTuple(f.ViewP, 3, "Dave", "New York", true)
+	if _, err := EnumerateSPInsert(db, f.ViewP, u3); err == nil {
+		t.Fatal("insert over an existing view key should be rejected")
+	}
+}
+
+// TestAllCandidatesSatisfyCriteria runs the full validity + five
+// criteria check over every candidate of the worked example's requests.
+func TestAllCandidatesSatisfyCriteria(t *testing.T) {
+	f := fixtures.NewEmp(20)
+	db := f.PaperInstance()
+
+	reqs := []Request{
+		DeleteRequest(f.ViewTuple(f.ViewP, 17, "Susan", "New York", true)),
+		DeleteRequest(f.ViewTuple(f.ViewB, 14, "Frank", "San Francisco", true)),
+		InsertRequest(f.ViewTuple(f.ViewP, 9, "Ivan", "New York", false)),
+		InsertRequest(f.ViewTuple(f.ViewB, 5, "Bob", "San Francisco", true)),
+		ReplaceRequest(
+			f.ViewTuple(f.ViewP, 17, "Susan", "New York", true),
+			f.ViewTuple(f.ViewP, 17, "Susan", "New York", false)),
+		ReplaceRequest(
+			f.ViewTuple(f.ViewP, 17, "Susan", "New York", true),
+			f.ViewTuple(f.ViewP, 11, "Susan", "New York", true)),
+		ReplaceRequest(
+			f.ViewTuple(f.ViewP, 17, "Susan", "New York", true),
+			f.ViewTuple(f.ViewP, 5, "Susan", "New York", true)),
+	}
+	for _, r := range reqs {
+		u := r.Tuple
+		if r.Kind == update.Replace {
+			u = r.Old
+		}
+		v := f.ViewB
+		if u.Relation() == f.ViewP.Schema() {
+			v = f.ViewP
+		}
+		cands, err := Enumerate(db, v, r)
+		if err != nil {
+			t.Fatalf("enumerate %s: %v", r, err)
+		}
+		if len(cands) == 0 {
+			t.Fatalf("no candidates for %s", r)
+		}
+		if err := CheckCandidates(db, v, r, cands, true); err != nil {
+			t.Fatalf("criteria: %v", err)
+		}
+	}
+}

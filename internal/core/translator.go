@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"viewupdate/internal/schema"
+	"viewupdate/internal/storage"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/update"
+	"viewupdate/internal/value"
+	"viewupdate/internal/view"
+)
+
+// A Translator binds a view to a policy and translates view update
+// requests into database updates — the paper's "view update
+// translator", a mapping from view update requests to translations.
+type Translator struct {
+	View   view.View
+	Policy Policy
+}
+
+// NewTranslator builds a translator; a nil policy defaults to
+// PickFirst.
+func NewTranslator(v view.View, p Policy) *Translator {
+	if p == nil {
+		p = PickFirst{}
+	}
+	return &Translator{View: v, Policy: p}
+}
+
+// Translate enumerates the complete candidate set for the request and
+// lets the policy choose. The database state is read, not modified.
+func (t *Translator) Translate(db *storage.Database, r Request) (Candidate, error) {
+	cands, err := Enumerate(db, t.View, r)
+	if err != nil {
+		return Candidate{}, err
+	}
+	return t.Policy.Choose(r, cands)
+}
+
+// Apply translates the request and applies the chosen translation to
+// the database atomically, returning the applied candidate.
+func (t *Translator) Apply(db *storage.Database, r Request) (Candidate, error) {
+	c, err := t.Translate(db, r)
+	if err != nil {
+		return Candidate{}, err
+	}
+	if err := db.Apply(c.Translation); err != nil {
+		return Candidate{}, fmt.Errorf("core: applying %s: %w", c.Translation, err)
+	}
+	return c, nil
+}
+
+// Row builds a tuple of the translator's view schema from raw Go
+// values in schema order; int, int64, string and bool are accepted.
+func (t *Translator) Row(raw ...interface{}) (tuple.T, error) {
+	return MakeRow(t.View.Schema(), raw...)
+}
+
+// MakeRow builds a tuple of rel from raw Go values in schema order.
+func MakeRow(rel *schema.Relation, raw ...interface{}) (tuple.T, error) {
+	if len(raw) != rel.Arity() {
+		return tuple.T{}, fmt.Errorf("core: %s expects %d values, got %d", rel.Name(), rel.Arity(), len(raw))
+	}
+	vals := make([]value.Value, len(raw))
+	for i, r := range raw {
+		switch x := r.(type) {
+		case int:
+			vals[i] = value.NewInt(int64(x))
+		case int64:
+			vals[i] = value.NewInt(x)
+		case string:
+			vals[i] = value.NewString(x)
+		case bool:
+			vals[i] = value.NewBool(x)
+		case value.Value:
+			vals[i] = x
+		default:
+			return tuple.T{}, fmt.Errorf("core: unsupported raw value %v (%T)", r, r)
+		}
+	}
+	return tuple.New(rel, vals...)
+}
+
+// MustRow is MakeRow, panicking on error; for tests and examples.
+func MustRow(rel *schema.Relation, raw ...interface{}) tuple.T {
+	t, err := MakeRow(rel, raw...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// CheckCandidates verifies that every candidate is valid and satisfies
+// the five criteria under the given validity semantics, returning a
+// descriptive error for the first failure. Used by the paranoid mode of
+// the CLI and by tests; the paper's theorems say this never fails for
+// generator output on SP views.
+func CheckCandidates(db *storage.Database, v view.View, r Request, cands []Candidate, exact bool) error {
+	validFn := func(tr *update.Translation) bool { return Valid(db, v, r, tr) }
+	if !exact {
+		validFn = func(tr *update.Translation) bool { return ValidRequested(db, v, r, tr) }
+	}
+	for _, c := range cands {
+		if !validFn(c.Translation) {
+			return fmt.Errorf("core: candidate %s is not a valid translation of %s", c, r)
+		}
+		if viols := CheckCriteria(db, v, r, c.Translation, CheckOptions{Valid: validFn}); len(viols) > 0 {
+			return fmt.Errorf("core: candidate %s: %v", c, viols[0])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package dialog
+
+import (
+	"strings"
+	"testing"
+
+	"viewupdate/internal/algebra"
+	"viewupdate/internal/core"
+	"viewupdate/internal/fixtures"
+	"viewupdate/internal/value"
+	"viewupdate/internal/view"
+)
+
+func TestQuestionsForSPView(t *testing.T) {
+	f := fixtures.NewEmp(20)
+	qs := QuestionsFor(f.ViewB) // selection on Baseball (non-key)
+	ids := map[string]bool{}
+	for _, q := range qs {
+		ids[q.ID] = true
+		if q.Prompt == "" || len(q.Options) == 0 {
+			t.Fatalf("malformed question %+v", q)
+		}
+	}
+	for _, want := range []string{"delete", "replace-split", "insert-conflict"} {
+		if !ids[want] {
+			t.Fatalf("missing question %q in %v", want, ids)
+		}
+	}
+	// Full projection: no defaults question.
+	for id := range ids {
+		if strings.HasPrefix(id, "default/") {
+			t.Fatalf("unexpected defaults question %s for a full projection", id)
+		}
+	}
+}
+
+func TestQuestionsIncludeDefaultsForHiddenAttrs(t *testing.T) {
+	f := fixtures.NewEmp(20)
+	// Hide Location (non-selecting, 2 values): a defaults question.
+	v, err := view.NewSP("NoLoc", algebra.NewSelection(f.Rel), []string{"EmpNo", "Name", "Baseball"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := QuestionsFor(v)
+	found := false
+	for _, q := range qs {
+		if q.ID == "default/Location" {
+			found = true
+			if len(q.Options) != 2 {
+				t.Fatalf("Location defaults should offer 2 options, got %d", len(q.Options))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("missing default/Location question")
+	}
+}
+
+func TestQuestionsForJoinView(t *testing.T) {
+	f := fixtures.NewABCXD()
+	qs := QuestionsFor(f.View)
+	// Identity SP views: only insert-conflict questions, one per node.
+	if len(qs) != 2 {
+		t.Fatalf("want 2 questions, got %d: %+v", len(qs), qs)
+	}
+	for _, q := range qs {
+		if !strings.Contains(q.ID, "/insert-conflict") {
+			t.Fatalf("unexpected question %s", q.ID)
+		}
+	}
+}
+
+func TestBuildPolicyFrankAndSusan(t *testing.T) {
+	f := fixtures.NewEmp(20)
+
+	// Frank: deletions flip Baseball.
+	frank, err := BuildPolicy(f.ViewB, []Answer{
+		{QuestionID: "delete", OptionKey: "flip:Baseball"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := f.PaperInstance()
+	emp14 := f.ViewTuple(f.ViewB, 14, "Frank", "San Francisco", true)
+	cands, err := core.Enumerate(db, f.ViewB, core.DeleteRequest(emp14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := frank.Choose(core.DeleteRequest(emp14), cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Class != "D-2" {
+		t.Fatalf("Frank's dialog should pick D-2, got %s", c.Class)
+	}
+
+	// Susan: deletions destroy.
+	susan, err := BuildPolicy(f.ViewP, []Answer{
+		{QuestionID: "delete", OptionKey: "destroy"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp17 := f.ViewTuple(f.ViewP, 17, "Susan", "New York", true)
+	cands, err = core.Enumerate(db, f.ViewP, core.DeleteRequest(emp17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err = susan.Choose(core.DeleteRequest(emp17), cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Class != "D-1" {
+		t.Fatalf("Susan's dialog should pick D-1, got %s", c.Class)
+	}
+	if susan.Name() == "" {
+		t.Fatal("policy name empty")
+	}
+}
+
+func TestBuildPolicyRejectsI2(t *testing.T) {
+	f := fixtures.NewEmp(20)
+	p, err := BuildPolicy(f.ViewP, []Answer{
+		{QuestionID: "insert-conflict", OptionKey: "reject"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := f.PaperInstance()
+	// EMP #5 exists hidden in San Francisco: insertion would be I-2.
+	u := f.ViewTuple(f.ViewP, 5, "Bob", "New York", false)
+	cands, err := core.Enumerate(db, f.ViewP, core.InsertRequest(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Choose(core.InsertRequest(u), cands); err == nil {
+		t.Fatal("dialog policy should reject the I-2-only candidate set")
+	}
+	// A fresh key (I-1) still works.
+	u9 := f.ViewTuple(f.ViewP, 9, "Ivan", "New York", false)
+	cands, err = core.Enumerate(db, f.ViewP, core.InsertRequest(u9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Choose(core.InsertRequest(u9), cands); err != nil {
+		t.Fatalf("I-1 should pass: %v", err)
+	}
+}
+
+func TestBuildPolicyDefaults(t *testing.T) {
+	f := fixtures.NewEmp(20)
+	v, err := view.NewSP("NoLoc", algebra.NewSelection(f.Rel), []string{"EmpNo", "Name", "Baseball"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildPolicy(v, []Answer{
+		{QuestionID: "default/Location", OptionKey: value.NewString("San Francisco").Encode()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := f.PaperInstance()
+	u, err := core.MakeRow(v.Schema(), 9, "Ivan", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := core.Enumerate(db, v, core.InsertRequest(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Choose(core.InsertRequest(u), cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Choices["Location"] != value.NewString("San Francisco") {
+		t.Fatalf("default ignored: %s", c)
+	}
+}
+
+func TestBuildPolicyReplaceSplit(t *testing.T) {
+	f := fixtures.NewEmp(20)
+	db := f.PaperInstance()
+	old := f.ViewTuple(f.ViewP, 17, "Susan", "New York", true)
+	new := f.ViewTuple(f.ViewP, 11, "Susan", "New York", true)
+	r := core.ReplaceRequest(old, new)
+	cands, err := core.Enumerate(db, f.ViewP, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := BuildPolicy(f.ViewP, []Answer{{QuestionID: "replace-split", OptionKey: "onestep"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := one.Choose(r, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Class != "R-2" {
+		t.Fatalf("onestep should pick R-2, got %s", c.Class)
+	}
+	two, err := BuildPolicy(f.ViewP, []Answer{{QuestionID: "replace-split", OptionKey: "twostep"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err = two.Choose(r, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Class != "R-4" {
+		t.Fatalf("twostep should pick R-4, got %s", c.Class)
+	}
+}
+
+func TestBuildPolicyValidation(t *testing.T) {
+	f := fixtures.NewEmp(20)
+	if _, err := BuildPolicy(f.ViewB, []Answer{{QuestionID: "nope", OptionKey: "x"}}); err == nil {
+		t.Fatal("unknown question should fail")
+	}
+	if _, err := BuildPolicy(f.ViewB, []Answer{{QuestionID: "delete", OptionKey: "nope"}}); err == nil {
+		t.Fatal("unknown option should fail")
+	}
+}
+
+func TestRunInteractive(t *testing.T) {
+	f := fixtures.NewEmp(20)
+	// Two questions for ViewB: delete (answer 2 = flip), replace-split
+	// (default), insert-conflict (answer 2 = reject).
+	input := strings.NewReader("2\n\n2\n")
+	var out strings.Builder
+	p, err := Run(input, &out, f.ViewB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "deleted from ViewB") {
+		t.Fatalf("prompt missing:\n%s", out.String())
+	}
+	db := f.PaperInstance()
+	emp14 := f.ViewTuple(f.ViewB, 14, "Frank", "San Francisco", true)
+	cands, err := core.Enumerate(db, f.ViewB, core.DeleteRequest(emp14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Choose(core.DeleteRequest(emp14), cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Class != "D-2" {
+		t.Fatalf("interactive answers should configure D-2, got %s", c.Class)
+	}
+	// Out-of-range answer fails.
+	if _, err := Run(strings.NewReader("9\n"), &out, f.ViewB); err == nil {
+		t.Fatal("out-of-range answer should fail")
+	}
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"viewupdate/internal/algebra"
+	"viewupdate/internal/schema"
+	"viewupdate/internal/value"
+	"viewupdate/internal/view"
+)
+
+// viewSP aliases view.SP for brevity in experiment code.
+type viewSP = view.SP
+
+// newSelection builds a one-term selection on rel.
+func newSelection(rel *schema.Relation, attr string, vals ...value.Value) *algebra.Selection {
+	return algebra.NewSelection(rel).MustAddTerm(attr, vals...)
+}
+
+// mustSP builds an SP view, panicking on error (experiment fixtures are
+// statically known).
+func mustSP(name string, sel *algebra.Selection, proj []string) *view.SP {
+	return view.MustNewSP(name, sel, proj)
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+
+	"viewupdate/internal/core"
+	"viewupdate/internal/fixtures"
+	"viewupdate/internal/report"
+	"viewupdate/internal/update"
+	"viewupdate/internal/workload"
+)
+
+// E4ReferenceConnection reproduces the §5-1 figure: the AB/CXD
+// reference connection and the SPJ algorithms over it.
+func E4ReferenceConnection() Experiment {
+	return Experiment{
+		ID:      "E4",
+		Title:   "Reference connection AB ⋈ CXD",
+		Exhibit: "§5-1 figure",
+		Run: func() (*report.Table, bool, error) {
+			t := report.New("E4 — SPJ algorithms on the paper's figure",
+				"operation", "class", "ops", "view_rows_after", "outcome")
+			ok := true
+
+			// Materialization of the figure's instance.
+			f := fixtures.NewABCXD()
+			db := f.PaperInstance()
+			rows := f.View.Materialize(db)
+			ok = ok && rows.Len() == 2
+			t.AddRow("materialize", "—", "—", rows.Len(), "X=A join over reference connection")
+
+			// SPJ-D: delete touches only the root.
+			row := f.ViewTuple("c1", "a", 3, 1)
+			cands, err := core.EnumerateJoinDelete(db, f.View, row)
+			if err != nil {
+				return nil, false, err
+			}
+			rootOnly := true
+			for _, op := range cands[0].Translation.Ops() {
+				if op.RelationName() != "CXD" {
+					rootOnly = false
+				}
+			}
+			ok = ok && rootOnly && len(cands) == 1
+			if err := db.Apply(cands[0].Translation); err != nil {
+				return nil, false, err
+			}
+			t.AddRow("SPJ-D delete c1", cands[0].Class, cands[0].Translation.Len(),
+				f.View.Materialize(db).Len(), fmt.Sprintf("root-only: %v", rootOnly))
+
+			// SPJ-I: insert referencing a new parent inserts both.
+			u := f.ViewTuple("c3", "a1", 5, 7)
+			cands, err = core.EnumerateJoinInsert(db, f.View, u)
+			if err != nil {
+				return nil, false, err
+			}
+			if err := db.Apply(cands[0].Translation); err != nil {
+				return nil, false, err
+			}
+			ok = ok && f.View.Materialize(db).Contains(u)
+			t.AddRow("SPJ-I insert c3", cands[0].Class, cands[0].Translation.Len(),
+				f.View.Materialize(db).Len(), "root + referenced parent inserted")
+
+			// SPJ-R: re-point c3 at the other parent.
+			newRow := f.ViewTuple("c3", "a2", 5, 2)
+			cands, err = core.EnumerateJoinReplace(db, f.View, u, newRow)
+			if err != nil {
+				return nil, false, err
+			}
+			if err := db.Apply(cands[0].Translation); err != nil {
+				return nil, false, err
+			}
+			ok = ok && f.View.Materialize(db).Contains(newRow)
+			t.AddRow("SPJ-R repoint c3", cands[0].Class, cands[0].Translation.Len(),
+				f.View.Materialize(db).Len(), "root replaced; old parent kept")
+
+			t.Note = "reference connection = extension join (X over AB's key A) + inclusion dependency CXD[X] ⊆ AB[A]"
+			return t, ok, nil
+		},
+	}
+}
+
+// E15DAGExtension exercises the §5-1 footnote extension: a rooted-DAG
+// query graph (diamond) with convergence semantics for the shared node
+// and the conservative SPJ-R state join.
+func E15DAGExtension() Experiment {
+	return Experiment{
+		ID:      "E15",
+		Title:   "Rooted-DAG query graphs (footnote extension)",
+		Exhibit: "§5-1 footnote",
+		Run: func() (*report.Table, bool, error) {
+			t := report.New("E15 — diamond ROOT→{A,B}→C with a shared node",
+				"operation", "ops", "view_rows_after", "outcome")
+			d := fixtures.NewDiamond()
+			db := d.ConvergentInstance()
+			ok := true
+
+			rows := d.View.Materialize(db)
+			ok = ok && rows.Len() == 1
+			t.AddRow("materialize", "—", rows.Len(), "divergent row hidden (convergence)")
+
+			// SPJ-I inserts the shared node once.
+			u := d.ViewTuple(3, 7, 8, 9, 2)
+			cands, err := core.EnumerateJoinInsert(db, d.View, u)
+			if err != nil {
+				return nil, false, err
+			}
+			cIns := 0
+			for _, op := range cands[0].Translation.Ops() {
+				if op.Kind == update.Insert && op.RelationName() == "C" {
+					cIns++
+				}
+			}
+			ok = ok && cIns == 1 && len(cands[0].Translation.Inserts()) == 4
+			if err := db.Apply(cands[0].Translation); err != nil {
+				return nil, false, err
+			}
+			t.AddRow("SPJ-I insert root 3", cands[0].Translation.Len(),
+				d.View.Materialize(db).Len(), fmt.Sprintf("shared C inserted %d time(s)", cIns))
+
+			// SPJ-R replaces the shared node once when both arms agree.
+			old := d.ViewTuple(1, 1, 2, 5, 0)
+			new := d.ViewTuple(1, 1, 2, 5, 3)
+			cands, err = core.EnumerateJoinReplace(db, d.View, old, new)
+			if err != nil {
+				return nil, false, err
+			}
+			tr := cands[0].Translation
+			ok = ok && tr.Len() == 1 && len(tr.Replacements()) == 1
+			eff, err := core.SideEffects(db, d.View, core.ReplaceRequest(old, new), tr)
+			if err != nil {
+				return nil, false, err
+			}
+			if err := db.Apply(tr); err != nil {
+				return nil, false, err
+			}
+			t.AddRow("SPJ-R shared C payload", tr.Len(), d.View.Materialize(db).Len(), eff.String())
+
+			t.Note = "the footnote's relaxation: updates through a shared node may side-effect every row whose paths cross it"
+			return t, ok, nil
+		},
+	}
+}
+
+// E9SPJUniqueness validates the uniqueness theorems of §5-2: with
+// identity SP views, SPJ-D/I/R each admit exactly one translation
+// satisfying the criteria, across tree shapes.
+func E9SPJUniqueness() Experiment {
+	return Experiment{
+		ID:      "E9",
+		Title:   "Uniqueness of SPJ-D/I/R on identity trees",
+		Exhibit: "§5-2 theorems",
+		Run: func() (*report.Table, bool, error) {
+			t := report.New("E9 — candidate counts over random reference trees",
+				"depth", "fanout", "relations", "delete", "insert", "replace", "unique")
+			allOK := true
+			for _, shape := range []struct{ depth, fanout int }{
+				{1, 1}, {1, 2}, {2, 1}, {2, 2}, {3, 1},
+			} {
+				w, err := workload.NewTree(workload.TreeConfig{
+					Depth: shape.depth, Fanout: shape.fanout,
+					Keys: 60, TuplesPerRelation: 12, Seed: int64(31 + shape.depth*7 + shape.fanout),
+				})
+				if err != nil {
+					return nil, false, err
+				}
+				counts := map[update.Kind]int{}
+				// Delete a random row.
+				row, ok := w.RandomRow()
+				if !ok {
+					return nil, false, fmt.Errorf("E9: empty view")
+				}
+				cands, err := core.EnumerateJoinDelete(w.DB, w.View, row)
+				if err != nil {
+					return nil, false, err
+				}
+				counts[update.Delete] = len(cands)
+				// Insert under a fresh root key.
+				if r, ok := w.InsertRequestForFreshRoot(); ok {
+					cands, err := core.Enumerate(w.DB, w.View, r)
+					if err != nil {
+						return nil, false, err
+					}
+					counts[update.Insert] = len(cands)
+				}
+				// Replace: change the root payload of a row.
+				row2, _ := w.RandomRow()
+				pAttr := fmt.Sprintf("P%d", 0)
+				cur := row2.MustGet(pAttr)
+				var newRow = row2
+				for _, v := range w.Relations[0].Attributes()[1].Domain.Values() {
+					if v != cur {
+						newRow = row2.MustWith(pAttr, v)
+						break
+					}
+				}
+				cands, err = core.EnumerateJoinReplace(w.DB, w.View, row2, newRow)
+				if err != nil {
+					return nil, false, err
+				}
+				counts[update.Replace] = len(cands)
+
+				unique := counts[update.Delete] == 1 && counts[update.Insert] == 1 && counts[update.Replace] == 1
+				allOK = allOK && unique
+				t.AddRow(shape.depth, shape.fanout, len(w.Relations),
+					counts[update.Delete], counts[update.Insert], counts[update.Replace],
+					passFail(unique))
+			}
+			t.Note = "identity SP views leave no arbitrary choices: each SPJ algorithm is 'the only algorithm'"
+			return t, allOK, nil
+		},
+	}
+}

@@ -1,0 +1,94 @@
+package fixtures
+
+import (
+	"testing"
+
+	"viewupdate/internal/value"
+)
+
+func TestEmpFixture(t *testing.T) {
+	f := NewEmp(20)
+	if f.Rel.Arity() != 4 || f.Rel.Key()[0] != "EmpNo" {
+		t.Fatal("EMP schema wrong")
+	}
+	db := f.PaperInstance()
+	if db.Len("EMP") != 5 {
+		t.Fatalf("paper instance has %d tuples", db.Len("EMP"))
+	}
+	// Views reflect the §4-1 story: Susan sees New Yorkers, Frank sees
+	// the team.
+	p := f.ViewP.Materialize(db)
+	if p.Len() != 3 {
+		t.Fatalf("ViewP rows = %d", p.Len())
+	}
+	b := f.ViewB.Materialize(db)
+	if b.Len() != 3 {
+		t.Fatalf("ViewB rows = %d", b.Len())
+	}
+	if !p.Contains(f.ViewTuple(f.ViewP, 17, "Susan", "New York", true)) {
+		t.Fatal("employee 17 missing from ViewP")
+	}
+	if !b.Contains(f.ViewTuple(f.ViewB, 14, "Frank", "San Francisco", true)) {
+		t.Fatal("employee 14 missing from ViewB")
+	}
+}
+
+func TestABCXDFixture(t *testing.T) {
+	f := NewABCXD()
+	db := f.PaperInstance()
+	if db.Len("AB") != 2 || db.Len("CXD") != 2 {
+		t.Fatal("instance sizes wrong")
+	}
+	rows := f.View.Materialize(db)
+	if rows.Len() != 2 {
+		t.Fatalf("view rows = %d", rows.Len())
+	}
+	want := f.ViewTuple("c1", "a", 3, 1)
+	if !rows.Contains(want) {
+		t.Fatalf("missing %s", want)
+	}
+	// Join attributes are equated.
+	for _, row := range rows.Slice() {
+		if row.MustGet("X") != row.MustGet("A") {
+			t.Fatalf("X != A in %s", row)
+		}
+	}
+	// The inclusion dependency is registered.
+	if len(f.Schema.InclusionsFrom("CXD")) != 1 {
+		t.Fatal("missing inclusion dependency")
+	}
+}
+
+func TestUniversityFixture(t *testing.T) {
+	u := NewUniversity(10)
+	db := u.SmallInstance()
+	if err := db.CheckAllInclusions(); err != nil {
+		t.Fatalf("instance violates inclusions: %v", err)
+	}
+	rows := u.View.Materialize(db)
+	if rows.Len() != 2 {
+		t.Fatalf("view rows = %d", rows.Len())
+	}
+	want := u.ViewTuple(1, "s1", "db", 4, "Ada", 2, "Databases", "cs", "Gates")
+	if !rows.Contains(want) {
+		t.Fatalf("missing %s in %v", want, rows.Slice())
+	}
+	// Preorder: ENROLL, STUDENT, COURSE, DEPT.
+	nodes := u.View.Nodes()
+	if len(nodes) != 4 || nodes[0].SP.Base().Name() != "ENROLL" || nodes[3].SP.Base().Name() != "DEPT" {
+		t.Fatal("node order wrong")
+	}
+	// The view key is the root key.
+	if key := u.View.Schema().Key(); len(key) != 1 || key[0] != "EID" {
+		t.Fatalf("view key = %v", key)
+	}
+	// Join attributes are forced equal in ViewTuple.
+	if want.MustGet("Stu") != want.MustGet("SID") ||
+		want.MustGet("Crs") != want.MustGet("CID") ||
+		want.MustGet("Dpt") != want.MustGet("DName") {
+		t.Fatal("ViewTuple does not equate join attributes")
+	}
+	if want.MustGet("Grade") != value.NewInt(4) {
+		t.Fatal("ViewTuple payload wrong")
+	}
+}

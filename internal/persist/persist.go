@@ -1,0 +1,228 @@
+// Package persist serializes a database — schema (domains, relations,
+// inclusion dependencies) and contents — to a JSON snapshot and loads
+// it back. Snapshots are deterministic (sorted domains, schema-ordered
+// relations, key-ordered tuples) so they diff cleanly.
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"viewupdate/internal/schema"
+	"viewupdate/internal/storage"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/value"
+)
+
+// Snapshot is the serialized form of a database.
+type Snapshot struct {
+	// Format identifies the snapshot layout; currently 1.
+	Format int `json:"format"`
+	// Domains in name order.
+	Domains []DomainJSON `json:"domains"`
+	// Relations in schema registration order.
+	Relations []RelationJSON `json:"relations"`
+	// Inclusions in registration order.
+	Inclusions []InclusionJSON `json:"inclusions,omitempty"`
+	// Tuples maps relation name to rows of canonical value encodings.
+	Tuples map[string][][]string `json:"tuples"`
+}
+
+// DomainJSON serializes one domain.
+type DomainJSON struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"` // canonical encodings, ascending
+}
+
+// RelationJSON serializes one relation schema.
+type RelationJSON struct {
+	Name  string     `json:"name"`
+	Attrs []AttrJSON `json:"attrs"`
+	Key   []string   `json:"key"`
+}
+
+// AttrJSON serializes one attribute.
+type AttrJSON struct {
+	Name   string `json:"name"`
+	Domain string `json:"domain"`
+}
+
+// InclusionJSON serializes one inclusion dependency.
+type InclusionJSON struct {
+	Child      string   `json:"child"`
+	ChildAttrs []string `json:"childAttrs"`
+	Parent     string   `json:"parent"`
+}
+
+// Capture builds a Snapshot of db.
+func Capture(db *storage.Database) (*Snapshot, error) {
+	sch := db.Schema()
+	snap := &Snapshot{Format: 1, Tuples: map[string][][]string{}}
+
+	seenDom := map[string]*schema.Domain{}
+	var domNames []string
+	for _, rn := range sch.RelationNames() {
+		rel := sch.Relation(rn)
+		rj := RelationJSON{Name: rn, Key: rel.Key()}
+		for _, a := range rel.Attributes() {
+			if prev, ok := seenDom[a.Domain.Name()]; ok {
+				if prev != a.Domain {
+					return nil, fmt.Errorf("persist: two distinct domains named %s", a.Domain.Name())
+				}
+			} else {
+				seenDom[a.Domain.Name()] = a.Domain
+				domNames = append(domNames, a.Domain.Name())
+			}
+			rj.Attrs = append(rj.Attrs, AttrJSON{Name: a.Name, Domain: a.Domain.Name()})
+		}
+		snap.Relations = append(snap.Relations, rj)
+
+		var rows [][]string
+		for _, t := range db.Tuples(rn) {
+			row := make([]string, 0, rel.Arity())
+			for _, v := range t.Values() {
+				row = append(row, v.Encode())
+			}
+			rows = append(rows, row)
+		}
+		snap.Tuples[rn] = rows
+	}
+	for _, dn := range domNames {
+		d := seenDom[dn]
+		dj := DomainJSON{Name: dn}
+		for _, v := range d.Values() {
+			dj.Values = append(dj.Values, v.Encode())
+		}
+		snap.Domains = append(snap.Domains, dj)
+	}
+	for _, inc := range sch.Inclusions() {
+		snap.Inclusions = append(snap.Inclusions, InclusionJSON{
+			Child: inc.Child, ChildAttrs: inc.ChildAttrs, Parent: inc.Parent,
+		})
+	}
+	return snap, nil
+}
+
+// Save writes db's snapshot as indented JSON.
+func Save(w io.Writer, db *storage.Database) error {
+	snap, err := Capture(db)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// SaveFile writes db's snapshot to path.
+func SaveFile(path string, db *storage.Database) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Save(f, db); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Restore rebuilds a database (with a fresh schema) from a snapshot.
+func Restore(snap *Snapshot) (*storage.Database, error) {
+	if snap.Format != 1 {
+		return nil, fmt.Errorf("persist: unsupported snapshot format %d", snap.Format)
+	}
+	domains := map[string]*schema.Domain{}
+	for _, dj := range snap.Domains {
+		vals := make([]value.Value, len(dj.Values))
+		for i, enc := range dj.Values {
+			v, err := value.Decode(enc)
+			if err != nil {
+				return nil, fmt.Errorf("persist: domain %s: %w", dj.Name, err)
+			}
+			vals[i] = v
+		}
+		d, err := schema.NewDomain(dj.Name, vals...)
+		if err != nil {
+			return nil, fmt.Errorf("persist: domain %s: %w", dj.Name, err)
+		}
+		domains[dj.Name] = d
+	}
+	sch := schema.NewDatabase()
+	for _, rj := range snap.Relations {
+		attrs := make([]schema.Attribute, len(rj.Attrs))
+		for i, aj := range rj.Attrs {
+			d := domains[aj.Domain]
+			if d == nil {
+				return nil, fmt.Errorf("persist: relation %s references unknown domain %s", rj.Name, aj.Domain)
+			}
+			attrs[i] = schema.Attribute{Name: aj.Name, Domain: d}
+		}
+		rel, err := schema.NewRelation(rj.Name, attrs, rj.Key)
+		if err != nil {
+			return nil, fmt.Errorf("persist: relation %s: %w", rj.Name, err)
+		}
+		if err := sch.AddRelation(rel); err != nil {
+			return nil, err
+		}
+	}
+	for _, ij := range snap.Inclusions {
+		if err := sch.AddInclusion(schema.InclusionDependency{
+			Child: ij.Child, ChildAttrs: ij.ChildAttrs, Parent: ij.Parent,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	db := storage.Open(sch)
+	var all []tuple.T
+	for rn, rows := range snap.Tuples {
+		rel := sch.Relation(rn)
+		if rel == nil {
+			return nil, fmt.Errorf("persist: tuples for unknown relation %s", rn)
+		}
+		for _, row := range rows {
+			if len(row) != rel.Arity() {
+				return nil, fmt.Errorf("persist: %s row has %d values, want %d", rn, len(row), rel.Arity())
+			}
+			vals := make([]value.Value, len(row))
+			for i, enc := range row {
+				v, err := value.Decode(enc)
+				if err != nil {
+					return nil, fmt.Errorf("persist: %s row: %w", rn, err)
+				}
+				vals[i] = v
+			}
+			t, err := tuple.New(rel, vals...)
+			if err != nil {
+				return nil, fmt.Errorf("persist: %s row: %w", rn, err)
+			}
+			all = append(all, t)
+		}
+	}
+	if err := db.LoadAll(all...); err != nil {
+		return nil, fmt.Errorf("persist: loading tuples: %w", err)
+	}
+	return db, nil
+}
+
+// Load reads a snapshot from r and restores it.
+func Load(r io.Reader) (*storage.Database, error) {
+	var snap Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("persist: decoding snapshot: %w", err)
+	}
+	return Restore(&snap)
+}
+
+// LoadFile reads a snapshot from path and restores it.
+func LoadFile(path string) (*storage.Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,152 @@
+package persist
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"viewupdate/internal/fixtures"
+	"viewupdate/internal/storage"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/value"
+)
+
+// render canonicalizes a database's contents across schema instances.
+func render(db *storage.Database) string {
+	var b strings.Builder
+	for _, rn := range db.Schema().RelationNames() {
+		for _, t := range db.Tuples(rn) {
+			b.WriteString(t.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func TestRoundTripEmp(t *testing.T) {
+	f := fixtures.NewEmp(20)
+	db := f.PaperInstance()
+	var buf bytes.Buffer
+	if err := Save(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(back) != render(db) {
+		t.Fatalf("round trip differs:\n%s\nvs\n%s", render(back), render(db))
+	}
+	// Schema survived: the key is intact and enforced.
+	rel := back.Schema().Relation("EMP")
+	if rel == nil || rel.Key()[0] != "EmpNo" {
+		t.Fatal("schema lost")
+	}
+	dupe, err := tuple.New(rel,
+		value.NewInt(17), value.NewString("Alice"), value.NewString("New York"), value.NewBool(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Load("EMP", dupe); err == nil {
+		t.Fatal("restored db should enforce the key dependency")
+	}
+}
+
+func TestRoundTripJoinSchema(t *testing.T) {
+	f := fixtures.NewABCXD()
+	db := f.PaperInstance()
+	var buf bytes.Buffer
+	if err := Save(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(back) != render(db) {
+		t.Fatal("round trip differs")
+	}
+	// Inclusion dependencies survived and are enforced.
+	if got := back.Schema().Inclusions(); len(got) != 1 || got[0].Parent != "AB" {
+		t.Fatalf("inclusions lost: %v", got)
+	}
+	if err := back.CheckAllInclusions(); err != nil {
+		t.Fatal(err)
+	}
+	// A dangling child insert into the restored instance still fails.
+	cxd := back.Schema().Relation("CXD")
+	dangling, err := tuple.New(cxd,
+		value.NewString("c3"), value.NewString("a3"), value.NewInt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Load("CXD", dangling); err == nil {
+		t.Fatal("restored db should enforce inclusions")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	f := fixtures.NewEmp(20)
+	db := f.PaperInstance()
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := SaveFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(back) != render(db) {
+		t.Fatal("file round trip differs")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	f := fixtures.NewEmp(20)
+	db := f.PaperInstance()
+	var a, b bytes.Buffer
+	if err := Save(&a, db); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(&b, db); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("snapshots should be byte-identical")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`{"format": 9}`,
+		`{"format": 1, "domains": [{"name":"D","values":["zz"]}], "relations": [], "tuples": {}}`,
+		`{"format": 1, "domains": [], "relations": [{"name":"R","attrs":[{"name":"A","domain":"missing"}],"key":["A"]}], "tuples": {}}`,
+		`{"format": 1, "domains": [], "relations": [], "tuples": {"ghost": [["i1"]]}}`,
+	}
+	for i, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	// Arity mismatch in a row.
+	bad := `{"format":1,
+		"domains":[{"name":"D","values":["i1","i2"]}],
+		"relations":[{"name":"R","attrs":[{"name":"A","domain":"D"},{"name":"B","domain":"D"}],"key":["A"]}],
+		"tuples":{"R":[["i1"]]}}`
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	// Key-conflicting rows fail at LoadAll.
+	conflict := `{"format":1,
+		"domains":[{"name":"D","values":["i1","i2"]}],
+		"relations":[{"name":"R","attrs":[{"name":"A","domain":"D"},{"name":"B","domain":"D"}],"key":["A"]}],
+		"tuples":{"R":[["i1","i1"],["i1","i2"]]}}`
+	if _, err := Load(strings.NewReader(conflict)); err == nil {
+		t.Error("key conflict should fail")
+	}
+}

@@ -1,0 +1,56 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("E1: test table", "col", "n", "ratio")
+	tb.AddRow("a", 1, 0.5)
+	tb.AddRow("longer-cell", 20000, 1.0)
+	tb.Note = "a note"
+	out := tb.String()
+	if !strings.Contains(out, "E1: test table") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "longer-cell") || !strings.Contains(out, "20000") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "0.50") {
+		t.Fatalf("floats should render with 2 decimals:\n%s", out)
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Fatalf("missing note:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + underline + header + separator + 2 rows + note.
+	if len(lines) != 7 {
+		t.Fatalf("want 7 lines, got %d:\n%s", len(lines), out)
+	}
+	// Columns align: header and rows have the same prefix width for
+	// column 2.
+	hdr := lines[2]
+	row := lines[4]
+	if strings.Index(hdr, "n") < 0 || strings.Index(row, "1") < 0 {
+		t.Fatalf("columns missing:\n%s", out)
+	}
+}
+
+func TestTableNoHeaderNoTitle(t *testing.T) {
+	tb := &Table{}
+	tb.AddRow("x", "y")
+	out := tb.String()
+	if !strings.HasPrefix(out, "x") {
+		t.Fatalf("bare table wrong:\n%q", out)
+	}
+}
+
+func TestRowsWiderThanHeader(t *testing.T) {
+	tb := New("t", "only")
+	tb.AddRow("a", "b", "c")
+	out := tb.String()
+	if !strings.Contains(out, "c") {
+		t.Fatalf("extra cells dropped:\n%s", out)
+	}
+}

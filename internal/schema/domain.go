@@ -1,0 +1,136 @@
+// Package schema defines the static structure of a database: finite
+// domains, attributes, relation schemata with a single key dependency
+// (Boyce-Codd Normal Form as the paper assumes), database schemata, and
+// inclusion dependencies between relations.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"viewupdate/internal/value"
+)
+
+// A Domain is a finite, ordered set of values of one kind, as in the
+// paper ("a domain is a (finite) set"). Finiteness is what makes the
+// sets of selecting and excluding values of a selection term, and the
+// "arbitrary value" choices of extend-insert and D-2, enumerable.
+type Domain struct {
+	name   string
+	kind   value.Kind
+	values []value.Value       // sorted ascending
+	index  map[value.Value]int // value -> position in values
+}
+
+// NewDomain constructs a domain from the given values. The values must
+// be non-empty, all of one kind, and are deduplicated and sorted.
+func NewDomain(name string, vals ...value.Value) (*Domain, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: domain needs a name")
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("schema: domain %s needs at least one value", name)
+	}
+	kind := vals[0].Kind()
+	seen := make(map[value.Value]bool, len(vals))
+	uniq := make([]value.Value, 0, len(vals))
+	for _, v := range vals {
+		if !v.IsValid() {
+			return nil, fmt.Errorf("schema: domain %s contains an invalid value", name)
+		}
+		if v.Kind() != kind {
+			return nil, fmt.Errorf("schema: domain %s mixes kinds %s and %s", name, kind, v.Kind())
+		}
+		if !seen[v] {
+			seen[v] = true
+			uniq = append(uniq, v)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i].Less(uniq[j]) })
+	index := make(map[value.Value]int, len(uniq))
+	for i, v := range uniq {
+		index[v] = i
+	}
+	return &Domain{name: name, kind: kind, values: uniq, index: index}, nil
+}
+
+// MustDomain is NewDomain, panicking on error. Intended for statically
+// known domains in tests and examples.
+func MustDomain(name string, vals ...value.Value) *Domain {
+	d, err := NewDomain(name, vals...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// IntRangeDomain builds a domain of the consecutive integers [lo, hi].
+func IntRangeDomain(name string, lo, hi int64) (*Domain, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("schema: empty int range [%d,%d] for domain %s", lo, hi, name)
+	}
+	vals := make([]value.Value, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		vals = append(vals, value.NewInt(i))
+	}
+	return NewDomain(name, vals...)
+}
+
+// StringDomain builds a domain of the given strings.
+func StringDomain(name string, ss ...string) (*Domain, error) {
+	vals := make([]value.Value, len(ss))
+	for i, s := range ss {
+		vals[i] = value.NewString(s)
+	}
+	return NewDomain(name, vals...)
+}
+
+// BoolDomain builds the two-valued boolean domain.
+func BoolDomain(name string) *Domain {
+	return MustDomain(name, value.NewBool(false), value.NewBool(true))
+}
+
+// Name returns the domain's name.
+func (d *Domain) Name() string { return d.name }
+
+// Kind returns the kind of the domain's values.
+func (d *Domain) Kind() value.Kind { return d.kind }
+
+// Size returns the number of values in the domain.
+func (d *Domain) Size() int { return len(d.values) }
+
+// Contains reports whether v belongs to the domain.
+func (d *Domain) Contains(v value.Value) bool {
+	_, ok := d.index[v]
+	return ok
+}
+
+// Values returns the domain's values in ascending order. The returned
+// slice is shared; callers must not modify it.
+func (d *Domain) Values() []value.Value { return d.values }
+
+// At returns the i-th value in ascending order.
+func (d *Domain) At(i int) value.Value { return d.values[i] }
+
+// Complement returns the domain values not in the given set, in
+// ascending order. This computes the paper's "excluding values" e from
+// the selecting values s (s ∪ e = domain, s ∩ e = ∅).
+func (d *Domain) Complement(in map[value.Value]bool) []value.Value {
+	out := make([]value.Value, 0, len(d.values))
+	for _, v := range d.values {
+		if !in[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// String renders the domain compactly.
+func (d *Domain) String() string {
+	parts := make([]string, len(d.values))
+	for i, v := range d.values {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("%s{%s}", d.name, strings.Join(parts, ","))
+}

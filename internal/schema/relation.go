@@ -1,0 +1,293 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// An Attribute is a named column drawn from a finite domain.
+type Attribute struct {
+	Name   string
+	Domain *Domain
+}
+
+// A Relation describes one base relation: an ordered list of attributes
+// and the single key dependency K → R the paper assumes (the relations
+// are in Boyce-Codd Normal Form with the key dependency as the only
+// intra-relation constraint).
+type Relation struct {
+	name  string
+	attrs []Attribute
+	pos   map[string]int // attribute name -> ordinal
+	key   []string       // subset of attribute names, in schema order
+	isKey map[string]bool
+}
+
+// NewRelation builds a relation schema. key must be a non-empty subset
+// of the attribute names.
+func NewRelation(name string, attrs []Attribute, key []string) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: relation needs a name")
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("schema: relation %s needs attributes", name)
+	}
+	pos := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("schema: relation %s has an unnamed attribute", name)
+		}
+		if a.Domain == nil {
+			return nil, fmt.Errorf("schema: attribute %s.%s has no domain", name, a.Name)
+		}
+		if _, dup := pos[a.Name]; dup {
+			return nil, fmt.Errorf("schema: relation %s repeats attribute %s", name, a.Name)
+		}
+		pos[a.Name] = i
+	}
+	if len(key) == 0 {
+		return nil, fmt.Errorf("schema: relation %s needs a key", name)
+	}
+	isKey := make(map[string]bool, len(key))
+	for _, k := range key {
+		if _, ok := pos[k]; !ok {
+			return nil, fmt.Errorf("schema: key attribute %s not in relation %s", k, name)
+		}
+		if isKey[k] {
+			return nil, fmt.Errorf("schema: relation %s repeats key attribute %s", name, k)
+		}
+		isKey[k] = true
+	}
+	ordered := make([]string, 0, len(key))
+	for _, a := range attrs {
+		if isKey[a.Name] {
+			ordered = append(ordered, a.Name)
+		}
+	}
+	return &Relation{name: name, attrs: attrs, pos: pos, key: ordered, isKey: isKey}, nil
+}
+
+// MustRelation is NewRelation, panicking on error.
+func MustRelation(name string, attrs []Attribute, key []string) *Relation {
+	r, err := NewRelation(name, attrs, key)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.attrs) }
+
+// Attributes returns the attributes in schema order (shared slice).
+func (r *Relation) Attributes() []Attribute { return r.attrs }
+
+// AttributeNames returns the attribute names in schema order.
+func (r *Relation) AttributeNames() []string {
+	names := make([]string, len(r.attrs))
+	for i, a := range r.attrs {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// Index returns the ordinal of the named attribute, or -1.
+func (r *Relation) Index(attr string) int {
+	i, ok := r.pos[attr]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Has reports whether the relation has the named attribute.
+func (r *Relation) Has(attr string) bool {
+	_, ok := r.pos[attr]
+	return ok
+}
+
+// Attribute returns the named attribute; ok is false if absent.
+func (r *Relation) Attribute(attr string) (Attribute, bool) {
+	i, ok := r.pos[attr]
+	if !ok {
+		return Attribute{}, false
+	}
+	return r.attrs[i], true
+}
+
+// Key returns the key attribute names in schema order (shared slice).
+func (r *Relation) Key() []string { return r.key }
+
+// IsKey reports whether the named attribute belongs to the key.
+func (r *Relation) IsKey(attr string) bool { return r.isKey[attr] }
+
+// KeyIndexes returns the ordinals of the key attributes in schema order.
+func (r *Relation) KeyIndexes() []int {
+	idx := make([]int, len(r.key))
+	for i, k := range r.key {
+		idx[i] = r.pos[k]
+	}
+	return idx
+}
+
+// NonKeyAttributes returns the names of the attributes outside the key,
+// in schema order.
+func (r *Relation) NonKeyAttributes() []string {
+	out := make([]string, 0, len(r.attrs)-len(r.key))
+	for _, a := range r.attrs {
+		if !r.isKey[a.Name] {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+// ExtensionSize returns the number of distinct tuples the schema
+// admits: the product of the domain sizes. It saturates at 1<<62 to
+// avoid overflow; callers use it only to bound small enumerations.
+func (r *Relation) ExtensionSize() int64 {
+	const limit = int64(1) << 62
+	n := int64(1)
+	for _, a := range r.attrs {
+		size := int64(a.Domain.Size())
+		if size != 0 && n > limit/size {
+			return limit
+		}
+		n *= size
+	}
+	return n
+}
+
+// String renders the schema as NAME(a1, a2*, ...) with key attributes
+// starred.
+func (r *Relation) String() string {
+	parts := make([]string, len(r.attrs))
+	for i, a := range r.attrs {
+		star := ""
+		if r.isKey[a.Name] {
+			star = "*"
+		}
+		parts[i] = a.Name + star
+	}
+	return fmt.Sprintf("%s(%s)", r.name, strings.Join(parts, ", "))
+}
+
+// An InclusionDependency states Child[ChildAttrs] ⊆ Parent[ParentKey]:
+// every combination of values appearing in the child attributes must
+// appear as the key of some parent tuple. Together with the extension
+// join this forms the paper's "reference connection" (§5-1).
+type InclusionDependency struct {
+	Child      string   // referencing relation
+	ChildAttrs []string // attributes of Child, in order
+	Parent     string   // referenced relation
+	// The referenced attributes are always exactly Parent's key, in
+	// key order, as required by an extension join.
+}
+
+// String renders the dependency as Child[A,B] ⊆ Parent[key].
+func (d InclusionDependency) String() string {
+	return fmt.Sprintf("%s[%s] ⊆ %s[key]", d.Child, strings.Join(d.ChildAttrs, ","), d.Parent)
+}
+
+// A Database is a set of relation schemata indexed by name, plus the
+// inclusion dependencies among them.
+type Database struct {
+	relations map[string]*Relation
+	order     []string // insertion order, for deterministic listings
+	inclusion []InclusionDependency
+}
+
+// NewDatabase returns an empty database schema.
+func NewDatabase() *Database {
+	return &Database{relations: make(map[string]*Relation)}
+}
+
+// AddRelation registers a relation schema.
+func (db *Database) AddRelation(r *Relation) error {
+	if _, dup := db.relations[r.Name()]; dup {
+		return fmt.Errorf("schema: duplicate relation %s", r.Name())
+	}
+	db.relations[r.Name()] = r
+	db.order = append(db.order, r.Name())
+	return nil
+}
+
+// Relation returns the named relation schema, or nil.
+func (db *Database) Relation(name string) *Relation { return db.relations[name] }
+
+// RelationNames returns the relation names in registration order.
+func (db *Database) RelationNames() []string {
+	out := make([]string, len(db.order))
+	copy(out, db.order)
+	return out
+}
+
+// AddInclusion registers an inclusion dependency after validating that
+// both relations exist, the child attributes exist with domains
+// matching the parent key's domains, and the attribute count matches
+// the parent key.
+func (db *Database) AddInclusion(d InclusionDependency) error {
+	child := db.relations[d.Child]
+	if child == nil {
+		return fmt.Errorf("schema: inclusion child %s unknown", d.Child)
+	}
+	parent := db.relations[d.Parent]
+	if parent == nil {
+		return fmt.Errorf("schema: inclusion parent %s unknown", d.Parent)
+	}
+	pkey := parent.Key()
+	if len(d.ChildAttrs) != len(pkey) {
+		return fmt.Errorf("schema: inclusion %s has %d attributes but key of %s has %d",
+			d, len(d.ChildAttrs), d.Parent, len(pkey))
+	}
+	for i, ca := range d.ChildAttrs {
+		cattr, ok := child.Attribute(ca)
+		if !ok {
+			return fmt.Errorf("schema: inclusion attribute %s.%s unknown", d.Child, ca)
+		}
+		pattr, _ := parent.Attribute(pkey[i])
+		if cattr.Domain != pattr.Domain {
+			return fmt.Errorf("schema: inclusion %s: domain of %s.%s (%s) differs from %s.%s (%s)",
+				d, d.Child, ca, cattr.Domain.Name(), d.Parent, pkey[i], pattr.Domain.Name())
+		}
+	}
+	db.inclusion = append(db.inclusion, d)
+	return nil
+}
+
+// Inclusions returns all inclusion dependencies (copy).
+func (db *Database) Inclusions() []InclusionDependency {
+	out := make([]InclusionDependency, len(db.inclusion))
+	copy(out, db.inclusion)
+	return out
+}
+
+// InclusionsFrom returns the dependencies whose child is the named
+// relation, sorted by parent name for determinism.
+func (db *Database) InclusionsFrom(child string) []InclusionDependency {
+	var out []InclusionDependency
+	for _, d := range db.inclusion {
+		if d.Child == child {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Parent < out[j].Parent })
+	return out
+}
+
+// InclusionsInto returns the dependencies whose parent is the named
+// relation, sorted by child name for determinism.
+func (db *Database) InclusionsInto(parent string) []InclusionDependency {
+	var out []InclusionDependency
+	for _, d := range db.inclusion {
+		if d.Parent == parent {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Child < out[j].Child })
+	return out
+}

@@ -1,0 +1,466 @@
+// Package storage implements the database instance: one extension per
+// relation of a schema, constraint enforcement (key dependencies via
+// the extensions, inclusion dependencies via an incremental reference
+// index), and atomic application of translations with rollback.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"viewupdate/internal/relation"
+	"viewupdate/internal/schema"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/update"
+	"viewupdate/internal/value"
+)
+
+// A Database holds the extensions of every relation in a schema. All
+// mutation goes through atomic entry points guarded by a mutex, so a
+// Database is safe for concurrent use.
+type Database struct {
+	mu   sync.RWMutex
+	sch  *schema.Database
+	exts map[string]*relation.Extension
+	// refs[i] indexes inclusion dependency sch.Inclusions()[i]:
+	// it maps the encoding of a referenced parent key to the number of
+	// child tuples referencing it. Maintained incrementally.
+	refs []map[string]int
+}
+
+// Open returns an empty database instance for the schema.
+func Open(sch *schema.Database) *Database {
+	db := &Database{sch: sch, exts: make(map[string]*relation.Extension)}
+	for _, name := range sch.RelationNames() {
+		db.exts[name] = relation.NewExtension(sch.Relation(name))
+	}
+	db.refs = make([]map[string]int, len(sch.Inclusions()))
+	for i := range db.refs {
+		db.refs[i] = make(map[string]int)
+	}
+	return db
+}
+
+// Schema returns the database schema.
+func (db *Database) Schema() *schema.Database { return db.sch }
+
+// childRefKey encodes the values tuple t carries in the child
+// attributes of dependency d — i.e. the parent key t references.
+func childRefKey(d schema.InclusionDependency, t tuple.T) string {
+	enc, err := t.ProjectEncode(d.ChildAttrs)
+	if err != nil {
+		panic(fmt.Sprintf("storage: inclusion %s on tuple %s: %v", d, t, err))
+	}
+	return enc
+}
+
+// parentKeyEnc encodes the key values of a parent tuple in key order,
+// matching childRefKey's encoding.
+func parentKeyEnc(t tuple.T) string {
+	var b []byte
+	for i, v := range t.KeyValues() {
+		if i > 0 {
+			b = append(b, '\n')
+		}
+		b = append(b, v.Encode()...)
+	}
+	return string(b)
+}
+
+// Load bulk-inserts tuples into the named relation, checking key and
+// inclusion constraints after all tuples are in (so self- and
+// cross-references in the batch are fine as long as the final state is
+// consistent with previously loaded relations — load parents first, or
+// use LoadAll for an arbitrary order across relations).
+func (db *Database) Load(rel string, ts ...tuple.T) error {
+	tr := update.NewTranslation()
+	for _, t := range ts {
+		if t.Relation().Name() != rel {
+			return fmt.Errorf("storage: tuple %s loaded into %s", t, rel)
+		}
+		tr.Add(update.NewInsert(t))
+	}
+	return db.Apply(tr)
+}
+
+// LoadAll bulk-inserts tuples into their own relations in one atomic
+// batch, so parent and child tuples may arrive in any order.
+func (db *Database) LoadAll(ts ...tuple.T) error {
+	tr := update.NewTranslation()
+	for _, t := range ts {
+		tr.Add(update.NewInsert(t))
+	}
+	return db.Apply(tr)
+}
+
+// Extension returns the live extension for the named relation. Callers
+// must treat it as read-only; all writes go through Apply. For a
+// stable snapshot under concurrency use SnapshotRelation.
+func (db *Database) Extension(name string) *relation.Extension {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.exts[name]
+}
+
+// SnapshotRelation returns a copy of the named relation's extension.
+func (db *Database) SnapshotRelation(name string) *relation.Extension {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e := db.exts[name]
+	if e == nil {
+		return nil
+	}
+	return e.Clone()
+}
+
+// Tuples returns the named relation's tuples in deterministic order.
+func (db *Database) Tuples(name string) []tuple.T {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e := db.exts[name]
+	if e == nil {
+		return nil
+	}
+	return e.Tuples()
+}
+
+// Len returns the number of tuples in the named relation.
+func (db *Database) Len(name string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e := db.exts[name]
+	if e == nil {
+		return 0
+	}
+	return e.Len()
+}
+
+// Contains reports whether the exact tuple is present.
+func (db *Database) Contains(t tuple.T) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e := db.exts[t.Relation().Name()]
+	return e != nil && e.Contains(t)
+}
+
+// LookupKey returns the stored tuple whose key matches probe's key.
+func (db *Database) LookupKey(probe tuple.T) (tuple.T, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e := db.exts[probe.Relation().Name()]
+	if e == nil {
+		return tuple.T{}, false
+	}
+	return e.LookupKey(probe)
+}
+
+// Clone returns an independent copy of the whole instance.
+func (db *Database) Clone() *Database {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := &Database{sch: db.sch, exts: make(map[string]*relation.Extension, len(db.exts))}
+	for n, e := range db.exts {
+		out.exts[n] = e.Clone()
+	}
+	out.refs = make([]map[string]int, len(db.refs))
+	for i, m := range db.refs {
+		cp := make(map[string]int, len(m))
+		for k, v := range m {
+			cp[k] = v
+		}
+		out.refs[i] = cp
+	}
+	return out
+}
+
+// Equal reports whether two instances of the same schema hold the same
+// tuples in every relation.
+func (db *Database) Equal(o *Database) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if len(db.exts) != len(o.exts) {
+		return false
+	}
+	for n, e := range db.exts {
+		oe, ok := o.exts[n]
+		if !ok || !e.Equal(oe) {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply executes a translation atomically. Per the paper's added/
+// removed-set semantics the removals happen "first" and the additions
+// "second", so translations whose ops would transiently conflict under
+// some serial order (e.g. delete t; insert t' with t's key) apply
+// cleanly. On any constraint violation — a removed tuple being absent,
+// a key conflict among the added tuples, or an inclusion-dependency
+// violation in the final state — nothing is changed and an error
+// describing the violation is returned.
+func (db *Database) Apply(tr *update.Translation) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.applyLocked(tr)
+}
+
+func (db *Database) applyLocked(tr *update.Translation) (err error) {
+	type action struct {
+		remove bool
+		t      tuple.T
+	}
+	var done []action
+	undo := func() {
+		for i := len(done) - 1; i >= 0; i-- {
+			a := done[i]
+			e := db.exts[a.t.Relation().Name()]
+			if a.remove {
+				if ierr := e.Insert(a.t); ierr != nil {
+					panic(fmt.Sprintf("storage: rollback re-insert failed: %v", ierr))
+				}
+				db.refAdjust(a.t, +1)
+			} else {
+				if derr := e.Delete(a.t); derr != nil {
+					panic(fmt.Sprintf("storage: rollback delete failed: %v", derr))
+				}
+				db.refAdjust(a.t, -1)
+			}
+		}
+	}
+
+	removed := tr.Removed().Slice()
+	added := tr.Added().Slice()
+
+	// Phase 0: validate ops reference relations of this schema.
+	for _, o := range tr.Ops() {
+		if db.exts[o.RelationName()] == nil {
+			return fmt.Errorf("storage: unknown relation %s in %s", o.RelationName(), o)
+		}
+	}
+
+	// Phase 1: remove the removed set.
+	for _, t := range removed {
+		e := db.exts[t.Relation().Name()]
+		if err := e.Delete(t); err != nil {
+			undo()
+			return fmt.Errorf("storage: %w", err)
+		}
+		db.refAdjust(t, -1)
+		done = append(done, action{remove: true, t: t})
+	}
+
+	// Phase 2: add the added set.
+	for _, t := range added {
+		e := db.exts[t.Relation().Name()]
+		if err := e.Insert(t); err != nil {
+			undo()
+			return fmt.Errorf("storage: %w", err)
+		}
+		db.refAdjust(t, +1)
+		done = append(done, action{remove: false, t: t})
+	}
+
+	// Phase 3: inclusion dependencies on the final state, checked as
+	// deltas: every touched child reference must resolve, and every
+	// removed parent key must leave no dangling references.
+	if err := db.checkInclusionDeltas(removed, added); err != nil {
+		undo()
+		return err
+	}
+	return nil
+}
+
+// refAdjust updates the reference index for every inclusion dependency
+// whose child relation is t's relation.
+func (db *Database) refAdjust(t tuple.T, delta int) {
+	rel := t.Relation().Name()
+	for i, d := range db.sch.Inclusions() {
+		if d.Child != rel {
+			continue
+		}
+		k := childRefKey(d, t)
+		n := db.refs[i][k] + delta
+		if n == 0 {
+			delete(db.refs[i], k)
+		} else {
+			db.refs[i][k] = n
+		}
+	}
+}
+
+// checkInclusionDeltas verifies inclusion dependencies affected by the
+// given removed/added tuples against the (already updated) state.
+func (db *Database) checkInclusionDeltas(removed, added []tuple.T) error {
+	deps := db.sch.Inclusions()
+	// Added child tuples must reference existing parents; removed
+	// parents (not re-added with the same key) must not be referenced.
+	for _, t := range added {
+		rel := t.Relation().Name()
+		for _, d := range deps {
+			if d.Child != rel {
+				continue
+			}
+			if !db.parentKeyExists(d.Parent, childRefKey(d, t)) {
+				return fmt.Errorf("storage: inclusion %s violated: %s references missing %s key", d, t, d.Parent)
+			}
+		}
+	}
+	for _, t := range removed {
+		rel := t.Relation().Name()
+		for i, d := range deps {
+			if d.Parent != rel {
+				continue
+			}
+			k := parentKeyEnc(t)
+			if db.parentKeyExists(d.Parent, k) {
+				continue // key survived (replacement kept it)
+			}
+			if db.refs[i][k] > 0 {
+				return fmt.Errorf("storage: inclusion %s violated: removing %s leaves %d dangling references", d, t, db.refs[i][k])
+			}
+		}
+	}
+	return nil
+}
+
+// parentKeyExists reports whether the named relation holds a tuple
+// whose key encodes to keyEnc.
+func (db *Database) parentKeyExists(parent, keyEnc string) bool {
+	e := db.exts[parent]
+	if e == nil {
+		return false
+	}
+	// Rebuild the probe key string the extension's primary index uses
+	// (relation name + '\n' + encodings). parentKeyEnc/childRefKey use
+	// '\n' joining too, so prefixing the relation name reproduces
+	// tuple.Key().
+	probe := parent
+	if keyEnc != "" {
+		probe += "\n" + keyEnc
+	}
+	return e.ContainsKeyEncoding(probe)
+}
+
+// CheckAllInclusions verifies every inclusion dependency over the whole
+// state (used by tests and after bulk loads through unsafe paths).
+func (db *Database) CheckAllInclusions() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, d := range db.sch.Inclusions() {
+		child := db.exts[d.Child]
+		var err error
+		child.Each(func(t tuple.T) bool {
+			if !db.parentKeyExists(d.Parent, childRefKey(d, t)) {
+				err = fmt.Errorf("storage: inclusion %s violated by %s", d, t)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SyncSchema absorbs schema growth (new relations, new inclusion
+// dependencies) into a live instance: extensions are created for new
+// relations and the inclusion reference index is rebuilt. If existing
+// data violates a newly added inclusion dependency, SyncSchema reports
+// the violation and leaves the index consistent with the (still
+// unchanged) data, so the caller should drop the offending dependency
+// or data.
+func (db *Database) SyncSchema() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, name := range db.sch.RelationNames() {
+		if db.exts[name] == nil {
+			db.exts[name] = relation.NewExtension(db.sch.Relation(name))
+		}
+	}
+	deps := db.sch.Inclusions()
+	refs := make([]map[string]int, len(deps))
+	for i, d := range deps {
+		refs[i] = make(map[string]int)
+		child := db.exts[d.Child]
+		if child == nil {
+			return fmt.Errorf("storage: inclusion %s references unknown relation", d)
+		}
+		var err error
+		child.Each(func(t tuple.T) bool {
+			k := childRefKey(d, t)
+			refs[i][k]++
+			probe := d.Parent
+			if k != "" {
+				probe += "\n" + k
+			}
+			parent := db.exts[d.Parent]
+			if parent == nil || !parent.ContainsKeyEncoding(probe) {
+				err = fmt.Errorf("storage: existing tuple %s violates new inclusion %s", t, d)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	db.refs = refs
+	return nil
+}
+
+// CreateIndex builds a secondary index on the named relation's
+// attribute; subsequent selection scans on that attribute use it.
+func (db *Database) CreateIndex(rel, attr string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e := db.exts[rel]
+	if e == nil {
+		return fmt.Errorf("storage: unknown relation %s", rel)
+	}
+	return e.EnsureIndex(attr)
+}
+
+// HasIndex reports whether the named relation carries a secondary index
+// on attr.
+func (db *Database) HasIndex(rel, attr string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e := db.exts[rel]
+	return e != nil && e.HasIndex(attr)
+}
+
+// ScanValues calls fn under the read lock for every tuple of rel whose
+// attr equals one of vals, using the secondary index when present. fn
+// must not call back into the database.
+func (db *Database) ScanValues(rel, attr string, vals []value.Value, fn func(tuple.T) bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e := db.exts[rel]
+	if e == nil {
+		return
+	}
+	e.ScanValues(attr, vals, fn)
+}
+
+// RelationTuples returns the named relation's tuples; together with
+// RelationSchema it lets *Database act as an algebra.Source.
+func (db *Database) RelationTuples(name string) []tuple.T { return db.Tuples(name) }
+
+// RelationSchema returns the named relation's schema, or nil.
+func (db *Database) RelationSchema(name string) *schema.Relation {
+	return db.sch.Relation(name)
+}
+
+// TotalTuples returns the number of tuples across all relations.
+func (db *Database) TotalTuples() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, e := range db.exts {
+		n += e.Len()
+	}
+	return n
+}

@@ -1,0 +1,87 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/update"
+)
+
+// TestRandomizedApplyInvariants throws a stream of randomly generated
+// translations — many of them invalid — at a parent/child instance and
+// checks after every step that (a) a failed Apply leaves the state
+// byte-identical, and (b) the key and inclusion invariants always hold.
+func TestRandomizedApplyInvariants(t *testing.T) {
+	sch, p, c := pcSchema(t)
+	db := Open(sch)
+	if err := db.LoadAll(pt(t, p, 1, "u"), ct(t, c, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+
+	randP := func() tuple.T {
+		return pt(t, p, int64(rng.Intn(3))+1, []string{"u", "v"}[rng.Intn(2)])
+	}
+	randC := func() tuple.T {
+		return ct(t, c, int64(rng.Intn(3))+1, int64(rng.Intn(3))+1)
+	}
+	randTuple := func() tuple.T {
+		if rng.Intn(2) == 0 {
+			return randP()
+		}
+		return randC()
+	}
+	randOp := func() update.Op {
+		switch rng.Intn(3) {
+		case 0:
+			return update.NewInsert(randTuple())
+		case 1:
+			return update.NewDelete(randTuple())
+		default:
+			old := randTuple()
+			var new tuple.T
+			if old.Relation() == p {
+				new = randP()
+			} else {
+				new = randC()
+			}
+			return update.NewReplace(old, new)
+		}
+	}
+
+	applied, failed := 0, 0
+	for i := 0; i < 3000; i++ {
+		tr := update.NewTranslation()
+		for n := rng.Intn(3) + 1; n > 0; n-- {
+			tr.Add(randOp())
+		}
+		before := db.Clone()
+		if err := db.Apply(tr); err != nil {
+			failed++
+			if !db.Equal(before) {
+				t.Fatalf("step %d: failed apply of %s mutated state", i, tr)
+			}
+		} else {
+			applied++
+		}
+		if err := db.CheckAllInclusions(); err != nil {
+			t.Fatalf("step %d: inclusion invariant broken after %s: %v", i, tr, err)
+		}
+		// Key invariant: every key appears once (Extension enforces it;
+		// double-check via the snapshot index).
+		for _, rel := range []string{"P", "C"} {
+			seen := map[string]bool{}
+			for _, tp := range db.Tuples(rel) {
+				k := tp.Key()
+				if seen[k] {
+					t.Fatalf("step %d: duplicate key %q in %s", i, k, rel)
+				}
+				seen[k] = true
+			}
+		}
+	}
+	if applied == 0 || failed == 0 {
+		t.Fatalf("workload not adversarial enough: applied=%d failed=%d", applied, failed)
+	}
+}

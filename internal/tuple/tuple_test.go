@@ -1,0 +1,285 @@
+package tuple
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"viewupdate/internal/schema"
+	"viewupdate/internal/value"
+)
+
+func testRel(t testing.TB) *schema.Relation {
+	t.Helper()
+	k := schema.MustDomain("KD", value.NewInt(1), value.NewInt(2), value.NewInt(3))
+	a := schema.MustDomain("AD", value.NewString("x"), value.NewString("y"))
+	b := schema.BoolDomain("BD")
+	return schema.MustRelation("R", []schema.Attribute{
+		{Name: "K", Domain: k},
+		{Name: "A", Domain: a},
+		{Name: "B", Domain: b},
+	}, []string{"K"})
+}
+
+func mk(t testing.TB, rel *schema.Relation, k int64, a string, b bool) T {
+	t.Helper()
+	tp, err := New(rel, value.NewInt(k), value.NewString(a), value.NewBool(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestNewValidation(t *testing.T) {
+	rel := testRel(t)
+	if _, err := New(nil, value.NewInt(1)); err == nil {
+		t.Error("nil relation should fail")
+	}
+	if _, err := New(rel, value.NewInt(1)); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, err := New(rel, value.NewInt(9), value.NewString("x"), value.NewBool(true)); err == nil {
+		t.Error("out-of-domain value should fail")
+	}
+	if _, err := New(rel, value.NewInt(1), value.NewString("x"), value.NewBool(true)); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+}
+
+func TestImmutability(t *testing.T) {
+	rel := testRel(t)
+	vals := []value.Value{value.NewInt(1), value.NewString("x"), value.NewBool(true)}
+	tp, err := New(rel, vals...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals[0] = value.NewInt(2) // mutate the input slice
+	if tp.At(0) != value.NewInt(1) {
+		t.Error("tuple shares caller's slice")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	rel := testRel(t)
+	tp := mk(t, rel, 2, "y", false)
+	if tp.IsZero() {
+		t.Error("IsZero on real tuple")
+	}
+	var zero T
+	if !zero.IsZero() {
+		t.Error("zero tuple should be zero")
+	}
+	if tp.Relation() != rel {
+		t.Error("Relation wrong")
+	}
+	if tp.At(1) != value.NewString("y") {
+		t.Error("At wrong")
+	}
+	if v, ok := tp.Get("B"); !ok || v != value.NewBool(false) {
+		t.Error("Get wrong")
+	}
+	if _, ok := tp.Get("missing"); ok {
+		t.Error("Get on missing attr")
+	}
+	if tp.MustGet("K") != value.NewInt(2) {
+		t.Error("MustGet wrong")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustGet missing should panic")
+			}
+		}()
+		tp.MustGet("missing")
+	}()
+}
+
+func TestWith(t *testing.T) {
+	rel := testRel(t)
+	tp := mk(t, rel, 1, "x", true)
+	tp2, err := tp.With("A", value.NewString("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp2.MustGet("A") != value.NewString("y") || tp.MustGet("A") != value.NewString("x") {
+		t.Error("With should copy")
+	}
+	if _, err := tp.With("missing", value.NewInt(1)); err == nil {
+		t.Error("With missing attr should fail")
+	}
+	if _, err := tp.With("A", value.NewString("zz")); err == nil {
+		t.Error("With out-of-domain should fail")
+	}
+}
+
+func TestEqualCompare(t *testing.T) {
+	rel := testRel(t)
+	a := mk(t, rel, 1, "x", true)
+	b := mk(t, rel, 1, "x", true)
+	c := mk(t, rel, 1, "y", true)
+	if !a.Equal(b) || a.Equal(c) {
+		t.Error("Equal wrong")
+	}
+	if a.Compare(b) != 0 || a.Compare(c) >= 0 || c.Compare(a) <= 0 {
+		t.Error("Compare wrong")
+	}
+}
+
+func TestEncodeKey(t *testing.T) {
+	rel := testRel(t)
+	a := mk(t, rel, 1, "x", true)
+	b := mk(t, rel, 1, "y", false)
+	c := mk(t, rel, 2, "x", true)
+	if a.Encode() == b.Encode() {
+		t.Error("Encode should distinguish different tuples")
+	}
+	if a.Key() != b.Key() {
+		t.Error("Key should agree for same-key tuples")
+	}
+	if a.Key() == c.Key() {
+		t.Error("Key should differ for different keys")
+	}
+	if kv := a.KeyValues(); len(kv) != 1 || kv[0] != value.NewInt(1) {
+		t.Errorf("KeyValues = %v", kv)
+	}
+}
+
+func TestProjectEncode(t *testing.T) {
+	rel := testRel(t)
+	a := mk(t, rel, 1, "x", true)
+	enc1, err := a.ProjectEncode([]string{"A", "K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := a.ProjectEncode([]string{"K", "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc1 == enc2 {
+		t.Error("projection order should matter")
+	}
+	if _, err := a.ProjectEncode([]string{"missing"}); err == nil {
+		t.Error("missing attr should fail")
+	}
+}
+
+func TestFromMap(t *testing.T) {
+	rel := testRel(t)
+	tp, err := FromMap(rel, map[string]value.Value{
+		"K": value.NewInt(3), "A": value.NewString("x"), "B": value.NewBool(true),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.MustGet("K") != value.NewInt(3) {
+		t.Error("FromMap wrong")
+	}
+	if _, err := FromMap(rel, map[string]value.Value{"K": value.NewInt(1)}); err == nil {
+		t.Error("missing attributes should fail")
+	}
+}
+
+func TestString(t *testing.T) {
+	rel := testRel(t)
+	tp := mk(t, rel, 1, "x", true)
+	if got := tp.String(); got != "R(1, 'x', true)" {
+		t.Errorf("String = %q", got)
+	}
+	var zero T
+	if zero.String() != "<zero tuple>" {
+		t.Errorf("zero String = %q", zero.String())
+	}
+}
+
+func TestSet(t *testing.T) {
+	rel := testRel(t)
+	a := mk(t, rel, 1, "x", true)
+	b := mk(t, rel, 2, "y", false)
+	s := NewSet(a)
+	if s.Len() != 1 || !s.Contains(a) || s.Contains(b) {
+		t.Error("NewSet wrong")
+	}
+	if !s.Add(b) || s.Add(b) {
+		t.Error("Add idempotence wrong")
+	}
+	if got := s.Slice(); len(got) != 2 {
+		t.Errorf("Slice = %v", got)
+	}
+	if !s.Remove(a) || s.Remove(a) {
+		t.Error("Remove wrong")
+	}
+	clone := s.Clone()
+	clone.Add(a)
+	if s.Contains(a) {
+		t.Error("Clone should be independent")
+	}
+	if !s.Equal(NewSet(b)) || s.Equal(NewSet(a, b)) {
+		t.Error("Equal wrong")
+	}
+	var nilSet *Set
+	if nilSet.Len() != 0 || nilSet.Contains(a) || nilSet.Remove(a) || nilSet.Slice() != nil {
+		t.Error("nil set reads should be safe")
+	}
+	var zero Set
+	if !zero.Add(a) || !zero.Contains(a) {
+		t.Error("zero Set should accept Add")
+	}
+}
+
+// genTuple yields random tuples over testRel for property tests.
+type genTuple struct{ T T }
+
+var quickRel = func() *schema.Relation {
+	k := schema.MustDomain("KD", value.NewInt(1), value.NewInt(2), value.NewInt(3))
+	a := schema.MustDomain("AD", value.NewString("x"), value.NewString("y"))
+	b := schema.BoolDomain("BD")
+	return schema.MustRelation("R", []schema.Attribute{
+		{Name: "K", Domain: k},
+		{Name: "A", Domain: a},
+		{Name: "B", Domain: b},
+	}, []string{"K"})
+}()
+
+// Generate implements quick.Generator.
+func (genTuple) Generate(r *rand.Rand, _ int) reflect.Value {
+	var vals []value.Value
+	for _, a := range quickRel.Attributes() {
+		vals = append(vals, a.Domain.At(r.Intn(a.Domain.Size())))
+	}
+	return reflect.ValueOf(genTuple{T: MustNew(quickRel, vals...)})
+}
+
+func TestQuickEncodeInjective(t *testing.T) {
+	f := func(a, b genTuple) bool {
+		return (a.T.Encode() == b.T.Encode()) == a.T.Equal(b.T)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKeyConsistent(t *testing.T) {
+	f := func(a, b genTuple) bool {
+		sameKey := a.T.MustGet("K") == b.T.MustGet("K")
+		return (a.T.Key() == b.T.Key()) == sameKey
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSetSemantics(t *testing.T) {
+	f := func(ts []genTuple) bool {
+		s := NewSet()
+		uniq := map[string]bool{}
+		for _, g := range ts {
+			s.Add(g.T)
+			uniq[g.T.Encode()] = true
+		}
+		return s.Len() == len(uniq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

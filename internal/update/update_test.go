@@ -1,0 +1,210 @@
+package update
+
+import (
+	"strings"
+	"testing"
+
+	"viewupdate/internal/schema"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/value"
+)
+
+func testRel(t testing.TB) *schema.Relation {
+	t.Helper()
+	k := schema.MustDomain("KD", value.NewInt(1), value.NewInt(2), value.NewInt(3))
+	a := schema.MustDomain("AD", value.NewString("x"), value.NewString("y"))
+	return schema.MustRelation("R", []schema.Attribute{
+		{Name: "K", Domain: k},
+		{Name: "A", Domain: a},
+	}, []string{"K"})
+}
+
+func mk(t testing.TB, rel *schema.Relation, k int64, a string) tuple.T {
+	t.Helper()
+	return tuple.MustNew(rel, value.NewInt(k), value.NewString(a))
+}
+
+func TestOpBasics(t *testing.T) {
+	rel := testRel(t)
+	t1 := mk(t, rel, 1, "x")
+	t2 := mk(t, rel, 1, "y")
+
+	ins := NewInsert(t1)
+	del := NewDelete(t1)
+	rep := NewReplace(t1, t2)
+	if ins.Kind != Insert || del.Kind != Delete || rep.Kind != Replace {
+		t.Fatal("kinds wrong")
+	}
+	if ins.RelationName() != "R" || rep.RelationName() != "R" {
+		t.Fatal("RelationName wrong")
+	}
+	if ins.Encode() == del.Encode() {
+		t.Fatal("insert and delete of same tuple must encode differently")
+	}
+	if !strings.Contains(ins.String(), "INSERT") ||
+		!strings.Contains(del.String(), "DELETE") ||
+		!strings.Contains(rep.String(), "REPLACE") {
+		t.Fatal("String wrong")
+	}
+	for _, k := range []Kind{Insert, Delete, Replace} {
+		if k.String() == "invalid" {
+			t.Fatal("kind name wrong")
+		}
+	}
+	if Kind(0).String() != "invalid" {
+		t.Fatal("zero kind should be invalid")
+	}
+}
+
+func TestTranslationSets(t *testing.T) {
+	rel := testRel(t)
+	t1 := mk(t, rel, 1, "x")
+	t2 := mk(t, rel, 2, "x")
+	t3 := mk(t, rel, 3, "x")
+	t3y := mk(t, rel, 3, "y")
+
+	tr := NewTranslation(NewInsert(t1), NewDelete(t2), NewReplace(t3, t3y))
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.Inserts(); len(got) != 1 || !got[0].Equal(t1) {
+		t.Fatalf("Inserts = %v", got)
+	}
+	if got := tr.Deletes(); len(got) != 1 || !got[0].Equal(t2) {
+		t.Fatalf("Deletes = %v", got)
+	}
+	if got := tr.Replacements(); len(got) != 1 || !got[0].Old.Equal(t3) {
+		t.Fatalf("Replacements = %v", got)
+	}
+	added := tr.Added()
+	if added.Len() != 2 || !added.Contains(t1) || !added.Contains(t3y) {
+		t.Fatalf("Added = %v", added.Slice())
+	}
+	removed := tr.Removed()
+	if removed.Len() != 2 || !removed.Contains(t2) || !removed.Contains(t3) {
+		t.Fatalf("Removed = %v", removed.Slice())
+	}
+	if got := tr.RelationsTouched(); len(got) != 1 || got[0] != "R" {
+		t.Fatalf("RelationsTouched = %v", got)
+	}
+	if !strings.HasPrefix(tr.String(), "{") {
+		t.Fatalf("String = %q", tr.String())
+	}
+}
+
+func TestTranslationIdempotentAdd(t *testing.T) {
+	rel := testRel(t)
+	t1 := mk(t, rel, 1, "x")
+	tr := NewTranslation(NewInsert(t1), NewInsert(t1))
+	if tr.Len() != 1 {
+		t.Fatalf("duplicate op should collapse, Len = %d", tr.Len())
+	}
+}
+
+// TestEquivalence reproduces §3: "the equivalence can result from
+// converting a pair of an insertion and a deletion into a replacement,
+// or from swapping the replacement tuples from a pair of replace
+// operations."
+func TestEquivalence(t *testing.T) {
+	rel := testRel(t)
+	a := mk(t, rel, 1, "x")
+	b := mk(t, rel, 2, "x")
+	// delete a + insert b  ≡  replace a->b.
+	tr1 := NewTranslation(NewDelete(a), NewInsert(b))
+	tr2 := NewTranslation(NewReplace(a, b))
+	if !tr1.Equivalent(tr2) {
+		t.Fatal("delete+insert should be equivalent to replace")
+	}
+	if tr1.Equal(tr2) {
+		t.Fatal("Equal must be finer than Equivalent")
+	}
+	// Swapping replacement targets of a pair of replaces.
+	c := mk(t, rel, 3, "x")
+	d := mk(t, rel, 3, "y")
+	tr3 := NewTranslation(NewReplace(a, c), NewReplace(b, d))
+	tr4 := NewTranslation(NewReplace(a, d), NewReplace(b, c))
+	if !tr3.Equivalent(tr4) {
+		t.Fatal("swapped replacements should be equivalent")
+	}
+	// Non-equivalent pair.
+	tr5 := NewTranslation(NewDelete(a))
+	if tr1.Equivalent(tr5) {
+		t.Fatal("different removed sets should not be equivalent")
+	}
+}
+
+func TestSimplicityOrder(t *testing.T) {
+	rel := testRel(t)
+	a := mk(t, rel, 1, "x")
+	b := mk(t, rel, 2, "x")
+	small := NewTranslation(NewDelete(a))
+	big := NewTranslation(NewDelete(a), NewDelete(b))
+	if !small.AtLeastAsSimpleAs(big) {
+		t.Fatal("subset should be at least as simple")
+	}
+	if big.AtLeastAsSimpleAs(small) {
+		t.Fatal("superset should not be at least as simple")
+	}
+	if !small.StrictlySimplerThan(big) || small.StrictlySimplerThan(small) {
+		t.Fatal("strict order wrong")
+	}
+	// Incomparable translations.
+	other := NewTranslation(NewDelete(b))
+	if small.AtLeastAsSimpleAs(other) || other.AtLeastAsSimpleAs(small) {
+		t.Fatal("disjoint translations should be incomparable")
+	}
+}
+
+func TestProperSubsets(t *testing.T) {
+	rel := testRel(t)
+	a := mk(t, rel, 1, "x")
+	b := mk(t, rel, 2, "x")
+	tr := NewTranslation(NewDelete(a), NewDelete(b))
+	subs := tr.ProperSubsets()
+	if len(subs) != 3 { // {}, {a}, {b}
+		t.Fatalf("want 3 proper subsets, got %d", len(subs))
+	}
+	if got := NewTranslation().ProperSubsets(); got != nil {
+		t.Fatalf("empty translation has no proper subsets, got %v", got)
+	}
+	sizes := map[int]int{}
+	for _, s := range subs {
+		sizes[s.Len()]++
+	}
+	if sizes[0] != 1 || sizes[1] != 2 {
+		t.Fatalf("subset sizes wrong: %v", sizes)
+	}
+}
+
+func TestEncodeCanonical(t *testing.T) {
+	rel := testRel(t)
+	a := mk(t, rel, 1, "x")
+	b := mk(t, rel, 2, "x")
+	tr1 := NewTranslation(NewDelete(a), NewInsert(b))
+	tr2 := NewTranslation(NewInsert(b), NewDelete(a))
+	if tr1.Encode() != tr2.Encode() || !tr1.Equal(tr2) {
+		t.Fatal("op order must not affect encoding")
+	}
+}
+
+func TestCloneAndAddAll(t *testing.T) {
+	rel := testRel(t)
+	a := mk(t, rel, 1, "x")
+	b := mk(t, rel, 2, "x")
+	tr := NewTranslation(NewDelete(a))
+	cl := tr.Clone()
+	cl.Add(NewInsert(b))
+	if tr.Len() != 1 || cl.Len() != 2 {
+		t.Fatal("clone not independent")
+	}
+	merged := NewTranslation()
+	merged.AddAll(tr)
+	merged.AddAll(cl)
+	if merged.Len() != 2 {
+		t.Fatalf("AddAll wrong: %d", merged.Len())
+	}
+	var nilTr *Translation
+	if nilTr.Len() != 0 || nilTr.Ops() != nil {
+		t.Fatal("nil translation reads should be safe")
+	}
+}

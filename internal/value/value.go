@@ -1,0 +1,211 @@
+// Package value defines the scalar values stored in relations.
+//
+// The paper's data model is untyped beyond "a value from a (finite)
+// domain"; for a practical engine we support three scalar kinds —
+// integers, strings and booleans — with a total order inside each kind
+// and a canonical, injective text encoding used for hashing and for
+// building tuple keys.
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	Invalid Kind = iota
+	Int
+	String
+	Bool
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Int:
+		return "int"
+	case String:
+		return "string"
+	case Bool:
+		return "bool"
+	default:
+		return "invalid"
+	}
+}
+
+// A Value is an immutable scalar. The zero Value has Kind Invalid and
+// is used to signal "no value"; it never appears inside a stored tuple.
+//
+// Value is comparable with == and usable as a map key.
+type Value struct {
+	kind Kind
+	i    int64  // payload for Int and Bool (0/1)
+	s    string // payload for String
+}
+
+// NewInt returns an integer value.
+func NewInt(i int64) Value { return Value{kind: Int, i: i} }
+
+// NewString returns a string value.
+func NewString(s string) Value { return Value{kind: String, s: s} }
+
+// NewBool returns a boolean value.
+func NewBool(b bool) Value {
+	var i int64
+	if b {
+		i = 1
+	}
+	return Value{kind: Bool, i: i}
+}
+
+// Kind reports the dynamic kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsValid reports whether v holds a value of a real kind.
+func (v Value) IsValid() bool { return v.kind != Invalid }
+
+// Int returns the integer payload. It panics if v is not an Int.
+func (v Value) Int() int64 {
+	if v.kind != Int {
+		panic(fmt.Sprintf("value: Int() on %s value", v.kind))
+	}
+	return v.i
+}
+
+// Str returns the string payload. It panics if v is not a String.
+func (v Value) Str() string {
+	if v.kind != String {
+		panic(fmt.Sprintf("value: Str() on %s value", v.kind))
+	}
+	return v.s
+}
+
+// Bool returns the boolean payload. It panics if v is not a Bool.
+func (v Value) Bool() bool {
+	if v.kind != Bool {
+		panic(fmt.Sprintf("value: Bool() on %s value", v.kind))
+	}
+	return v.i != 0
+}
+
+// Compare orders values. Values of different kinds order by kind; this
+// never happens between values of one attribute (domains are
+// homogeneous) but gives Value a total order overall.
+// The result is -1, 0 or +1.
+func (v Value) Compare(w Value) int {
+	if v.kind != w.kind {
+		if v.kind < w.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case Int, Bool:
+		switch {
+		case v.i < w.i:
+			return -1
+		case v.i > w.i:
+			return 1
+		}
+		return 0
+	case String:
+		return strings.Compare(v.s, w.s)
+	default:
+		return 0
+	}
+}
+
+// Less reports whether v orders strictly before w.
+func (v Value) Less(w Value) bool { return v.Compare(w) < 0 }
+
+// Encode returns a canonical, injective text encoding of v. Encodings
+// of distinct values are distinct even across kinds, and the encoding
+// contains no newline, so joining encodings with '\n' yields an
+// injective encoding of value sequences.
+func (v Value) Encode() string {
+	switch v.kind {
+	case Int:
+		return "i" + strconv.FormatInt(v.i, 10)
+	case Bool:
+		if v.i != 0 {
+			return "bT"
+		}
+		return "bF"
+	case String:
+		return "s" + strconv.Quote(v.s)
+	default:
+		return "!"
+	}
+}
+
+// Decode parses an encoding produced by Encode.
+func Decode(enc string) (Value, error) {
+	if enc == "" {
+		return Value{}, fmt.Errorf("value: empty encoding")
+	}
+	switch enc[0] {
+	case 'i':
+		i, err := strconv.ParseInt(enc[1:], 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: bad int encoding %q: %v", enc, err)
+		}
+		return NewInt(i), nil
+	case 'b':
+		switch enc {
+		case "bT":
+			return NewBool(true), nil
+		case "bF":
+			return NewBool(false), nil
+		}
+		return Value{}, fmt.Errorf("value: bad bool encoding %q", enc)
+	case 's':
+		s, err := strconv.Unquote(enc[1:])
+		if err != nil {
+			return Value{}, fmt.Errorf("value: bad string encoding %q: %v", enc, err)
+		}
+		return NewString(s), nil
+	default:
+		return Value{}, fmt.Errorf("value: unknown encoding %q", enc)
+	}
+}
+
+// String renders v for humans: 42, 'New York', true.
+func (v Value) String() string {
+	switch v.kind {
+	case Int:
+		return strconv.FormatInt(v.i, 10)
+	case Bool:
+		return strconv.FormatBool(v.i != 0)
+	case String:
+		return "'" + v.s + "'"
+	default:
+		return "<invalid>"
+	}
+}
+
+// Parse interprets a literal as a Value: quoted strings ('x' or "x"),
+// true/false booleans, and otherwise integers.
+func Parse(lit string) (Value, error) {
+	if lit == "" {
+		return Value{}, fmt.Errorf("value: empty literal")
+	}
+	if (lit[0] == '\'' || lit[0] == '"') && len(lit) >= 2 && lit[len(lit)-1] == lit[0] {
+		return NewString(lit[1 : len(lit)-1]), nil
+	}
+	switch lit {
+	case "true":
+		return NewBool(true), nil
+	case "false":
+		return NewBool(false), nil
+	}
+	i, err := strconv.ParseInt(lit, 10, 64)
+	if err != nil {
+		return Value{}, fmt.Errorf("value: cannot parse literal %q", lit)
+	}
+	return NewInt(i), nil
+}

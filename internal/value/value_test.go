@@ -1,0 +1,253 @@
+package value
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		want string
+	}{
+		{Int, "int"},
+		{String, "string"},
+		{Bool, "bool"},
+		{Invalid, "invalid"},
+		{Kind(99), "invalid"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", c.k, got, c.want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	i := NewInt(-42)
+	if i.Kind() != Int || i.Int() != -42 || !i.IsValid() {
+		t.Errorf("NewInt broken: %v", i)
+	}
+	s := NewString("hello")
+	if s.Kind() != String || s.Str() != "hello" {
+		t.Errorf("NewString broken: %v", s)
+	}
+	b := NewBool(true)
+	if b.Kind() != Bool || !b.Bool() {
+		t.Errorf("NewBool broken: %v", b)
+	}
+	var zero Value
+	if zero.IsValid() {
+		t.Error("zero Value should be invalid")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Int on string", func() { NewString("x").Int() }},
+		{"Str on int", func() { NewInt(1).Str() }},
+		{"Bool on int", func() { NewInt(1).Bool() }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", c.name)
+				}
+			}()
+			c.fn()
+		})
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(1), 1},
+		{NewInt(7), NewInt(7), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewBool(false), NewBool(true), -1},
+		{NewBool(true), NewBool(true), 0},
+		{NewInt(1), NewString("a"), -1}, // cross-kind orders by kind
+		{NewString("a"), NewBool(true), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Compare(c.a); got != -c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d (antisymmetry)", c.b, c.a, got, -c.want)
+		}
+		if (c.a.Compare(c.b) < 0) != c.a.Less(c.b) {
+			t.Errorf("Less(%v, %v) disagrees with Compare", c.a, c.b)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	vals := []Value{
+		NewInt(0), NewInt(42), NewInt(-7), NewInt(1 << 60),
+		NewString(""), NewString("New York"), NewString("with\nnewline"), NewString(`quo"te`),
+		NewBool(true), NewBool(false),
+	}
+	for _, v := range vals {
+		enc := v.Encode()
+		if strings.ContainsRune(enc, '\n') {
+			t.Errorf("Encode(%v) contains newline: %q", v, enc)
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Errorf("Decode(%q): %v", enc, err)
+			continue
+		}
+		if got != v {
+			t.Errorf("round trip %v -> %q -> %v", v, enc, got)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []string{"", "x1", "i", "inotanumber", "bX", "s", `sunterminated`, "!"}
+	for _, enc := range bad {
+		if _, err := Decode(enc); err == nil {
+			t.Errorf("Decode(%q) should fail", enc)
+		}
+	}
+}
+
+func TestEncodeInjective(t *testing.T) {
+	vals := []Value{
+		NewInt(1), NewInt(-1), NewString("1"), NewString("i1"), NewString("bT"),
+		NewBool(true), NewBool(false), NewString("true"), NewString(""),
+	}
+	seen := map[string]Value{}
+	for _, v := range vals {
+		enc := v.Encode()
+		if prev, dup := seen[enc]; dup {
+			t.Errorf("Encode collision between %v and %v: %q", prev, v, enc)
+		}
+		seen[enc] = v
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NewInt(42), "42"},
+		{NewString("NY"), "'NY'"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{Value{}, "<invalid>"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		lit  string
+		want Value
+	}{
+		{"42", NewInt(42)},
+		{"-3", NewInt(-3)},
+		{"'abc'", NewString("abc")},
+		{`"abc"`, NewString("abc")},
+		{"true", NewBool(true)},
+		{"false", NewBool(false)},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.lit)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.lit, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %v, want %v", c.lit, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "12x", "'unclosed"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+// randomValue generates an arbitrary valid Value for property tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(3) {
+	case 0:
+		return NewInt(r.Int63() - (1 << 62))
+	case 1:
+		n := r.Intn(12)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(r.Intn(96) + 32)
+		}
+		return NewString(string(b))
+	default:
+		return NewBool(r.Intn(2) == 0)
+	}
+}
+
+// valueGen adapts randomValue to testing/quick.
+type valueGen struct{ V Value }
+
+// Generate implements quick.Generator.
+func (valueGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(valueGen{V: randomValue(r)})
+}
+
+func TestQuickEncodeRoundTrip(t *testing.T) {
+	f := func(g valueGen) bool {
+		dec, err := Decode(g.V.Encode())
+		return err == nil && dec == g.V
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompareTotalOrder(t *testing.T) {
+	f := func(a, b, c valueGen) bool {
+		// Antisymmetry.
+		if a.V.Compare(b.V) != -b.V.Compare(a.V) {
+			return false
+		}
+		// Reflexivity.
+		if a.V.Compare(a.V) != 0 {
+			return false
+		}
+		// Transitivity on a sorted triple.
+		vals := []Value{a.V, b.V, c.V}
+		sort.Slice(vals, func(i, j int) bool { return vals[i].Less(vals[j]) })
+		return vals[0].Compare(vals[2]) <= 0 && vals[0].Compare(vals[1]) <= 0 && vals[1].Compare(vals[2]) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompareConsistentWithEquality(t *testing.T) {
+	f := func(a, b valueGen) bool {
+		return (a.V.Compare(b.V) == 0) == (a.V == b.V)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

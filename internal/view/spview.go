@@ -1,0 +1,163 @@
+// Package view implements the paper's view class: select-project (SP)
+// views over a single BCNF relation, and select-project-join (SPJ)
+// views in SPJNF whose joins are reference connections forming a rooted
+// tree.
+package view
+
+import (
+	"fmt"
+
+	"viewupdate/internal/algebra"
+	"viewupdate/internal/schema"
+	"viewupdate/internal/storage"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/value"
+)
+
+// A View is anything that can be materialized from a database state.
+// The two implementations are *SP and *Join.
+type View interface {
+	// Name returns the view's name.
+	Name() string
+	// Schema returns the relation schema of the view rows.
+	Schema() *schema.Relation
+	// Materialize computes the view extension on db.
+	Materialize(db *storage.Database) *tuple.Set
+}
+
+// An SP view is a selection and projection of one base relation. The
+// paper's requirements, enforced at construction: the selection is a
+// conjunction of "attribute ∈ set" terms, all key attributes are
+// projected (so "the key of the database is the key of the view"), and
+// any selecting attribute may be projected out.
+type SP struct {
+	name string
+	base *schema.Relation
+	sel  *algebra.Selection
+	proj *algebra.Projection
+	vrel *schema.Relation
+}
+
+// NewSP builds an SP view named name over sel's relation, projecting
+// the given attributes (which must include the base key).
+func NewSP(name string, sel *algebra.Selection, projAttrs []string) (*SP, error) {
+	base := sel.Relation()
+	proj, err := algebra.NewProjection(base, projAttrs)
+	if err != nil {
+		return nil, err
+	}
+	vrel, err := proj.DerivedSchema(name)
+	if err != nil {
+		return nil, fmt.Errorf("view: %s: %w", name, err)
+	}
+	return &SP{name: name, base: base, sel: sel.Clone(), proj: proj, vrel: vrel}, nil
+}
+
+// MustNewSP is NewSP, panicking on error.
+func MustNewSP(name string, sel *algebra.Selection, projAttrs []string) *SP {
+	v, err := NewSP(name, sel, projAttrs)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Identity returns the identity view of base ("the SP view could be the
+// identity view, i.e., no selection or projection").
+func Identity(name string, base *schema.Relation) *SP {
+	return MustNewSP(name, algebra.NewSelection(base), base.AttributeNames())
+}
+
+// Name implements View.
+func (v *SP) Name() string { return v.name }
+
+// Base returns the underlying relation schema.
+func (v *SP) Base() *schema.Relation { return v.base }
+
+// Selection returns the view's selection condition.
+func (v *SP) Selection() *algebra.Selection { return v.sel }
+
+// Projection returns the view's projection.
+func (v *SP) Projection() *algebra.Projection { return v.proj }
+
+// Schema implements View: the derived relation schema, whose key is the
+// base key.
+func (v *SP) Schema() *schema.Relation { return v.vrel }
+
+// IsIdentity reports whether the view has no selection and keeps all
+// attributes.
+func (v *SP) IsIdentity() bool { return v.sel.IsTrue() && v.proj.IsIdentity() }
+
+// ProjectedOut returns the base attributes not visible in the view.
+func (v *SP) ProjectedOut() []string { return v.proj.RemovedAttributes() }
+
+// RowFor maps a base tuple to its view row; ok is false if the tuple
+// fails the selection.
+func (v *SP) RowFor(base tuple.T) (tuple.T, bool) {
+	if !v.sel.Matches(base) {
+		return tuple.T{}, false
+	}
+	row, err := v.proj.Apply(v.vrel, base)
+	if err != nil {
+		panic(fmt.Sprintf("view: projecting %s into %s: %v", base, v.name, err))
+	}
+	return row, true
+}
+
+// Materialize implements View. When the base relation carries a
+// secondary index on one of the view's selecting attributes, only the
+// tuples holding selecting values of that attribute are visited.
+func (v *SP) Materialize(db *storage.Database) *tuple.Set {
+	out := tuple.NewSet()
+	base := v.base.Name()
+	for _, attr := range v.sel.SelectingAttributes() {
+		if db.HasIndex(base, attr) {
+			db.ScanValues(base, attr, v.sel.SelectingValues(attr), func(t tuple.T) bool {
+				if row, ok := v.RowFor(t); ok {
+					out.Add(row)
+				}
+				return true
+			})
+			return out
+		}
+	}
+	for _, t := range db.Tuples(base) {
+		if row, ok := v.RowFor(t); ok {
+			out.Add(row)
+		}
+	}
+	return out
+}
+
+// Lookup returns the current view row whose key matches probe's key
+// (probe is a tuple of the view schema); ok is false if no such row.
+func (v *SP) Lookup(db *storage.Database, probe tuple.T) (tuple.T, bool) {
+	base, ok := v.BaseForKey(db, probe)
+	if !ok {
+		return tuple.T{}, false
+	}
+	return v.RowFor(base)
+}
+
+// BaseForKey returns the base tuple whose key matches probe's key
+// (probe is of the view schema — the view and base keys coincide),
+// whether or not it satisfies the selection.
+func (v *SP) BaseForKey(db *storage.Database, probe tuple.T) (tuple.T, bool) {
+	return db.LookupKey(keyProbe(v.base, probe))
+}
+
+// keyProbe builds a base-schema tuple carrying probe's key values under
+// the shared key attribute names; non-key attributes take an arbitrary
+// domain value. The result is only used for key-index lookups.
+func keyProbe(base *schema.Relation, probe tuple.T) tuple.T {
+	attrs := base.Attributes()
+	vals := make([]value.Value, len(attrs))
+	for i, a := range attrs {
+		if base.IsKey(a.Name) {
+			vals[i] = probe.MustGet(a.Name)
+		} else {
+			vals[i] = a.Domain.At(0)
+		}
+	}
+	return tuple.MustNew(base, vals...)
+}

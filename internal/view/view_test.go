@@ -1,0 +1,463 @@
+package view
+
+import (
+	"strings"
+	"testing"
+
+	"viewupdate/internal/algebra"
+	"viewupdate/internal/schema"
+	"viewupdate/internal/storage"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/update"
+	"viewupdate/internal/value"
+)
+
+// empFixture builds a small EMP-like schema locally (the fixtures
+// package depends on view, so view tests build their own).
+func empFixture(t testing.TB) (*schema.Database, *schema.Relation) {
+	t.Helper()
+	no := schema.MustDomain("NoD", value.NewInt(1), value.NewInt(2), value.NewInt(3), value.NewInt(4))
+	loc := schema.MustDomain("LocD", value.NewString("NY"), value.NewString("SF"))
+	team := schema.BoolDomain("TeamD")
+	rel := schema.MustRelation("EMP", []schema.Attribute{
+		{Name: "No", Domain: no},
+		{Name: "Loc", Domain: loc},
+		{Name: "Team", Domain: team},
+	}, []string{"No"})
+	sch := schema.NewDatabase()
+	if err := sch.AddRelation(rel); err != nil {
+		t.Fatal(err)
+	}
+	return sch, rel
+}
+
+func emp(t testing.TB, rel *schema.Relation, no int64, loc string, team bool) tuple.T {
+	t.Helper()
+	return tuple.MustNew(rel, value.NewInt(no), value.NewString(loc), value.NewBool(team))
+}
+
+func TestSPViewConstruction(t *testing.T) {
+	_, rel := empFixture(t)
+	sel := algebra.NewSelection(rel).MustAddTerm("Loc", value.NewString("NY"))
+	v, err := NewSP("V", sel, []string{"No", "Team"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Name() != "V" || v.Base() != rel {
+		t.Fatal("accessors wrong")
+	}
+	if v.Schema().Arity() != 2 || v.Schema().Key()[0] != "No" {
+		t.Fatal("derived schema wrong")
+	}
+	if got := v.ProjectedOut(); len(got) != 1 || got[0] != "Loc" {
+		t.Fatalf("ProjectedOut = %v", got)
+	}
+	if v.IsIdentity() {
+		t.Fatal("not identity")
+	}
+	id := Identity("Id", rel)
+	if !id.IsIdentity() {
+		t.Fatal("identity view wrong")
+	}
+	// Projection dropping the key fails.
+	if _, err := NewSP("Bad", sel, []string{"Loc", "Team"}); err == nil {
+		t.Fatal("dropping the key should fail")
+	}
+}
+
+func TestSPViewRowForAndMaterialize(t *testing.T) {
+	sch, rel := empFixture(t)
+	sel := algebra.NewSelection(rel).MustAddTerm("Loc", value.NewString("NY"))
+	v, err := NewSP("V", sel, []string{"No", "Team"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.Open(sch)
+	if err := db.Load("EMP",
+		emp(t, rel, 1, "NY", true),
+		emp(t, rel, 2, "SF", true),
+		emp(t, rel, 3, "NY", false),
+	); err != nil {
+		t.Fatal(err)
+	}
+	rows := v.Materialize(db)
+	if rows.Len() != 2 {
+		t.Fatalf("want 2 view rows, got %d", rows.Len())
+	}
+	if _, ok := v.RowFor(emp(t, rel, 2, "SF", true)); ok {
+		t.Fatal("SF employee should not appear")
+	}
+	row, ok := v.RowFor(emp(t, rel, 1, "NY", true))
+	if !ok || row.MustGet("Team") != value.NewBool(true) {
+		t.Fatal("RowFor wrong")
+	}
+
+	// Lookup and BaseForKey.
+	probe := tuple.MustNew(v.Schema(), value.NewInt(2), value.NewBool(false))
+	if _, ok := v.Lookup(db, probe); ok {
+		t.Fatal("hidden tuple must not be in view")
+	}
+	if base, ok := v.BaseForKey(db, probe); !ok || base.MustGet("Loc") != value.NewString("SF") {
+		t.Fatal("BaseForKey should find the hidden base tuple")
+	}
+	probe4 := tuple.MustNew(v.Schema(), value.NewInt(4), value.NewBool(false))
+	if _, ok := v.BaseForKey(db, probe4); ok {
+		t.Fatal("BaseForKey should miss absent keys")
+	}
+}
+
+// joinFixture builds CXD -> AB (the paper's figure).
+func joinFixture(t testing.TB) (*schema.Database, *schema.Relation, *schema.Relation, *Join) {
+	t.Helper()
+	aDom := schema.MustDomain("ADom", value.NewString("a"), value.NewString("a1"), value.NewString("a2"))
+	bDom := schema.MustDomain("BDom", value.NewInt(1), value.NewInt(2))
+	cDom := schema.MustDomain("CDom", value.NewString("c1"), value.NewString("c2"))
+	dDom := schema.MustDomain("DDom", value.NewInt(7), value.NewInt(8))
+	ab := schema.MustRelation("AB", []schema.Attribute{
+		{Name: "A", Domain: aDom},
+		{Name: "B", Domain: bDom},
+	}, []string{"A"})
+	cxd := schema.MustRelation("CXD", []schema.Attribute{
+		{Name: "C", Domain: cDom},
+		{Name: "X", Domain: aDom},
+		{Name: "D", Domain: dDom},
+	}, []string{"C"})
+	sch := schema.NewDatabase()
+	if err := sch.AddRelation(ab); err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.AddRelation(cxd); err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.AddInclusion(schema.InclusionDependency{Child: "CXD", ChildAttrs: []string{"X"}, Parent: "AB"}); err != nil {
+		t.Fatal(err)
+	}
+	parent := &Node{SP: Identity("ABv", ab)}
+	root := &Node{SP: Identity("CXDv", cxd), Refs: []Ref{{Attrs: []string{"X"}, Target: parent}}}
+	j, err := NewJoin("J", sch, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch, ab, cxd, j
+}
+
+func TestJoinConstructionValidation(t *testing.T) {
+	sch, ab, cxd, j := joinFixture(t)
+	if j.Name() != "J" || len(j.Nodes()) != 2 {
+		t.Fatal("join basics wrong")
+	}
+	if j.Schema().Arity() != 5 {
+		t.Fatalf("view arity = %d, want 5", j.Schema().Arity())
+	}
+	if key := j.Schema().Key(); len(key) != 1 || key[0] != "C" {
+		t.Fatalf("view key = %v (root's key expected)", key)
+	}
+	if j.NodeOfAttr("B") != 1 || j.NodeOfAttr("C") != 0 || j.NodeOfAttr("zz") != -1 {
+		t.Fatal("NodeOfAttr wrong")
+	}
+
+	// Missing inclusion dependency is rejected.
+	schNoInc := schema.NewDatabase()
+	if err := schNoInc.AddRelation(ab); err != nil {
+		t.Fatal(err)
+	}
+	if err := schNoInc.AddRelation(cxd); err != nil {
+		t.Fatal(err)
+	}
+	parent := &Node{SP: Identity("ABv", ab)}
+	root := &Node{SP: Identity("CXDv", cxd), Refs: []Ref{{Attrs: []string{"X"}, Target: parent}}}
+	if _, err := NewJoin("Bad", schNoInc, root); err == nil ||
+		!strings.Contains(err.Error(), "inclusion") {
+		t.Fatalf("missing inclusion should fail, got %v", err)
+	}
+
+	// Relation used twice is rejected.
+	dupRoot := &Node{SP: Identity("ABv", ab), Refs: []Ref{{Attrs: []string{"A"}, Target: &Node{SP: Identity("ABv2", ab)}}}}
+	if _, err := NewJoin("Dup", sch, dupRoot); err == nil {
+		t.Fatal("duplicate relation should fail")
+	}
+
+	// Join attribute not visible in the child view is rejected.
+	selCXD := algebra.NewSelection(cxd)
+	spNoX, err := NewSP("CXDnoX", selCXD, []string{"C", "D"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootNoX := &Node{SP: spNoX, Refs: []Ref{{Attrs: []string{"X"}, Target: &Node{SP: Identity("ABv", ab)}}}}
+	if _, err := NewJoin("NoX", sch, rootNoX); err == nil {
+		t.Fatal("hidden join attribute should fail (SPJNF)")
+	}
+}
+
+func TestJoinMaterializeAndRow(t *testing.T) {
+	sch, ab, cxd, j := joinFixture(t)
+	db := storage.Open(sch)
+	abT := func(a string, b int64) tuple.T { return tuple.MustNew(ab, value.NewString(a), value.NewInt(b)) }
+	cxdT := func(c, x string, d int64) tuple.T {
+		return tuple.MustNew(cxd, value.NewString(c), value.NewString(x), value.NewInt(d))
+	}
+	if err := db.LoadAll(abT("a", 1), abT("a1", 2), cxdT("c1", "a", 7), cxdT("c2", "a1", 8)); err != nil {
+		t.Fatal(err)
+	}
+	rows := j.Materialize(db)
+	if rows.Len() != 2 {
+		t.Fatalf("want 2 join rows, got %d", rows.Len())
+	}
+	want := tuple.MustNew(j.Schema(),
+		value.NewString("c1"), value.NewString("a"), value.NewInt(7),
+		value.NewString("a"), value.NewInt(1))
+	if !rows.Contains(want) {
+		t.Fatalf("missing row %s in %v", want, rows.Slice())
+	}
+	// RowForRoot.
+	row, ok := j.RowForRoot(db, cxdT("c1", "a", 7))
+	if !ok || !row.Equal(want) {
+		t.Fatal("RowForRoot wrong")
+	}
+	// Lookup by key.
+	got, ok := j.Lookup(db, want)
+	if !ok || !got.Equal(want) {
+		t.Fatal("Lookup wrong")
+	}
+	miss := tuple.MustNew(j.Schema(),
+		value.NewString("c2"), value.NewString("a"), value.NewInt(7),
+		value.NewString("a"), value.NewInt(1))
+	if got, ok := j.Lookup(db, miss); !ok || got.Equal(miss) {
+		t.Fatal("Lookup by key should return the actual row for c2")
+	}
+	// ProjectNode.
+	p0 := j.ProjectNode(0, want)
+	if p0.Relation().Name() != "CXDv" || p0.MustGet("C") != value.NewString("c1") {
+		t.Fatalf("ProjectNode(0) = %s", p0)
+	}
+	p1 := j.ProjectNode(1, want)
+	if p1.MustGet("B") != value.NewInt(1) {
+		t.Fatalf("ProjectNode(1) = %s", p1)
+	}
+	// JoinConsistent.
+	if err := j.JoinConsistent(want); err != nil {
+		t.Fatalf("JoinConsistent on real row: %v", err)
+	}
+	bad := tuple.MustNew(j.Schema(),
+		value.NewString("c1"), value.NewString("a"), value.NewInt(7),
+		value.NewString("a1"), value.NewInt(1)) // X='a' but A='a1'
+	if err := j.JoinConsistent(bad); err == nil {
+		t.Fatal("inconsistent join attributes should fail")
+	}
+}
+
+// TestJoinSelectionOnParentHidesRows: a selection on the parent node
+// hides join rows whose parent fails it, even though the inclusion
+// dependency holds.
+func TestJoinSelectionOnParentHidesRows(t *testing.T) {
+	sch, ab, cxd, _ := joinFixture(t)
+	selAB := algebra.NewSelection(ab).MustAddTerm("B", value.NewInt(1))
+	parent := &Node{SP: MustNewSP("ABsel", selAB, []string{"A", "B"})}
+	root := &Node{SP: Identity("CXDv", cxd), Refs: []Ref{{Attrs: []string{"X"}, Target: parent}}}
+	j, err := NewJoin("Jsel", sch, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.Open(sch)
+	abT := func(a string, b int64) tuple.T { return tuple.MustNew(ab, value.NewString(a), value.NewInt(b)) }
+	cxdT := func(c, x string, d int64) tuple.T {
+		return tuple.MustNew(cxd, value.NewString(c), value.NewString(x), value.NewInt(d))
+	}
+	if err := db.LoadAll(abT("a", 1), abT("a1", 2), cxdT("c1", "a", 7), cxdT("c2", "a1", 8)); err != nil {
+		t.Fatal(err)
+	}
+	rows := j.Materialize(db)
+	if rows.Len() != 1 {
+		t.Fatalf("parent selection should hide c2's row, got %d rows", rows.Len())
+	}
+}
+
+// TestJoinThreeLevels exercises a chain of two references.
+func TestJoinThreeLevels(t *testing.T) {
+	d1 := schema.MustDomain("D1", value.NewString("g1"), value.NewString("g2"))
+	d2 := schema.MustDomain("D2", value.NewString("m1"), value.NewString("m2"))
+	d3 := schema.MustDomain("D3", value.NewString("t1"), value.NewString("t2"))
+	vD := schema.MustDomain("VD", value.NewInt(0), value.NewInt(1))
+	top := schema.MustRelation("TOP", []schema.Attribute{
+		{Name: "T", Domain: d3},
+		{Name: "TV", Domain: vD},
+	}, []string{"T"})
+	mid := schema.MustRelation("MID", []schema.Attribute{
+		{Name: "M", Domain: d2},
+		{Name: "MT", Domain: d3},
+	}, []string{"M"})
+	bot := schema.MustRelation("BOT", []schema.Attribute{
+		{Name: "G", Domain: d1},
+		{Name: "GM", Domain: d2},
+	}, []string{"G"})
+	sch := schema.NewDatabase()
+	for _, r := range []*schema.Relation{top, mid, bot} {
+		if err := sch.AddRelation(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sch.AddInclusion(schema.InclusionDependency{Child: "BOT", ChildAttrs: []string{"GM"}, Parent: "MID"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.AddInclusion(schema.InclusionDependency{Child: "MID", ChildAttrs: []string{"MT"}, Parent: "TOP"}); err != nil {
+		t.Fatal(err)
+	}
+	topN := &Node{SP: Identity("TOPv", top)}
+	midN := &Node{SP: Identity("MIDv", mid), Refs: []Ref{{Attrs: []string{"MT"}, Target: topN}}}
+	botN := &Node{SP: Identity("BOTv", bot), Refs: []Ref{{Attrs: []string{"GM"}, Target: midN}}}
+	j, err := NewJoin("Chain", sch, botN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.Open(sch)
+	if err := db.LoadAll(
+		tuple.MustNew(top, value.NewString("t1"), value.NewInt(0)),
+		tuple.MustNew(mid, value.NewString("m1"), value.NewString("t1")),
+		tuple.MustNew(bot, value.NewString("g1"), value.NewString("m1")),
+	); err != nil {
+		t.Fatal(err)
+	}
+	rows := j.Materialize(db)
+	if rows.Len() != 1 {
+		t.Fatalf("want 1 chained row, got %d", rows.Len())
+	}
+	row := rows.Slice()[0]
+	if row.MustGet("TV") != value.NewInt(0) || row.MustGet("G") != value.NewString("g1") {
+		t.Fatalf("chained row wrong: %s", row)
+	}
+}
+
+// TestMaterializeWithSecondaryIndex: creating an index on a selecting
+// attribute changes the scan strategy but not the result.
+func TestMaterializeWithSecondaryIndex(t *testing.T) {
+	sch, rel := empFixture(t)
+	sel := algebra.NewSelection(rel).MustAddTerm("Loc", value.NewString("NY"))
+	v, err := NewSP("V", sel, []string{"No", "Team"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.Open(sch)
+	if err := db.Load("EMP",
+		emp(t, rel, 1, "NY", true),
+		emp(t, rel, 2, "SF", true),
+		emp(t, rel, 3, "NY", false),
+		emp(t, rel, 4, "SF", false),
+	); err != nil {
+		t.Fatal(err)
+	}
+	before := v.Materialize(db)
+	if err := db.CreateIndex("EMP", "Loc"); err != nil {
+		t.Fatal(err)
+	}
+	if !db.HasIndex("EMP", "Loc") {
+		t.Fatal("index missing")
+	}
+	after := v.Materialize(db)
+	if !before.Equal(after) {
+		t.Fatalf("indexed materialization differs: %v vs %v", before.Slice(), after.Slice())
+	}
+	// Index stays correct through a view update cycle.
+	if err := db.Apply(updateTranslation(t, rel)); err != nil {
+		t.Fatal(err)
+	}
+	want := tuple.NewSet()
+	for _, bt := range db.Tuples("EMP") {
+		if row, ok := v.RowFor(bt); ok {
+			want.Add(row)
+		}
+	}
+	if !v.Materialize(db).Equal(want) {
+		t.Fatal("index stale after updates")
+	}
+	// Errors.
+	if err := db.CreateIndex("missing", "Loc"); err == nil {
+		t.Fatal("index on unknown relation should fail")
+	}
+	if db.HasIndex("missing", "Loc") {
+		t.Fatal("HasIndex on unknown relation should be false")
+	}
+}
+
+// updateTranslation builds a mixed translation exercising all op kinds.
+func updateTranslation(t testing.TB, rel *schema.Relation) *update.Translation {
+	t.Helper()
+	return update.NewTranslation(
+		update.NewDelete(emp(t, rel, 4, "SF", false)),
+		update.NewReplace(emp(t, rel, 2, "SF", true), emp(t, rel, 2, "NY", true)),
+	)
+}
+
+// TestDAGViewConstructionErrors covers the DAG constructor's
+// validation beyond what the core tests exercise.
+func TestDAGViewConstructionErrors(t *testing.T) {
+	sch, ab, cxd, _ := joinFixture(t)
+	_ = cxd
+	// Nil root.
+	if _, err := NewJoinDAG("NilRoot", sch, nil); err == nil {
+		t.Fatal("nil root should fail")
+	}
+	// Cycle: AB -> CXD -> AB. Requires matching inclusions; build a
+	// two-node cycle schema.
+	kd := schema.MustDomain("CycKD", value.NewString("k1"), value.NewString("k2"))
+	r1 := schema.MustRelation("R1", []schema.Attribute{
+		{Name: "R1K", Domain: kd},
+		{Name: "R1F", Domain: kd},
+	}, []string{"R1K"})
+	r2 := schema.MustRelation("R2", []schema.Attribute{
+		{Name: "R2K", Domain: kd},
+		{Name: "R2F", Domain: kd},
+	}, []string{"R2K"})
+	csch := schema.NewDatabase()
+	if err := csch.AddRelation(r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := csch.AddRelation(r2); err != nil {
+		t.Fatal(err)
+	}
+	if err := csch.AddInclusion(schema.InclusionDependency{Child: "R1", ChildAttrs: []string{"R1F"}, Parent: "R2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := csch.AddInclusion(schema.InclusionDependency{Child: "R2", ChildAttrs: []string{"R2F"}, Parent: "R1"}); err != nil {
+		t.Fatal(err)
+	}
+	n1 := &Node{SP: Identity("R1v", r1)}
+	n2 := &Node{SP: Identity("R2v", r2)}
+	n1.Refs = []Ref{{Attrs: []string{"R1F"}, Target: n2}}
+	n2.Refs = []Ref{{Attrs: []string{"R2F"}, Target: n1}}
+	if _, err := NewJoinDAG("Cycle", csch, n1); err == nil ||
+		!strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle should be rejected, got %v", err)
+	}
+	// Two distinct nodes over one relation.
+	dup1 := &Node{SP: Identity("ABv", ab)}
+	dup2 := &Node{SP: Identity("ABv2", ab)}
+	root := &Node{SP: Identity("CXDv", cxd), Refs: []Ref{
+		{Attrs: []string{"X"}, Target: dup1},
+		{Attrs: []string{"X"}, Target: dup2},
+	}}
+	if _, err := NewJoinDAG("DupRel", sch, root); err == nil {
+		t.Fatal("two nodes over one relation should fail")
+	}
+	// Missing inclusion dependency.
+	nosch := schema.NewDatabase()
+	if err := nosch.AddRelation(ab); err != nil {
+		t.Fatal(err)
+	}
+	if err := nosch.AddRelation(cxd); err != nil {
+		t.Fatal(err)
+	}
+	rootNoInc := &Node{SP: Identity("CXDv", cxd), Refs: []Ref{{Attrs: []string{"X"}, Target: &Node{SP: Identity("ABv", ab)}}}}
+	if _, err := NewJoinDAG("NoInc", nosch, rootNoInc); err == nil {
+		t.Fatal("missing inclusion should fail")
+	}
+	// Hidden join attribute.
+	selNoX := algebra.NewSelection(cxd)
+	spNoX, err := NewSP("CXDnoX2", selNoX, []string{"C", "D"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootNoX := &Node{SP: spNoX, Refs: []Ref{{Attrs: []string{"X"}, Target: &Node{SP: Identity("ABv", ab)}}}}
+	if _, err := NewJoinDAG("NoX", sch, rootNoX); err == nil {
+		t.Fatal("hidden join attribute should fail")
+	}
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"testing"
+
+	"viewupdate/internal/core"
+	"viewupdate/internal/storage"
+	"viewupdate/internal/update"
+)
+
+// render canonicalizes a database state across schema instances (tuple
+// identity is schema-instance-scoped, so DB.Equal only compares states
+// of one instance).
+func render(db *storage.Database, rels ...string) string {
+	out := ""
+	for _, r := range rels {
+		for _, t := range db.Tuples(r) {
+			out += t.String() + "\n"
+		}
+	}
+	return out
+}
+
+func TestSPWorkloadDeterministic(t *testing.T) {
+	cfg := SPConfig{Keys: 100, Attrs: 3, DomainSize: 4, SelectingAttrs: 2, HiddenAttrs: 1, Tuples: 50, Seed: 7}
+	w1 := MustNewSP(cfg)
+	w2 := MustNewSP(cfg)
+	if render(w1.DB, "R") != render(w2.DB, "R") {
+		t.Fatal("same seed should reproduce the same state")
+	}
+	w3 := MustNewSP(SPConfig{Keys: 100, Attrs: 3, DomainSize: 4, SelectingAttrs: 2, HiddenAttrs: 1, Tuples: 50, Seed: 8})
+	if render(w1.DB, "R") == render(w3.DB, "R") {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSPWorkloadShape(t *testing.T) {
+	w := MustNewSP(SPConfig{Keys: 200, Attrs: 4, DomainSize: 4, SelectingAttrs: 2, HiddenAttrs: 2, Tuples: 100, Seed: 1})
+	if w.DB.Len("R") != 100 {
+		t.Fatalf("tuples = %d", w.DB.Len("R"))
+	}
+	if got := len(w.View.ProjectedOut()); got != 2 {
+		t.Fatalf("hidden attrs = %d", got)
+	}
+	if got := len(w.View.Selection().SelectingAttributes()); got != 2 {
+		t.Fatalf("selecting attrs = %d", got)
+	}
+	// Roughly half visible (biased loader).
+	vis := w.View.Materialize(w.DB).Len()
+	if vis < 20 || vis > 80 {
+		t.Fatalf("visible fraction off: %d/100", vis)
+	}
+}
+
+func TestSPWorkloadConfigErrors(t *testing.T) {
+	bad := []SPConfig{
+		{Keys: 0, Attrs: 1, DomainSize: 2, Tuples: 1},
+		{Keys: 10, Attrs: 1, DomainSize: 1, Tuples: 1},
+		{Keys: 10, Attrs: 1, DomainSize: 2, SelectingAttrs: 2, Tuples: 1},
+		{Keys: 10, Attrs: 1, DomainSize: 2, HiddenAttrs: 2, Tuples: 1},
+		{Keys: 10, Attrs: 1, DomainSize: 2, Tuples: 11},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSP(cfg); err == nil {
+			t.Errorf("config %d should fail: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSPWorkloadRequestsAreValid(t *testing.T) {
+	w := MustNewSP(SPConfig{Keys: 100, Attrs: 3, DomainSize: 4, SelectingAttrs: 1, HiddenAttrs: 1, Tuples: 40, Seed: 3})
+	for _, kind := range []update.Kind{update.Insert, update.Delete, update.Replace} {
+		for i := 0; i < 20; i++ {
+			r, ok := w.NextRequest(kind)
+			if !ok {
+				t.Fatalf("no %s request available", kind)
+			}
+			if err := core.ValidateRequest(w.DB, w.View, r); err != nil {
+				t.Fatalf("generated %s request invalid: %v", kind, err)
+			}
+			cands, err := core.Enumerate(w.DB, w.View, r)
+			if err != nil {
+				t.Fatalf("enumerate: %v", err)
+			}
+			if len(cands) == 0 {
+				t.Fatalf("no candidates for %s", r)
+			}
+		}
+	}
+}
+
+func TestTreeWorkloadShape(t *testing.T) {
+	w := MustNewTree(TreeConfig{Depth: 2, Fanout: 2, Keys: 50, TuplesPerRelation: 10, Seed: 5})
+	// Depth 2, fanout 2: 1 + 2 + 4 = 7 relations.
+	if len(w.Relations) != 7 {
+		t.Fatalf("relations = %d", len(w.Relations))
+	}
+	if err := w.DB.CheckAllInclusions(); err != nil {
+		t.Fatalf("populated tree violates inclusions: %v", err)
+	}
+	// Identity views + enforced inclusions: every root tuple joins.
+	if got := w.View.Materialize(w.DB).Len(); got != 10 {
+		t.Fatalf("view rows = %d, want 10", got)
+	}
+}
+
+func TestTreeWorkloadDeterministic(t *testing.T) {
+	cfg := TreeConfig{Depth: 1, Fanout: 2, Keys: 30, TuplesPerRelation: 8, Seed: 9}
+	w1 := MustNewTree(cfg)
+	w2 := MustNewTree(cfg)
+	var names []string
+	for _, r := range w1.Relations {
+		names = append(names, r.Name())
+	}
+	if render(w1.DB, names...) != render(w2.DB, names...) {
+		t.Fatal("same seed should reproduce the same tree state")
+	}
+}
+
+func TestTreeWorkloadRequests(t *testing.T) {
+	w := MustNewTree(TreeConfig{Depth: 2, Fanout: 1, Keys: 40, TuplesPerRelation: 10, Seed: 11})
+	row, ok := w.RandomRow()
+	if !ok {
+		t.Fatal("no rows")
+	}
+	if err := core.ValidateRequest(w.DB, w.View, core.DeleteRequest(row)); err != nil {
+		t.Fatalf("delete of a materialized row should be valid: %v", err)
+	}
+	r, ok := w.InsertRequestForFreshRoot()
+	if !ok {
+		t.Fatal("no insert request")
+	}
+	if err := core.ValidateRequest(w.DB, w.View, r); err != nil {
+		t.Fatalf("generated insert invalid: %v", err)
+	}
+	cands, err := core.Enumerate(w.DB, w.View, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 {
+		t.Fatalf("identity tree should give one candidate, got %d", len(cands))
+	}
+	if err := w.DB.Apply(cands[0].Translation); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeWorkloadConfigErrors(t *testing.T) {
+	bad := []TreeConfig{
+		{Depth: -1, Fanout: 1, Keys: 10, TuplesPerRelation: 2},
+		{Depth: 1, Fanout: 1, Keys: 0, TuplesPerRelation: 2},
+		{Depth: 1, Fanout: 1, Keys: 10, TuplesPerRelation: 0},
+		{Depth: 1, Fanout: 1, Keys: 10, TuplesPerRelation: 11},
+	}
+	for i, cfg := range bad {
+		if _, err := NewTree(cfg); err == nil {
+			t.Errorf("config %d should fail: %+v", i, cfg)
+		}
+	}
+}
