@@ -1,0 +1,45 @@
+# Build, verification and benchmark entry points.
+#
+# `make check` is the tier-1+ verification gate: it runs everything the
+# plain tier-1 gate runs (build + tests) plus vet, formatting and the
+# race detector. CI and pre-commit hooks should use it.
+
+GO ?= go
+
+.PHONY: all build test check vet fmt race bench bench-obs clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails if any file needs reformatting (gofmt -l lists offenders).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+race:
+	$(GO) test -race ./...
+
+# The tier-1+ check: build, vet, formatting, and the full test suite
+# under the race detector (which subsumes the plain `go test ./...`).
+check: build vet fmt race
+
+bench:
+	$(GO) test -bench . -run '^$$' .
+
+# bench-obs emits BENCH_obs.json: candidates/sec, translate latency
+# p50/p99 and the per-criterion rejection histogram (see
+# docs/OBSERVABILITY.md).
+bench-obs:
+	$(GO) test -bench 'BenchmarkObs' -run '^$$' -benchtime 10x .
+	@cat BENCH_obs.json
+
+clean:
+	rm -f BENCH_obs.json

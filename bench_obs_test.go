@@ -1,0 +1,120 @@
+package viewupdate
+
+// Observability benchmarks: the overhead of the instrumentation layer
+// itself (disabled vs enabled sink) and an instrumented pipeline run
+// that emits BENCH_obs.json with throughput, latency quantiles and the
+// per-criterion rejection histogram. Run with:
+//
+//	go test -bench 'BenchmarkObs' -run '^$' .
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"viewupdate/internal/core"
+	"viewupdate/internal/obs"
+	"viewupdate/internal/update"
+	"viewupdate/internal/workload"
+)
+
+// withSink installs s for the duration of the benchmark and restores
+// the previous instrumentation state afterwards.
+func withSink(b *testing.B, s *obs.Sink) {
+	b.Helper()
+	prev := obs.Active()
+	obs.Enable(s)
+	b.Cleanup(func() { obs.Enable(prev) })
+}
+
+// obsBenchWorkload builds the measured SP instance.
+func obsBenchWorkload(b *testing.B) (*workload.SPWorkload, core.Request) {
+	b.Helper()
+	w := workload.MustNewSP(workload.SPConfig{
+		Keys: 400, Attrs: 4, DomainSize: 6,
+		SelectingAttrs: 2, HiddenAttrs: 2, Tuples: 200, Seed: 21,
+	})
+	r, ok := w.NextRequest(update.Delete)
+	if !ok {
+		b.Fatal("no request")
+	}
+	return w, r
+}
+
+// BenchmarkObsOverhead measures one full Translate with instrumentation
+// disabled and enabled; the delta is the cost of the spans, counters
+// and histograms on the hot path.
+func BenchmarkObsOverhead(b *testing.B) {
+	w, r := obsBenchWorkload(b)
+	tr := core.NewTranslator(w.View, nil)
+	b.Run("disabled", func(b *testing.B) {
+		withSink(b, nil)
+		for i := 0; i < b.N; i++ {
+			if _, err := tr.Translate(w.DB, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		withSink(b, obs.NewSink(nil))
+		for i := 0; i < b.N; i++ {
+			if _, err := tr.Translate(w.DB, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkObsPipeline runs the traced pipeline (probes included, so
+// the criteria reject naive alternatives) under an enabled sink and
+// writes the collected metrics to BENCH_obs.json: candidates per
+// second, translate latency p50/p99, and rejections per criterion.
+func BenchmarkObsPipeline(b *testing.B) {
+	w, _ := obsBenchWorkload(b)
+	sink := obs.NewSink(nil)
+	withSink(b, sink)
+	tr := core.NewTranslator(w.View, nil)
+	kinds := []update.Kind{update.Insert, update.Delete, update.Replace}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, ok := w.NextRequest(kinds[i%len(kinds)])
+		if !ok {
+			continue
+		}
+		if _, _, err := tr.TranslateTraced(w.DB, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+
+	snap := sink.Metrics().Snapshot()
+	elapsed := b.Elapsed().Seconds()
+	candidates := snap.Counters["core.candidates.generated"]
+	perSec := 0.0
+	if elapsed > 0 {
+		perSec = float64(candidates) / elapsed
+	}
+	lat := snap.Histograms["core.trace.translate.ns"]
+	out := map[string]interface{}{
+		"benchmark":          "BenchmarkObsPipeline",
+		"iterations":         b.N,
+		"candidates":         candidates,
+		"candidates_per_sec": perSec,
+		"translate_ns_p50":   lat.P50,
+		"translate_ns_p99":   lat.P99,
+		"rejections": map[string]int64{
+			"criterion_1": snap.Counters["core.criteria.reject.1"],
+			"criterion_2": snap.Counters["core.criteria.reject.2"],
+			"criterion_3": snap.Counters["core.criteria.reject.3"],
+			"criterion_4": snap.Counters["core.criteria.reject.4"],
+			"criterion_5": snap.Counters["core.criteria.reject.5"],
+		},
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_obs.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

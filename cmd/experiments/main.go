@@ -13,17 +13,25 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
 	"viewupdate/internal/experiments"
+	"viewupdate/internal/obs"
 )
 
 func main() {
 	runID := flag.String("run", "", "run only the experiment with this id (e.g. E5)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	outPath := flag.String("o", "", "also write the report to this file")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	flag.Parse()
+
+	if _, err := obs.SetupDefault(os.Stderr, *logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
 
 	all := experiments.All()
 	if *list {
@@ -50,28 +58,28 @@ func main() {
 		emit("%s — %s (%s)\n", e.ID, e.Title, e.Exhibit)
 		tb, ok, err := e.Run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s ERROR: %v\n", e.ID, err)
+			slog.Error("experiment failed", "id", e.ID, "err", err)
 			failures++
 			continue
 		}
 		emit("%s\n", tb)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "%s: pass condition FAILED\n", e.ID)
+			slog.Error("pass condition failed", "id", e.ID)
 			failures++
 		}
 	}
 	if *outPath != "" {
 		if err := os.WriteFile(*outPath, []byte(report.String()), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *outPath, err)
+			slog.Error("writing report", "path", *outPath, "err", err)
 			os.Exit(1)
 		}
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiment matches -run=%s\n", *runID)
+		slog.Error("no experiment matches", "run", *runID)
 		os.Exit(2)
 	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failures)
+		slog.Error("experiments failed", "count", failures)
 		os.Exit(1)
 	}
 	fmt.Printf("all %d experiments passed\n", ran)

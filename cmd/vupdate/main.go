@@ -29,49 +29,87 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
 	"viewupdate/internal/dialog"
+	"viewupdate/internal/obs"
 	"viewupdate/internal/sqlish"
 )
 
 func main() {
 	file := flag.String("f", "", "execute the statements in this file and exit")
 	expr := flag.String("e", "", "execute this statement and exit")
+	explain := flag.Bool("explain", false, "print an explain trace for every view update: each candidate translation with its accept/reject verdict and the violated criterion")
+	metrics := flag.Bool("metrics", false, "dump pipeline counters and latency histograms as JSON on exit")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	flag.Parse()
 
+	logger, err := obs.SetupDefault(os.Stderr, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	obs.Enable(obs.NewSink(logger))
+	exit := func(code int) {
+		dumpMetrics(*metrics)
+		os.Exit(code)
+	}
+
 	session := sqlish.NewSession()
+	session.SetExplain(*explain)
 
 	if *file != "" {
 		data, err := os.ReadFile(*file)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			slog.Error("reading script", "path", *file, "err", err)
+			exit(1)
 		}
 		out, err := session.ExecScript(string(data))
 		if out != "" {
 			fmt.Print(out)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			slog.Error("executing script", "path", *file, "err", err)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 	if *expr != "" {
 		out, err := session.ExecLine(*expr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+		if out != "" {
+			fmt.Println(out)
 		}
-		fmt.Println(out)
-		return
+		if err != nil {
+			slog.Error("executing statement", "err", err)
+			exit(1)
+		}
+		exit(0)
 	}
 
 	fmt.Println("vupdate — view update translator shell (PODS '85 reproduction)")
 	fmt.Println("statements end with ';'; type 'help;' for a summary, 'exit;' to quit")
 	repl(session)
+	exit(0)
+}
+
+// dumpMetrics writes the instrumentation snapshot as JSON to stderr
+// when enabled.
+func dumpMetrics(enabled bool) {
+	if !enabled {
+		return
+	}
+	s := obs.Active()
+	if s == nil {
+		return
+	}
+	data, err := s.Metrics().Snapshot().JSON()
+	if err != nil {
+		slog.Error("rendering metrics", "err", err)
+		return
+	}
+	fmt.Fprintln(os.Stderr, string(data))
 }
 
 func repl(session *sqlish.Session) {

@@ -18,13 +18,16 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"viewupdate"
 	"viewupdate/internal/fixtures"
+	"viewupdate/internal/obs"
 )
 
 func main() {
+	slog.SetDefault(obs.NewLogger(os.Stderr, slog.LevelInfo))
 	d := fixtures.NewDiamond()
 	db := d.ConvergentInstance()
 
@@ -52,7 +55,7 @@ func main() {
 	u := d.ViewTuple(3, 7, 8, 9, 2)
 	cand, err := tr.Apply(db, viewupdate.InsertRequest(u))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("\nSPJ-I insert root 3 (new A 7, B 8, shared C 9):\n  [%s]\n  %s\n",
 		cand.Class, cand.Translation)
@@ -64,16 +67,22 @@ func main() {
 	req := viewupdate.ReplaceRequest(old, moved)
 	chosen, err := tr.Translate(db, req)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	eff, err := viewupdate.SideEffects(db, d.View, req, chosen.Translation)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("\nSPJ-R re-point row 1 at C 9:\n  [%s]\n  %s\n  %s\n",
 		chosen.Class, chosen.Translation, eff)
 	if _, err := tr.Apply(db, req); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	show("final view:")
+}
+
+// fatal reports the failure through the structured logger and exits.
+func fatal(v interface{}) {
+	slog.Error(fmt.Sprint(v))
+	os.Exit(1)
 }

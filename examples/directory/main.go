@@ -19,27 +19,30 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"viewupdate"
+	"viewupdate/internal/obs"
 )
 
 func main() {
+	slog.SetDefault(obs.NewLogger(os.Stderr, slog.LevelInfo))
 	ids, err := viewupdate.IntRangeDomain("IdDom", 1, 50)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	names, err := viewupdate.StringDomain("NameDom", "Ada", "Ben", "Cy", "Dee", "Eli")
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	depts, err := viewupdate.StringDomain("DeptDom", "eng", "ops", "sales")
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	status, err := viewupdate.StringDomain("StatusDom", "active", "oncall", "archived")
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	staff, err := viewupdate.NewRelation("STAFF", []viewupdate.Attribute{
 		{Name: "Id", Domain: ids},
@@ -48,30 +51,30 @@ func main() {
 		{Name: "Status", Domain: status},
 	}, []string{"Id"})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	sch := viewupdate.NewSchema()
 	if err := sch.AddRelation(staff); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	sel := viewupdate.NewSelection(staff)
 	if err := sel.AddTerm("Status", viewupdate.Str("active"), viewupdate.Str("oncall")); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	directory, err := viewupdate.NewSPView("DIRECTORY", sel, []string{"Id", "Name", "Dept"})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	db := viewupdate.Open(sch)
 	load := func(id int64, name, dept, st string) {
 		t, err := viewupdate.MakeRow(staff, id, name, dept, st)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := db.Load("STAFF", t); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	load(1, "Ada", "eng", "active")
@@ -85,11 +88,11 @@ func main() {
 	// --- I-1 with a hidden choice. ---
 	newEntry, err := viewupdate.MakeRow(directory.Schema(), 3, "Cy", "eng")
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	cands, err := viewupdate.Enumerate(db, directory, viewupdate.InsertRequest(newEntry))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Println("\ninserting (3, Cy, eng): extend-insert must choose the hidden Status —")
 	for i, c := range cands {
@@ -102,18 +105,18 @@ func main() {
 	tr := viewupdate.NewTranslator(directory, policy)
 	chosen, err := tr.Apply(db, viewupdate.InsertRequest(newEntry))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("DBA default Status=active picked: %s\n", chosen.Translation)
 
 	// --- I-2: the new entry's id belongs to an archived record. ---
 	revived, err := viewupdate.MakeRow(directory.Schema(), 2, "Ben", "sales")
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	cands, err = viewupdate.Enumerate(db, directory, viewupdate.InsertRequest(revived))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Println("\ninserting (2, Ben, sales): id 2 is Ben's archived record — I-2 revives it:")
 	for i, c := range cands {
@@ -121,7 +124,7 @@ func main() {
 	}
 	chosen, err = tr.Apply(db, viewupdate.InsertRequest(revived))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("applied: [%s] %s\n", chosen.Class, chosen.Translation)
 
@@ -133,4 +136,10 @@ func main() {
 	for _, row := range directory.Materialize(db).Slice() {
 		fmt.Println("  ", row)
 	}
+}
+
+// fatal reports the failure through the structured logger and exits.
+func fatal(v interface{}) {
+	slog.Error(fmt.Sprint(v))
+	os.Exit(1)
 }

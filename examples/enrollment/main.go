@@ -11,13 +11,16 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"viewupdate"
 	"viewupdate/internal/fixtures"
+	"viewupdate/internal/obs"
 )
 
 func main() {
+	slog.SetDefault(obs.NewLogger(os.Stderr, slog.LevelInfo))
 	u := fixtures.NewUniversity(20)
 	db := u.SmallInstance()
 
@@ -38,7 +41,7 @@ func main() {
 	newRow := u.ViewTuple(3, "s3", "db", 2, "Cy", 1, "Databases", "cs", "Gates")
 	cand, err := tr.Apply(db, viewupdate.InsertRequest(newRow))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("\nSPJ-I insert enrollment #3 for new student s3:\n  [%s]\n  %s\n",
 		cand.Class, cand.Translation)
@@ -49,7 +52,7 @@ func main() {
 	regraded := u.ViewTuple(1, "s1", "db", 3, "Ada", 2, "Databases", "cs", "Gates")
 	cand, err = tr.Apply(db, viewupdate.ReplaceRequest(old, regraded))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("\nSPJ-R regrade enrollment #1:\n  [%s]\n  %s\n", cand.Class, cand.Translation)
 
@@ -61,7 +64,7 @@ func main() {
 	moved := u.ViewTuple(2, "s2", "os", 3, "Ben", 3, "Systems", "ee", "Soda")
 	cand, err = tr.Apply(db, viewupdate.ReplaceRequest(old2, moved))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("\nSPJ-R move course os to ee (building corrected to Soda):\n  [%s]\n  %s\n",
 		cand.Class, cand.Translation)
@@ -72,7 +75,7 @@ func main() {
 	victim := u.ViewTuple(3, "s3", "db", 2, "Cy", 1, "Databases", "cs", "Gates")
 	cand, err = tr.Apply(db, viewupdate.DeleteRequest(victim))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("\nSPJ-D drop enrollment #3:\n  [%s]\n  %s\n", cand.Class, cand.Translation)
 	fmt.Printf("student s3 still exists in STUDENT: %d students total\n", db.Len("STUDENT"))
@@ -85,14 +88,20 @@ func main() {
 	inconsistent, err := viewupdate.MakeRow(u.View.Schema(),
 		9, "s2", "db", 1, "s1", "Ada", 2, "db", "Databases", "cs", "cs", "Gates")
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if err := viewupdate.ValidateRequest(db, u.View, viewupdate.InsertRequest(inconsistent)); err != nil {
 		fmt.Printf("\njoin-inconsistent insert rejected as the paper requires:\n  %v\n", err)
 	} else {
-		log.Fatal("inconsistent insert should have been rejected")
+		fatal("inconsistent insert should have been rejected")
 	}
 	if !db.Equal(snapshot) {
-		log.Fatal("rejected request must not change the database")
+		fatal("rejected request must not change the database")
 	}
+}
+
+// fatal reports the failure through the structured logger and exits.
+func fatal(v interface{}) {
+	slog.Error(fmt.Sprint(v))
+	os.Exit(1)
 }

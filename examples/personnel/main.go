@@ -11,13 +11,16 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"viewupdate"
 	"viewupdate/internal/fixtures"
+	"viewupdate/internal/obs"
 )
 
 func main() {
+	slog.SetDefault(obs.NewLogger(os.Stderr, slog.LevelInfo))
 	f := fixtures.NewEmp(20)
 	db := f.PaperInstance()
 
@@ -39,7 +42,7 @@ func main() {
 	emp17 := f.ViewTuple(f.ViewP, 17, "Susan", "New York", true)
 	cands, err := viewupdate.Enumerate(db, f.ViewP, viewupdate.DeleteRequest(emp17))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Println("\nSusan requests: delete employee #17. Candidate translations:")
 	for i, c := range cands {
@@ -53,7 +56,7 @@ func main() {
 		viewupdate.PreferClasses{Label: "susan", Order: []string{"D-1"}})
 	chosen, err := susan.Apply(db, viewupdate.DeleteRequest(emp17))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("applied: [%s] %s\n", chosen.Class, chosen.Translation)
 	fmt.Println("employee #17 left the baseball view too (the paper's side note):")
@@ -63,7 +66,7 @@ func main() {
 	emp14 := f.ViewTuple(f.ViewB, 14, "Frank", "San Francisco", true)
 	cands, err = viewupdate.Enumerate(db, f.ViewB, viewupdate.DeleteRequest(emp14))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Println("\nFrank requests: delete employee #14. Candidate translations:")
 	for i, c := range cands {
@@ -77,7 +80,7 @@ func main() {
 		viewupdate.PreferClasses{Label: "frank", Order: []string{"D-2"}})
 	chosen, err = frank.Apply(db, viewupdate.DeleteRequest(emp14))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("applied: [%s] %s\n", chosen.Class, chosen.Translation)
 
@@ -96,7 +99,7 @@ func main() {
 	all := viewupdate.NewTranslator(whole, viewupdate.RejectAmbiguous{})
 	chosen, err = all.Apply(db, viewupdate.ReplaceRequest(old, new))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("\nrelocation issued against the full relation: [%s] %s\n",
 		chosen.Class, chosen.Translation)
@@ -105,7 +108,13 @@ func main() {
 func mustRow(v viewupdate.View, raw ...interface{}) viewupdate.Tuple {
 	t, err := viewupdate.MakeRow(v.Schema(), raw...)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	return t
+}
+
+// fatal reports the failure through the structured logger and exits.
+func fatal(v interface{}) {
+	slog.Error(fmt.Sprint(v))
+	os.Exit(1)
 }

@@ -6,26 +6,29 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"viewupdate"
+	"viewupdate/internal/obs"
 )
 
 func main() {
+	slog.SetDefault(obs.NewLogger(os.Stderr, slog.LevelInfo))
 	// A finite-domain relation EMP(EmpNo*, Name, Location), as in the
 	// paper's model: every attribute draws from a finite domain and the
 	// only constraint is the key dependency EmpNo -> everything.
 	empNo, err := viewupdate.IntRangeDomain("EmpNoDom", 1, 100)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	names, err := viewupdate.StringDomain("NameDom", "Ada", "Ben", "Cy", "Dee")
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	locs, err := viewupdate.StringDomain("LocDom", "New York", "San Francisco")
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	emp, err := viewupdate.NewRelation("EMP", []viewupdate.Attribute{
 		{Name: "EmpNo", Domain: empNo},
@@ -33,21 +36,21 @@ func main() {
 		{Name: "Location", Domain: locs},
 	}, []string{"EmpNo"})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	sch := viewupdate.NewSchema()
 	if err := sch.AddRelation(emp); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	// The view: SELECT * FROM EMP WHERE Location = 'New York'.
 	sel := viewupdate.NewSelection(emp)
 	if err := sel.AddTerm("Location", viewupdate.Str("New York")); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	ny, err := viewupdate.NewSPView("NewYorkers", sel, []string{"EmpNo", "Name", "Location"})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	// A database instance.
@@ -55,10 +58,10 @@ func main() {
 	mustLoad := func(no int64, name, loc string) {
 		t, err := viewupdate.MakeRow(emp, no, name, loc)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := db.Load("EMP", t); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	mustLoad(1, "Ada", "New York")
@@ -76,11 +79,11 @@ func main() {
 	tr := viewupdate.NewTranslator(ny, viewupdate.PickFirst{})
 	newRow, err := viewupdate.MakeRow(ny.Schema(), 4, "Dee", "New York")
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	cand, err := tr.Apply(db, viewupdate.InsertRequest(newRow))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("\ninsert translated by class %s: %s\n", cand.Class, cand.Translation)
 
@@ -89,11 +92,11 @@ func main() {
 	// them, then let a policy that prefers real deletion decide.
 	victim, err := viewupdate.MakeRow(ny.Schema(), 1, "Ada", "New York")
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	cands, err := viewupdate.Enumerate(db, ny, viewupdate.DeleteRequest(victim))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Println("\ncandidate translations for deleting Ada:")
 	for i, c := range cands {
@@ -102,7 +105,7 @@ func main() {
 	del := viewupdate.NewTranslator(ny, viewupdate.PreferClasses{Order: []string{"D-1"}})
 	cand, err = del.Apply(db, viewupdate.DeleteRequest(victim))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("chosen: [%s] %s\n", cand.Class, cand.Translation)
 
@@ -114,4 +117,10 @@ func main() {
 	for _, t := range db.Tuples("EMP") {
 		fmt.Println("  ", t)
 	}
+}
+
+// fatal reports the failure through the structured logger and exits.
+func fatal(v interface{}) {
+	slog.Error(fmt.Sprint(v))
+	os.Exit(1)
 }

@@ -10,15 +10,18 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"sort"
 
 	"viewupdate"
+	"viewupdate/internal/obs"
 	"viewupdate/internal/update"
 	"viewupdate/internal/workload"
 )
 
 func main() {
+	slog.SetDefault(obs.NewLogger(os.Stderr, slog.LevelInfo))
 	n := flag.Int("n", 500, "number of view update requests to issue")
 	seed := flag.Int64("seed", 7, "workload seed")
 	flag.Parse()
@@ -29,12 +32,12 @@ func main() {
 		Seed: *seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	// Speed up view maintenance with a secondary index on the first
 	// selecting attribute.
 	if err := w.DB.CreateIndex("R", "A0"); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	fmt.Printf("database: %d tuples; view: %s over R with %d hidden attributes\n",
@@ -73,13 +76,13 @@ func main() {
 		}
 		eff, err := viewupdate.SideEffects(w.DB, w.View, req, chosen.Translation)
 		if err != nil {
-			log.Fatalf("side effects: %v", err)
+			fatal(fmt.Sprintf("side effects: %v", err))
 		}
 		if eff.None() {
 			sideEffectFree++
 		}
 		if err := w.DB.Apply(chosen.Translation); err != nil {
-			log.Fatalf("apply: %v", err)
+			fatal(fmt.Sprintf("apply: %v", err))
 		}
 		applied++
 		classCount[chosen.Class]++
@@ -111,4 +114,10 @@ func main() {
 
 	fmt.Printf("\nfinal database: %d tuples, view: %d rows\n",
 		w.DB.Len("R"), w.View.Materialize(w.DB).Len())
+}
+
+// fatal reports the failure through the structured logger and exits.
+func fatal(v interface{}) {
+	slog.Error(fmt.Sprint(v))
+	os.Exit(1)
 }

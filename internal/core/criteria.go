@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"viewupdate/internal/obs"
 	"viewupdate/internal/schema"
 	"viewupdate/internal/storage"
 	"viewupdate/internal/tuple"
@@ -82,6 +83,9 @@ type CheckOptions struct {
 // itself is a precondition, not one of the criteria; callers usually
 // check Valid first.
 func CheckCriteria(db *storage.Database, v view.View, r Request, tr *update.Translation, opts CheckOptions) []Violation {
+	span := obs.StartSpan("core.criteria.check")
+	defer span.End()
+	obs.Inc("core.criteria.checked")
 	var out []Violation
 	valid := opts.Valid
 	if valid == nil {
@@ -102,7 +106,32 @@ func CheckCriteria(db *storage.Database, v view.View, r Request, tr *update.Tran
 	if viol := checkCriterion5(tr); viol != nil {
 		out = append(out, *viol)
 	}
+	if len(out) == 0 {
+		obs.Inc("core.criteria.pass")
+	} else {
+		for _, viol := range out {
+			countViolation(viol.Criterion)
+		}
+	}
 	return out
+}
+
+// countViolation bumps the per-criterion rejection counter. The metric
+// names are constants so the disabled and enabled paths alike avoid
+// building strings.
+func countViolation(criterion int) {
+	switch criterion {
+	case 1:
+		obs.Inc("core.criteria.reject.1")
+	case 2:
+		obs.Inc("core.criteria.reject.2")
+	case 3:
+		obs.Inc("core.criteria.reject.3")
+	case 4:
+		obs.Inc("core.criteria.reject.4")
+	case 5:
+		obs.Inc("core.criteria.reject.5")
+	}
 }
 
 // keyMatches reports whether the view tuple u carries relation rel's

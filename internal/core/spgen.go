@@ -5,12 +5,27 @@ import (
 	"sort"
 	"strings"
 
+	"viewupdate/internal/obs"
 	"viewupdate/internal/storage"
 	"viewupdate/internal/tuple"
 	"viewupdate/internal/update"
 	"viewupdate/internal/value"
 	"viewupdate/internal/view"
 )
+
+// countCandidates records per-class candidate production. SP class
+// labels are a bounded set (I-1, I-2, D-1, D-2, R-1…R-5), so the
+// counter cardinality stays small; join-view enumerators count their
+// composite prefix separately.
+func countCandidates(cands []Candidate) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.Add("core.candidates.generated", int64(len(cands)))
+	for _, c := range cands {
+		obs.Inc("core.candidates.class." + c.Class)
+	}
+}
 
 // A Candidate is one translation of a view update request, labelled
 // with the paper's algorithm class that generated it and the arbitrary
@@ -84,6 +99,8 @@ type extension struct {
 // from its set of selecting values (its whole domain when
 // non-selecting). One extension per combination.
 func extendInsertAll(v *view.SP, u tuple.T) []extension {
+	span := obs.StartSpan("core.extend_insert")
+	defer span.End()
 	base := v.Base()
 	free := v.ProjectedOut()
 	choicesPerAttr := make([][]value.Value, len(free))
@@ -135,6 +152,8 @@ func UniqueExtendInsert(v *view.SP) bool {
 // holding an excluding value is changed, in turn, to each of its
 // selecting values. Other hidden attributes keep their values.
 func extendI2All(v *view.SP, t tuple.T, u tuple.T) []extension {
+	span := obs.StartSpan("core.extend_i2")
+	defer span.End()
 	sel := v.Selection()
 	out := []extension{{base: t}}
 	// Visible attributes match the view tuple.
@@ -170,6 +189,8 @@ func extendI2All(v *view.SP, t tuple.T, u tuple.T) []extension {
 // match the new view tuple; hidden attributes keep their values. There
 // is only one extend-replace algorithm.
 func extendReplace(v *view.SP, base tuple.T, u tuple.T) tuple.T {
+	span := obs.StartSpan("core.extend_replace")
+	defer span.End()
 	out := base
 	for _, a := range v.Projection().Attributes() {
 		out = out.MustWith(a, u.MustGet(a))
@@ -197,6 +218,7 @@ func EnumerateSPInsert(db *storage.Database, v *view.SP, u tuple.T) ([]Candidate
 				Choices:     e.choices,
 			}
 		}
+		countCandidates(out)
 		return out, nil
 	}
 	// ALGORITHM CLASS I-1: insert an extend-insert extension.
@@ -209,6 +231,7 @@ func EnumerateSPInsert(db *storage.Database, v *view.SP, u tuple.T) ([]Candidate
 			Choices:     e.choices,
 		}
 	}
+	countCandidates(out)
 	return out, nil
 }
 
@@ -230,6 +253,7 @@ func EnumerateSPDelete(db *storage.Database, v *view.SP, u tuple.T) ([]Candidate
 		Translation: update.NewTranslation(update.NewDelete(base)),
 	}}
 	out = append(out, d2Candidates(v, base)...)
+	countCandidates(out)
 	return out, nil
 }
 
@@ -274,10 +298,12 @@ func EnumerateSPReplace(db *storage.Database, v *view.SP, old, new tuple.T) ([]C
 
 	if old.Key() == new.Key() {
 		// ALGORITHM CLASS R-1: the only class when the key is unchanged.
-		return []Candidate{{
+		out := []Candidate{{
 			Class:       "R-1",
 			Translation: update.NewTranslation(update.NewReplace(base1, extendReplace(v, base1, new))),
-		}}, nil
+		}}
+		countCandidates(out)
+		return out, nil
 	}
 
 	var out []Candidate
@@ -309,6 +335,7 @@ func EnumerateSPReplace(db *storage.Database, v *view.SP, old, new tuple.T) ([]C
 				})
 			}
 		}
+		countCandidates(out)
 		return out, nil
 	}
 
@@ -330,19 +357,29 @@ func EnumerateSPReplace(db *storage.Database, v *view.SP, old, new tuple.T) ([]C
 			})
 		}
 	}
+	countCandidates(out)
 	return out, nil
 }
 
 // EnumerateSP dispatches on the request kind.
 func EnumerateSP(db *storage.Database, v *view.SP, r Request) ([]Candidate, error) {
+	span := obs.StartSpan("core.sp.generate")
+	defer span.End()
+	var cands []Candidate
+	var err error
 	switch r.Kind {
 	case update.Insert:
-		return EnumerateSPInsert(db, v, r.Tuple)
+		cands, err = EnumerateSPInsert(db, v, r.Tuple)
 	case update.Delete:
-		return EnumerateSPDelete(db, v, r.Tuple)
+		cands, err = EnumerateSPDelete(db, v, r.Tuple)
 	case update.Replace:
-		return EnumerateSPReplace(db, v, r.Old, r.New)
+		cands, err = EnumerateSPReplace(db, v, r.Old, r.New)
 	default:
 		return nil, fmt.Errorf("core: invalid request kind")
 	}
+	if err != nil {
+		obs.Inc("core.sp.generate.error")
+		return nil, err
+	}
+	return cands, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"viewupdate/internal/obs"
 	"viewupdate/internal/storage"
 	"viewupdate/internal/tuple"
 	"viewupdate/internal/update"
@@ -33,6 +34,9 @@ func noopStep() nodeStep {
 // translations is obtained from the Cartesian product of the sets of
 // the view update translations for each select and project view".
 func composeSteps(prefix string, steps []nodeStep) ([]Candidate, error) {
+	span := obs.StartSpan("core.spj.compose")
+	defer span.End()
+	obs.Observe("core.spj.steps", int64(len(steps)))
 	out := []Candidate{{Translation: update.NewTranslation()}}
 	for _, st := range steps {
 		if len(st.cands) == 0 {
@@ -71,6 +75,10 @@ func composeSteps(prefix string, steps []nodeStep) ([]Candidate, error) {
 			out[i].Class = prefix + "(" + out[i].Class + ")"
 		}
 	}
+	if obs.Enabled() {
+		obs.Add("core.candidates.composite", int64(len(out)))
+		obs.Add("core.candidates.class."+prefix, int64(len(out)))
+	}
 	return out, nil
 }
 
@@ -92,11 +100,14 @@ func relabel(node string, cands []Candidate) []Candidate {
 // the tuple from the root relation (or SP view) only, using one of the
 // algorithms of classes D-1 or D-2". No other relation is touched.
 func EnumerateJoinDelete(db *storage.Database, j *view.Join, u tuple.T) ([]Candidate, error) {
+	span := obs.StartSpan("core.spj.delete")
+	defer span.End()
 	if err := ValidateRequest(db, j, DeleteRequest(u)); err != nil {
 		return nil, err
 	}
 	root := j.Root().SP
 	rootRow := j.ProjectNode(0, u)
+	countNodeVisit(root.Name())
 	cands, err := EnumerateSPDelete(db, root, rootRow)
 	if err != nil {
 		return nil, fmt.Errorf("core: SPJ-D on root %s: %w", root.Name(), err)
@@ -109,7 +120,21 @@ func EnumerateJoinDelete(db *storage.Database, j *view.Join, u tuple.T) ([]Candi
 			Choices:     cloneChoices(root.Name()+".", c.Choices),
 		}
 	}
+	if obs.Enabled() {
+		obs.Add("core.candidates.composite", int64(len(out)))
+		obs.Add("core.candidates.class.SPJ-D", int64(len(out)))
+	}
 	return out, nil
+}
+
+// countNodeVisit records a query-graph node visit during join
+// enumeration. Guarded by Enabled so the disabled path never builds the
+// dynamic metric name.
+func countNodeVisit(node string) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.Inc("core.spj.visit." + node)
 }
 
 // EnumerateJoinInsert implements ALGORITHM CLASS SPJ-I (§5-2): project
@@ -128,6 +153,8 @@ func EnumerateJoinDelete(db *storage.Database, j *view.Join, u tuple.T) ([]Candi
 // applies the whole translation atomically, so "if any of the SP view
 // operations fail, the entire view update request fails and is undone".
 func EnumerateJoinInsert(db *storage.Database, j *view.Join, u tuple.T) ([]Candidate, error) {
+	span := obs.StartSpan("core.spj.insert")
+	defer span.End()
 	if err := ValidateRequest(db, j, InsertRequest(u)); err != nil {
 		return nil, err
 	}
@@ -135,6 +162,7 @@ func EnumerateJoinInsert(db *storage.Database, j *view.Join, u tuple.T) ([]Candi
 	for i, n := range j.Nodes() {
 		p := j.ProjectNode(i, u)
 		spv := n.SP
+		countNodeVisit(spv.Name())
 		row, hasKey := spv.Lookup(db, p)
 		switch {
 		case hasKey && row.Equal(p): // Case 1
@@ -179,6 +207,8 @@ const (
 // no-op (Case I-3); a conflicting tuple with the new key is replaced
 // (Case I-4); all descend in State I.
 func EnumerateJoinReplace(db *storage.Database, j *view.Join, old, new tuple.T) ([]Candidate, error) {
+	span := obs.StartSpan("core.spj.replace")
+	defer span.End()
 	if err := ValidateRequest(db, j, ReplaceRequest(old, new)); err != nil {
 		return nil, err
 	}
@@ -200,6 +230,7 @@ func EnumerateJoinReplace(db *storage.Database, j *view.Join, old, new tuple.T) 
 		pOld := j.ProjectNode(idx, old)
 		pNew := j.ProjectNode(idx, new)
 		spv := n.SP
+		countNodeVisit(spv.Name())
 
 		if state == stateI && pOld.Key() == pNew.Key() {
 			state = stateR // Case I-1: keys match, go to State R staying here.

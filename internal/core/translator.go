@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 
+	"viewupdate/internal/obs"
 	"viewupdate/internal/schema"
 	"viewupdate/internal/storage"
 	"viewupdate/internal/tuple"
@@ -31,19 +33,38 @@ func NewTranslator(v view.View, p Policy) *Translator {
 // Translate enumerates the complete candidate set for the request and
 // lets the policy choose. The database state is read, not modified.
 func (t *Translator) Translate(db *storage.Database, r Request) (Candidate, error) {
+	span := obs.StartSpan("core.translate")
+	defer span.End()
 	cands, err := Enumerate(db, t.View, r)
 	if err != nil {
+		obs.Inc("core.translate.enumerate_error")
 		return Candidate{}, err
 	}
-	return t.Policy.Choose(r, cands)
+	psp := obs.StartSpan("core.policy.choose")
+	c, err := t.Policy.Choose(r, cands)
+	psp.End()
+	if err != nil {
+		obs.Inc("core.translate.policy_error")
+		return Candidate{}, err
+	}
+	if obs.Enabled() {
+		obs.Observe("core.translate.candidates", int64(len(cands)))
+		obs.Log(slog.LevelDebug, "translated",
+			"view", t.View.Name(), "request", r.Kind.String(),
+			"candidates", len(cands), "policy", t.Policy.Name(), "class", c.Class)
+	}
+	return c, nil
 }
 
 // Apply translates the request and applies the chosen translation to
-// the database atomically, returning the applied candidate.
+// the database atomically, returning the applied candidate. Errors are
+// contextualized by stage: translation failures are wrapped with the
+// request, application failures with the chosen translation, so callers
+// can tell enumeration/policy errors from storage errors.
 func (t *Translator) Apply(db *storage.Database, r Request) (Candidate, error) {
 	c, err := t.Translate(db, r)
 	if err != nil {
-		return Candidate{}, err
+		return Candidate{}, fmt.Errorf("core: translating %s on %s: %w", r, t.View.Name(), err)
 	}
 	if err := db.Apply(c.Translation); err != nil {
 		return Candidate{}, fmt.Errorf("core: applying %s: %w", c.Translation, err)

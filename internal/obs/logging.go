@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps a level name ("debug", "info", "warn", "error",
+// case-insensitive) to its slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+	}
+}
+
+// NewLogger returns a text-handler slog.Logger writing to w at the
+// given level — the shared handler setup used by cmd/ and examples/ so
+// their output is uniformly structured and greppable.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// SetupDefault builds the shared logger at the named level, installs it
+// as slog's process default and returns it. It is the one-call setup
+// for commands and examples:
+//
+//	logger, err := obs.SetupDefault(os.Stderr, *logLevel)
+func SetupDefault(w io.Writer, levelName string) (*slog.Logger, error) {
+	level, err := ParseLevel(levelName)
+	if err != nil {
+		return nil, err
+	}
+	l := NewLogger(w, level)
+	slog.SetDefault(l)
+	return l, nil
+}

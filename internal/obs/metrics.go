@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// A Counter is a monotonic (or at least additive) atomic counter.
+type Counter struct{ n atomic.Int64 }
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// holds the observations v with bits.Len64(v) == i, i.e. v in
+// [2^(i-1), 2^i). Bucket 0 holds v == 0. 63 buckets cover every
+// non-negative int64 — nanosecond latencies up to ~292 years.
+const histBuckets = 64
+
+// A Histogram records int64 observations (typically nanoseconds) in
+// power-of-two buckets with exact count, sum, min and max. All methods
+// are safe for concurrent use and allocation-free.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records v; negative observations are clamped to 0.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1): the
+// upper edge of the first bucket whose cumulative count reaches
+// q*count. Returns 0 on an empty histogram. The bound is within 2x of
+// the true quantile (bucket widths are powers of two).
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return h.max.Load()
+}
+
+// Stats returns a consistent-enough snapshot of the histogram. Under
+// concurrent writes the fields may be torn by a few observations; for
+// reporting after a run this is immaterial.
+func (h *Histogram) Stats() HistogramSnapshot {
+	n := h.count.Load()
+	s := HistogramSnapshot{
+		Count: n,
+		Sum:   h.sum.Load(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+	if n > 0 {
+		s.Min = h.min.Load()
+		s.Max = h.max.Load()
+		s.Mean = float64(s.Sum) / float64(n)
+	}
+	return s
+}
+
+// A Registry holds the named counters and histograms of a sink.
+// Get-or-create is lock-protected; the returned handles are lock-free.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is the JSON-able summary of one histogram. Values
+// are in the histogram's unit (nanoseconds for span histograms).
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+}
+
+// Snapshot is a point-in-time JSON-able copy of a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		out.Counters[name] = c.Value()
+	}
+	for name, h := range r.hists {
+		out.Histograms[name] = h.Stats()
+	}
+	return out
+}
+
+// JSON renders the snapshot as indented JSON with sorted keys
+// (encoding/json sorts map keys).
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"sync"
+	"testing"
+)
+
+// install swaps in a fresh sink for the test and restores the previous
+// state afterwards, so tests do not leak instrumentation state.
+func install(t *testing.T, s *Sink) {
+	t.Helper()
+	prev := Active()
+	Enable(s)
+	t.Cleanup(func() { Enable(prev) })
+}
+
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	install(t, nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := StartSpan("core.translate")
+		Inc("core.requests.delete")
+		Add("core.candidates", 7)
+		Observe("core.spj.steps", 3)
+		Log(slog.LevelInfo, "should be dropped", "k", "v")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instrumentation allocated %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestCounterConcurrentIncrements(t *testing.T) {
+	s := NewSink(nil)
+	install(t, s)
+	const goroutines, perG = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				Inc("test.counter")
+				Add("test.counter", 2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := s.Metrics().Counter("test.counter").Value(), int64(goroutines*perG*3); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(int64(g*perG + i))
+			}
+		}()
+	}
+	wg.Wait()
+	st := h.Stats()
+	if st.Count != goroutines*perG {
+		t.Fatalf("count = %d, want %d", st.Count, goroutines*perG)
+	}
+	n := int64(goroutines * perG)
+	if want := n * (n - 1) / 2; st.Sum != want {
+		t.Fatalf("sum = %d, want %d", st.Sum, want)
+	}
+	if st.Min != 0 || st.Max != n-1 {
+		t.Fatalf("min/max = %d/%d, want 0/%d", st.Min, st.Max, n-1)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	// Power-of-two buckets: the quantile bound must be >= the true
+	// quantile and < 2x it.
+	for _, tc := range []struct {
+		q     float64
+		true_ int64
+	}{
+		{0.50, 500}, {0.90, 900}, {0.99, 990}, {1.0, 1000},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.true_ || got >= 2*tc.true_ {
+			t.Errorf("Quantile(%v) = %d, want in [%d, %d)", tc.q, got, tc.true_, 2*tc.true_)
+		}
+	}
+	if NewHistogram().Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	z := NewHistogram()
+	z.Observe(0)
+	if z.Quantile(0.99) != 0 {
+		t.Error("all-zero histogram quantile should be 0")
+	}
+}
+
+func TestSpanRecordsHistogram(t *testing.T) {
+	s := NewSink(nil)
+	install(t, s)
+	sp := StartSpan("phase.test")
+	if d := sp.End(); d < 0 {
+		t.Fatalf("negative duration %v", d)
+	}
+	if got := s.Metrics().Histogram("phase.test.ns").Count(); got != 1 {
+		t.Fatalf("span histogram count = %d, want 1", got)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	s := NewSink(nil)
+	install(t, s)
+	Add("a.count", 5)
+	Observe("b.hist", 100)
+	Observe("b.hist", 200)
+	data, err := Active().Metrics().Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Counters["a.count"] != 5 {
+		t.Errorf("counter a.count = %d, want 5", back.Counters["a.count"])
+	}
+	if h := back.Histograms["b.hist"]; h.Count != 2 || h.Sum != 300 || h.Min != 100 || h.Max != 200 {
+		t.Errorf("histogram b.hist = %+v", h)
+	}
+}
+
+func TestConcurrentRegistryAndSnapshot(t *testing.T) {
+	s := NewSink(nil)
+	install(t, s)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				Inc("mixed.counter")
+				Observe("mixed.hist", int64(i%100))
+				StartSpan("mixed.span").End()
+			}
+		}()
+	}
+	// Snapshot concurrently with the writers.
+	for i := 0; i < 50; i++ {
+		s.Metrics().Snapshot()
+	}
+	wg.Wait()
+	snap := s.Metrics().Snapshot()
+	if snap.Counters["mixed.counter"] == 0 {
+		t.Error("no counter increments recorded")
+	}
+	if snap.Histograms["mixed.span.ns"].Count == 0 {
+		t.Error("no span durations recorded")
+	}
+}
+
+func TestLoggerOutput(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(NewLogger(&buf, slog.LevelDebug))
+	install(t, s)
+	Log(slog.LevelInfo, "translated", "view", "V", "class", "D-1")
+	out := buf.String()
+	for _, want := range []string{"msg=translated", "view=V", "class=D-1"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("log output %q missing %q", out, want)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "": slog.LevelInfo, "info": slog.LevelInfo,
+		"WARN": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel should reject unknown levels")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"viewupdate/internal/algebra"
 	"viewupdate/internal/core"
+	"viewupdate/internal/report"
 	"viewupdate/internal/schema"
 	"viewupdate/internal/storage"
 	"viewupdate/internal/tuple"
@@ -29,6 +30,7 @@ type Session struct {
 	defaults  map[string]map[string]value.Value // view -> attr -> default
 	custom    map[string]core.Policy            // view -> externally built policy
 	journal   []string                          // replayable statement texts
+	explain   bool                              // render explain traces for view updates
 }
 
 // NewSession returns an empty session.
@@ -52,6 +54,11 @@ func (s *Session) DB() *storage.Database { return s.db }
 // View returns the named view, or nil (for tooling such as the
 // translator-configuration dialog).
 func (s *Session) View(name string) view.View { return s.lookupView(name) }
+
+// SetExplain toggles explain mode: every view update is translated via
+// the traced pipeline and the rendered explain trace precedes the usual
+// result text.
+func (s *Session) SetExplain(on bool) { s.explain = on }
 
 // SetCustomPolicy installs an externally built policy (e.g. from the
 // dialog package) on the named view, overriding SET POLICY / SET
@@ -527,8 +534,22 @@ func (s *Session) uniqueBaseRow(rel *schema.Relation, where []EqTerm) (tuple.T, 
 // view side effects (join views may change rows beyond the request).
 func (s *Session) applyViewRequest(v view.View, req core.Request) (string, error) {
 	tr := core.NewTranslator(v, s.policyFor(v.Name()))
-	cand, err := tr.Translate(s.db, req)
+	var cand core.Candidate
+	var err error
+	var explainText string
+	if s.explain {
+		var trace *core.Trace
+		cand, trace, err = tr.TranslateTraced(s.db, req)
+		if trace != nil {
+			explainText = report.RenderTrace(trace)
+		}
+	} else {
+		cand, err = tr.Translate(s.db, req)
+	}
 	if err != nil {
+		if explainText != "" {
+			return explainText, err
+		}
 		return "", err
 	}
 	eff, err := core.SideEffects(s.db, v, req, cand.Translation)
@@ -539,6 +560,9 @@ func (s *Session) applyViewRequest(v view.View, req core.Request) (string, error
 		return "", fmt.Errorf("sqlish: applying %s: %w", cand.Translation, err)
 	}
 	out := fmt.Sprintf("translated by %s\n%s", cand.Class, renderOps(cand.Translation))
+	if explainText != "" {
+		out = explainText + "\n" + out
+	}
 	if !eff.None() {
 		out += fmt.Sprintf("\nwarning: %s", eff)
 	}

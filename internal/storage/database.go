@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sync"
 
+	"viewupdate/internal/obs"
 	"viewupdate/internal/relation"
 	"viewupdate/internal/schema"
 	"viewupdate/internal/tuple"
@@ -201,9 +202,37 @@ func (db *Database) Equal(o *Database) bool {
 // violation in the final state — nothing is changed and an error
 // describing the violation is returned.
 func (db *Database) Apply(tr *update.Translation) error {
+	span := obs.StartSpan("storage.apply")
+	defer span.End()
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.applyLocked(tr)
+	err := db.applyLocked(tr)
+	db.mu.Unlock()
+	if err != nil {
+		obs.Inc("storage.apply.rollback")
+		return err
+	}
+	obs.Inc("storage.apply.ok")
+	countOps(tr)
+	return nil
+}
+
+// countOps records per-relation, per-kind operation counts for an
+// applied translation. Guarded by Enabled so the disabled path never
+// builds the dynamic metric names.
+func countOps(tr *update.Translation) {
+	if !obs.Enabled() {
+		return
+	}
+	for _, o := range tr.Ops() {
+		switch o.Kind {
+		case update.Insert:
+			obs.Inc("storage.apply.insert." + o.RelationName())
+		case update.Delete:
+			obs.Inc("storage.apply.delete." + o.RelationName())
+		case update.Replace:
+			obs.Inc("storage.apply.replace." + o.RelationName())
+		}
+	}
 }
 
 func (db *Database) applyLocked(tr *update.Translation) (err error) {
@@ -265,7 +294,10 @@ func (db *Database) applyLocked(tr *update.Translation) (err error) {
 	// Phase 3: inclusion dependencies on the final state, checked as
 	// deltas: every touched child reference must resolve, and every
 	// removed parent key must leave no dangling references.
-	if err := db.checkInclusionDeltas(removed, added); err != nil {
+	isp := obs.StartSpan("storage.inclusion_check")
+	err = db.checkInclusionDeltas(removed, added)
+	isp.End()
+	if err != nil {
 		undo()
 		return err
 	}

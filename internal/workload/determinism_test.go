@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"testing"
+
+	"viewupdate/internal/update"
+)
+
+// TestSPRequestStreamDeterministic locks in the package contract that
+// the same configuration always produces the same workload: two
+// generators built from one seed must load identical database states
+// and emit identical request streams.
+func TestSPRequestStreamDeterministic(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  SPConfig
+	}{
+		{"small", SPConfig{Keys: 50, Attrs: 2, DomainSize: 4, SelectingAttrs: 1, Tuples: 20, Seed: 1}},
+		{"hidden-attrs", SPConfig{Keys: 100, Attrs: 4, DomainSize: 6, SelectingAttrs: 2, HiddenAttrs: 2, Tuples: 60, Seed: 42}},
+		{"dense", SPConfig{Keys: 200, Attrs: 3, DomainSize: 8, SelectingAttrs: 1, HiddenAttrs: 1, Tuples: 190, VisibleFraction: 0.8, Seed: 7}},
+	}
+	kinds := []update.Kind{update.Insert, update.Delete, update.Replace}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := MustNewSP(tc.cfg)
+			b := MustNewSP(tc.cfg)
+			if render(a.DB, "R") != render(b.DB, "R") {
+				t.Fatal("same seed produced different database states")
+			}
+			for i := 0; i < 30; i++ {
+				kind := kinds[i%len(kinds)]
+				ra, oka := a.NextRequest(kind)
+				rb, okb := b.NextRequest(kind)
+				if oka != okb {
+					t.Fatalf("request %d: availability diverged (%v vs %v)", i, oka, okb)
+				}
+				if !oka {
+					continue
+				}
+				if ra.String() != rb.String() {
+					t.Fatalf("request %d diverged:\n  a: %s\n  b: %s", i, ra, rb)
+				}
+			}
+		})
+	}
+}
+
+// TestTreeRequestStreamDeterministic is the join-view analogue: same
+// seed, same tree shape, same loaded state and same request stream.
+func TestTreeRequestStreamDeterministic(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  TreeConfig
+	}{
+		{"chain", TreeConfig{Depth: 2, Fanout: 1, Keys: 50, TuplesPerRelation: 20, Seed: 3}},
+		{"bushy", TreeConfig{Depth: 1, Fanout: 3, Keys: 40, TuplesPerRelation: 15, Seed: 99}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := MustNewTree(tc.cfg)
+			b := MustNewTree(tc.cfg)
+			names := make([]string, len(a.Relations))
+			for i, rel := range a.Relations {
+				names[i] = rel.Name()
+			}
+			if render(a.DB, names...) != render(b.DB, names...) {
+				t.Fatal("same seed produced different database states")
+			}
+			for i := 0; i < 10; i++ {
+				ra, oka := a.InsertRequestForFreshRoot()
+				rb, okb := b.InsertRequestForFreshRoot()
+				if oka != okb {
+					t.Fatalf("request %d: availability diverged", i)
+				}
+				if oka && ra.String() != rb.String() {
+					t.Fatalf("request %d diverged:\n  a: %s\n  b: %s", i, ra, rb)
+				}
+			}
+		})
+	}
+}

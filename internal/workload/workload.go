@@ -10,6 +10,7 @@ import (
 
 	"viewupdate/internal/algebra"
 	"viewupdate/internal/core"
+	"viewupdate/internal/obs"
 	"viewupdate/internal/schema"
 	"viewupdate/internal/storage"
 	"viewupdate/internal/tuple"
@@ -17,6 +18,18 @@ import (
 	"viewupdate/internal/value"
 	"viewupdate/internal/view"
 )
+
+// countRequest records the request mix emitted by the generators.
+func countRequest(kind update.Kind) {
+	switch kind {
+	case update.Insert:
+		obs.Inc("workload.request.insert")
+	case update.Delete:
+		obs.Inc("workload.request.delete")
+	case update.Replace:
+		obs.Inc("workload.request.replace")
+	}
+}
 
 // SPConfig parameterizes a single-relation select-project workload.
 type SPConfig struct {
@@ -215,12 +228,14 @@ func (w *SPWorkload) NextRequest(kind update.Kind) (core.Request, bool) {
 		if !ok {
 			return core.Request{}, false
 		}
+		countRequest(kind)
 		return core.InsertRequest(w.visibleViewTuple(k)), true
 	case update.Delete:
 		row, ok := w.visibleRow()
 		if !ok {
 			return core.Request{}, false
 		}
+		countRequest(kind)
 		return core.DeleteRequest(row), true
 	case update.Replace:
 		row, ok := w.visibleRow()
@@ -231,6 +246,7 @@ func (w *SPWorkload) NextRequest(kind update.Kind) (core.Request, bool) {
 		// visible non-selecting attribute.
 		if k, ok := w.freshKey(); ok {
 			moved := row.MustWith("K", value.NewInt(k))
+			countRequest(kind)
 			return core.ReplaceRequest(row, moved), true
 		}
 		for _, a := range w.View.Schema().Attributes() {
@@ -240,6 +256,7 @@ func (w *SPWorkload) NextRequest(kind update.Kind) (core.Request, bool) {
 			cur := row.MustGet(a.Name)
 			for _, v := range a.Domain.Values() {
 				if v != cur {
+					countRequest(kind)
 					return core.ReplaceRequest(row, row.MustWith(a.Name, v)), true
 				}
 			}
@@ -464,5 +481,6 @@ func (w *TreeWorkload) InsertRequestForFreshRoot() (core.Request, bool) {
 	}
 	rootKeyAttr := w.Relations[0].Key()[0]
 	u := row.MustWith(rootKeyAttr, value.NewInt(k))
+	countRequest(update.Insert)
 	return core.InsertRequest(u), true
 }
