@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race bench bench-obs clean
+.PHONY: all build test check vet fmt race soak bench bench-obs clean
 
 all: build
 
@@ -27,9 +27,19 @@ fmt:
 race:
 	$(GO) test -race ./...
 
-# The tier-1+ check: build, vet, formatting, and the full test suite
-# under the race detector (which subsumes the plain `go test ./...`).
-check: build vet fmt race
+# soak exercises the durability and fault-injection surface: the
+# crash-safety, recovery and churn tests under the race detector, plus
+# short smoke runs of the native fuzzers (torn-WAL scanning and the
+# snapshot loader).
+soak:
+	$(GO) test -race -run 'Crash|Recover|Churn|Torn|Fault|Broken' ./internal/wal/ ./internal/persist/ ./internal/workload/ ./internal/storage/
+	$(GO) test -fuzz FuzzScan -fuzztime 5s -run '^$$' ./internal/wal/
+	$(GO) test -fuzz FuzzLoad -fuzztime 5s -run '^$$' ./internal/persist/
+
+# The tier-1+ check: build, vet, formatting, the full test suite under
+# the race detector (which subsumes the plain `go test ./...`), and the
+# durability soak.
+check: build vet fmt race soak
 
 bench:
 	$(GO) test -bench . -run '^$$' .

@@ -8,6 +8,9 @@
 //	vupdate                 # REPL on stdin
 //	vupdate -f script.sql   # execute a script, then exit
 //	vupdate -e 'SHOW TABLES' # execute one statement, then exit
+//	vupdate -wal data/       # durable: recover data/ (or create it),
+//	                         # journal committed updates through its WAL
+//	vupdate -wal data/ -recover  # recover, print the report, exit
 //
 // The statement language (see internal/sqlish):
 //
@@ -27,6 +30,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -35,7 +39,9 @@ import (
 
 	"viewupdate/internal/dialog"
 	"viewupdate/internal/obs"
+	"viewupdate/internal/persist"
 	"viewupdate/internal/sqlish"
+	"viewupdate/internal/wal"
 )
 
 func main() {
@@ -44,6 +50,9 @@ func main() {
 	explain := flag.Bool("explain", false, "print an explain trace for every view update: each candidate translation with its accept/reject verdict and the violated criterion")
 	metrics := flag.Bool("metrics", false, "dump pipeline counters and latency histograms as JSON on exit")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
+	walDir := flag.String("wal", "", "durable store directory: recover it if present, create it otherwise; committed updates are journaled through its write-ahead log")
+	syncMode := flag.String("sync", "commit", "WAL sync policy (with -wal): commit|always|never")
+	recoverOnly := flag.Bool("recover", false, "with -wal: recover the store, print the recovery report, and exit")
 	flag.Parse()
 
 	logger, err := obs.SetupDefault(os.Stderr, *logLevel)
@@ -52,13 +61,37 @@ func main() {
 		os.Exit(1)
 	}
 	obs.Enable(obs.NewSink(logger))
+	var store *persist.Store
 	exit := func(code int) {
+		if store != nil {
+			if err := store.Close(); err != nil {
+				slog.Error("closing store", "err", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
 		dumpMetrics(*metrics)
 		os.Exit(code)
 	}
 
 	session := sqlish.NewSession()
 	session.SetExplain(*explain)
+
+	if *recoverOnly && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "error: -recover requires -wal")
+		os.Exit(2)
+	}
+	if *walDir != "" {
+		store, err = openStore(session, *walDir, *syncMode)
+		if err != nil {
+			slog.Error("opening durable store", "dir", *walDir, "err", err)
+			os.Exit(1)
+		}
+		if *recoverOnly {
+			exit(0)
+		}
+	}
 
 	if *file != "" {
 		data, err := os.ReadFile(*file)
@@ -92,6 +125,35 @@ func main() {
 	fmt.Println("statements end with ';'; type 'help;' for a summary, 'exit;' to quit")
 	repl(session)
 	exit(0)
+}
+
+// openStore recovers (or creates) the durable store at dir and attaches
+// it to the session. Recovery prints its report — replayed records,
+// discarded uncommitted records, torn-tail truncation — to stderr.
+func openStore(session *sqlish.Session, dir, syncMode string) (*persist.Store, error) {
+	pol, err := wal.ParseSyncPolicy(syncMode)
+	if err != nil {
+		return nil, err
+	}
+	opts := persist.Options{Sync: pol}
+	st, err := persist.Open(dir, opts)
+	switch {
+	case err == nil:
+		fmt.Fprintln(os.Stderr, "recovered:", st.Report())
+	case errors.Is(err, persist.ErrNoStore):
+		st, err = persist.Create(dir, session.DB(), opts)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(os.Stderr, "created durable store in", dir)
+	default:
+		return nil, err
+	}
+	if err := session.AttachStore(st); err != nil {
+		st.Close()
+		return nil, err
+	}
+	return st, nil
 }
 
 // dumpMetrics writes the instrumentation snapshot as JSON to stderr
@@ -191,7 +253,7 @@ const helpText = `statements:
   SHOW TABLES; SHOW VIEWS; SHOW POLICIES;
   SHOW CANDIDATES FOR <insert|delete|update>;
   SHOW EFFECTS FOR <insert|delete|update>;  -- preview translation + side effects
-  SHOW EFFECTS FOR <insert|delete|update>;   -- preview translation + side effects
+  BEGIN; ... COMMIT; | ROLLBACK;   -- staged multi-statement transaction
   SET POLICY view PREFER 'D-1', 'D-2';
   SET DEFAULT view.attr = value;
   SAVE TO 'file'; LOAD FROM 'file';   -- journal save / script replay

@@ -1,0 +1,15 @@
+package core
+
+import "errors"
+
+// Sentinel errors of the translation layer, designed for errors.Is.
+// Policies wrap them with the request context, so the historical
+// message text ("no candidate translations for ...") is unchanged.
+var (
+	// ErrNoCandidates marks a request with an empty candidate set:
+	// the view update admits no translation at all.
+	ErrNoCandidates = errors.New("core: no candidate translations")
+	// ErrAmbiguous marks a request whose candidate set needs external
+	// semantics to decide — returned by policies that refuse to guess.
+	ErrAmbiguous = errors.New("core: ambiguous view update")
+)

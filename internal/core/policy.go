@@ -29,7 +29,7 @@ func (PickFirst) Name() string { return "pick-first" }
 // Choose implements Policy.
 func (PickFirst) Choose(r Request, cands []Candidate) (Candidate, error) {
 	if len(cands) == 0 {
-		return Candidate{}, fmt.Errorf("core: no candidate translations for %s", r)
+		return Candidate{}, fmt.Errorf("%w for %s", ErrNoCandidates, r)
 	}
 	best := cands[0]
 	for _, c := range cands[1:] {
@@ -50,11 +50,12 @@ func (RejectAmbiguous) Name() string { return "reject-ambiguous" }
 func (RejectAmbiguous) Choose(r Request, cands []Candidate) (Candidate, error) {
 	switch len(cands) {
 	case 0:
-		return Candidate{}, fmt.Errorf("core: no candidate translations for %s", r)
+		return Candidate{}, fmt.Errorf("%w for %s", ErrNoCandidates, r)
 	case 1:
 		return cands[0], nil
 	default:
-		return Candidate{}, fmt.Errorf("core: %d candidate translations for %s; additional semantics required", len(cands), r)
+		return Candidate{}, fmt.Errorf("%w: %d candidate translations for %s; additional semantics required",
+			ErrAmbiguous, len(cands), r)
 	}
 }
 
@@ -117,7 +118,7 @@ func (p PreferClasses) rank(c Candidate) int {
 // Choose implements Policy.
 func (p PreferClasses) Choose(r Request, cands []Candidate) (Candidate, error) {
 	if len(cands) == 0 {
-		return Candidate{}, fmt.Errorf("core: no candidate translations for %s", r)
+		return Candidate{}, fmt.Errorf("%w for %s", ErrNoCandidates, r)
 	}
 	sorted := append([]Candidate{}, cands...)
 	sort.Slice(sorted, func(i, j int) bool {
@@ -168,7 +169,7 @@ func (p WithDefaults) score(c Candidate) int {
 // distinguish its algorithms).
 func (p WithDefaults) Choose(r Request, cands []Candidate) (Candidate, error) {
 	if len(cands) == 0 {
-		return Candidate{}, fmt.Errorf("core: no candidate translations for %s", r)
+		return Candidate{}, fmt.Errorf("%w for %s", ErrNoCandidates, r)
 	}
 	picked, err := p.Base.Choose(r, cands)
 	if err != nil {

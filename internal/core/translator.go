@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"log/slog"
+	"time"
 
 	"viewupdate/internal/obs"
 	"viewupdate/internal/schema"
@@ -11,6 +12,7 @@ import (
 	"viewupdate/internal/update"
 	"viewupdate/internal/value"
 	"viewupdate/internal/view"
+	"viewupdate/internal/vuerr"
 )
 
 // A Translator binds a view to a policy and translates view update
@@ -19,6 +21,46 @@ import (
 type Translator struct {
 	View   view.View
 	Policy Policy
+	// Retry bounds the automatic retries of transient apply failures;
+	// the zero value retries nothing.
+	Retry RetryPolicy
+}
+
+// A RetryPolicy bounds the retries Translator.Apply performs when the
+// database apply fails transiently (vuerr.IsTransient). Translation is
+// never re-run — the candidate was chosen against a state the failed
+// apply did not change.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of apply attempts; values below 1
+	// mean a single attempt (no retry).
+	MaxAttempts int
+	// Backoff is the sleep before the first retry, doubling on each
+	// further retry. Zero sleeps not at all.
+	Backoff time.Duration
+	// Sleep replaces time.Sleep, for tests.
+	Sleep func(time.Duration)
+}
+
+// attempts normalizes MaxAttempts.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// wait sleeps before retry attempt n (n >= 1), with exponential
+// backoff: Backoff << (n-1).
+func (p RetryPolicy) wait(n int) {
+	if p.Backoff <= 0 {
+		return
+	}
+	d := p.Backoff << (n - 1)
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return
+	}
+	time.Sleep(d)
 }
 
 // NewTranslator builds a translator; a nil policy defaults to
@@ -61,15 +103,32 @@ func (t *Translator) Translate(db *storage.Database, r Request) (Candidate, erro
 // contextualized by stage: translation failures are wrapped with the
 // request, application failures with the chosen translation, so callers
 // can tell enumeration/policy errors from storage errors.
+//
+// Transient apply failures (vuerr.IsTransient, e.g. injected I/O
+// faults) are retried up to Retry.MaxAttempts with exponential
+// backoff; a failed apply rolls the database back, so re-applying the
+// same translation is sound. Non-transient failures — constraint
+// violations, corruption — return immediately.
 func (t *Translator) Apply(db *storage.Database, r Request) (Candidate, error) {
 	c, err := t.Translate(db, r)
 	if err != nil {
 		return Candidate{}, fmt.Errorf("core: translating %s on %s: %w", r, t.View.Name(), err)
 	}
-	if err := db.Apply(c.Translation); err != nil {
-		return Candidate{}, fmt.Errorf("core: applying %s: %w", c.Translation, err)
+	var applyErr error
+	for attempt := 0; attempt < t.Retry.attempts(); attempt++ {
+		if attempt > 0 {
+			obs.Inc("core.apply.retry")
+			t.Retry.wait(attempt)
+		}
+		applyErr = db.Apply(c.Translation)
+		if applyErr == nil {
+			return c, nil
+		}
+		if !vuerr.IsTransient(applyErr) {
+			break
+		}
 	}
-	return c, nil
+	return Candidate{}, fmt.Errorf("core: applying %s: %w", c.Translation, applyErr)
 }
 
 // Row builds a tuple of the translator's view schema from raw Go

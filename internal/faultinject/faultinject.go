@@ -1,0 +1,183 @@
+// Package faultinject provides seeded, deterministic failpoints for the
+// storage and WAL I/O paths. Production code marks interesting sites
+// with Hit("site.name"); a test (or a chaos harness) installs a Plan
+// that decides, per site and per hit number, whether that hit fails and
+// with which error.
+//
+// Like the obs package, faultinject is zero-cost when disabled: Hit is
+// an atomic pointer load and a nil check — no allocation, no lock, no
+// map access — which the package tests pin with testing.AllocsPerRun.
+//
+// Determinism: a Plan's decisions depend only on its configuration, its
+// seed, and the sequence of Hit calls. The same plan against the same
+// call sequence always fires the same faults, which is what makes
+// crash-safety property tests and churn determinism tests possible.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Site names used by the storage and persist layers. Centralizing them
+// here keeps callers and tests in sync.
+const (
+	// SiteApply fires at the start of storage.Database.Apply, before
+	// any mutation: a clean transient-failure injection point.
+	SiteApply = "storage.apply"
+	// SiteApplyInsert fires before each insert of the added set.
+	SiteApplyInsert = "storage.apply.insert"
+	// SiteApplyDelete fires before each delete of the removed set.
+	SiteApplyDelete = "storage.apply.delete"
+	// SiteRollback fires before each undo step of an in-memory
+	// rollback; a failure here poisons the database.
+	SiteRollback = "storage.rollback"
+	// SiteWALAppend fires before each WAL record append.
+	SiteWALAppend = "wal.append"
+)
+
+// A rule decides whether one hit at a site fails.
+type rule struct {
+	err       error
+	nth       int     // fire on exactly this 1-based hit number
+	every     int     // fire on every k-th hit
+	prob      float64 // fire with this probability (plan-seeded)
+	remaining int     // firings left; < 0 means unlimited
+}
+
+type siteState struct {
+	hits  int // total Hit calls observed
+	fired int // failures injected
+	rules []*rule
+}
+
+// A Plan is one deterministic fault schedule. Configure it with the
+// Fail* methods, then install it with Enable. A Plan must not be
+// reconfigured after Enable.
+type Plan struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	sites map[string]*siteState
+}
+
+// NewPlan returns an empty plan whose probabilistic rules draw from the
+// given seed.
+func NewPlan(seed int64) *Plan {
+	return &Plan{rng: rand.New(rand.NewSource(seed)), sites: map[string]*siteState{}}
+}
+
+func (p *Plan) site(name string) *siteState {
+	s := p.sites[name]
+	if s == nil {
+		s = &siteState{}
+		p.sites[name] = s
+	}
+	return s
+}
+
+// FailNth arranges for exactly the n-th (1-based) hit at site to fail
+// with err.
+func (p *Plan) FailNth(site string, n int, err error) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.site(site).rules = append(p.site(site).rules, &rule{err: err, nth: n, remaining: 1})
+	return p
+}
+
+// FailEveryNth arranges for every k-th hit at site to fail with err, at
+// most limit times (limit <= 0 means no limit).
+func (p *Plan) FailEveryNth(site string, k, limit int, err error) *Plan {
+	if limit <= 0 {
+		limit = -1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.site(site).rules = append(p.site(site).rules, &rule{err: err, every: k, remaining: limit})
+	return p
+}
+
+// FailProb arranges for each hit at site to fail with err with the
+// given probability, at most limit times (limit <= 0 means no limit).
+// Draws come from the plan's seeded generator, so a single-goroutine
+// hit sequence is fully deterministic.
+func (p *Plan) FailProb(site string, prob float64, limit int, err error) *Plan {
+	if limit <= 0 {
+		limit = -1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.site(site).rules = append(p.site(site).rules, &rule{err: err, prob: prob, remaining: limit})
+	return p
+}
+
+// hit records one call at site and returns the injected error, if any.
+func (p *Plan) hit(name string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.site(name)
+	s.hits++
+	for _, r := range s.rules {
+		if r.remaining == 0 {
+			continue
+		}
+		fire := false
+		switch {
+		case r.nth > 0:
+			fire = s.hits == r.nth
+		case r.every > 0:
+			fire = s.hits%r.every == 0
+		case r.prob > 0:
+			fire = p.rng.Float64() < r.prob
+		}
+		if !fire {
+			continue
+		}
+		if r.remaining > 0 {
+			r.remaining--
+		}
+		s.fired++
+		return fmt.Errorf("faultinject: %s hit %d: %w", name, s.hits, r.err)
+	}
+	return nil
+}
+
+// Hits returns the number of Hit calls observed at site.
+func (p *Plan) Hits(site string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.site(site).hits
+}
+
+// Fired returns the number of failures injected at site.
+func (p *Plan) Fired(site string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.site(site).fired
+}
+
+// active is the process-wide plan; nil means fault injection is off.
+var active atomic.Pointer[Plan]
+
+// Enable installs the plan process-wide. Enable(nil) disables.
+func Enable(p *Plan) { active.Store(p) }
+
+// Disable removes the installed plan; subsequent Hit calls are no-ops.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether a plan is installed.
+func Enabled() bool { return active.Load() != nil }
+
+// Active returns the installed plan, or nil.
+func Active() *Plan { return active.Load() }
+
+// Hit reports the injected failure for this call at site, or nil. When
+// no plan is installed this is a single atomic load.
+func Hit(site string) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	return p.hit(site)
+}

@@ -1,0 +1,140 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"viewupdate/internal/vuerr"
+)
+
+func TestDisabledHitIsNilAndAllocFree(t *testing.T) {
+	Disable()
+	if err := Hit(SiteApply); err != nil {
+		t.Fatalf("disabled Hit returned %v", err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if Hit(SiteApply) != nil {
+			t.Fatal("unexpected fault")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Hit allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestFailNthFiresExactlyOnce(t *testing.T) {
+	p := NewPlan(1).FailNth(SiteApply, 3, vuerr.ErrTransient)
+	Enable(p)
+	defer Disable()
+	for i := 1; i <= 5; i++ {
+		err := Hit(SiteApply)
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err=%v", i, err)
+		}
+		if i == 3 && !vuerr.IsTransient(err) {
+			t.Fatalf("hit 3 error %v does not wrap ErrTransient", err)
+		}
+	}
+	if p.Hits(SiteApply) != 5 || p.Fired(SiteApply) != 1 {
+		t.Fatalf("hits=%d fired=%d, want 5/1", p.Hits(SiteApply), p.Fired(SiteApply))
+	}
+}
+
+func TestFailEveryNthRespectsLimit(t *testing.T) {
+	p := NewPlan(1).FailEveryNth("s", 2, 2, vuerr.ErrTransient)
+	Enable(p)
+	defer Disable()
+	var fired []int
+	for i := 1; i <= 10; i++ {
+		if Hit("s") != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 4 {
+		t.Fatalf("fired on hits %v, want [2 4]", fired)
+	}
+}
+
+func TestFailProbIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []int {
+		p := NewPlan(seed).FailProb("s", 0.3, 0, vuerr.ErrTransient)
+		Enable(p)
+		defer Disable()
+		var fired []int
+		for i := 1; i <= 50; i++ {
+			if Hit("s") != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("probabilistic rule never fired in 50 hits at p=0.3")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestCrashWriterTearsAtLimit(t *testing.T) {
+	var buf bytes.Buffer
+	w := &CrashWriter{W: &buf, Limit: 5}
+	if n, err := w.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("first write n=%d err=%v", n, err)
+	}
+	n, err := w.Write([]byte("defg"))
+	if n != 2 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crossing write n=%d err=%v, want 2/ErrCrashed", n, err)
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write err=%v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync err=%v", err)
+	}
+	if got := buf.String(); got != "abcde" {
+		t.Fatalf("media holds %q, want %q", got, "abcde")
+	}
+	if !w.Crashed() {
+		t.Fatal("Crashed() false after crash")
+	}
+}
+
+func TestFlakyWriterFailsNthCallOnly(t *testing.T) {
+	var buf bytes.Buffer
+	w := &FlakyWriter{W: &buf, FailNth: 2}
+	if _, err := w.Write([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("b")); !vuerr.IsTransient(err) {
+		t.Fatalf("2nd write err=%v, want transient", err)
+	}
+	if _, err := w.Write([]byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "ac" {
+		t.Fatalf("media holds %q, want %q", buf.String(), "ac")
+	}
+}
+
+func TestCorruptWriterFlipsOneByte(t *testing.T) {
+	var buf bytes.Buffer
+	w := &CorruptWriter{W: &buf, Offset: 4, Mask: 0xFF}
+	if _, err := w.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("def")); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("abcd" + string([]byte{'e' ^ 0xFF}) + "f")
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("media holds %q, want %q", buf.Bytes(), want)
+	}
+}

@@ -1,0 +1,129 @@
+// Fault-injecting writer wrappers for the WAL media path. Each wrapper
+// passes writes through to an underlying writer while simulating one
+// failure mode: a crash that loses every byte after a cut-off, a
+// transient per-call write failure, or silent bit corruption. All three
+// implement Sync (delegating when the underlying writer supports it),
+// so they slot in as WAL media.
+package faultinject
+
+import (
+	"errors"
+	"io"
+
+	"viewupdate/internal/vuerr"
+)
+
+// ErrCrashed is returned by a CrashWriter for every write after its
+// cut-off: the simulated process is dead and the bytes are gone.
+var ErrCrashed = errors.New("faultinject: simulated crash")
+
+// syncer is the optional Sync capability of an underlying writer.
+type syncer interface{ Sync() error }
+
+func syncUnderlying(w io.Writer) error {
+	if s, ok := w.(syncer); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// A CrashWriter writes through until Limit total bytes have been
+// written, then "crashes": the write that crosses the limit is
+// truncated at the limit (a torn write) and every later Write and Sync
+// fails with ErrCrashed. This simulates the kernel persisting an
+// arbitrary prefix of an append before power loss.
+type CrashWriter struct {
+	W       io.Writer
+	Limit   int64
+	written int64
+	crashed bool
+}
+
+// Write implements io.Writer.
+func (c *CrashWriter) Write(p []byte) (int, error) {
+	if c.crashed {
+		return 0, ErrCrashed
+	}
+	if c.written+int64(len(p)) <= c.Limit {
+		n, err := c.W.Write(p)
+		c.written += int64(n)
+		return n, err
+	}
+	keep := c.Limit - c.written
+	if keep < 0 {
+		keep = 0
+	}
+	n, _ := c.W.Write(p[:keep])
+	c.written += int64(n)
+	c.crashed = true
+	return n, ErrCrashed
+}
+
+// Sync implements the WAL media contract.
+func (c *CrashWriter) Sync() error {
+	if c.crashed {
+		return ErrCrashed
+	}
+	return syncUnderlying(c.W)
+}
+
+// Crashed reports whether the cut-off has been reached.
+func (c *CrashWriter) Crashed() bool { return c.crashed }
+
+// A FlakyWriter fails exactly its FailNth-th Write call (1-based) with
+// a transient error, writing nothing on that call; every other call
+// passes through. Err overrides the default vuerr.ErrTransient.
+type FlakyWriter struct {
+	W       io.Writer
+	FailNth int
+	Err     error
+	calls   int
+}
+
+// Write implements io.Writer.
+func (f *FlakyWriter) Write(p []byte) (int, error) {
+	f.calls++
+	if f.calls == f.FailNth {
+		if f.Err != nil {
+			return 0, f.Err
+		}
+		return 0, vuerr.ErrTransient
+	}
+	return f.W.Write(p)
+}
+
+// Sync implements the WAL media contract.
+func (f *FlakyWriter) Sync() error { return syncUnderlying(f.W) }
+
+// A CorruptWriter passes every write through but XORs Mask into the
+// byte at absolute offset Offset (counted across all writes): silent
+// media corruption that only a checksum can catch. A zero Mask defaults
+// to flipping the low bit.
+type CorruptWriter struct {
+	W       io.Writer
+	Offset  int64
+	Mask    byte
+	written int64
+}
+
+// Write implements io.Writer.
+func (c *CorruptWriter) Write(p []byte) (int, error) {
+	start := c.written
+	end := start + int64(len(p))
+	if c.Offset >= start && c.Offset < end {
+		mask := c.Mask
+		if mask == 0 {
+			mask = 0x01
+		}
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		cp[c.Offset-start] ^= mask
+		p = cp
+	}
+	n, err := c.W.Write(p)
+	c.written += int64(n)
+	return n, err
+}
+
+// Sync implements the WAL media contract.
+func (c *CorruptWriter) Sync() error { return syncUnderlying(c.W) }

@@ -1,0 +1,57 @@
+package persist
+
+import (
+	"testing"
+
+	"viewupdate/internal/fixtures"
+	"viewupdate/internal/update"
+	"viewupdate/internal/wal"
+)
+
+// benchOps returns an insert/delete pair so repeated application keeps
+// the state bounded.
+func benchOps(fx *fixtures.ABCXD) (*update.Translation, *update.Translation) {
+	t := fx.ABTuple("a3", 9)
+	return update.NewTranslation(update.NewInsert(t)), update.NewTranslation(update.NewDelete(t))
+}
+
+// BenchmarkApplyMemory is the baseline: the same workload against the
+// plain in-memory database, no WAL in the path.
+func BenchmarkApplyMemory(b *testing.B) {
+	fx := fixtures.NewABCXD()
+	db := fx.PaperInstance()
+	ins, del := benchOps(fx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Apply(ins); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.Apply(del); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApplyDurable measures the full durable path: WAL translation
+// record + memory apply + commit marker per translation (sync left to
+// the OS, isolating the journaling cost from fsync latency).
+func BenchmarkApplyDurable(b *testing.B) {
+	fx := fixtures.NewABCXD()
+	st, err := Create(b.TempDir(), fx.PaperInstance(), Options{Sync: wal.SyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	ins, del := benchOps(fx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Apply(ins); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Apply(del); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

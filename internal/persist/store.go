@@ -1,0 +1,293 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"viewupdate/internal/obs"
+	"viewupdate/internal/storage"
+	"viewupdate/internal/update"
+	"viewupdate/internal/vuerr"
+	"viewupdate/internal/wal"
+)
+
+// Store file names inside the store directory.
+const (
+	SnapshotFile = "snapshot.json"
+	WALFile      = "journal.wal"
+)
+
+// ErrNoStore marks an Open of a directory that holds no snapshot.
+var ErrNoStore = errors.New("persist: no snapshot in store directory")
+
+// Options tune a Store.
+type Options struct {
+	// Sync is the WAL sync policy (default wal.SyncOnCommit).
+	Sync wal.SyncPolicy
+	// WrapWAL, when set, wraps the WAL media before the log writes to
+	// it. It exists for fault injection: tests wrap the file in a
+	// faultinject.CrashWriter or FlakyWriter to simulate crashes and
+	// transient I/O errors at exact byte offsets.
+	WrapWAL func(wal.File) wal.File
+}
+
+// A RecoveryReport describes what Open found and repaired.
+type RecoveryReport struct {
+	// Replayed counts committed translations re-applied from the WAL.
+	Replayed int
+	// Discarded counts translation records without a commit marker.
+	Discarded int
+	// TornAt is the byte offset of the torn WAL tail, or -1 if the log
+	// was clean.
+	TornAt int64
+	// TornReason describes the damage when TornAt >= 0.
+	TornReason string
+	// TruncatedBytes is the number of bytes cut off the torn tail.
+	TruncatedBytes int64
+	// MaxSeq is the highest sequence number seen in the clean prefix.
+	MaxSeq uint64
+}
+
+// String renders the report for logs.
+func (r RecoveryReport) String() string {
+	torn := "clean"
+	if r.TornAt >= 0 {
+		torn = fmt.Sprintf("torn at %d (%s), truncated %d bytes", r.TornAt, r.TornReason, r.TruncatedBytes)
+	}
+	return fmt.Sprintf("replayed %d, discarded %d, %s, max seq %d",
+		r.Replayed, r.Discarded, torn, r.MaxSeq)
+}
+
+// A Store couples a database with durable state on disk: a JSON
+// snapshot plus a write-ahead log of every translation committed since
+// that snapshot. Store.Apply is the durable counterpart of
+// storage.Database.Apply; Open recovers the database after a crash by
+// loading the snapshot, truncating any torn WAL tail, and replaying the
+// committed records.
+type Store struct {
+	mu     sync.Mutex
+	dir    string
+	db     *storage.Database
+	log    *wal.Log
+	opts   Options
+	seq    uint64
+	report RecoveryReport
+	broken error // non-nil once the store can no longer trust its state
+}
+
+// Create initializes dir as a new store holding db's current state and
+// an empty WAL. It fails if dir already contains a snapshot.
+func Create(dir string, db *storage.Database, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	snapPath := filepath.Join(dir, SnapshotFile)
+	if _, err := os.Stat(snapPath); err == nil {
+		return nil, fmt.Errorf("persist: store already exists at %s", dir)
+	}
+	s := &Store{dir: dir, db: db, opts: opts, report: RecoveryReport{TornAt: -1}}
+	if err := s.writeSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.openLog(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open recovers the store in dir: load the snapshot, scan the WAL,
+// truncate the torn tail if any, replay every committed translation in
+// commit order, and verify all inclusion dependencies before serving.
+// A translation record without a commit marker is discarded — by the
+// commit protocol it never fully applied.
+func Open(dir string, opts Options) (*Store, error) {
+	snapPath := filepath.Join(dir, SnapshotFile)
+	if _, err := os.Stat(snapPath); errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNoStore, dir)
+	}
+	db, err := LoadFile(snapPath)
+	if err != nil {
+		return nil, fmt.Errorf("persist: loading snapshot: %w", err)
+	}
+
+	walPath := filepath.Join(dir, WALFile)
+	res, err := wal.ScanFile(walPath)
+	if err != nil {
+		return nil, err
+	}
+	report := RecoveryReport{TornAt: res.TornAt, TornReason: res.Reason, MaxSeq: res.MaxSeq()}
+	if res.Torn() {
+		st, err := os.Stat(walPath)
+		if err != nil {
+			return nil, fmt.Errorf("persist: %w", err)
+		}
+		report.TruncatedBytes = st.Size() - res.TornAt
+		if err := os.Truncate(walPath, res.TornAt); err != nil {
+			return nil, fmt.Errorf("persist: truncating torn WAL tail: %w", err)
+		}
+		obs.Inc("wal.recover.torn")
+		obs.Add("wal.recover.truncated_bytes", report.TruncatedBytes)
+	}
+
+	committed, discarded := res.Committed()
+	report.Discarded = discarded
+	for _, rec := range committed {
+		tr, err := wal.DecodeTranslation(db.Schema(), rec)
+		if err != nil {
+			return nil, fmt.Errorf("persist: replay: %w (%w)", err, vuerr.ErrCorrupt)
+		}
+		if err := db.Apply(tr); err != nil {
+			return nil, fmt.Errorf("persist: replaying seq %d: %w (%w)", rec.Seq, err, vuerr.ErrCorrupt)
+		}
+		report.Replayed++
+	}
+	if err := db.CheckAllInclusions(); err != nil {
+		return nil, fmt.Errorf("persist: recovered state invalid: %w (%w)", err, vuerr.ErrCorrupt)
+	}
+	obs.Add("wal.recover.replayed", int64(report.Replayed))
+	obs.Add("wal.recover.discarded", int64(report.Discarded))
+
+	s := &Store{dir: dir, db: db, opts: opts, seq: report.MaxSeq, report: report}
+	if err := s.openLog(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) openLog() error {
+	log, _, err := wal.OpenFile(filepath.Join(s.dir, WALFile), s.opts.Sync)
+	if err != nil {
+		return err
+	}
+	if s.opts.WrapWAL != nil {
+		// Rebuild the log around the wrapped media; keep the *os.File
+		// close semantics by closing through the original log.
+		f, ferr := os.OpenFile(filepath.Join(s.dir, WALFile), os.O_WRONLY|os.O_APPEND, 0o644)
+		if ferr != nil {
+			return fmt.Errorf("persist: %w", ferr)
+		}
+		log.Close()
+		s.log = wal.New(s.opts.WrapWAL(f), s.opts.Sync)
+		return nil
+	}
+	s.log = log
+	return nil
+}
+
+// DB returns the store's live database.
+func (s *Store) DB() *storage.Database { return s.db }
+
+// Report returns what recovery found (zero-valued with TornAt == -1
+// for a freshly created store).
+func (s *Store) Report() RecoveryReport { return s.report }
+
+// Err returns the store's broken state, if any.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.broken
+}
+
+// Apply durably applies tr: journal the translation, apply it in
+// memory, journal the commit marker. The WAL order is the commit
+// order. Failure modes:
+//
+//   - translation append fails → nothing applied, nothing committed;
+//     the error is returned as-is (retryable when transient).
+//   - in-memory apply fails → the journaled record stays uncommitted
+//     and is discarded at the next recovery; the error is returned.
+//   - commit append fails → the in-memory apply is rolled back by
+//     applying the inverse translation, so memory again matches the
+//     durable state. If that rollback fails too, the store (and its
+//     database) can no longer be trusted: both report ErrCorrupt from
+//     then on.
+func (s *Store) Apply(tr *update.Translation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken != nil {
+		return s.broken
+	}
+	s.seq++
+	seq := s.seq
+	if err := s.log.Append(wal.EncodeTranslation(seq, tr)); err != nil {
+		s.seq--
+		return err
+	}
+	if err := s.db.Apply(tr); err != nil {
+		// The WAL now holds an uncommitted record for seq: recovery
+		// discards it, so disk and memory still agree.
+		return err
+	}
+	if err := s.log.Append(wal.CommitRecord(seq)); err != nil {
+		if uerr := s.db.Apply(invert(tr)); uerr != nil {
+			s.broken = fmt.Errorf("persist: store broken: commit append failed (%v), rollback failed: %w (%w)",
+				err, uerr, vuerr.ErrCorrupt)
+			obs.Inc("persist.store.broken")
+			return s.broken
+		}
+		return fmt.Errorf("persist: commit not durable, rolled back: %w", err)
+	}
+	return nil
+}
+
+// invert returns the translation that undoes tr.
+func invert(tr *update.Translation) *update.Translation {
+	inv := update.NewTranslation()
+	for _, o := range tr.Ops() {
+		switch o.Kind {
+		case update.Insert:
+			inv.Add(update.NewDelete(o.Tuple))
+		case update.Delete:
+			inv.Add(update.NewInsert(o.Tuple))
+		case update.Replace:
+			inv.Add(update.NewReplace(o.New, o.Old))
+		}
+	}
+	return inv
+}
+
+// Checkpoint folds the WAL into a fresh snapshot: write the current
+// state as the snapshot (atomically, via rename) and reset the log.
+// Call it after schema changes — DDL is snapshot-persisted, not
+// WAL-journaled — or to bound recovery time.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken != nil {
+		return s.broken
+	}
+	if err := s.writeSnapshot(); err != nil {
+		return err
+	}
+	// The snapshot now covers everything in the log; start a new one.
+	if err := s.log.Close(); err != nil {
+		return err
+	}
+	if err := os.Truncate(filepath.Join(s.dir, WALFile), 0); err != nil {
+		return fmt.Errorf("persist: resetting WAL: %w", err)
+	}
+	obs.Inc("persist.checkpoint")
+	return s.openLog()
+}
+
+// writeSnapshot atomically replaces the snapshot file with db's state.
+func (s *Store) writeSnapshot() error {
+	tmp := filepath.Join(s.dir, SnapshotFile+".tmp")
+	if err := SaveFile(tmp, s.db); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, SnapshotFile)); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the WAL. The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.Close()
+}

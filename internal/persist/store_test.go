@@ -1,0 +1,416 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"viewupdate/internal/faultinject"
+	"viewupdate/internal/fixtures"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/update"
+	"viewupdate/internal/value"
+	"viewupdate/internal/vuerr"
+	"viewupdate/internal/wal"
+)
+
+// crashWorkload returns a sequence of valid translations against the
+// ABCXD paper instance, exercising inserts, deletes and replacements
+// across the inclusion dependency CXD[X] ⊆ AB[A].
+func crashWorkload(fx *fixtures.ABCXD) []*update.Translation {
+	return []*update.Translation{
+		update.NewTranslation( // referencing pair in one step
+			update.NewInsert(fx.ABTuple("a1", 5)),
+			update.NewInsert(fx.CXDTuple("c3", "a1", 7))),
+		update.NewTranslation(update.NewDelete(fx.CXDTuple("c2", "a2", 4))),
+		update.NewTranslation(update.NewReplace(fx.CXDTuple("c1", "a", 3), fx.CXDTuple("c1", "a1", 9))),
+		update.NewTranslation(update.NewDelete(fx.ABTuple("a2", 2))),
+		update.NewTranslation(update.NewInsert(fx.CXDTuple("c2", "a", 4))),
+		update.NewTranslation(update.NewInsert(fx.ABTuple("a3", 8))),
+		update.NewTranslation(update.NewReplace(fx.ABTuple("a3", 8), fx.ABTuple("a3", 9))),
+		update.NewTranslation(update.NewDelete(fx.CXDTuple("c3", "a1", 7))),
+	}
+}
+
+// runWorkload creates a store in dir, applies the workload, and returns
+// the rendered state after the snapshot and after each commit.
+func runWorkload(t *testing.T, dir string, fx *fixtures.ABCXD) []string {
+	t.Helper()
+	st, err := Create(dir, fx.PaperInstance(), Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := []string{render(st.DB())}
+	for i, tr := range crashWorkload(fx) {
+		if err := st.Apply(tr); err != nil {
+			t.Fatalf("translation %d: %v", i, err)
+		}
+		states = append(states, render(st.DB()))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return states
+}
+
+func TestStoreCreateApplyReopen(t *testing.T) {
+	fx := fixtures.NewABCXD()
+	dir := t.TempDir()
+	states := runWorkload(t, dir, fx)
+
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rep := st.Report()
+	if rep.Replayed != len(states)-1 || rep.Discarded != 0 || rep.TornAt != -1 {
+		t.Fatalf("report = %s, want %d clean replays", rep, len(states)-1)
+	}
+	if render(st.DB()) != states[len(states)-1] {
+		t.Fatal("recovered state differs from the final committed state")
+	}
+	// The recovered store keeps accepting work under fresh sequence
+	// numbers. Tuples must be built against the recovered schema — the
+	// snapshot restore produced fresh relation objects.
+	cxd := st.DB().Schema().Relation("CXD")
+	tp, err := tuple.New(cxd, value.NewString("c3"), value.NewString("a"), value.NewInt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Apply(update.NewTranslation(update.NewInsert(tp))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashSafetyProperty is the headline robustness property: for a
+// workload of K translations, crash the log at EVERY byte offset and
+// recover. Recovery must always succeed, yield exactly the state of
+// the longest fully-committed prefix, and satisfy every inclusion
+// dependency — no torn offset may surface a partial translation.
+func TestCrashSafetyProperty(t *testing.T) {
+	fx := fixtures.NewABCXD()
+	src := t.TempDir()
+	states := runWorkload(t, src, fx)
+	walBytes, err := os.ReadFile(filepath.Join(src, WALFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapBytes, err := os.ReadFile(filepath.Join(src, SnapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	prev := -1
+	for c := 0; c <= len(walBytes); c++ {
+		if err := os.WriteFile(filepath.Join(dir, SnapshotFile), snapBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, WALFile), walBytes[:c], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", c, err)
+		}
+		// The state must be the committed prefix the cut preserves.
+		res, err := wal.Scan(bytes.NewReader(walBytes[:c]))
+		if err != nil {
+			t.Fatalf("cut %d: %v", c, err)
+		}
+		committed, _ := res.Committed()
+		if st.Report().Replayed != len(committed) {
+			t.Fatalf("cut %d: replayed %d, want %d", c, st.Report().Replayed, len(committed))
+		}
+		if got, want := render(st.DB()), states[len(committed)]; got != want {
+			t.Fatalf("cut %d: recovered state is not the %d-commit prefix state", c, len(committed))
+		}
+		if err := st.DB().CheckAllInclusions(); err != nil {
+			t.Fatalf("cut %d: recovered state violates inclusions: %v", c, err)
+		}
+		// Durability is monotone in the crash offset.
+		if len(committed) < prev {
+			t.Fatalf("cut %d: committed prefix shrank from %d to %d", c, prev, len(committed))
+		}
+		prev = len(committed)
+		if err := st.Close(); err != nil {
+			t.Fatalf("cut %d: %v", c, err)
+		}
+	}
+	if prev != len(states)-1 {
+		t.Fatalf("full log recovered %d commits, want %d", prev, len(states)-1)
+	}
+}
+
+// TestStoreCrashMidWorkload drives the store itself into a simulated
+// crash via a CrashWriter on the WAL media, then recovers from disk:
+// the recovered state must equal the last state the store successfully
+// committed, and the torn tail must be truncated.
+func TestStoreCrashMidWorkload(t *testing.T) {
+	fx := fixtures.NewABCXD()
+	// Learn the full log size, then re-run crashing at awkward offsets.
+	probe := t.TempDir()
+	runWorkload(t, probe, fx)
+	full, err := os.ReadFile(filepath.Join(probe, WALFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int64{3, int64(len(full)) / 3, int64(len(full)) / 2, int64(len(full)) - 5} {
+		dir := t.TempDir()
+		var cw *faultinject.CrashWriter
+		st, err := Create(dir, fx.PaperInstance(), Options{
+			Sync: wal.SyncNever,
+			WrapWAL: func(f wal.File) wal.File {
+				cw = &faultinject.CrashWriter{W: f, Limit: limit}
+				return cw
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		states := []string{render(st.DB())}
+		lastCommitted := 0
+		for i, tr := range crashWorkload(fx) {
+			err := st.Apply(tr)
+			if err == nil {
+				lastCommitted = i + 1
+				states = append(states, render(st.DB()))
+				continue
+			}
+			if !errors.Is(err, faultinject.ErrCrashed) && !vuerr.IsCorrupt(err) {
+				t.Fatalf("limit %d: unexpected apply error: %v", limit, err)
+			}
+		}
+		if !cw.Crashed() {
+			t.Fatalf("limit %d: crash writer never fired", limit)
+		}
+		// In-memory state never runs ahead of the durable commits
+		// (commit-append failures roll the memory image back), unless
+		// the rollback itself failed and the store says so.
+		if st.Err() == nil && render(st.DB()) != states[lastCommitted] {
+			t.Fatalf("limit %d: memory state diverged from last durable commit", limit)
+		}
+
+		rec, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("limit %d: recovery failed: %v", limit, err)
+		}
+		if got := render(rec.DB()); got != states[rec.Report().Replayed] {
+			t.Fatalf("limit %d: recovered state is not a committed prefix (report %s)", limit, rec.Report())
+		}
+		if rec.Report().Replayed > lastCommitted {
+			t.Fatalf("limit %d: recovery invented commits: %s", limit, rec.Report())
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStoreTransientAppendRetry checks the transient path end to end: a
+// flaky WAL write fails one Apply with a retryable error, the retry
+// succeeds, and recovery sees exactly the committed translations.
+func TestStoreTransientAppendRetry(t *testing.T) {
+	fx := fixtures.NewABCXD()
+	dir := t.TempDir()
+	st, err := Create(dir, fx.PaperInstance(), Options{
+		Sync: wal.SyncNever,
+		WrapWAL: func(f wal.File) wal.File {
+			return &faultinject.FlakyWriter{W: f, FailNth: 3} // third frame write
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs := crashWorkload(fx)
+	if err := st.Apply(trs[0]); err != nil { // frames 1,2
+		t.Fatal(err)
+	}
+	err = st.Apply(trs[1]) // frame 3: translation append fails
+	if !vuerr.IsTransient(err) {
+		t.Fatalf("flaky append error = %v, want transient", err)
+	}
+	if err := st.Apply(trs[1]); err != nil { // retry
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Report().Replayed != 2 || rec.Report().Discarded != 0 || rec.Report().TornAt != -1 {
+		t.Fatalf("report = %s, want 2 clean replays", rec.Report())
+	}
+	if render(rec.DB()) != render(st.DB()) {
+		t.Fatal("recovered state differs")
+	}
+}
+
+// TestStoreCommitAppendFailureRollsBack pins the commit-failure
+// contract: when the commit marker cannot be written, the in-memory
+// apply is undone so memory matches disk, and the translation is
+// discarded at recovery.
+func TestStoreCommitAppendFailureRollsBack(t *testing.T) {
+	fx := fixtures.NewABCXD()
+	dir := t.TempDir()
+	st, err := Create(dir, fx.PaperInstance(), Options{
+		Sync: wal.SyncNever,
+		WrapWAL: func(f wal.File) wal.File {
+			return &faultinject.FlakyWriter{W: f, FailNth: 2} // the first commit marker
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := render(st.DB())
+	err = st.Apply(crashWorkload(fx)[0])
+	if !vuerr.IsTransient(err) {
+		t.Fatalf("commit failure = %v, want transient", err)
+	}
+	if render(st.DB()) != before {
+		t.Fatal("failed commit left the in-memory state changed")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Report().Replayed != 0 || rec.Report().Discarded != 1 {
+		t.Fatalf("report = %s, want 0 replayed / 1 discarded", rec.Report())
+	}
+	if render(rec.DB()) != before {
+		t.Fatal("recovery applied an uncommitted translation")
+	}
+}
+
+func TestCheckpoint(t *testing.T) {
+	fx := fixtures.NewABCXD()
+	dir := t.TempDir()
+	st, err := Create(dir, fx.PaperInstance(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range crashWorkload(fx)[:3] {
+		if err := st.Apply(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := render(st.DB())
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(filepath.Join(dir, WALFile)); err != nil || st.Size() != 0 {
+		t.Fatalf("checkpoint left WAL at %v bytes (%v), want 0", st.Size(), err)
+	}
+	// The store stays usable after a checkpoint.
+	if err := st.Apply(crashWorkload(fx)[3]); err != nil {
+		t.Fatal(err)
+	}
+	want2 := render(st.DB())
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Report().Replayed != 1 {
+		t.Fatalf("report = %s, want exactly the post-checkpoint commit", rec.Report())
+	}
+	if render(rec.DB()) != want2 {
+		t.Fatal("post-checkpoint recovery differs")
+	}
+	_ = want
+}
+
+func TestOpenErrors(t *testing.T) {
+	// No snapshot at all.
+	if _, err := Open(t.TempDir(), Options{}); !errors.Is(err, ErrNoStore) {
+		t.Fatalf("err = %v, want ErrNoStore", err)
+	}
+	// A WAL that decodes but disagrees with the schema is corruption.
+	fx := fixtures.NewABCXD()
+	dir := t.TempDir()
+	st, err := Create(dir, fx.PaperInstance(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	log, _, err := wal.OpenFile(filepath.Join(dir, WALFile), wal.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := wal.Record{Seq: 1, Kind: wal.KindTranslation,
+		Ops: []wal.OpRecord{{Kind: "i", Rel: "NOPE", Vals: []string{"i1"}}}}
+	if err := log.Append(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Append(wal.CommitRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !vuerr.IsCorrupt(err) {
+		t.Fatalf("err = %v, want corrupt chain", err)
+	}
+}
+
+func TestBrokenStoreRefusesWork(t *testing.T) {
+	fx := fixtures.NewABCXD()
+	dir := t.TempDir()
+	// Fail the commit append AND the rollback of the in-memory apply:
+	// the commit marker write crashes, and the inverse translation is
+	// blocked by an injected storage fault, leaving memory ahead of
+	// disk — the store must declare itself broken.
+	st, err := Create(dir, fx.PaperInstance(), Options{
+		Sync: wal.SyncNever,
+		WrapWAL: func(f wal.File) wal.File {
+			return &faultinject.FlakyWriter{W: f, FailNth: 2}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(faultinject.NewPlan(1).
+		FailNth(faultinject.SiteApply, 2, vuerr.ErrTransient)) // the rollback apply
+	defer faultinject.Disable()
+	err = st.Apply(crashWorkload(fx)[0])
+	if !vuerr.IsCorrupt(err) {
+		t.Fatalf("err = %v, want corrupt chain", err)
+	}
+	if st.Err() == nil {
+		t.Fatal("store should report itself broken")
+	}
+	faultinject.Disable()
+	for _, probe := range []func() error{
+		func() error { return st.Apply(crashWorkload(fx)[5]) },
+		st.Checkpoint,
+	} {
+		if err := probe(); !vuerr.IsCorrupt(err) {
+			t.Fatalf("broken store accepted work: %v", err)
+		}
+	}
+	// Disk was never told about the failed translation: recovery from
+	// the files yields the pre-crash state.
+	rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Report().Replayed != 0 || rec.Report().Discarded != 1 {
+		t.Fatalf("report = %s, want 0 replayed / 1 discarded", rec.Report())
+	}
+}

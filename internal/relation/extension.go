@@ -4,12 +4,26 @@
 package relation
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"viewupdate/internal/schema"
 	"viewupdate/internal/tuple"
 	"viewupdate/internal/value"
+)
+
+// Sentinel errors for the two constraint failures an extension can
+// report. Callers classify with errors.Is; the wrapped messages keep
+// the full human-readable detail.
+var (
+	// ErrKeyConflict marks an insert or replacement whose key collides
+	// with a different stored tuple (key dependency K → R).
+	ErrKeyConflict = errors.New("relation: key conflict")
+	// ErrNotPresent marks a delete or replacement whose target tuple is
+	// not stored (same key with different non-key values counts as not
+	// present).
+	ErrNotPresent = errors.New("relation: tuple not present")
 )
 
 // An Extension is the set of tuples of one relation. It enforces the
@@ -136,7 +150,7 @@ func (e *Extension) Insert(t tuple.T) error {
 	}
 	k := t.Key()
 	if old, ok := e.byKey[k]; ok {
-		return fmt.Errorf("relation: key conflict in %s: %s vs existing %s", e.rel.Name(), t, old)
+		return fmt.Errorf("%w in %s: %s vs existing %s", ErrKeyConflict, e.rel.Name(), t, old)
 	}
 	e.byKey[k] = t
 	e.indexAdd(t)
@@ -153,7 +167,7 @@ func (e *Extension) Delete(t tuple.T) error {
 	k := t.Key()
 	cur, ok := e.byKey[k]
 	if !ok || !cur.Equal(t) {
-		return fmt.Errorf("relation: tuple %s not present in %s", t, e.rel.Name())
+		return fmt.Errorf("%w: %s in %s", ErrNotPresent, t, e.rel.Name())
 	}
 	delete(e.byKey, k)
 	e.indexRemove(t)
@@ -171,12 +185,12 @@ func (e *Extension) Replace(old, new tuple.T) error {
 	ko := old.Key()
 	cur, ok := e.byKey[ko]
 	if !ok || !cur.Equal(old) {
-		return fmt.Errorf("relation: replaced tuple %s not present in %s", old, e.rel.Name())
+		return fmt.Errorf("%w: replaced tuple %s in %s", ErrNotPresent, old, e.rel.Name())
 	}
 	kn := new.Key()
 	if kn != ko {
 		if clash, ok := e.byKey[kn]; ok {
-			return fmt.Errorf("relation: replacement %s conflicts with existing %s in %s", new, clash, e.rel.Name())
+			return fmt.Errorf("%w: replacement %s vs existing %s in %s", ErrKeyConflict, new, clash, e.rel.Name())
 		}
 	}
 	delete(e.byKey, ko)

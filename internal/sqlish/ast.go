@@ -181,6 +181,24 @@ type SetDefault struct {
 
 func (SetDefault) stmt() {}
 
+// Begin is BEGIN: it opens a multi-statement transaction. Data
+// statements until COMMIT run against a staged clone of the database;
+// COMMIT applies the accumulated difference atomically (and durably,
+// when a store is attached); ROLLBACK discards it.
+type Begin struct{}
+
+func (Begin) stmt() {}
+
+// Commit is COMMIT: it atomically applies the open transaction.
+type Commit struct{}
+
+func (Commit) stmt() {}
+
+// Rollback is ROLLBACK: it discards the open transaction.
+type Rollback struct{}
+
+func (Rollback) stmt() {}
+
 // Save is SAVE TO 'file': writes the session's statement journal (all
 // successfully executed schema- or state-changing statements) as a
 // replayable script.

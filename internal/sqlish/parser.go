@@ -85,6 +85,16 @@ func parseStmt(c *cursor) (Stmt, error) {
 		return parseShow(c)
 	case c.isKeyword("set"):
 		return parseSet(c)
+	case c.isKeyword("begin"):
+		c.next()
+		c.acceptKeyword("transaction")
+		return Begin{}, nil
+	case c.isKeyword("commit"):
+		c.next()
+		return Commit{}, nil
+	case c.isKeyword("rollback"):
+		c.next()
+		return Rollback{}, nil
 	case c.isKeyword("save"):
 		c.next()
 		if err := c.expectKeyword("to"); err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"viewupdate/internal/algebra"
 	"viewupdate/internal/core"
+	"viewupdate/internal/persist"
 	"viewupdate/internal/report"
 	"viewupdate/internal/schema"
 	"viewupdate/internal/storage"
@@ -31,6 +32,8 @@ type Session struct {
 	custom    map[string]core.Policy            // view -> externally built policy
 	journal   []string                          // replayable statement texts
 	explain   bool                              // render explain traces for view updates
+	store     *persist.Store                    // durable store, when attached
+	tx        *txState                          // open transaction, when any
 }
 
 // NewSession returns an empty session.
@@ -113,14 +116,21 @@ func (s *Session) ExecScript(input string) (string, error) {
 }
 
 // journalStmt records the source text of statements that change the
-// session (schema, data, views, policies); reads and SAVE/LOAD are not
-// journaled. The journal is what SAVE TO writes.
+// session (schema, data, views, policies); reads, SAVE/LOAD and the
+// transaction control statements themselves are not journaled. Inside
+// a transaction the texts are buffered and reach the journal only when
+// the transaction commits, so a saved script replays exactly the
+// changes that took effect.
 func (s *Session) journalStmt(stmt Stmt, text string) {
 	switch stmt.(type) {
-	case Select, Show, ShowCandidates, ShowEffects, Save, Load:
+	case Select, Show, ShowCandidates, ShowEffects, Save, Load, Begin, Commit, Rollback:
 		return
 	}
 	if text == "" {
+		return
+	}
+	if s.tx != nil {
+		s.tx.stmts = append(s.tx.stmts, text)
 		return
 	}
 	s.journal = append(s.journal, text)
@@ -135,7 +145,16 @@ func (s *Session) Journal() []string {
 
 // Exec executes one parsed statement.
 func (s *Session) Exec(stmt Stmt) (string, error) {
+	if s.tx != nil && !txAllowed(stmt) {
+		return "", fmt.Errorf("sqlish: %T is not allowed inside a transaction; COMMIT or ROLLBACK first", stmt)
+	}
 	switch st := stmt.(type) {
+	case Begin:
+		return s.execBegin()
+	case Commit:
+		return s.execCommit()
+	case Rollback:
+		return s.execRollback()
 	case CreateDomain:
 		return s.execCreateDomain(st)
 	case CreateTable:
@@ -255,6 +274,13 @@ func (s *Session) execCreateTable(st CreateTable) (string, error) {
 	}
 	if err := s.db.SyncSchema(); err != nil {
 		return "", err
+	}
+	// Schema changes are persisted via the snapshot, not the WAL: fold
+	// the log into a fresh snapshot that includes the new table.
+	if s.store != nil {
+		if err := s.store.Checkpoint(); err != nil {
+			return "", err
+		}
 	}
 	return fmt.Sprintf("table %s created", rel), nil
 }
@@ -422,7 +448,7 @@ func (s *Session) uniqueRow(v view.View, where []EqTerm) (tuple.T, error) {
 		return tuple.T{}, fmt.Errorf("sqlish: WHERE clause required")
 	}
 	var matches []tuple.T
-	for _, row := range v.Materialize(s.db).Slice() {
+	for _, row := range v.Materialize(s.cur()).Slice() {
 		if matchesEq(row, where) {
 			matches = append(matches, row)
 		}
@@ -454,7 +480,7 @@ func (s *Session) execInsert(st Insert) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		if err := s.db.Apply(update.NewTranslation(update.NewInsert(t))); err != nil {
+		if err := s.applyTr(update.NewTranslation(update.NewInsert(t))); err != nil {
 			return "", err
 		}
 		return fmt.Sprintf("inserted %s", t), nil
@@ -472,7 +498,7 @@ func (s *Session) execDelete(st Delete) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		if err := s.db.Apply(update.NewTranslation(update.NewDelete(t))); err != nil {
+		if err := s.applyTr(update.NewTranslation(update.NewDelete(t))); err != nil {
 			return "", err
 		}
 		return fmt.Sprintf("deleted %s", t), nil
@@ -497,7 +523,7 @@ func (s *Session) execUpdate(st Update) (string, error) {
 				return "", err
 			}
 		}
-		if err := s.db.Apply(update.NewTranslation(update.NewReplace(old, newT))); err != nil {
+		if err := s.applyTr(update.NewTranslation(update.NewReplace(old, newT))); err != nil {
 			return "", err
 		}
 		return fmt.Sprintf("replaced %s -> %s", old, newT), nil
@@ -515,7 +541,7 @@ func (s *Session) uniqueBaseRow(rel *schema.Relation, where []EqTerm) (tuple.T, 
 		return tuple.T{}, fmt.Errorf("sqlish: WHERE clause required")
 	}
 	var matches []tuple.T
-	for _, t := range s.db.Tuples(rel.Name()) {
+	for _, t := range s.cur().Tuples(rel.Name()) {
 		if matchesEq(t, where) {
 			matches = append(matches, t)
 		}
@@ -539,12 +565,12 @@ func (s *Session) applyViewRequest(v view.View, req core.Request) (string, error
 	var explainText string
 	if s.explain {
 		var trace *core.Trace
-		cand, trace, err = tr.TranslateTraced(s.db, req)
+		cand, trace, err = tr.TranslateTraced(s.cur(), req)
 		if trace != nil {
 			explainText = report.RenderTrace(trace)
 		}
 	} else {
-		cand, err = tr.Translate(s.db, req)
+		cand, err = tr.Translate(s.cur(), req)
 	}
 	if err != nil {
 		if explainText != "" {
@@ -552,11 +578,11 @@ func (s *Session) applyViewRequest(v view.View, req core.Request) (string, error
 		}
 		return "", err
 	}
-	eff, err := core.SideEffects(s.db, v, req, cand.Translation)
+	eff, err := core.SideEffects(s.cur(), v, req, cand.Translation)
 	if err != nil {
 		return "", err
 	}
-	if err := s.db.Apply(cand.Translation); err != nil {
+	if err := s.applyTr(cand.Translation); err != nil {
 		return "", fmt.Errorf("sqlish: applying %s: %w", cand.Translation, err)
 	}
 	out := fmt.Sprintf("translated by %s\n%s", cand.Class, renderOps(cand.Translation))
@@ -582,10 +608,10 @@ func (s *Session) execSelect(st Select) (string, error) {
 	var header []string
 	if v := s.lookupView(st.Target); v != nil {
 		header = v.Schema().AttributeNames()
-		rows = v.Materialize(s.db).Slice()
+		rows = v.Materialize(s.cur()).Slice()
 	} else if rel := s.sch.Relation(st.Target); rel != nil {
 		header = rel.AttributeNames()
-		rows = s.db.Tuples(st.Target)
+		rows = s.cur().Tuples(st.Target)
 	} else {
 		return "", fmt.Errorf("sqlish: unknown table or view %s", st.Target)
 	}
@@ -626,7 +652,7 @@ func (s *Session) execShow(st Show) (string, error) {
 	switch st.What {
 	case "tables":
 		for _, name := range s.sch.RelationNames() {
-			fmt.Fprintf(&b, "%s  (%d tuples)\n", s.sch.Relation(name), s.db.Len(name))
+			fmt.Fprintf(&b, "%s  (%d tuples)\n", s.sch.Relation(name), s.cur().Len(name))
 		}
 		for _, d := range s.sch.Inclusions() {
 			fmt.Fprintf(&b, "%s\n", d)
@@ -692,7 +718,7 @@ func (s *Session) execShowCandidates(st ShowCandidates) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	cands, err := core.Enumerate(s.db, v, req)
+	cands, err := core.Enumerate(s.cur(), v, req)
 	if err != nil {
 		return "", err
 	}
@@ -712,11 +738,11 @@ func (s *Session) execShowEffects(st ShowEffects) (string, error) {
 		return "", err
 	}
 	tr := core.NewTranslator(v, s.policyFor(v.Name()))
-	cand, err := tr.Translate(s.db, req)
+	cand, err := tr.Translate(s.cur(), req)
 	if err != nil {
 		return "", err
 	}
-	eff, err := core.SideEffects(s.db, v, req, cand.Translation)
+	eff, err := core.SideEffects(s.cur(), v, req, cand.Translation)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,144 @@
+package sqlish
+
+import (
+	"fmt"
+
+	"viewupdate/internal/persist"
+	"viewupdate/internal/storage"
+	"viewupdate/internal/update"
+)
+
+// txState holds an open transaction: the staged clone all statements
+// run against, the base snapshot taken at BEGIN (used for optimistic
+// conflict detection at COMMIT), plus the buffered journal texts
+// (appended to the session journal only on COMMIT, so SAVE TO scripts
+// replay exactly the committed statements).
+type txState struct {
+	base   *storage.Database
+	staged *storage.Database
+	stmts  []string
+}
+
+// cur returns the database statements should read and write: the
+// staged clone inside a transaction, the live database otherwise.
+func (s *Session) cur() *storage.Database {
+	if s.tx != nil {
+		return s.tx.staged
+	}
+	return s.db
+}
+
+// applyTr applies a translation at the right level: the staged clone
+// inside a transaction, the durable store when one is attached, the
+// plain in-memory database otherwise.
+func (s *Session) applyTr(tr *update.Translation) error {
+	if s.tx != nil {
+		return s.tx.staged.Apply(tr)
+	}
+	if s.store != nil {
+		return s.store.Apply(tr)
+	}
+	return s.db.Apply(tr)
+}
+
+// InTx reports whether a transaction is open.
+func (s *Session) InTx() bool { return s.tx != nil }
+
+// Store returns the attached durable store, or nil.
+func (s *Session) Store() *persist.Store { return s.store }
+
+// AttachStore couples the session to a durable store. Two cases:
+//
+//   - the store was created from this session's database (fresh store):
+//     the session simply starts journaling through it;
+//   - the store was recovered from disk: the session adopts the
+//     recovered database and schema, which requires the session to be
+//     empty (no tables of its own yet). Domains are re-registered from
+//     the recovered relations; views, policies and secondary indexes
+//     are not durable — replay a saved script to rebuild them.
+func (s *Session) AttachStore(st *persist.Store) error {
+	if s.tx != nil {
+		return fmt.Errorf("sqlish: cannot attach a store inside a transaction")
+	}
+	if st.DB() != s.db {
+		if len(s.sch.RelationNames()) != 0 {
+			return fmt.Errorf("sqlish: cannot adopt a recovered store into a non-empty session")
+		}
+		s.db = st.DB()
+		s.sch = s.db.Schema()
+		for _, rn := range s.sch.RelationNames() {
+			for _, a := range s.sch.Relation(rn).Attributes() {
+				s.domains[a.Domain.Name()] = a.Domain
+			}
+		}
+	}
+	s.store = st
+	return nil
+}
+
+func (s *Session) execBegin() (string, error) {
+	if s.tx != nil {
+		return "", fmt.Errorf("sqlish: transaction already open (nesting is not supported)")
+	}
+	if err := s.db.Err(); err != nil {
+		return "", err
+	}
+	s.tx = &txState{base: s.db.Clone(), staged: s.db.Clone()}
+	return "transaction started", nil
+}
+
+func (s *Session) execCommit() (string, error) {
+	if s.tx == nil {
+		return "", fmt.Errorf("sqlish: no open transaction")
+	}
+	// Optimistic concurrency: the diff below is only meaningful
+	// relative to the state the transaction started from. If the live
+	// database moved in the meantime, applying it would silently
+	// clobber the concurrent changes.
+	if !s.db.Equal(s.tx.base) {
+		return "", fmt.Errorf("sqlish: commit conflict: database changed since BEGIN (transaction still open)")
+	}
+	diff, err := storage.Diff(s.db, s.tx.staged)
+	if err != nil {
+		return "", err
+	}
+	if diff.Len() == 0 {
+		s.tx = nil
+		return "committed (no changes)", nil
+	}
+	if s.store != nil {
+		err = s.store.Apply(diff)
+	} else {
+		err = s.db.Apply(diff)
+	}
+	if err != nil {
+		// The staged state survives: a transient failure can be
+		// retried with another COMMIT, or abandoned with ROLLBACK.
+		return "", fmt.Errorf("sqlish: commit failed (transaction still open): %w", err)
+	}
+	s.journal = append(s.journal, s.tx.stmts...)
+	n := diff.Len()
+	s.tx = nil
+	return fmt.Sprintf("committed %d operation(s)", n), nil
+}
+
+func (s *Session) execRollback() (string, error) {
+	if s.tx == nil {
+		return "", fmt.Errorf("sqlish: no open transaction")
+	}
+	n := len(s.tx.stmts)
+	s.tx = nil
+	return fmt.Sprintf("rolled back %d statement(s)", n), nil
+}
+
+// txAllowed reports whether stmt may run inside a transaction: data
+// statements and reads only. DDL, policy configuration and file I/O
+// change session state that the staged clone cannot isolate, so they
+// must happen outside.
+func txAllowed(stmt Stmt) bool {
+	switch stmt.(type) {
+	case Insert, Delete, Update, Select, Show, ShowCandidates, ShowEffects, Commit, Rollback:
+		return true
+	}
+	return false
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sync"
 
+	"viewupdate/internal/faultinject"
 	"viewupdate/internal/obs"
 	"viewupdate/internal/relation"
 	"viewupdate/internal/schema"
@@ -27,6 +28,10 @@ type Database struct {
 	// it maps the encoding of a referenced parent key to the number of
 	// child tuples referencing it. Maintained incrementally.
 	refs []map[string]int
+	// poisoned is non-nil once an in-memory rollback has failed: the
+	// state is no longer trustworthy, so every later mutation returns
+	// this error (which wraps ErrPoisoned and vuerr.ErrCorrupt).
+	poisoned error
 }
 
 // Open returns an empty database instance for the schema.
@@ -171,6 +176,7 @@ func (db *Database) Clone() *Database {
 		}
 		out.refs[i] = cp
 	}
+	out.poisoned = db.poisoned
 	return out
 }
 
@@ -204,6 +210,10 @@ func (db *Database) Equal(o *Database) bool {
 func (db *Database) Apply(tr *update.Translation) error {
 	span := obs.StartSpan("storage.apply")
 	defer span.End()
+	if ferr := faultinject.Hit(faultinject.SiteApply); ferr != nil {
+		obs.Inc("storage.apply.injected")
+		return fmt.Errorf("storage: %w", ferr)
+	}
 	db.mu.Lock()
 	err := db.applyLocked(tr)
 	db.mu.Unlock()
@@ -215,6 +225,18 @@ func (db *Database) Apply(tr *update.Translation) error {
 	countOps(tr)
 	return nil
 }
+
+// Err returns the poisoning error if the database is poisoned, nil
+// otherwise.
+func (db *Database) Err() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.poisoned
+}
+
+// Poisoned reports whether an in-memory rollback has failed, leaving
+// the state untrustworthy.
+func (db *Database) Poisoned() bool { return db.Err() != nil }
 
 // countOps records per-relation, per-kind operation counts for an
 // applied translation. Guarded by Enabled so the disabled path never
@@ -236,27 +258,52 @@ func countOps(tr *update.Translation) {
 }
 
 func (db *Database) applyLocked(tr *update.Translation) (err error) {
+	if db.poisoned != nil {
+		return db.poisoned
+	}
 	type action struct {
 		remove bool
 		t      tuple.T
 	}
 	var done []action
-	undo := func() {
+	// undo reverts the actions taken so far, in reverse. A failure here
+	// — which cannot happen without injected faults or a bug, since it
+	// only re-applies inverses of operations that just succeeded —
+	// leaves the state half-rolled-back, so it is reported rather than
+	// papered over.
+	undo := func() error {
 		for i := len(done) - 1; i >= 0; i-- {
 			a := done[i]
+			if ferr := faultinject.Hit(faultinject.SiteRollback); ferr != nil {
+				return fmt.Errorf("storage: rollback interrupted: %w", ferr)
+			}
 			e := db.exts[a.t.Relation().Name()]
 			if a.remove {
 				if ierr := e.Insert(a.t); ierr != nil {
-					panic(fmt.Sprintf("storage: rollback re-insert failed: %v", ierr))
+					return fmt.Errorf("storage: rollback re-insert failed: %w", ierr)
 				}
 				db.refAdjust(a.t, +1)
 			} else {
 				if derr := e.Delete(a.t); derr != nil {
-					panic(fmt.Sprintf("storage: rollback delete failed: %v", derr))
+					return fmt.Errorf("storage: rollback delete failed: %w", derr)
 				}
 				db.refAdjust(a.t, -1)
 			}
 		}
+		return nil
+	}
+	// fail rolls back and returns cause; if the rollback itself fails,
+	// the database poisons itself — the in-memory state is no longer a
+	// consistent instance, so every later mutation is refused with an
+	// error wrapping vuerr.ErrCorrupt. Callers holding a durable store
+	// recover by reopening from snapshot + WAL.
+	fail := func(cause error) error {
+		if uerr := undo(); uerr != nil {
+			db.poisoned = fmt.Errorf("%w: %v (while undoing after: %v)", ErrPoisoned, uerr, cause)
+			obs.Inc("storage.poisoned")
+			return db.poisoned
+		}
+		return cause
 	}
 
 	removed := tr.Removed().Slice()
@@ -265,16 +312,18 @@ func (db *Database) applyLocked(tr *update.Translation) (err error) {
 	// Phase 0: validate ops reference relations of this schema.
 	for _, o := range tr.Ops() {
 		if db.exts[o.RelationName()] == nil {
-			return fmt.Errorf("storage: unknown relation %s in %s", o.RelationName(), o)
+			return fmt.Errorf("%w %s in %s", ErrUnknownRelation, o.RelationName(), o)
 		}
 	}
 
 	// Phase 1: remove the removed set.
 	for _, t := range removed {
+		if ferr := faultinject.Hit(faultinject.SiteApplyDelete); ferr != nil {
+			return fail(fmt.Errorf("storage: %w", ferr))
+		}
 		e := db.exts[t.Relation().Name()]
 		if err := e.Delete(t); err != nil {
-			undo()
-			return fmt.Errorf("storage: %w", err)
+			return fail(fmt.Errorf("storage: %w", err))
 		}
 		db.refAdjust(t, -1)
 		done = append(done, action{remove: true, t: t})
@@ -282,10 +331,12 @@ func (db *Database) applyLocked(tr *update.Translation) (err error) {
 
 	// Phase 2: add the added set.
 	for _, t := range added {
+		if ferr := faultinject.Hit(faultinject.SiteApplyInsert); ferr != nil {
+			return fail(fmt.Errorf("storage: %w", ferr))
+		}
 		e := db.exts[t.Relation().Name()]
 		if err := e.Insert(t); err != nil {
-			undo()
-			return fmt.Errorf("storage: %w", err)
+			return fail(fmt.Errorf("storage: %w", err))
 		}
 		db.refAdjust(t, +1)
 		done = append(done, action{remove: false, t: t})
@@ -298,8 +349,7 @@ func (db *Database) applyLocked(tr *update.Translation) (err error) {
 	err = db.checkInclusionDeltas(removed, added)
 	isp.End()
 	if err != nil {
-		undo()
-		return err
+		return fail(err)
 	}
 	return nil
 }
@@ -335,7 +385,7 @@ func (db *Database) checkInclusionDeltas(removed, added []tuple.T) error {
 				continue
 			}
 			if !db.parentKeyExists(d.Parent, childRefKey(d, t)) {
-				return fmt.Errorf("storage: inclusion %s violated: %s references missing %s key", d, t, d.Parent)
+				return fmt.Errorf("%w %s violated: %s references missing %s key", ErrInclusion, d, t, d.Parent)
 			}
 		}
 	}
@@ -350,7 +400,7 @@ func (db *Database) checkInclusionDeltas(removed, added []tuple.T) error {
 				continue // key survived (replacement kept it)
 			}
 			if db.refs[i][k] > 0 {
-				return fmt.Errorf("storage: inclusion %s violated: removing %s leaves %d dangling references", d, t, db.refs[i][k])
+				return fmt.Errorf("%w %s violated: removing %s leaves %d dangling references", ErrInclusion, d, t, db.refs[i][k])
 			}
 		}
 	}
@@ -385,7 +435,7 @@ func (db *Database) CheckAllInclusions() error {
 		var err error
 		child.Each(func(t tuple.T) bool {
 			if !db.parentKeyExists(d.Parent, childRefKey(d, t)) {
-				err = fmt.Errorf("storage: inclusion %s violated by %s", d, t)
+				err = fmt.Errorf("%w %s violated by %s", ErrInclusion, d, t)
 				return false
 			}
 			return true
@@ -407,6 +457,9 @@ func (db *Database) CheckAllInclusions() error {
 func (db *Database) SyncSchema() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.poisoned != nil {
+		return db.poisoned
+	}
 	for _, name := range db.sch.RelationNames() {
 		if db.exts[name] == nil {
 			db.exts[name] = relation.NewExtension(db.sch.Relation(name))
@@ -450,7 +503,7 @@ func (db *Database) CreateIndex(rel, attr string) error {
 	defer db.mu.Unlock()
 	e := db.exts[rel]
 	if e == nil {
-		return fmt.Errorf("storage: unknown relation %s", rel)
+		return fmt.Errorf("%w %s", ErrUnknownRelation, rel)
 	}
 	return e.EnsureIndex(attr)
 }

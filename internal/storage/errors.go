@@ -1,0 +1,26 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+
+	"viewupdate/internal/vuerr"
+)
+
+// Sentinel errors of the storage layer. Together with the relation
+// package's ErrKeyConflict/ErrNotPresent (which storage wraps with %w)
+// and the shared vuerr sentinels, they make every failure of Apply
+// classifiable with errors.Is instead of string matching.
+var (
+	// ErrUnknownRelation marks an operation against a relation the
+	// schema does not define.
+	ErrUnknownRelation = errors.New("storage: unknown relation")
+	// ErrInclusion marks an inclusion-dependency violation in the
+	// would-be final state of a translation.
+	ErrInclusion = errors.New("storage: inclusion")
+	// ErrPoisoned marks a database whose in-memory rollback failed:
+	// its state can no longer be trusted and every later mutation is
+	// refused. ErrPoisoned wraps vuerr.ErrCorrupt, so
+	// errors.Is(err, vuerr.ErrCorrupt) holds too.
+	ErrPoisoned = fmt.Errorf("storage: database poisoned: %w", vuerr.ErrCorrupt)
+)

@@ -1,0 +1,182 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"viewupdate/internal/faultinject"
+	"viewupdate/internal/relation"
+	"viewupdate/internal/update"
+	"viewupdate/internal/vuerr"
+)
+
+// TestInjectedTransientApplyFailure checks the clean injection point:
+// a fault at storage.apply fails the whole translation before any
+// mutation, and the error is classifiable as transient.
+func TestInjectedTransientApplyFailure(t *testing.T) {
+	sch, p, _ := pcSchema(t)
+	db := Open(sch)
+	faultinject.Enable(faultinject.NewPlan(1).
+		FailNth(faultinject.SiteApply, 1, vuerr.ErrTransient))
+	defer faultinject.Disable()
+	err := db.Apply(update.NewTranslation(update.NewInsert(pt(t, p, 1, "u"))))
+	if !vuerr.IsTransient(err) {
+		t.Fatalf("err = %v, want transient", err)
+	}
+	if db.Len("P") != 0 {
+		t.Fatal("failed apply mutated state")
+	}
+	// The fault fired once; the retry (second attempt) succeeds.
+	if err := db.Apply(update.NewTranslation(update.NewInsert(pt(t, p, 1, "u")))); err != nil {
+		t.Fatalf("second attempt: %v", err)
+	}
+}
+
+// TestMidApplyFaultRollsBack checks that a fault injected between the
+// ops of a multi-op translation rolls back cleanly: the database is
+// unchanged and not poisoned.
+func TestMidApplyFaultRollsBack(t *testing.T) {
+	sch, p, _ := pcSchema(t)
+	db := Open(sch)
+	faultinject.Enable(faultinject.NewPlan(1).
+		FailNth(faultinject.SiteApplyInsert, 2, vuerr.ErrTransient))
+	defer faultinject.Disable()
+	tr := update.NewTranslation(
+		update.NewInsert(pt(t, p, 1, "u")),
+		update.NewInsert(pt(t, p, 2, "v")),
+	)
+	err := db.Apply(tr)
+	if !vuerr.IsTransient(err) {
+		t.Fatalf("err = %v, want transient", err)
+	}
+	if db.Len("P") != 0 {
+		t.Fatal("rollback did not restore the empty state")
+	}
+	if db.Poisoned() {
+		t.Fatal("clean rollback must not poison")
+	}
+	if err := db.Apply(tr); err != nil {
+		t.Fatalf("retry after clean rollback: %v", err)
+	}
+}
+
+// TestRollbackFailurePoisonsDatabase reaches the path that used to
+// panic: the second insert fails (injected), and the rollback of the
+// first insert fails too (injected). The database must poison itself
+// and refuse all later mutations with an error wrapping
+// vuerr.ErrCorrupt.
+func TestRollbackFailurePoisonsDatabase(t *testing.T) {
+	sch, p, _ := pcSchema(t)
+	db := Open(sch)
+	faultinject.Enable(faultinject.NewPlan(1).
+		FailNth(faultinject.SiteApplyInsert, 2, vuerr.ErrTransient).
+		FailNth(faultinject.SiteRollback, 1, vuerr.ErrTransient))
+	defer faultinject.Disable()
+	tr := update.NewTranslation(
+		update.NewInsert(pt(t, p, 1, "u")),
+		update.NewInsert(pt(t, p, 2, "v")),
+	)
+	err := db.Apply(tr)
+	if err == nil {
+		t.Fatal("apply should fail")
+	}
+	if !vuerr.IsCorrupt(err) || !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("err = %v, want ErrPoisoned wrapping vuerr.ErrCorrupt", err)
+	}
+	if !db.Poisoned() || db.Err() == nil {
+		t.Fatal("database should report itself poisoned")
+	}
+	// Every later mutation is refused, faults or not.
+	faultinject.Disable()
+	for _, probe := range []func() error{
+		func() error { return db.Apply(update.NewTranslation(update.NewInsert(pt(t, p, 3, "u")))) },
+		func() error { return db.Load("P", pt(t, p, 3, "u")) },
+		func() error { return db.SyncSchema() },
+	} {
+		if err := probe(); !vuerr.IsCorrupt(err) {
+			t.Fatalf("post-poison call returned %v, want ErrCorrupt chain", err)
+		}
+	}
+	// Poisoning survives Clone (the copy holds the same broken state).
+	if !db.Clone().Poisoned() {
+		t.Fatal("clone of a poisoned database should be poisoned")
+	}
+}
+
+// TestErrorChains pins the errors.Is contracts of the storage layer so
+// callers can rely on classification instead of string matching.
+func TestErrorChains(t *testing.T) {
+	sch, p, c := pcSchema(t)
+	db := Open(sch)
+	if err := db.Load("P", pt(t, p, 1, "u")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Key conflict on insert.
+	err := db.Apply(update.NewTranslation(update.NewInsert(pt(t, p, 1, "v"))))
+	if !errors.Is(err, relation.ErrKeyConflict) {
+		t.Fatalf("key conflict err = %v, want relation.ErrKeyConflict chain", err)
+	}
+	// Deleting an absent tuple.
+	err = db.Apply(update.NewTranslation(update.NewDelete(pt(t, p, 2, "u"))))
+	if !errors.Is(err, relation.ErrNotPresent) {
+		t.Fatalf("absent delete err = %v, want relation.ErrNotPresent chain", err)
+	}
+	// Inclusion violation: child referencing a missing parent key.
+	err = db.Apply(update.NewTranslation(update.NewInsert(ct(t, c, 1, 3))))
+	if !errors.Is(err, ErrInclusion) {
+		t.Fatalf("inclusion err = %v, want ErrInclusion chain", err)
+	}
+	// Removing a referenced parent.
+	if err := db.Load("C", ct(t, c, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	err = db.Apply(update.NewTranslation(update.NewDelete(pt(t, p, 1, "u"))))
+	if !errors.Is(err, ErrInclusion) {
+		t.Fatalf("dangling err = %v, want ErrInclusion chain", err)
+	}
+	// CreateIndex on an unknown relation.
+	err = db.CreateIndex("NOPE", "X")
+	if !errors.Is(err, ErrUnknownRelation) {
+		t.Fatalf("unknown relation err = %v, want ErrUnknownRelation chain", err)
+	}
+	// Transient/corrupt sentinels are distinct.
+	if vuerr.IsTransient(err) || vuerr.IsCorrupt(err) {
+		t.Fatal("constraint errors must not be transient or corrupt")
+	}
+}
+
+// TestDiff checks that Diff produces the exact delete/insert sets that
+// transform one state into another.
+func TestDiff(t *testing.T) {
+	sch, p, _ := pcSchema(t)
+	a := Open(sch)
+	if err := a.Load("P", pt(t, p, 1, "u"), pt(t, p, 2, "u")); err != nil {
+		t.Fatal(err)
+	}
+	b := a.Clone()
+	if err := b.Apply(update.NewTranslation(
+		update.NewDelete(pt(t, p, 2, "u")),
+		update.NewInsert(pt(t, p, 3, "v")),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("diff has %d ops, want 2: %s", tr.Len(), tr)
+	}
+	if err := a.Apply(tr); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("applying the diff did not reproduce the target state")
+	}
+	// Identical states diff to the empty translation.
+	tr, err = Diff(a, b)
+	if err != nil || tr.Len() != 0 {
+		t.Fatalf("diff of equal states = %s, %v", tr, err)
+	}
+}

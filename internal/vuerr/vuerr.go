@@ -1,0 +1,32 @@
+// Package vuerr defines the sentinel errors shared across the
+// durability layer of the view-update engine. They live in a leaf
+// package (stdlib imports only) so that storage, wal, persist, core and
+// faultinject can all classify failures with errors.Is without import
+// cycles.
+//
+// The failure taxonomy is deliberately small:
+//
+//   - ErrTransient marks failures that are expected to succeed on
+//     retry: an injected I/O hiccup, a momentarily unavailable
+//     resource. Translator.Apply retries these with bounded backoff.
+//   - ErrCorrupt marks failures after which the affected component's
+//     state can no longer be trusted: a poisoned in-memory database
+//     (rollback itself failed), a WAL record whose checksum does not
+//     match, a recovered state violating inclusion dependencies.
+//     Corrupt errors must never be retried; the only ways out are
+//     recovery from durable state or operator intervention.
+package vuerr
+
+import "errors"
+
+// ErrTransient marks a retryable failure.
+var ErrTransient = errors.New("transient failure")
+
+// ErrCorrupt marks an unrecoverable corruption of component state.
+var ErrCorrupt = errors.New("corrupt state")
+
+// IsTransient reports whether err is, or wraps, ErrTransient.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// IsCorrupt reports whether err is, or wraps, ErrCorrupt.
+func IsCorrupt(err error) bool { return errors.Is(err, ErrCorrupt) }

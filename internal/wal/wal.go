@@ -1,0 +1,455 @@
+// Package wal implements the durable write-ahead log of the
+// translation pipeline: an append-only, CRC32-checksummed record log
+// (stdlib only) that journals every committed translation.
+//
+// # Record format
+//
+// The log is a sequence of frames:
+//
+//	[4 bytes  payload length, little-endian uint32]
+//	[4 bytes  CRC32-Castagnoli of the payload,  little-endian]
+//	[payload  JSON-encoded Record]
+//
+// Each frame is written with a single Write call, so a crash tears at
+// most the last frame. Two record kinds exist: a translation record
+// (sequence number plus the translation's operations, with every tuple
+// value in its canonical text encoding) and a commit marker carrying
+// just the sequence number. The commit protocol is
+//
+//	append translation(seq) → apply to memory → append commit(seq)
+//
+// so a translation record without a later commit marker is, by
+// construction, uncommitted and is discarded at recovery.
+//
+// # Torn tails
+//
+// Scan reads frames until the first one that is incomplete, fails its
+// checksum, or does not decode; everything from that byte offset on is
+// the torn tail. Recovery truncates the file there. A checksum failure
+// in the middle of a log (bit rot) is handled the same way: the clean
+// prefix wins, the rest is dropped — the WAL's contract is "some
+// committed prefix", never a partial translation.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"viewupdate/internal/faultinject"
+	"viewupdate/internal/obs"
+	"viewupdate/internal/schema"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/update"
+	"viewupdate/internal/value"
+)
+
+// Record kinds.
+const (
+	// KindTranslation journals one translation's operations.
+	KindTranslation = 1
+	// KindCommit marks the translation with the same Seq as durably
+	// applied.
+	KindCommit = 2
+)
+
+// MaxRecordSize bounds a frame payload; Scan treats larger claimed
+// lengths as corruption rather than allocating unbounded memory.
+const MaxRecordSize = 1 << 26
+
+// headerSize is the frame header: 4 length bytes + 4 CRC bytes.
+const headerSize = 8
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// An OpRecord serializes one update operation. Kind is "i" (insert),
+// "d" (delete) or "r" (replace); tuples are value encodings in schema
+// order.
+type OpRecord struct {
+	Kind string   `json:"k"`
+	Rel  string   `json:"rel"`
+	Vals []string `json:"v,omitempty"`   // insert/delete payload
+	Old  []string `json:"old,omitempty"` // replace: removed tuple
+	New  []string `json:"new,omitempty"` // replace: added tuple
+}
+
+// A Record is one log entry.
+type Record struct {
+	Seq  uint64     `json:"seq"`
+	Kind int        `json:"kind"`
+	Ops  []OpRecord `json:"ops,omitempty"`
+}
+
+// SyncPolicy controls when the log calls Sync on its media.
+type SyncPolicy int
+
+const (
+	// SyncOnCommit syncs after every commit marker (the default): a
+	// crash can lose the in-flight translation but never a committed
+	// one.
+	SyncOnCommit SyncPolicy = iota
+	// SyncAlways syncs after every record.
+	SyncAlways
+	// SyncNever leaves syncing to the OS; fastest, weakest.
+	SyncNever
+)
+
+// String names the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncOnCommit:
+		return "commit"
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy parses "commit", "always" or "never".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "commit":
+		return SyncOnCommit, nil
+	case "always":
+		return SyncAlways, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown sync policy %q (want commit|always|never)", s)
+	}
+}
+
+// File is the minimal media contract of the log: ordered writes plus a
+// durability barrier. *os.File satisfies it; MemFile provides an
+// in-memory implementation; the faultinject writers wrap either.
+type File interface {
+	io.Writer
+	Sync() error
+}
+
+// A MemFile is an in-memory File for tests and property harnesses.
+type MemFile struct {
+	buf   []byte
+	syncs int
+}
+
+// Write implements io.Writer.
+func (m *MemFile) Write(p []byte) (int, error) {
+	m.buf = append(m.buf, p...)
+	return len(p), nil
+}
+
+// Sync implements File, counting barrier calls.
+func (m *MemFile) Sync() error {
+	m.syncs++
+	return nil
+}
+
+// Bytes returns the accumulated log image.
+func (m *MemFile) Bytes() []byte { return m.buf }
+
+// Syncs returns the number of Sync calls observed.
+func (m *MemFile) Syncs() int { return m.syncs }
+
+// A Log appends records to a File under a mutex. It performs no
+// buffering of its own: every Append reaches the media in one Write.
+type Log struct {
+	mu     sync.Mutex
+	f      File
+	closer io.Closer
+	policy SyncPolicy
+}
+
+// New returns a log appending to f under the given sync policy.
+func New(f File, policy SyncPolicy) *Log {
+	return &Log{f: f, policy: policy}
+}
+
+// OpenFile opens (creating if absent) the log file at path for
+// appending and returns the log plus the current file size.
+func OpenFile(path string, policy SyncPolicy) (*Log, int64, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	return &Log{f: f, closer: f, policy: policy}, st.Size(), nil
+}
+
+// Frame encodes rec as one on-disk frame.
+func Frame(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encoding record: %w", err)
+	}
+	if len(payload) > MaxRecordSize {
+		return nil, fmt.Errorf("wal: record of %d bytes exceeds MaxRecordSize", len(payload))
+	}
+	frame := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[headerSize:], payload)
+	return frame, nil
+}
+
+// Append writes rec as one frame, syncing per policy. The append is
+// all-or-torn: a crash mid-write leaves a tail that Scan detects and
+// recovery truncates.
+func (l *Log) Append(rec Record) error {
+	if ferr := faultinject.Hit(faultinject.SiteWALAppend); ferr != nil {
+		return fmt.Errorf("wal: %w", ferr)
+	}
+	sp := obs.StartSpan("wal.append")
+	defer sp.End()
+	frame, err := Frame(rec)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	obs.Inc("wal.append")
+	if l.policy == SyncAlways || (l.policy == SyncOnCommit && rec.Kind == KindCommit) {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+		obs.Inc("wal.sync")
+	}
+	return nil
+}
+
+// Sync forces a durability barrier regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	obs.Inc("wal.sync")
+	return nil
+}
+
+// Close syncs and closes the underlying file, when it is closable.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if l.closer != nil {
+		return l.closer.Close()
+	}
+	return nil
+}
+
+// A ScanResult holds the clean prefix of a log.
+type ScanResult struct {
+	// Records are the intact records in log order.
+	Records []Record
+	// TornAt is the byte offset of the first damaged frame, or -1 when
+	// the log is clean. Recovery truncates the file to this length.
+	TornAt int64
+	// Reason describes the damage when TornAt >= 0.
+	Reason string
+}
+
+// Torn reports whether the log has a damaged tail.
+func (r *ScanResult) Torn() bool { return r.TornAt >= 0 }
+
+// Scan reads frames from r until EOF or the first damaged frame.
+// Damage — a partial frame, a checksum mismatch, an implausible length,
+// an undecodable payload — is not an error: the result carries the
+// clean prefix and the torn offset. Only genuine read failures of the
+// underlying reader are returned as errors.
+func Scan(r io.Reader) (*ScanResult, error) {
+	br := bufio.NewReader(r)
+	res := &ScanResult{TornAt: -1}
+	var off int64
+	torn := func(reason string) (*ScanResult, error) {
+		res.TornAt = off
+		res.Reason = reason
+		obs.Inc("wal.scan.torn")
+		return res, nil
+	}
+	for {
+		header := make([]byte, headerSize)
+		n, err := io.ReadFull(br, header)
+		if n == 0 && errors.Is(err, io.EOF) {
+			return res, nil
+		}
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return torn("partial frame header")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("wal: reading header: %w", err)
+		}
+		ln := binary.LittleEndian.Uint32(header[0:4])
+		crc := binary.LittleEndian.Uint32(header[4:8])
+		if ln == 0 || ln > MaxRecordSize {
+			return torn(fmt.Sprintf("implausible record length %d", ln))
+		}
+		payload := make([]byte, ln)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return torn("partial record payload")
+			}
+			return nil, fmt.Errorf("wal: reading payload: %w", err)
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return torn("checksum mismatch")
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return torn("undecodable record")
+		}
+		res.Records = append(res.Records, rec)
+		off += headerSize + int64(ln)
+	}
+}
+
+// ScanFile scans the log file at path. A missing file scans as an
+// empty, clean log.
+func ScanFile(path string) (*ScanResult, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &ScanResult{TornAt: -1}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	return Scan(f)
+}
+
+// Committed returns the translation records that have a matching commit
+// marker later in the scanned prefix, in commit order, plus the number
+// of uncommitted translation records discarded.
+func (r *ScanResult) Committed() (committed []Record, discarded int) {
+	pending := make(map[uint64]Record)
+	for _, rec := range r.Records {
+		switch rec.Kind {
+		case KindTranslation:
+			pending[rec.Seq] = rec
+		case KindCommit:
+			if tr, ok := pending[rec.Seq]; ok {
+				committed = append(committed, tr)
+				delete(pending, rec.Seq)
+			}
+		}
+	}
+	return committed, len(pending)
+}
+
+// MaxSeq returns the highest sequence number in the scanned prefix (0
+// for an empty log).
+func (r *ScanResult) MaxSeq() uint64 {
+	var max uint64
+	for _, rec := range r.Records {
+		if rec.Seq > max {
+			max = rec.Seq
+		}
+	}
+	return max
+}
+
+// EncodeTranslation builds the translation record journaling tr under
+// the given sequence number.
+func EncodeTranslation(seq uint64, tr *update.Translation) Record {
+	rec := Record{Seq: seq, Kind: KindTranslation}
+	for _, o := range tr.Ops() {
+		switch o.Kind {
+		case update.Insert:
+			rec.Ops = append(rec.Ops, OpRecord{Kind: "i", Rel: o.RelationName(), Vals: encodeVals(o.Tuple)})
+		case update.Delete:
+			rec.Ops = append(rec.Ops, OpRecord{Kind: "d", Rel: o.RelationName(), Vals: encodeVals(o.Tuple)})
+		case update.Replace:
+			rec.Ops = append(rec.Ops, OpRecord{Kind: "r", Rel: o.RelationName(), Old: encodeVals(o.Old), New: encodeVals(o.New)})
+		}
+	}
+	return rec
+}
+
+// CommitRecord builds the commit marker for seq.
+func CommitRecord(seq uint64) Record { return Record{Seq: seq, Kind: KindCommit} }
+
+func encodeVals(t tuple.T) []string {
+	vals := t.Values()
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = v.Encode()
+	}
+	return out
+}
+
+// DecodeTranslation rebuilds the translation journaled in rec against
+// sch. It fails on unknown relations, arity mismatches, or values that
+// do not decode or fall outside their domains — a record that passed
+// its checksum but disagrees with the schema indicates corruption or a
+// snapshot/WAL mismatch.
+func DecodeTranslation(sch *schema.Database, rec Record) (*update.Translation, error) {
+	if rec.Kind != KindTranslation {
+		return nil, fmt.Errorf("wal: record seq %d is not a translation", rec.Seq)
+	}
+	tr := update.NewTranslation()
+	for _, o := range rec.Ops {
+		rel := sch.Relation(o.Rel)
+		if rel == nil {
+			return nil, fmt.Errorf("wal: record seq %d references unknown relation %s", rec.Seq, o.Rel)
+		}
+		switch o.Kind {
+		case "i", "d":
+			t, err := decodeTuple(rel, o.Vals)
+			if err != nil {
+				return nil, fmt.Errorf("wal: record seq %d: %w", rec.Seq, err)
+			}
+			if o.Kind == "i" {
+				tr.Add(update.NewInsert(t))
+			} else {
+				tr.Add(update.NewDelete(t))
+			}
+		case "r":
+			old, err := decodeTuple(rel, o.Old)
+			if err != nil {
+				return nil, fmt.Errorf("wal: record seq %d: %w", rec.Seq, err)
+			}
+			new, err := decodeTuple(rel, o.New)
+			if err != nil {
+				return nil, fmt.Errorf("wal: record seq %d: %w", rec.Seq, err)
+			}
+			tr.Add(update.NewReplace(old, new))
+		default:
+			return nil, fmt.Errorf("wal: record seq %d has unknown op kind %q", rec.Seq, o.Kind)
+		}
+	}
+	return tr, nil
+}
+
+func decodeTuple(rel *schema.Relation, encs []string) (tuple.T, error) {
+	if len(encs) != rel.Arity() {
+		return tuple.T{}, fmt.Errorf("%s tuple has %d values, want %d", rel.Name(), len(encs), rel.Arity())
+	}
+	vals := make([]value.Value, len(encs))
+	for i, enc := range encs {
+		v, err := value.Decode(enc)
+		if err != nil {
+			return tuple.T{}, fmt.Errorf("%s tuple: %w", rel.Name(), err)
+		}
+		vals[i] = v
+	}
+	return tuple.New(rel, vals...)
+}
