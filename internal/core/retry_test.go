@@ -103,6 +103,44 @@ func TestApplyRetryExhaustion(t *testing.T) {
 	}
 }
 
+// TestApplyBackoffNeverOverflows: with a large MaxAttempts the
+// exponential backoff must cap instead of shifting the duration into
+// negative or absurd sleeps.
+func TestApplyBackoffNeverOverflows(t *testing.T) {
+	f := fixtures.NewEmp(20)
+	db := f.PaperInstance()
+	var slept []time.Duration
+	tr := core.NewTranslator(f.ViewP, core.PickFirst{})
+	tr.Retry = core.RetryPolicy{
+		MaxAttempts: 70, // unclamped, 1ms << 69 wraps negative
+		Backoff:     time.Millisecond,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}
+	faultinject.Enable(faultinject.NewPlan(1).
+		FailEveryNth(faultinject.SiteApply, 1, 1000, vuerr.ErrTransient))
+	defer faultinject.Disable()
+
+	_, err := tr.Apply(db, core.InsertRequest(f.ViewTuple(f.ViewP, 19, "Judy", "New York", false)))
+	if !vuerr.IsTransient(err) {
+		t.Fatalf("exhausted retry error = %v, want transient chain", err)
+	}
+	if len(slept) != 69 {
+		t.Fatalf("slept %d times, want 69", len(slept))
+	}
+	cap := time.Millisecond << 16
+	for i, d := range slept {
+		if d <= 0 || d > cap {
+			t.Fatalf("sleep %d = %v, want within (0, %v]", i, d, cap)
+		}
+		if i > 0 && d < slept[i-1] {
+			t.Fatalf("backoff shrank: sleep %d = %v after %v", i, d, slept[i-1])
+		}
+	}
+	if last := slept[len(slept)-1]; last != cap {
+		t.Fatalf("final backoff = %v, want capped at %v", last, cap)
+	}
+}
+
 // TestApplyDoesNotRetryPermanentErrors: constraint violations return
 // immediately with a single attempt.
 func TestApplyDoesNotRetryPermanentErrors(t *testing.T) {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"log/slog"
+	"math"
 	"time"
 
 	"viewupdate/internal/obs"
@@ -49,13 +50,25 @@ func (p RetryPolicy) attempts() int {
 	return p.MaxAttempts
 }
 
+// maxBackoffShift caps the exponential doubling: past 2^16 times the
+// base backoff the sleep stops growing, so a large MaxAttempts cannot
+// overflow the duration arithmetic into negative or absurd sleeps.
+const maxBackoffShift = 16
+
 // wait sleeps before retry attempt n (n >= 1), with exponential
-// backoff: Backoff << (n-1).
+// backoff: Backoff doubled min(n-1, maxBackoffShift) times, never
+// allowed to overflow.
 func (p RetryPolicy) wait(n int) {
 	if p.Backoff <= 0 {
 		return
 	}
-	d := p.Backoff << (n - 1)
+	d := p.Backoff
+	for i := 1; i < n && i <= maxBackoffShift; i++ {
+		if d > math.MaxInt64/2 {
+			break
+		}
+		d *= 2
+	}
 	if p.Sleep != nil {
 		p.Sleep(d)
 		return

@@ -27,6 +27,17 @@ func syncUnderlying(w io.Writer) error {
 	return nil
 }
 
+// truncater is the optional repair capability of an underlying writer,
+// mirroring the WAL media contract.
+type truncater interface{ Truncate(size int64) error }
+
+func truncateUnderlying(w io.Writer, size int64) error {
+	if t, ok := w.(truncater); ok {
+		return t.Truncate(size)
+	}
+	return errors.New("faultinject: underlying writer cannot truncate")
+}
+
 // A CrashWriter writes through until Limit total bytes have been
 // written, then "crashes": the write that crosses the limit is
 // truncated at the limit (a torn write) and every later Write and Sync
@@ -67,6 +78,15 @@ func (c *CrashWriter) Sync() error {
 	return syncUnderlying(c.W)
 }
 
+// Truncate fails once crashed — a dead process cannot repair its file —
+// and otherwise delegates to the underlying writer.
+func (c *CrashWriter) Truncate(size int64) error {
+	if c.crashed {
+		return ErrCrashed
+	}
+	return truncateUnderlying(c.W, size)
+}
+
 // Crashed reports whether the cut-off has been reached.
 func (c *CrashWriter) Crashed() bool { return c.crashed }
 
@@ -94,6 +114,10 @@ func (f *FlakyWriter) Write(p []byte) (int, error) {
 
 // Sync implements the WAL media contract.
 func (f *FlakyWriter) Sync() error { return syncUnderlying(f.W) }
+
+// Truncate delegates to the underlying writer; only Write calls are
+// flaky.
+func (f *FlakyWriter) Truncate(size int64) error { return truncateUnderlying(f.W, size) }
 
 // A CorruptWriter passes every write through but XORs Mask into the
 // byte at absolute offset Offset (counted across all writes): silent
@@ -127,3 +151,16 @@ func (c *CorruptWriter) Write(p []byte) (int, error) {
 
 // Sync implements the WAL media contract.
 func (c *CorruptWriter) Sync() error { return syncUnderlying(c.W) }
+
+// Truncate delegates to the underlying writer, rewinding the absolute
+// offset count so a not-yet-reached corruption target stays aligned
+// with file offsets.
+func (c *CorruptWriter) Truncate(size int64) error {
+	if err := truncateUnderlying(c.W, size); err != nil {
+		return err
+	}
+	if c.written > size {
+		c.written = size
+	}
+	return nil
+}

@@ -16,10 +16,20 @@ import (
 	"viewupdate/internal/value"
 )
 
+// FormatVersion is the current snapshot layout. Format 1 lacked the
+// Seq watermark; Restore accepts both.
+const FormatVersion = 2
+
 // Snapshot is the serialized form of a database.
 type Snapshot struct {
-	// Format identifies the snapshot layout; currently 1.
+	// Format identifies the snapshot layout; see FormatVersion.
 	Format int `json:"format"`
+	// Seq is the applied-sequence watermark: the highest WAL sequence
+	// number folded into this snapshot's contents. Recovery skips
+	// committed WAL records with seq <= Seq, making replay idempotent
+	// when a crash interrupts a checkpoint between the snapshot rename
+	// and the WAL truncation. Format-1 snapshots decode with Seq 0.
+	Seq uint64 `json:"seq,omitempty"`
 	// Domains in name order.
 	Domains []DomainJSON `json:"domains"`
 	// Relations in schema registration order.
@@ -59,7 +69,7 @@ type InclusionJSON struct {
 // Capture builds a Snapshot of db.
 func Capture(db *storage.Database) (*Snapshot, error) {
 	sch := db.Schema()
-	snap := &Snapshot{Format: 1, Tuples: map[string][][]string{}}
+	snap := &Snapshot{Format: FormatVersion, Tuples: map[string][][]string{}}
 
 	seenDom := map[string]*schema.Domain{}
 	var domNames []string
@@ -118,20 +128,37 @@ func Save(w io.Writer, db *storage.Database) error {
 
 // SaveFile writes db's snapshot to path.
 func SaveFile(path string, db *storage.Database) error {
+	snap, err := Capture(db)
+	if err != nil {
+		return err
+	}
+	return WriteSnapshotFile(path, snap)
+}
+
+// WriteSnapshotFile writes snap to path as indented JSON, fsyncing the
+// file before close so a caller that renames it into place cannot end
+// up with an empty or partial snapshot after power loss.
+func WriteSnapshotFile(path string, snap *Snapshot) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := Save(f, db); err != nil {
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		f.Close()
 		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: syncing snapshot: %w", err)
 	}
 	return f.Close()
 }
 
 // Restore rebuilds a database (with a fresh schema) from a snapshot.
 func Restore(snap *Snapshot) (*storage.Database, error) {
-	if snap.Format != 1 {
+	if snap.Format < 1 || snap.Format > FormatVersion {
 		return nil, fmt.Errorf("persist: unsupported snapshot format %d", snap.Format)
 	}
 	domains := map[string]*schema.Domain{}
@@ -219,10 +246,24 @@ func Load(r io.Reader) (*storage.Database, error) {
 
 // LoadFile reads a snapshot from path and restores it.
 func LoadFile(path string) (*storage.Database, error) {
+	snap, err := ReadSnapshotFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Restore(snap)
+}
+
+// ReadSnapshotFile reads the raw snapshot at path without restoring it,
+// exposing metadata — notably the Seq watermark — alongside the data.
+func ReadSnapshotFile(path string) (*Snapshot, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Load(f)
+	var snap Snapshot
+	if err := json.NewDecoder(f).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("persist: decoding snapshot: %w", err)
+	}
+	return &snap, nil
 }

@@ -38,6 +38,12 @@ type Options struct {
 type RecoveryReport struct {
 	// Replayed counts committed translations re-applied from the WAL.
 	Replayed int
+	// Skipped counts committed translations already folded into the
+	// snapshot (seq <= SnapshotSeq) — the residue of a crash between a
+	// checkpoint's snapshot rename and its WAL truncation.
+	Skipped int
+	// SnapshotSeq is the snapshot's applied-sequence watermark.
+	SnapshotSeq uint64
 	// Discarded counts translation records without a commit marker.
 	Discarded int
 	// TornAt is the byte offset of the torn WAL tail, or -1 if the log
@@ -57,8 +63,12 @@ func (r RecoveryReport) String() string {
 	if r.TornAt >= 0 {
 		torn = fmt.Sprintf("torn at %d (%s), truncated %d bytes", r.TornAt, r.TornReason, r.TruncatedBytes)
 	}
-	return fmt.Sprintf("replayed %d, discarded %d, %s, max seq %d",
-		r.Replayed, r.Discarded, torn, r.MaxSeq)
+	skipped := ""
+	if r.Skipped > 0 {
+		skipped = fmt.Sprintf(", skipped %d at or below watermark %d", r.Skipped, r.SnapshotSeq)
+	}
+	return fmt.Sprintf("replayed %d, discarded %d%s, %s, max seq %d",
+		r.Replayed, r.Discarded, skipped, torn, r.MaxSeq)
 }
 
 // A Store couples a database with durable state on disk: a JSON
@@ -108,7 +118,11 @@ func Open(dir string, opts Options) (*Store, error) {
 	if _, err := os.Stat(snapPath); errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("%w: %s", ErrNoStore, dir)
 	}
-	db, err := LoadFile(snapPath)
+	snap, err := ReadSnapshotFile(snapPath)
+	if err != nil {
+		return nil, fmt.Errorf("persist: loading snapshot: %w", err)
+	}
+	db, err := Restore(snap)
 	if err != nil {
 		return nil, fmt.Errorf("persist: loading snapshot: %w", err)
 	}
@@ -118,7 +132,10 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	report := RecoveryReport{TornAt: res.TornAt, TornReason: res.Reason, MaxSeq: res.MaxSeq()}
+	report := RecoveryReport{
+		TornAt: res.TornAt, TornReason: res.Reason,
+		MaxSeq: res.MaxSeq(), SnapshotSeq: snap.Seq,
+	}
 	if res.Torn() {
 		st, err := os.Stat(walPath)
 		if err != nil {
@@ -135,6 +152,13 @@ func Open(dir string, opts Options) (*Store, error) {
 	committed, discarded := res.Committed()
 	report.Discarded = discarded
 	for _, rec := range committed {
+		if rec.Seq <= snap.Seq {
+			// Already folded into the snapshot by a checkpoint whose WAL
+			// truncation the crash pre-empted; replaying would apply it
+			// twice.
+			report.Skipped++
+			continue
+		}
 		tr, err := wal.DecodeTranslation(db.Schema(), rec)
 		if err != nil {
 			return nil, fmt.Errorf("persist: replay: %w (%w)", err, vuerr.ErrCorrupt)
@@ -149,8 +173,13 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	obs.Add("wal.recover.replayed", int64(report.Replayed))
 	obs.Add("wal.recover.discarded", int64(report.Discarded))
+	obs.Add("wal.recover.skipped", int64(report.Skipped))
 
-	s := &Store{dir: dir, db: db, opts: opts, seq: report.MaxSeq, report: report}
+	seq := report.MaxSeq
+	if snap.Seq > seq {
+		seq = snap.Seq
+	}
+	s := &Store{dir: dir, db: db, opts: opts, seq: seq, report: report}
 	if err := s.openLog(); err != nil {
 		return nil, err
 	}
@@ -158,7 +187,7 @@ func Open(dir string, opts Options) (*Store, error) {
 }
 
 func (s *Store) openLog() error {
-	log, _, err := wal.OpenFile(filepath.Join(s.dir, WALFile), s.opts.Sync)
+	log, size, err := wal.OpenFile(filepath.Join(s.dir, WALFile), s.opts.Sync)
 	if err != nil {
 		return err
 	}
@@ -170,7 +199,7 @@ func (s *Store) openLog() error {
 			return fmt.Errorf("persist: %w", ferr)
 		}
 		log.Close()
-		s.log = wal.New(s.opts.WrapWAL(f), s.opts.Sync)
+		s.log = wal.NewAt(s.opts.WrapWAL(f), s.opts.Sync, size)
 		return nil
 	}
 	s.log = log
@@ -210,10 +239,12 @@ func (s *Store) Apply(tr *update.Translation) error {
 	if s.broken != nil {
 		return s.broken
 	}
+	// Sequence numbers are never reused: a failed append burns its seq,
+	// so a retried translation can never pair a fresh commit marker with
+	// a stale or damaged record from the failed attempt.
 	s.seq++
 	seq := s.seq
 	if err := s.log.Append(wal.EncodeTranslation(seq, tr)); err != nil {
-		s.seq--
 		return err
 	}
 	if err := s.db.Apply(tr); err != nil {
@@ -253,6 +284,12 @@ func invert(tr *update.Translation) *update.Translation {
 // state as the snapshot (atomically, via rename) and reset the log.
 // Call it after schema changes — DDL is snapshot-persisted, not
 // WAL-journaled — or to bound recovery time.
+//
+// The snapshot records the applied-sequence watermark, so a crash
+// anywhere inside Checkpoint is safe: before the rename the old
+// snapshot+WAL pair still recovers, and between the rename and the WAL
+// truncation the new snapshot's watermark makes recovery skip the WAL
+// records it already contains.
 func (s *Store) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -273,14 +310,35 @@ func (s *Store) Checkpoint() error {
 	return s.openLog()
 }
 
-// writeSnapshot atomically replaces the snapshot file with db's state.
+// writeSnapshot atomically replaces the snapshot file with db's state,
+// stamped with the applied-sequence watermark. The temp file is fsynced
+// before the rename and the directory after it, so the swap survives
+// power loss.
 func (s *Store) writeSnapshot() error {
+	snap, err := Capture(s.db)
+	if err != nil {
+		return err
+	}
+	snap.Seq = s.seq
 	tmp := filepath.Join(s.dir, SnapshotFile+".tmp")
-	if err := SaveFile(tmp, s.db); err != nil {
+	if err := WriteSnapshotFile(tmp, snap); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, filepath.Join(s.dir, SnapshotFile)); err != nil {
 		return fmt.Errorf("persist: %w", err)
+	}
+	return syncDir(s.dir)
+}
+
+// syncDir fsyncs a directory so renames inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing %s: %w", dir, err)
 	}
 	return nil
 }

@@ -247,6 +247,12 @@ func TestStoreTransientAppendRetry(t *testing.T) {
 	if rec.Report().Replayed != 2 || rec.Report().Discarded != 0 || rec.Report().TornAt != -1 {
 		t.Fatalf("report = %s, want 2 clean replays", rec.Report())
 	}
+	// The failed append burned seq 2; the retry committed under seq 3.
+	// Reusing sequence numbers could pair a fresh commit marker with a
+	// stale record from the failed attempt.
+	if rec.Report().MaxSeq != 3 {
+		t.Fatalf("max seq = %d, want 3 (failed append burns its seq)", rec.Report().MaxSeq)
+	}
 	if render(rec.DB()) != render(st.DB()) {
 		t.Fatal("recovered state differs")
 	}
@@ -331,6 +337,82 @@ func TestCheckpoint(t *testing.T) {
 		t.Fatal("post-checkpoint recovery differs")
 	}
 	_ = want
+}
+
+// TestCheckpointCrashWindow simulates a crash between the checkpoint's
+// snapshot rename and its WAL truncation: the new snapshot is in place
+// but the old WAL records survive. The snapshot's applied-sequence
+// watermark must make recovery skip them — replaying would apply every
+// committed translation twice and fail on the duplicate inserts.
+func TestCheckpointCrashWindow(t *testing.T) {
+	fx := fixtures.NewABCXD()
+	dir := t.TempDir()
+	st, err := Create(dir, fx.PaperInstance(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs := crashWorkload(fx)
+	for _, tr := range trs[:3] {
+		if err := st.Apply(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := render(st.DB())
+	walPath := filepath.Join(dir, WALFile)
+	preCheckpoint, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Undo the truncation: this is the on-disk state if the process died
+	// right after the rename.
+	if err := os.WriteFile(walPath, preCheckpoint, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery after checkpoint crash: %v", err)
+	}
+	rep := rec.Report()
+	if rep.Replayed != 0 || rep.Skipped != 3 || rep.SnapshotSeq != 3 {
+		t.Fatalf("report = %s, want 0 replayed / 3 skipped at watermark 3", rep)
+	}
+	if render(rec.DB()) != want {
+		t.Fatal("recovered state differs from the checkpointed state")
+	}
+	// The store keeps working past the stale records: new commits get
+	// fresh sequence numbers and replay cleanly next time. The tuple is
+	// rebuilt against the recovered schema — snapshot restore produced
+	// fresh relation objects.
+	ab := rec.DB().Schema().Relation("AB")
+	tp, err := tuple.New(ab, value.NewString("a2"), value.NewInt(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Apply(update.NewTranslation(update.NewDelete(tp))); err != nil {
+		t.Fatal(err)
+	}
+	want2 := render(rec.DB())
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if again.Report().Replayed != 1 || again.Report().Skipped != 3 {
+		t.Fatalf("report = %s, want 1 replayed / 3 skipped", again.Report())
+	}
+	if render(again.DB()) != want2 {
+		t.Fatal("post-crash-window commit did not survive")
+	}
 }
 
 func TestOpenErrors(t *testing.T) {

@@ -63,6 +63,13 @@ const (
 // lengths as corruption rather than allocating unbounded memory.
 const MaxRecordSize = 1 << 26
 
+// ErrSealed marks a log that suffered an append failure it could not
+// repair: the media may hold a partial frame, and appending after it
+// would put committed records beyond a tear where Scan never reads
+// them. A sealed log refuses all further appends; reopen the store to
+// recover.
+var ErrSealed = errors.New("wal: log sealed after unrepaired append failure")
+
 // headerSize is the frame header: 4 length bytes + 4 CRC bytes.
 const headerSize = 8
 
@@ -136,6 +143,11 @@ type File interface {
 	Sync() error
 }
 
+// truncater is the optional repair capability of the media: cutting the
+// file back to a known-good length after a failed append. *os.File,
+// MemFile, and the faultinject writers all provide it.
+type truncater interface{ Truncate(size int64) error }
+
 // A MemFile is an in-memory File for tests and property harnesses.
 type MemFile struct {
 	buf   []byte
@@ -154,6 +166,15 @@ func (m *MemFile) Sync() error {
 	return nil
 }
 
+// Truncate cuts the log image back to size bytes.
+func (m *MemFile) Truncate(size int64) error {
+	if size < 0 || size > int64(len(m.buf)) {
+		return fmt.Errorf("wal: truncate to %d outside [0,%d]", size, len(m.buf))
+	}
+	m.buf = m.buf[:size]
+	return nil
+}
+
 // Bytes returns the accumulated log image.
 func (m *MemFile) Bytes() []byte { return m.buf }
 
@@ -162,16 +183,29 @@ func (m *MemFile) Syncs() int { return m.syncs }
 
 // A Log appends records to a File under a mutex. It performs no
 // buffering of its own: every Append reaches the media in one Write.
+// The log tracks the last known-good frame boundary; a failed append is
+// repaired by truncating back to it (a real write can persist a prefix
+// before failing), and if the media cannot be truncated the log seals
+// itself — see ErrSealed.
 type Log struct {
 	mu     sync.Mutex
 	f      File
 	closer io.Closer
 	policy SyncPolicy
+	off    int64 // bytes of intact frames, the truncate-back point
+	sealed error // non-nil once the tail can no longer be trusted
 }
 
-// New returns a log appending to f under the given sync policy.
+// New returns a log appending to an empty f under the given sync
+// policy. For media that already holds frames, use NewAt.
 func New(f File, policy SyncPolicy) *Log {
-	return &Log{f: f, policy: policy}
+	return NewAt(f, policy, 0)
+}
+
+// NewAt returns a log appending to f, whose current length is off
+// bytes of intact frames, under the given sync policy.
+func NewAt(f File, policy SyncPolicy, off int64) *Log {
+	return &Log{f: f, policy: policy, off: off}
 }
 
 // OpenFile opens (creating if absent) the log file at path for
@@ -186,7 +220,7 @@ func OpenFile(path string, policy SyncPolicy) (*Log, int64, error) {
 		f.Close()
 		return nil, 0, fmt.Errorf("wal: %w", err)
 	}
-	return &Log{f: f, closer: f, policy: policy}, st.Size(), nil
+	return &Log{f: f, closer: f, policy: policy, off: st.Size()}, st.Size(), nil
 }
 
 // Frame encodes rec as one on-disk frame.
@@ -207,7 +241,11 @@ func Frame(rec Record) ([]byte, error) {
 
 // Append writes rec as one frame, syncing per policy. The append is
 // all-or-torn: a crash mid-write leaves a tail that Scan detects and
-// recovery truncates.
+// recovery truncates. A failed append is repaired in place — the file
+// is cut back to the last intact frame, so a retry is sound and later
+// appends never land beyond a tear. When the repair itself fails, the
+// log seals: every further Append returns an error chaining ErrSealed
+// and the original cause.
 func (l *Log) Append(rec Record) error {
 	if ferr := faultinject.Hit(faultinject.SiteWALAppend); ferr != nil {
 		return fmt.Errorf("wal: %w", ferr)
@@ -220,12 +258,24 @@ func (l *Log) Append(rec Record) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.sealed != nil {
+		return l.sealed
+	}
 	if _, err := l.f.Write(frame); err != nil {
+		// write(2) can persist a prefix before failing; cut the file
+		// back to the last intact frame so a later append cannot land
+		// after garbage that would stop Scan short of it.
+		l.repairLocked(err)
 		return fmt.Errorf("wal: append: %w", err)
 	}
+	l.off += int64(len(frame))
 	obs.Inc("wal.append")
 	if l.policy == SyncAlways || (l.policy == SyncOnCommit && rec.Kind == KindCommit) {
 		if err := l.f.Sync(); err != nil {
+			// After a failed durability barrier the fate of every
+			// unsynced byte is unknown; no truncate can re-prove the
+			// tail, so the log is done.
+			l.sealLocked(err)
 			return fmt.Errorf("wal: sync: %w", err)
 		}
 		obs.Inc("wal.sync")
@@ -233,23 +283,56 @@ func (l *Log) Append(rec Record) error {
 	return nil
 }
 
+// repairLocked restores the media to the last known-good frame boundary
+// after a failed write, sealing the log when it cannot.
+func (l *Log) repairLocked(cause error) {
+	if t, ok := l.f.(truncater); ok {
+		if err := t.Truncate(l.off); err == nil {
+			obs.Inc("wal.append.repaired")
+			return
+		}
+	}
+	l.sealLocked(cause)
+}
+
+func (l *Log) sealLocked(cause error) {
+	l.sealed = fmt.Errorf("%w (cause: %w)", ErrSealed, cause)
+	obs.Inc("wal.sealed")
+}
+
+// Sealed returns the sealing error, or nil while the log accepts
+// appends.
+func (l *Log) Sealed() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sealed
+}
+
 // Sync forces a durability barrier regardless of policy.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.sealed != nil {
+		return l.sealed
+	}
 	if err := l.f.Sync(); err != nil {
+		l.sealLocked(err)
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	obs.Inc("wal.sync")
 	return nil
 }
 
-// Close syncs and closes the underlying file, when it is closable.
+// Close closes the underlying file, when it is closable, after a final
+// sync. A sealed log skips the sync — its tail is already suspect — and
+// only releases the file.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: sync: %w", err)
+	if l.sealed == nil {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
 	}
 	if l.closer != nil {
 		return l.closer.Close()

@@ -263,6 +263,116 @@ func TestAppendFaultInjection(t *testing.T) {
 	}
 }
 
+// shortWriter fails its failNth-th Write after persisting only half the
+// bytes — the prefix a real write(2) can leave behind — then recovers.
+// Truncate and Sync come from the embedded MemFile.
+type shortWriter struct {
+	*MemFile
+	failNth int
+	calls   int
+}
+
+func (s *shortWriter) Write(p []byte) (int, error) {
+	s.calls++
+	if s.calls == s.failNth {
+		n, _ := s.MemFile.Write(p[:len(p)/2])
+		return n, errors.New("short write")
+	}
+	return s.MemFile.Write(p)
+}
+
+// TestAppendRepairsPartialWrite: a failed append that left half a frame
+// on the media must not let the next append land after the garbage —
+// the log truncates back to the last intact frame, so the image stays
+// clean and later records remain reachable by Scan.
+func TestAppendRepairsPartialWrite(t *testing.T) {
+	_, p := testSchema(t)
+	sw := &shortWriter{MemFile: &MemFile{}, failNth: 2}
+	log := New(sw, SyncNever)
+	tr := func(k int64) Record {
+		return EncodeTranslation(uint64(k), update.NewTranslation(update.NewInsert(pt(t, p, k, "u"))))
+	}
+	if err := log.Append(tr(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Append(tr(2)); err == nil {
+		t.Fatal("short write did not surface")
+	}
+	if log.Sealed() != nil {
+		t.Fatalf("repairable media sealed the log: %v", log.Sealed())
+	}
+	if err := log.Append(tr(3)); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+	res, err := Scan(bytes.NewReader(sw.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Torn() {
+		t.Fatalf("repaired log still torn at %d: %s", res.TornAt, res.Reason)
+	}
+	if len(res.Records) != 2 || res.Records[0].Seq != 1 || res.Records[1].Seq != 3 {
+		t.Fatalf("scanned %+v, want seqs 1 and 3", res.Records)
+	}
+}
+
+// noRepairFile is media that fails from its second write on and cannot
+// truncate: the log must seal rather than append beyond possible
+// garbage.
+type noRepairFile struct{ calls int }
+
+func (f *noRepairFile) Write(p []byte) (int, error) {
+	f.calls++
+	if f.calls >= 2 {
+		return len(p) / 2, errors.New("media gone")
+	}
+	return len(p), nil
+}
+
+func (f *noRepairFile) Sync() error { return nil }
+
+func TestAppendSealsWhenUnrepairable(t *testing.T) {
+	_, p := testSchema(t)
+	log := New(&noRepairFile{}, SyncNever)
+	tr := update.NewTranslation(update.NewInsert(pt(t, p, 1, "u")))
+	if err := log.Append(EncodeTranslation(1, tr)); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Append(EncodeTranslation(2, tr)); err == nil {
+		t.Fatal("failed write did not surface")
+	}
+	if log.Sealed() == nil {
+		t.Fatal("unrepairable media must seal the log")
+	}
+	err := log.Append(EncodeTranslation(3, tr))
+	if !errors.Is(err, ErrSealed) {
+		t.Fatalf("append on sealed log = %v, want ErrSealed chain", err)
+	}
+	if err := log.Sync(); !errors.Is(err, ErrSealed) {
+		t.Fatalf("sync on sealed log = %v, want ErrSealed chain", err)
+	}
+}
+
+// syncFailFile writes fine but cannot provide a durability barrier.
+type syncFailFile struct{ MemFile }
+
+func (f *syncFailFile) Sync() error { return errors.New("barrier lost") }
+
+// TestSyncFailureSealsLog: after a failed fsync the fate of every
+// unsynced byte is unknown, so the log refuses further work instead of
+// pretending the tail is durable.
+func TestSyncFailureSealsLog(t *testing.T) {
+	_, p := testSchema(t)
+	log := New(&syncFailFile{}, SyncAlways)
+	tr := update.NewTranslation(update.NewInsert(pt(t, p, 1, "u")))
+	if err := log.Append(EncodeTranslation(1, tr)); err == nil {
+		t.Fatal("failed sync did not surface")
+	}
+	if err := log.Append(EncodeTranslation(2, tr)); !errors.Is(err, ErrSealed) {
+		t.Fatalf("append after failed sync = %v, want ErrSealed chain", err)
+	}
+}
+
 func TestOpenFileAppendAndRescan(t *testing.T) {
 	sch, p := testSchema(t)
 	path := filepath.Join(t.TempDir(), "x.wal")
