@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race soak bench bench-obs clean
+.PHONY: all build test check vet fmt race soak bench bench-obs serve-bench clean
 
 all: build
 
@@ -32,7 +32,7 @@ race:
 # short smoke runs of the native fuzzers (torn-WAL scanning and the
 # snapshot loader).
 soak:
-	$(GO) test -race -run 'Crash|Recover|Churn|Torn|Fault|Broken' ./internal/wal/ ./internal/persist/ ./internal/workload/ ./internal/storage/
+	$(GO) test -race -run 'Crash|Recover|Churn|Torn|Fault|Broken' ./internal/wal/ ./internal/persist/ ./internal/workload/ ./internal/storage/ ./internal/server/
 	$(GO) test -fuzz FuzzScan -fuzztime 5s -run '^$$' ./internal/wal/
 	$(GO) test -fuzz FuzzLoad -fuzztime 5s -run '^$$' ./internal/persist/
 
@@ -51,5 +51,23 @@ bench-obs:
 	$(GO) test -bench 'BenchmarkObs' -run '^$$' -benchtime 10x .
 	@cat BENCH_obs.json
 
+# serve-bench boots vuserved on a scratch store, drives it with vuload
+# (8 clients, wire-level inserts/replaces/deletes) and emits
+# BENCH_server.json: throughput, p50/p99 latency, conflict/overload
+# rates, and the group-commit evidence (commits per fsync must exceed 1
+# or the target fails — see docs/SERVING.md).
+serve-bench:
+	$(GO) build -o /tmp/vuserved-bench ./cmd/vuserved
+	$(GO) build -o /tmp/vuload-bench ./cmd/vuload
+	@rm -rf /tmp/vuserved-bench-data; \
+	/tmp/vuserved-bench -addr 127.0.0.1:18099 -data /tmp/vuserved-bench-data -log-level warn & \
+	SRV=$$!; sleep 1; \
+	/tmp/vuload-bench -addr http://127.0.0.1:18099 -clients 8 -requests 200 \
+		-out BENCH_server.json -assert-batching; RC=$$?; \
+	kill -TERM $$SRV 2>/dev/null; wait $$SRV 2>/dev/null; \
+	rm -rf /tmp/vuserved-bench-data /tmp/vuserved-bench /tmp/vuload-bench; \
+	exit $$RC
+	@cat BENCH_server.json
+
 clean:
-	rm -f BENCH_obs.json
+	rm -f BENCH_obs.json BENCH_server.json

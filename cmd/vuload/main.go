@@ -1,0 +1,342 @@
+// Command vuload is a wire-level load generator for vuserved: it
+// drives N concurrent HTTP clients through an insert/replace/delete
+// view-update workload against disjoint key partitions (plus an
+// optional contended hot-key mix), measures client-side latency, and
+// emits BENCH_server.json with throughput, p50/p99 latency,
+// conflict/overload rates, and the server's group-commit counters
+// (commits per fsync) scraped from /metricsz.
+//
+// Usage:
+//
+//	vuload -addr http://localhost:8080 -clients 8 -requests 200
+//	vuload -addr ... -hot 0.2            # 20% contended ops → conflicts
+//	vuload -addr ... -assert-batching    # exit 1 unless >1 commit/fsync
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"viewupdate/internal/obs"
+)
+
+// benchReport is the BENCH_server.json shape.
+type benchReport struct {
+	Config     benchConfig           `json:"config"`
+	ElapsedNS  int64                 `json:"elapsed_ns"`
+	Sent       int64                 `json:"sent"`
+	OK         int64                 `json:"ok"`
+	Conflicts  int64                 `json:"conflicts"`
+	Overloaded int64                 `json:"overloaded"`
+	Rejected   int64                 `json:"rejected"`
+	Failed     int64                 `json:"failed"`
+	Throughput float64               `json:"throughput_rps"`
+	Latency    obs.HistogramSnapshot `json:"latency_ns"`
+	Rates      benchRates            `json:"rates"`
+	Server     serverStats           `json:"server"`
+}
+
+type benchConfig struct {
+	Addr     string  `json:"addr"`
+	Clients  int     `json:"clients"`
+	Requests int     `json:"requests_per_client"`
+	Keys     int64   `json:"keys"`
+	HotFrac  float64 `json:"hot_frac"`
+	Seed     int64   `json:"seed"`
+}
+
+type benchRates struct {
+	Conflict float64 `json:"conflict"`
+	Overload float64 `json:"overload"`
+}
+
+// serverStats is the group-commit evidence, as deltas of the server's
+// obs counters across the run.
+type serverStats struct {
+	WALSyncs       int64   `json:"wal_syncs"`
+	Commits        int64   `json:"commits"`
+	Batches        int64   `json:"batches"`
+	CommitsPerSync float64 `json:"commits_per_sync"`
+	BatchSizeP99   int64   `json:"batch_size_p99"`
+	BatchSizeMax   int64   `json:"batch_size_max"`
+}
+
+// counters aggregates client-side outcomes.
+type counters struct {
+	sent, ok, conflicts, overloaded, rejected, failed atomic.Int64
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "vuserved base URL")
+	clients := flag.Int("clients", 8, "concurrent clients")
+	requests := flag.Int("requests", 200, "requests per client")
+	keys := flag.Int64("keys", 100000, "key domain size (partitioned across clients)")
+	hotFrac := flag.Float64("hot", 0, "fraction of ops on shared hot keys (induces conflicts)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	setup := flag.Bool("setup", true, "create the bench schema and view via /execz first")
+	out := flag.String("out", "BENCH_server.json", "report path")
+	assertBatching := flag.Bool("assert-batching", false, "exit 1 unless group commit averaged >1 commit per fsync")
+	flag.Parse()
+
+	hc := &http.Client{Timeout: 30 * time.Second}
+	if *setup {
+		if err := runSetup(hc, *addr, *keys); err != nil {
+			fmt.Fprintln(os.Stderr, "setup:", err)
+			os.Exit(1)
+		}
+	}
+
+	before, err := scrapeMetrics(hc, *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metrics:", err)
+		os.Exit(1)
+	}
+
+	lat := obs.NewHistogram()
+	var cnt counters
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			runClient(hc, *addr, id, *clients, *requests, *keys, *hotFrac, *seed, lat, &cnt)
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := scrapeMetrics(hc, *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metrics:", err)
+		os.Exit(1)
+	}
+
+	rep := buildReport(benchConfig{
+		Addr: *addr, Clients: *clients, Requests: *requests,
+		Keys: *keys, HotFrac: *hotFrac, Seed: *seed,
+	}, elapsed, lat, &cnt, before, after)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "encoding report:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "writing report:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("vuload: %d ok / %d sent in %s (%.0f req/s), p50 %s p99 %s, %.2f commits/fsync\n",
+		rep.OK, rep.Sent, elapsed.Round(time.Millisecond), rep.Throughput,
+		time.Duration(rep.Latency.P50), time.Duration(rep.Latency.P99), rep.Server.CommitsPerSync)
+	if *assertBatching && rep.Server.CommitsPerSync <= 1 {
+		fmt.Fprintf(os.Stderr, "vuload: group commit did not batch (%.2f commits/fsync)\n", rep.Server.CommitsPerSync)
+		os.Exit(1)
+	}
+}
+
+func buildReport(cfg benchConfig, elapsed time.Duration, lat *obs.Histogram, cnt *counters, before, after obs.Snapshot) benchReport {
+	rep := benchReport{
+		Config:     cfg,
+		ElapsedNS:  int64(elapsed),
+		Sent:       cnt.sent.Load(),
+		OK:         cnt.ok.Load(),
+		Conflicts:  cnt.conflicts.Load(),
+		Overloaded: cnt.overloaded.Load(),
+		Rejected:   cnt.rejected.Load(),
+		Failed:     cnt.failed.Load(),
+		Latency:    lat.Stats(),
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.OK) / elapsed.Seconds()
+	}
+	if rep.Sent > 0 {
+		rep.Rates.Conflict = float64(rep.Conflicts) / float64(rep.Sent)
+		rep.Rates.Overload = float64(rep.Overloaded) / float64(rep.Sent)
+	}
+	delta := func(name string) int64 { return after.Counters[name] - before.Counters[name] }
+	rep.Server = serverStats{
+		WALSyncs: delta("wal.sync"),
+		Commits:  delta("server.commit.committed"),
+		Batches:  delta("server.commit.batches"),
+	}
+	if rep.Server.WALSyncs > 0 {
+		rep.Server.CommitsPerSync = float64(rep.Server.Commits) / float64(rep.Server.WALSyncs)
+	}
+	if h, ok := after.Histograms["server.commit.batch_size"]; ok {
+		rep.Server.BatchSizeP99 = h.P99
+		rep.Server.BatchSizeMax = h.Max
+	}
+	return rep
+}
+
+// runSetup creates the bench schema statement by statement, tolerating
+// "already exists" (a durable store restarted under the same data dir
+// keeps its tables; views are not durable and are always recreated).
+func runSetup(hc *http.Client, addr string, keys int64) error {
+	stmts := []string{
+		fmt.Sprintf("CREATE DOMAIN KeyDom AS INT RANGE 1 TO %d;", keys),
+		"CREATE DOMAIN LocDom AS STRING ('New York', 'San Francisco', 'Austin');",
+		"CREATE TABLE EMP (EmpNo KeyDom, Location LocDom, PRIMARY KEY (EmpNo));",
+		"CREATE VIEW NY AS SELECT * FROM EMP WHERE Location = 'New York';",
+	}
+	for _, stmt := range stmts {
+		body, _ := json.Marshal(map[string]string{"script": stmt})
+		resp, err := hc.Post(addr+"/execz", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && !strings.Contains(string(msg), "already exists") {
+			return fmt.Errorf("%s: %s", stmt, msg)
+		}
+	}
+	return nil
+}
+
+func scrapeMetrics(hc *http.Client, addr string) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	resp, err := hc.Get(addr + "/metricsz")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("metricsz: status %d", resp.StatusCode)
+	}
+	return snap, json.NewDecoder(resp.Body).Decode(&snap)
+}
+
+// runClient drives one client's share of the workload: a rotation of
+// insert → replace (move to a fresh key) → delete over the client's own
+// key partition, with an optional fraction of contended hot-key ops.
+// 429 responses are retried after the server's Retry-After hint.
+func runClient(hc *http.Client, addr string, id, clients, requests int, keys int64, hotFrac float64, seed int64, lat *obs.Histogram, cnt *counters) {
+	rng := rand.New(rand.NewSource(seed + int64(id)))
+	hotBase := keys - 16 // top 16 keys are the shared hot range
+	span := (hotBase) / int64(clients)
+	base := int64(id) * span
+	next := base + 1
+	var alive []int64
+
+	fresh := func() (int64, bool) {
+		if next > base+span {
+			return 0, false
+		}
+		k := next
+		next++
+		return k, true
+	}
+
+	for n := 0; n < requests; n++ {
+		var path string
+		var body map[string]any
+		if hotFrac > 0 && rng.Float64() < hotFrac {
+			// Contended: everyone fights over the same hot key with a
+			// delete-then-reinsert pair; losers see 409 (commit conflict)
+			// or a stale-read rejection.
+			k := hotBase + 1 + rng.Int63n(16)
+			if rng.Intn(2) == 0 {
+				path = "/views/NY/insert"
+				body = map[string]any{"values": []string{strconv.FormatInt(k, 10), "New York"}}
+			} else {
+				path = "/views/NY/delete"
+				body = map[string]any{"where": map[string]string{"EmpNo": strconv.FormatInt(k, 10)}}
+			}
+		} else {
+			switch n % 3 {
+			case 0:
+				k, ok := fresh()
+				if !ok {
+					continue
+				}
+				path = "/views/NY/insert"
+				body = map[string]any{"values": []string{strconv.FormatInt(k, 10), "New York"}}
+				alive = append(alive, k)
+			case 1:
+				if len(alive) == 0 {
+					continue
+				}
+				k := alive[len(alive)-1]
+				to, ok := fresh()
+				if !ok {
+					continue
+				}
+				path = "/views/NY/replace"
+				body = map[string]any{
+					"where": map[string]string{"EmpNo": strconv.FormatInt(k, 10)},
+					"set":   map[string]string{"EmpNo": strconv.FormatInt(to, 10)},
+				}
+				alive[len(alive)-1] = to
+			default:
+				if len(alive) == 0 {
+					continue
+				}
+				k := alive[len(alive)-1]
+				alive = alive[:len(alive)-1]
+				path = "/views/NY/delete"
+				body = map[string]any{"where": map[string]string{"EmpNo": strconv.FormatInt(k, 10)}}
+			}
+		}
+		issue(hc, addr+path, body, lat, cnt)
+	}
+}
+
+// issue sends one update, classifying the outcome and retrying
+// overloads per the Retry-After hint (up to 3 attempts).
+func issue(hc *http.Client, url string, body map[string]any, lat *obs.Histogram, cnt *counters) {
+	payload, _ := json.Marshal(body)
+	for attempt := 0; ; attempt++ {
+		cnt.sent.Add(1)
+		start := time.Now()
+		resp, err := hc.Post(url, "application/json", bytes.NewReader(payload))
+		lat.Observe(int64(time.Since(start)))
+		if err != nil {
+			cnt.failed.Add(1)
+			return
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			cnt.ok.Add(1)
+			return
+		case resp.StatusCode == http.StatusConflict:
+			cnt.conflicts.Add(1)
+			return
+		case resp.StatusCode == http.StatusTooManyRequests:
+			cnt.overloaded.Add(1)
+			if attempt >= 2 {
+				return
+			}
+			after, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+			if after <= 0 {
+				after = 1
+			}
+			time.Sleep(time.Duration(after) * 100 * time.Millisecond)
+		case resp.StatusCode == http.StatusBadRequest ||
+			resp.StatusCode == http.StatusUnprocessableEntity ||
+			resp.StatusCode == http.StatusNotFound:
+			// A contended op lost the race before translation (row gone
+			// or key taken at snapshot time).
+			cnt.rejected.Add(1)
+			return
+		default:
+			cnt.failed.Add(1)
+			return
+		}
+	}
+}

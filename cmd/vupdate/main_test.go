@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the vupdate binary into a temp dir once per test
+// run.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "vupdate")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building vupdate: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) (string, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("vupdate %v: %v\nstdout: %s\nstderr: %s", args, err, stdout.String(), stderr.String())
+	}
+	return stdout.String(), stderr.String()
+}
+
+// TestCLISmoke is the end-to-end smoke of the shell binary: create a
+// durable store, insert through a view, then recover the store with
+// -recover and read the row back — the committed update survives the
+// process boundary.
+func TestCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data")
+
+	script := filepath.Join(dir, "setup.sql")
+	if err := os.WriteFile(script, []byte(`
+CREATE DOMAIN NoDom AS INT RANGE 1 TO 100;
+CREATE DOMAIN LocDom AS STRING ('New York', 'San Francisco');
+CREATE TABLE EMP (EmpNo NoDom, Location LocDom, PRIMARY KEY (EmpNo));
+CREATE VIEW V AS SELECT * FROM EMP WHERE Location = 'New York';
+INSERT INTO V VALUES (7, 'New York');
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run(t, bin, "-wal", data, "-f", script)
+
+	// The store exists and -recover replays it cleanly.
+	if _, err := os.Stat(filepath.Join(data, "snapshot.json")); err != nil {
+		t.Fatalf("no snapshot written: %v", err)
+	}
+	_, stderr := run(t, bin, "-wal", data, "-recover")
+	if !strings.Contains(stderr, "replayed 1") {
+		t.Fatalf("-recover printed no report:\n%s", stderr)
+	}
+
+	// A fresh process sees the committed row. Views are not durable, so
+	// query the base table.
+	stdout, _ := run(t, bin, "-wal", data, "-e", "SELECT * FROM EMP")
+	if !strings.Contains(stdout, "7") || !strings.Contains(stdout, "New York") {
+		t.Fatalf("recovered row missing:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "(1 rows)") && !strings.Contains(stdout, "(1 row") {
+		t.Fatalf("unexpected row count:\n%s", stdout)
+	}
+}

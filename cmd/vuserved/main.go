@@ -1,0 +1,118 @@
+// Command vuserved serves the view-update engine over HTTP: concurrent
+// view reads and view-update translation with a single-writer
+// group-commit pipeline over the durable store.
+//
+// Usage:
+//
+//	vuserved -addr :8080 -data ./data
+//	vuserved -addr :8080 -data ./data -init schema.sql -sync commit
+//
+// Views and policies are not durable; pass -init with a sqlish script
+// (CREATE DOMAIN/TABLE/VIEW, SET POLICY) to define them at boot, or
+// POST the script to /execz after startup.
+//
+// On SIGTERM or SIGINT the server drains gracefully: it stops
+// accepting requests, flushes every queued commit through the
+// pipeline, checkpoints the store (folding the WAL into a fresh
+// snapshot) and exits. See docs/SERVING.md for the API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"viewupdate/internal/obs"
+	"viewupdate/internal/server"
+	"viewupdate/internal/wal"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "", "durable store directory (empty = in-memory only)")
+	initScript := flag.String("init", "", "sqlish script executed at boot (schema, views, policies)")
+	syncMode := flag.String("sync", "commit", "WAL sync policy: commit|always|never")
+	maxInFlight := flag.Int("max-in-flight", 64, "bounded commit queue; beyond it requests get 429")
+	maxBatch := flag.Int("max-batch", 32, "max commits per group-commit WAL append")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
+	flag.Parse()
+
+	logger, err := obs.SetupDefault(os.Stderr, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
+	obs.Enable(obs.NewSink(logger))
+
+	pol, err := wal.ParseSyncPolicy(*syncMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
+
+	var script string
+	if *initScript != "" {
+		data, err := os.ReadFile(*initScript)
+		if err != nil {
+			slog.Error("reading init script", "path", *initScript, "err", err)
+			os.Exit(1)
+		}
+		script = string(data)
+	}
+
+	eng, err := server.NewEngine(server.Config{
+		Dir:            *data,
+		Sync:           pol,
+		MaxInFlight:    *maxInFlight,
+		MaxBatch:       *maxBatch,
+		RequestTimeout: *timeout,
+		Logger:         logger,
+	}, script)
+	if err != nil {
+		slog.Error("starting engine", "err", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.NewHandler(eng),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+		s := <-sig
+		slog.Info("draining", "signal", s.String())
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			slog.Error("http shutdown", "err", err)
+		}
+	}()
+
+	slog.Info("serving", "addr", *addr, "data", *data, "sync", pol.String(),
+		"max_in_flight", *maxInFlight, "max_batch", *maxBatch)
+	err = srv.ListenAndServe()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		slog.Error("serve", "err", err)
+		os.Exit(1)
+	}
+	<-done
+	if err := eng.Close(); err != nil {
+		slog.Error("drain", "err", err)
+		os.Exit(1)
+	}
+	slog.Info("drained cleanly")
+}

@@ -36,6 +36,11 @@ const (
 	SiteRollback = "storage.rollback"
 	// SiteWALAppend fires before each WAL record append.
 	SiteWALAppend = "wal.append"
+	// SiteServerCommit fires at the head of each server group-commit
+	// batch, before any translation in the batch touches memory or the
+	// WAL: the whole batch fails cleanly and every waiting request gets
+	// the injected error.
+	SiteServerCommit = "server.commit"
 )
 
 // A rule decides whether one hit at a site fails.

@@ -1,0 +1,224 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"viewupdate/internal/faultinject"
+	"viewupdate/internal/fixtures"
+	"viewupdate/internal/update"
+	"viewupdate/internal/wal"
+)
+
+// countingFile wraps WAL media and counts durability barriers, to
+// assert the group-commit property (n commits, one fsync).
+type countingFile struct {
+	wal.File
+	syncs int
+}
+
+func (c *countingFile) Sync() error {
+	c.syncs++
+	return c.File.Sync()
+}
+
+func (c *countingFile) Truncate(size int64) error {
+	if t, ok := c.File.(interface{ Truncate(int64) error }); ok {
+		return t.Truncate(size)
+	}
+	return errors.New("no truncate")
+}
+
+// batchWorkload is three independent translations that commute: each
+// can land regardless of the others.
+func batchWorkload(fx *fixtures.ABCXD) []*update.Translation {
+	return []*update.Translation{
+		update.NewTranslation(update.NewInsert(fx.ABTuple("a1", 5))),
+		update.NewTranslation(update.NewInsert(fx.ABTuple("a3", 8))),
+		update.NewTranslation(update.NewDelete(fx.CXDTuple("c2", "a2", 4))),
+	}
+}
+
+// TestApplyBatchCommitsAndReplays: a batch of n translations lands with
+// one durability barrier, and a reopened store replays all of them.
+func TestApplyBatchCommitsAndReplays(t *testing.T) {
+	fx := fixtures.NewABCXD()
+	dir := t.TempDir()
+	var media *countingFile
+	st, err := Create(dir, fx.PaperInstance(), Options{
+		Sync: wal.SyncOnCommit,
+		WrapWAL: func(f wal.File) wal.File {
+			media = &countingFile{File: f}
+			return media
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := st.ApplyBatch(batchWorkload(fx))
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("batch slot %d: %v", i, e)
+		}
+	}
+	if media.syncs != 1 {
+		t.Fatalf("batch of 3 commits cost %d syncs, want exactly 1", media.syncs)
+	}
+	want := render(st.DB())
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rep := st2.Report()
+	if rep.Replayed != 3 || rep.Discarded != 0 || rep.TornAt != -1 {
+		t.Fatalf("report = %s, want 3 clean replays", rep)
+	}
+	if render(st2.DB()) != want {
+		t.Fatal("recovered state differs from the batched state")
+	}
+}
+
+// TestApplyBatchIsolatesConflicts: one invalid translation in a batch
+// gets its own error while the rest commit — per-translation atomicity
+// inside a shared group commit.
+func TestApplyBatchIsolatesConflicts(t *testing.T) {
+	fx := fixtures.NewABCXD()
+	dir := t.TempDir()
+	st, err := Create(dir, fx.PaperInstance(), Options{Sync: wal.SyncOnCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs := []*update.Translation{
+		update.NewTranslation(update.NewInsert(fx.ABTuple("a1", 5))),
+		// Deleting a tuple that does not exist: validation failure.
+		update.NewTranslation(update.NewDelete(fx.ABTuple("a3", 8))),
+		update.NewTranslation(update.NewInsert(fx.ABTuple("a3", 8))),
+	}
+	errs := st.ApplyBatch(trs)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("valid slots errored: %v / %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Fatal("invalid slot did not error")
+	}
+	want := render(st.DB())
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Report().Replayed != 2 {
+		t.Fatalf("replayed %d, want the 2 landed translations", st2.Report().Replayed)
+	}
+	if render(st2.DB()) != want {
+		t.Fatal("recovered state differs")
+	}
+}
+
+// TestApplyBatchWALFailureRollsBack: when the batch append fails
+// cleanly, every in-memory apply is rolled back, all slots report
+// ErrNotDurable, the store stays usable, and a retry lands.
+func TestApplyBatchWALFailureRollsBack(t *testing.T) {
+	fx := fixtures.NewABCXD()
+	dir := t.TempDir()
+	st, err := Create(dir, fx.PaperInstance(), Options{
+		Sync: wal.SyncOnCommit,
+		WrapWAL: func(f wal.File) wal.File {
+			return &faultinject.FlakyWriter{W: f, FailNth: 1}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	before := render(st.DB())
+
+	errs := st.ApplyBatch(batchWorkload(fx))
+	for i, e := range errs {
+		if !errors.Is(e, ErrNotDurable) {
+			t.Fatalf("slot %d = %v, want ErrNotDurable chain", i, e)
+		}
+	}
+	if render(st.DB()) != before {
+		t.Fatal("failed batch left memory diverged from durable state")
+	}
+	if st.Err() != nil {
+		t.Fatalf("clean rollback broke the store: %v", st.Err())
+	}
+
+	// The flaky media fails only its first write; the retry commits.
+	errs = st.ApplyBatch(batchWorkload(fx))
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("retry slot %d: %v", i, e)
+		}
+	}
+}
+
+// TestApplyBatchCrashTearsUnacked: a crash mid-batch-write persists a
+// frame prefix; recovery keeps the wholly-framed commits and discards
+// the rest — never a partial translation.
+func TestApplyBatchCrashTearsUnacked(t *testing.T) {
+	fx := fixtures.NewABCXD()
+	// First measure the full batch image to pick a mid-batch cut.
+	probe := t.TempDir()
+	var mem *countingFile
+	st, err := Create(probe, fx.PaperInstance(), Options{
+		Sync: wal.SyncNever,
+		WrapWAL: func(f wal.File) wal.File {
+			mem = &countingFile{File: f}
+			return mem
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := st.ApplyBatch(batchWorkload(fx)); errs[0] != nil || errs[1] != nil || errs[2] != nil {
+		t.Fatalf("probe batch failed: %v", errs)
+	}
+	st.Close()
+	fi, err := os.Stat(filepath.Join(probe, WALFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeBytes := fi.Size()
+
+	// Crash at byte offsets across the whole batch image.
+	for cut := int64(0); cut <= probeBytes; cut += 7 { // stride keeps the test fast
+		dir := t.TempDir()
+		st, err := Create(dir, fx.PaperInstance(), Options{
+			Sync: wal.SyncNever,
+			WrapWAL: func(f wal.File) wal.File {
+				return &faultinject.CrashWriter{W: f, Limit: cut}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.ApplyBatch(batchWorkload(fx)) // errors expected at most cuts
+		// No Close: the process "died". Recover from what hit the disk.
+		st2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		rep := st2.Report()
+		if rep.Replayed > 3 {
+			t.Fatalf("cut %d: replayed %d > batch size", cut, rep.Replayed)
+		}
+		if err := st2.DB().CheckAllInclusions(); err != nil {
+			t.Fatalf("cut %d: recovered state invalid: %v", cut, err)
+		}
+		st2.Close()
+	}
+}

@@ -23,6 +23,13 @@ const (
 // ErrNoStore marks an Open of a directory that holds no snapshot.
 var ErrNoStore = errors.New("persist: no snapshot in store directory")
 
+// ErrNotDurable marks a commit whose WAL append failed after the
+// in-memory state was cleanly rolled back: the database is intact but
+// the commit did not happen. Distinguishes I/O failure from optimistic
+// validation failure for callers (the serving layer) that map the two
+// to different responses.
+var ErrNotDurable = errors.New("persist: commit not durable")
+
 // Options tune a Store.
 type Options struct {
 	// Sync is the WAL sync policy (default wal.SyncOnCommit).
@@ -262,6 +269,85 @@ func (s *Store) Apply(tr *update.Translation) error {
 		return fmt.Errorf("persist: commit not durable, rolled back: %w", err)
 	}
 	return nil
+}
+
+// ApplyBatch durably applies the translations as one group commit,
+// returning one error slot per translation (nil = committed). Each
+// translation keeps its individual atomicity — one that fails
+// validation (a conflict: removed tuple absent, key collision,
+// inclusion violation) is skipped, its error recorded, and the rest of
+// the batch proceeds — but every translation that does land shares a
+// single WAL write and a single durability barrier via wal.AppendBatch.
+//
+// The batch protocol inverts the single-commit order (memory first,
+// WAL second): each surviving translation is applied in memory, then
+// all of their translation+commit frames are appended in one batch.
+// That is safe because no caller is acknowledged until ApplyBatch
+// returns: a crash after the memory applies but before the WAL append
+// loses only unacknowledged commits, and a torn batch write leaves
+// some frame prefix in which any translation record without its commit
+// marker is discarded at recovery. If the batch append fails cleanly,
+// the in-memory applies are rolled back in reverse order so memory
+// again matches the durable state; if that rollback fails the store is
+// broken (ErrCorrupt), exactly as in Apply.
+func (s *Store) ApplyBatch(trs []*update.Translation) []error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	errs := make([]error, len(trs))
+	if s.broken != nil {
+		for i := range errs {
+			errs[i] = s.broken
+		}
+		return errs
+	}
+	type stagedCommit struct {
+		idx int
+		tr  *update.Translation
+	}
+	var landed []stagedCommit
+	var recs []wal.Record
+	for i, tr := range trs {
+		if err := s.db.Apply(tr); err != nil {
+			errs[i] = err
+			continue
+		}
+		// Seq discipline matches Apply: every staged translation burns a
+		// sequence number, landed or not.
+		s.seq++
+		recs = append(recs, EncodeBatchRecords(s.seq, tr)...)
+		landed = append(landed, stagedCommit{i, tr})
+	}
+	if len(landed) == 0 {
+		return errs
+	}
+	if err := s.log.AppendBatch(recs); err != nil {
+		for j := len(landed) - 1; j >= 0; j-- {
+			if uerr := s.db.Apply(invert(landed[j].tr)); uerr != nil {
+				s.broken = fmt.Errorf("persist: store broken: batch append failed (%v), rollback failed: %w (%w)",
+					err, uerr, vuerr.ErrCorrupt)
+				obs.Inc("persist.store.broken")
+				for _, st := range landed {
+					errs[st.idx] = s.broken
+				}
+				return errs
+			}
+		}
+		for _, st := range landed {
+			errs[st.idx] = fmt.Errorf("%w, rolled back: %w", ErrNotDurable, err)
+		}
+		return errs
+	}
+	obs.Inc("persist.batch")
+	obs.Add("persist.batch.commits", int64(len(landed)))
+	obs.Observe("persist.batch.size", int64(len(landed)))
+	return errs
+}
+
+// EncodeBatchRecords builds the WAL frames of one committed
+// translation inside a batch: its translation record immediately
+// followed by its commit marker.
+func EncodeBatchRecords(seq uint64, tr *update.Translation) []wal.Record {
+	return []wal.Record{wal.EncodeTranslation(seq, tr), wal.CommitRecord(seq)}
 }
 
 // invert returns the translation that undoes tr.

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"viewupdate/internal/faultinject"
+	"viewupdate/internal/obs"
+	"viewupdate/internal/persist"
+	"viewupdate/internal/update"
+	"viewupdate/internal/vuerr"
+	"viewupdate/internal/wal"
+)
+
+// A commitReq is one translation waiting in the pipeline.
+type commitReq struct {
+	tr *update.Translation
+	// strict demands the database version still equal baseVersion when
+	// the commit applies (wire-transaction commits). Non-strict commits
+	// are validated op-by-op by storage instead: a removed tuple that
+	// vanished, a key collision, or an inclusion violation at apply time
+	// is a conflict.
+	strict      bool
+	baseVersion uint64
+	done        chan commitRes
+}
+
+type commitRes struct {
+	err     error
+	version uint64
+}
+
+// runCommitter is the single writer: it owns every mutation of the
+// live database that goes through the pipeline. It gathers queued
+// commits into batches — everything already waiting, up to MaxBatch —
+// so that concurrent commits share one WAL append and one fsync.
+func (e *Engine) runCommitter() {
+	defer close(e.drained)
+	for {
+		first, ok := <-e.commitC
+		if !ok {
+			return
+		}
+		batch := []*commitReq{first}
+		for len(batch) < e.cfg.MaxBatch {
+			select {
+			case r, more := <-e.commitC:
+				if !more {
+					e.commitBatch(batch)
+					return
+				}
+				batch = append(batch, r)
+			default:
+				goto gathered
+			}
+		}
+	gathered:
+		e.commitBatch(batch)
+	}
+}
+
+// commitBatch lands one batch: recheck optimistic conflicts against the
+// live state, apply the survivors through the store's group commit,
+// bump the version by the number of commits that landed, publish a
+// fresh snapshot, and answer every waiter.
+func (e *Engine) commitBatch(batch []*commitReq) {
+	sp := obs.StartSpan("server.commit.batch")
+	defer sp.End()
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	obs.Inc("server.commit.batches")
+	obs.Observe("server.commit.batch_size", int64(len(batch)))
+
+	if ferr := faultinject.Hit(faultinject.SiteServerCommit); ferr != nil {
+		err := fmt.Errorf("server: commit pipeline: %w", ferr)
+		for _, r := range batch {
+			r.done <- commitRes{err: err}
+		}
+		return
+	}
+
+	version := e.snap.Load().version
+
+	// Strict commits are validated against the version their state was
+	// staged from, ordered ahead of the op-validated commits so the
+	// predicted version at each strict commit's apply point is exact: a
+	// strict commit admitted at its own base version applies to exactly
+	// the state it was staged from and cannot fail op-level validation.
+	var admitted []*commitReq
+	var rest []*commitReq
+	predicted := version
+	for _, r := range batch {
+		if !r.strict {
+			rest = append(rest, r)
+			continue
+		}
+		if r.baseVersion != predicted {
+			obs.Inc("server.commit.conflict")
+			r.done <- commitRes{err: fmt.Errorf("%w: database moved from version %d to %d since BEGIN",
+				ErrConflict, r.baseVersion, predicted)}
+			continue
+		}
+		admitted = append(admitted, r)
+		predicted++
+	}
+	admitted = append(admitted, rest...)
+	if len(admitted) == 0 {
+		return
+	}
+
+	trs := make([]*update.Translation, len(admitted))
+	for i, r := range admitted {
+		trs[i] = r.tr
+	}
+	errs := e.applyBatch(trs)
+
+	landed := 0
+	for i, r := range admitted {
+		if err := errs[i]; err != nil {
+			r.done <- commitRes{err: classifyApplyError(err)}
+			continue
+		}
+		landed++
+		r.done <- commitRes{version: version + uint64(landed)}
+	}
+	if landed > 0 {
+		version += uint64(landed)
+		e.publishSnapshot(version)
+		obs.Add("server.commit.committed", int64(landed))
+	}
+}
+
+// applyBatch lands translations on the durable store when one is
+// attached, or directly on the in-memory database otherwise.
+func (e *Engine) applyBatch(trs []*update.Translation) []error {
+	if e.store != nil {
+		return e.store.ApplyBatch(trs)
+	}
+	errs := make([]error, len(trs))
+	for i, tr := range trs {
+		errs[i] = e.db.Apply(tr)
+	}
+	return errs
+}
+
+// classifyApplyError folds an apply-time failure into the serving
+// taxonomy: transient, corrupt, non-durable (WAL I/O) and sealed-log
+// failures pass through for the HTTP layer to map to 503/500;
+// everything else is a validation failure of a translation staged
+// against a stale snapshot — an optimistic conflict.
+func classifyApplyError(err error) error {
+	if vuerr.IsTransient(err) || vuerr.IsCorrupt(err) ||
+		errors.Is(err, persist.ErrNotDurable) || errors.Is(err, wal.ErrSealed) {
+		return err
+	}
+	obs.Inc("server.commit.conflict")
+	return fmt.Errorf("%w: %w", ErrConflict, err)
+}

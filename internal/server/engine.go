@@ -1,0 +1,415 @@
+// Package server is the network serving layer of the view-update
+// engine: a stdlib-only concurrent HTTP server that exposes the sqlish
+// surface over the wire — view reads, single-shot view updates with
+// translator selection, and multi-statement transactions tied to a
+// session token — on top of the durable persist.Store from the
+// durability layer.
+//
+// # Concurrency model
+//
+// Request handlers never touch the live database. Each handler reads
+// the engine's published snapshot (an immutable storage.Database plus
+// its commit version), translates and stages against it in parallel
+// with every other request, and then submits the resulting translation
+// to a single-writer group-commit pipeline. The committer goroutine
+// gathers queued commits into batches, rechecks optimistic conflicts
+// against the live state at apply time, lands the batch through
+// persist.Store.ApplyBatch — one WAL write and one fsync for the whole
+// batch — and publishes a fresh snapshot. Admission control bounds the
+// commit queue: when it is full, submissions fail fast and the HTTP
+// layer answers 429 with a Retry-After hint.
+//
+// See docs/SERVING.md for the wire API and the group-commit protocol.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"viewupdate/internal/core"
+	"viewupdate/internal/obs"
+	"viewupdate/internal/persist"
+	"viewupdate/internal/sqlish"
+	"viewupdate/internal/storage"
+	"viewupdate/internal/update"
+	"viewupdate/internal/view"
+	"viewupdate/internal/wal"
+)
+
+// Sentinel errors of the serving layer, designed for errors.Is. The
+// HTTP layer maps them to status codes (409, 429, 503, 504).
+var (
+	// ErrConflict marks a commit that lost an optimistic race: the
+	// database moved between translation and apply in a way the
+	// translation does not survive. Retryable by re-reading and
+	// re-issuing the request.
+	ErrConflict = errors.New("server: commit conflict")
+	// ErrOverloaded marks a submission rejected by admission control:
+	// the bounded commit queue is full.
+	ErrOverloaded = errors.New("server: overloaded")
+	// ErrDraining marks a submission against an engine that is shutting
+	// down.
+	ErrDraining = errors.New("server: draining")
+	// ErrNoView marks a request against an undefined view.
+	ErrNoView = errors.New("server: unknown view")
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// Dir is the durable store directory. Empty means in-memory only:
+	// no WAL, no recovery, commits still funnel through the pipeline.
+	Dir string
+	// Sync is the WAL sync policy (with Dir; default wal.SyncOnCommit).
+	Sync wal.SyncPolicy
+	// MaxInFlight bounds the commit queue; submissions beyond it are
+	// rejected with ErrOverloaded. Default 64.
+	MaxInFlight int
+	// MaxBatch caps how many queued commits one WAL append may carry.
+	// Default 32.
+	MaxBatch int
+	// RequestTimeout is the per-request deadline enforced by the HTTP
+	// layer. Default 5s.
+	RequestTimeout time.Duration
+	// TxTTL expires idle wire transactions. Default 60s.
+	TxTTL time.Duration
+	// Logger receives structured serving logs; nil silences them.
+	Logger *slog.Logger
+	// WrapWAL is threaded to persist.Options.WrapWAL for fault
+	// injection in tests.
+	WrapWAL func(wal.File) wal.File
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.TxTTL <= 0 {
+		c.TxTTL = 60 * time.Second
+	}
+	return c
+}
+
+// A snapshot is one published immutable state: handlers translate
+// against Dolly (the clone), never the live database.
+type snapshot struct {
+	db      *storage.Database
+	version uint64
+}
+
+// An Engine owns the serving state: the session (schema, views,
+// policies), the durable store, the published snapshot, and the
+// group-commit pipeline.
+type Engine struct {
+	cfg   Config
+	sess  *sqlish.Session
+	store *persist.Store    // nil in memory-only mode
+	db    *storage.Database // live authoritative state
+
+	sessMu sync.RWMutex // guards session view/policy lookups vs DDL
+
+	snap atomic.Pointer[snapshot]
+
+	// stateMu serializes every mutation of the live database: committer
+	// batches and admin script execution.
+	stateMu sync.Mutex
+
+	commitC  chan *commitReq
+	sendMu   sync.RWMutex // guards commitC sends against close
+	draining bool
+	drained  chan struct{}
+
+	txs txTable
+
+	start time.Time
+}
+
+// NewEngine opens (or creates, or runs purely in memory when cfg.Dir is
+// empty) the engine and starts its commit pipeline. initScript, when
+// non-empty, is a sqlish script executed before serving — the place for
+// CREATE DOMAIN/TABLE/VIEW and SET POLICY, since views and policies are
+// not durable.
+func NewEngine(cfg Config, initScript string) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:     cfg,
+		sess:    sqlish.NewSession(),
+		commitC: make(chan *commitReq, cfg.MaxInFlight),
+		drained: make(chan struct{}),
+		start:   time.Now(),
+	}
+	e.txs.ttl = cfg.TxTTL
+	if cfg.Dir != "" {
+		opts := persist.Options{Sync: cfg.Sync, WrapWAL: cfg.WrapWAL}
+		st, err := persist.Open(cfg.Dir, opts)
+		switch {
+		case err == nil:
+			e.logf("recovered store", "dir", cfg.Dir, "report", st.Report().String())
+		case errors.Is(err, persist.ErrNoStore):
+			st, err = persist.Create(cfg.Dir, e.sess.DB(), opts)
+			if err != nil {
+				return nil, err
+			}
+			e.logf("created store", "dir", cfg.Dir)
+		default:
+			return nil, err
+		}
+		if err := e.sess.AttachStore(st); err != nil {
+			st.Close()
+			return nil, err
+		}
+		e.store = st
+	}
+	e.db = e.sess.DB()
+	if initScript != "" {
+		// Skip-existing makes the script idempotent: a restart over a
+		// recovered store re-runs the same DDL, where the snapshot
+		// already holds the domains and tables.
+		_, skipped, err := e.sess.ExecScriptSkipExisting(initScript)
+		if err != nil {
+			if e.store != nil {
+				e.store.Close()
+			}
+			return nil, fmt.Errorf("server: init script: %w", err)
+		}
+		if skipped > 0 {
+			e.logf("init script: skipped existing definitions", "skipped", skipped)
+		}
+	}
+	e.publishSnapshot(0)
+	go e.runCommitter()
+	return e, nil
+}
+
+func (e *Engine) logf(msg string, args ...any) {
+	if e.cfg.Logger != nil {
+		e.cfg.Logger.Info(msg, args...)
+	}
+}
+
+// Snapshot returns the current published state. The returned database
+// is immutable — shared by every concurrent reader — and must not be
+// mutated.
+func (e *Engine) Snapshot() (*storage.Database, uint64) {
+	s := e.snap.Load()
+	return s.db, s.version
+}
+
+// publishSnapshot clones the live state and publishes it at version v.
+// Callers must hold stateMu (or be the only goroutine, during init).
+func (e *Engine) publishSnapshot(v uint64) {
+	e.snap.Store(&snapshot{db: e.db.Clone(), version: v})
+}
+
+// lookupView resolves a view and its configured policy; prefer, when
+// non-empty, overrides the policy with a per-request class preference
+// (the wire form of translator selection).
+func (e *Engine) lookupView(name string, prefer []string) (view.View, core.Policy, error) {
+	e.sessMu.RLock()
+	defer e.sessMu.RUnlock()
+	v := e.sess.View(name)
+	if v == nil {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNoView, name)
+	}
+	if len(prefer) > 0 {
+		return v, core.PreferClasses{Order: prefer}, nil
+	}
+	return v, e.sess.Policy(name), nil
+}
+
+// ViewNames lists the defined views.
+func (e *Engine) ViewNames() []string {
+	e.sessMu.RLock()
+	defer e.sessMu.RUnlock()
+	return e.sess.ViewNames()
+}
+
+// ExecScript runs a sqlish script against the session, serialized
+// against the commit pipeline (DDL and admin writes take the state
+// lock). The published snapshot is refreshed and the version bumped, so
+// transactions opened before the script conservatively conflict.
+func (e *Engine) ExecScript(script string) (string, error) {
+	e.sendMu.RLock()
+	draining := e.draining
+	e.sendMu.RUnlock()
+	if draining {
+		return "", ErrDraining
+	}
+	e.sessMu.Lock()
+	defer e.sessMu.Unlock()
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	out, err := e.sess.ExecScript(script)
+	// Even a failed script may have executed a statement prefix;
+	// republish unconditionally.
+	e.bumpVersionLocked(1)
+	return out, err
+}
+
+// bumpVersionLocked advances the commit version by delta and republishes
+// the snapshot. Callers hold stateMu.
+func (e *Engine) bumpVersionLocked(delta uint64) {
+	v := e.snap.Load().version + delta
+	e.publishSnapshot(v)
+}
+
+// Translate resolves the view, translates req against the published
+// snapshot, and returns the chosen candidate plus its side effects and
+// the snapshot version the translation is based on. It does not apply
+// anything.
+func (e *Engine) Translate(viewName string, prefer []string, build func(view.View, *storage.Database) (core.Request, error)) (core.Candidate, *core.Effects, core.Request, uint64, error) {
+	v, pol, err := e.lookupView(viewName, prefer)
+	if err != nil {
+		return core.Candidate{}, nil, core.Request{}, 0, err
+	}
+	snap, version := e.Snapshot()
+	req, err := build(v, snap)
+	if err != nil {
+		return core.Candidate{}, nil, core.Request{}, 0, err
+	}
+	sp := obs.StartSpan("server.translate")
+	cand, err := core.NewTranslator(v, pol).Translate(snap, req)
+	sp.End()
+	if err != nil {
+		return core.Candidate{}, nil, req, 0, err
+	}
+	eff, err := core.SideEffects(snap, v, req, cand.Translation)
+	if err != nil {
+		return core.Candidate{}, nil, req, 0, err
+	}
+	return cand, eff, req, version, nil
+}
+
+// Commit submits a translation to the group-commit pipeline and waits
+// for its fate. strict demands the database be unchanged since
+// baseVersion (wire-transaction semantics: the staged diff is only
+// meaningful relative to its BEGIN state); non-strict commits are
+// validated op-by-op at apply time instead. Returns the version the
+// commit landed at.
+func (e *Engine) Commit(ctx context.Context, tr *update.Translation, strict bool, baseVersion uint64) (uint64, error) {
+	if tr.Len() == 0 {
+		_, v := e.Snapshot()
+		return v, nil
+	}
+	req := &commitReq{tr: tr, strict: strict, baseVersion: baseVersion, done: make(chan commitRes, 1)}
+	if err := e.submit(req); err != nil {
+		return 0, err
+	}
+	select {
+	case res := <-req.done:
+		return res.version, res.err
+	case <-ctx.Done():
+		// The commit stays queued and may still land; the caller only
+		// knows its fate is unknown.
+		obs.Inc("server.commit.deadline")
+		return 0, fmt.Errorf("server: commit result not observed: %w", ctx.Err())
+	}
+}
+
+// submit enqueues a commit, enforcing admission control and drain.
+func (e *Engine) submit(req *commitReq) error {
+	e.sendMu.RLock()
+	defer e.sendMu.RUnlock()
+	if e.draining {
+		obs.Inc("server.drain.rejected")
+		return ErrDraining
+	}
+	select {
+	case e.commitC <- req:
+		obs.Inc("server.commit.enqueued")
+		return nil
+	default:
+		obs.Inc("server.overload")
+		return ErrOverloaded
+	}
+}
+
+// QueueDepth reports how many commits are waiting in the pipeline.
+func (e *Engine) QueueDepth() int { return len(e.commitC) }
+
+// Store exposes the durable store (nil in memory-only mode).
+func (e *Engine) Store() *persist.Store { return e.store }
+
+// Healthz summarizes liveness for the health endpoint.
+type Healthz struct {
+	Status    string   `json:"status"`
+	Version   uint64   `json:"version"`
+	Views     []string `json:"views"`
+	Queue     int      `json:"queue_depth"`
+	MaxQueue  int      `json:"queue_capacity"`
+	OpenTxs   int      `json:"open_txs"`
+	Durable   bool     `json:"durable"`
+	UptimeSec float64  `json:"uptime_sec"`
+	Error     string   `json:"error,omitempty"`
+}
+
+// Health reports the engine's current health. Status degrades to
+// "broken" when the store or database can no longer be trusted and to
+// "draining" during shutdown.
+func (e *Engine) Health() Healthz {
+	_, version := e.Snapshot()
+	h := Healthz{
+		Status:    "ok",
+		Version:   version,
+		Views:     e.ViewNames(),
+		Queue:     e.QueueDepth(),
+		MaxQueue:  e.cfg.MaxInFlight,
+		OpenTxs:   e.txs.open(),
+		Durable:   e.store != nil,
+		UptimeSec: time.Since(e.start).Seconds(),
+	}
+	sort.Strings(h.Views)
+	e.sendMu.RLock()
+	if e.draining {
+		h.Status = "draining"
+	}
+	e.sendMu.RUnlock()
+	if e.store != nil {
+		if err := e.store.Err(); err != nil {
+			h.Status = "broken"
+			h.Error = err.Error()
+		}
+	}
+	if err := e.db.Err(); err != nil {
+		h.Status = "broken"
+		h.Error = err.Error()
+	}
+	return h
+}
+
+// Close drains the engine: stop accepting commits, flush every queued
+// batch through the pipeline, checkpoint the store (folding the WAL
+// into a fresh snapshot), and close it. Safe to call more than once.
+func (e *Engine) Close() error {
+	e.sendMu.Lock()
+	already := e.draining
+	e.draining = true
+	if !already {
+		close(e.commitC)
+	}
+	e.sendMu.Unlock()
+	<-e.drained
+	if already || e.store == nil {
+		return nil
+	}
+	var errs []error
+	if err := e.store.Checkpoint(); err != nil {
+		errs = append(errs, fmt.Errorf("server: drain checkpoint: %w", err))
+	}
+	if err := e.store.Close(); err != nil {
+		errs = append(errs, fmt.Errorf("server: closing store: %w", err))
+	}
+	e.logf("drained", "version", e.snap.Load().version)
+	return errors.Join(errs...)
+}

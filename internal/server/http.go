@@ -1,0 +1,318 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"viewupdate/internal/core"
+	"viewupdate/internal/obs"
+	"viewupdate/internal/persist"
+	"viewupdate/internal/update"
+	"viewupdate/internal/vuerr"
+	"viewupdate/internal/wal"
+)
+
+// maxBodyBytes bounds request bodies; view updates are small.
+const maxBodyBytes = 1 << 20
+
+// retryAfterSeconds is the Retry-After hint on 429/503 responses.
+const retryAfterSeconds = 1
+
+// NewHandler builds the HTTP API over an engine:
+//
+//	GET  /healthz                        liveness + engine state
+//	GET  /metricsz                       obs counters/histograms as JSON
+//	GET  /views                          list view names
+//	GET  /views/{name}?Attr=val          read a view (optional equality filters)
+//	POST /views/{name}/insert            single-shot view update …
+//	POST /views/{name}/delete
+//	POST /views/{name}/replace
+//	POST /tx/begin                       open a transaction, returns token
+//	POST /tx/{token}/views/{name}/{op}   staged view update (insert|delete|replace)
+//	GET  /tx/{token}/views/{name}        read the staged state
+//	POST /tx/{token}/commit              strict-version group commit
+//	POST /tx/{token}/rollback            discard
+//	POST /execz                          run a sqlish script (admin/setup)
+//
+// Every handler runs under the engine's per-request deadline.
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", e.handleHealthz)
+	mux.HandleFunc("GET /metricsz", handleMetricsz)
+	mux.HandleFunc("GET /views", e.handleListViews)
+	mux.HandleFunc("GET /views/{name}", e.handleReadView)
+	mux.HandleFunc("POST /views/{name}/{op}", e.handleUpdate)
+	mux.HandleFunc("POST /tx/begin", e.handleTxBegin)
+	mux.HandleFunc("POST /tx/{token}/commit", e.handleTxCommit)
+	mux.HandleFunc("POST /tx/{token}/rollback", e.handleTxRollback)
+	mux.HandleFunc("POST /tx/{token}/views/{name}/{op}", e.handleTxUpdate)
+	mux.HandleFunc("GET /tx/{token}/views/{name}", e.handleTxReadView)
+	mux.HandleFunc("POST /execz", e.handleExec)
+	return e.withDeadline(mux)
+}
+
+// withDeadline enforces the per-request deadline via the request
+// context, so handlers blocked on the commit pipeline give up in
+// bounded time, and counts every request into the obs registry.
+func (e *Engine) withDeadline(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sp := obs.StartSpan("server.request")
+		defer sp.End()
+		obs.Inc("server.requests")
+		ctx, cancel := context.WithTimeout(r.Context(), e.cfg.RequestTimeout)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// writeJSON renders v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps an error to its HTTP status and JSON envelope. The
+// taxonomy:
+//
+//	400 bad_request      malformed body, unknown attribute, domain violation
+//	404 not_found        unknown view or transaction token
+//	409 conflict         optimistic conflict at apply time
+//	422 no_candidates    the view update admits no translation
+//	422 ambiguous        the policy refuses to choose among candidates
+//	429 overloaded       admission control rejected the commit (Retry-After)
+//	500 corrupt          store or database state no longer trusted
+//	503 unavailable      draining, transient I/O failure, sealed WAL (Retry-After)
+//	504 deadline         the commit's fate was not observed in time
+func writeError(w http.ResponseWriter, err error) {
+	status, code := http.StatusBadRequest, "bad_request"
+	switch {
+	case errors.Is(err, ErrNoView) || errors.Is(err, ErrNoTx):
+		status, code = http.StatusNotFound, "not_found"
+	case errors.Is(err, ErrConflict):
+		status, code = http.StatusConflict, "conflict"
+	case errors.Is(err, core.ErrNoCandidates):
+		status, code = http.StatusUnprocessableEntity, "no_candidates"
+	case errors.Is(err, core.ErrAmbiguous):
+		status, code = http.StatusUnprocessableEntity, "ambiguous"
+	case errors.Is(err, ErrOverloaded):
+		status, code = http.StatusTooManyRequests, "overloaded"
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	case vuerr.IsCorrupt(err):
+		status, code = http.StatusInternalServerError, "corrupt"
+	case errors.Is(err, ErrDraining), vuerr.IsTransient(err),
+		errors.Is(err, persist.ErrNotDurable), errors.Is(err, wal.ErrSealed):
+		status, code = http.StatusServiceUnavailable, "unavailable"
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	case errors.Is(err, context.DeadlineExceeded):
+		status, code = http.StatusGatewayTimeout, "deadline"
+	}
+	obs.Inc("server.error." + code)
+	writeJSON(w, status, errorReply{Error: err.Error(), Code: code})
+}
+
+func (e *Engine) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := e.Health()
+	status := http.StatusOK
+	if h.Status == "broken" {
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, h)
+}
+
+// handleMetricsz dumps the active obs sink's snapshot. Without a sink
+// it answers an empty snapshot rather than failing, so scrapers can
+// poll unconditionally.
+func handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	s := obs.Active()
+	if s == nil {
+		writeJSON(w, http.StatusOK, obs.Snapshot{
+			Counters:   map[string]int64{},
+			Histograms: map[string]obs.HistogramSnapshot{},
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Metrics().Snapshot())
+}
+
+func (e *Engine) handleListViews(w http.ResponseWriter, r *http.Request) {
+	_, version := e.Snapshot()
+	writeJSON(w, http.StatusOK, struct {
+		Views   []string `json:"views"`
+		Version uint64   `json:"version"`
+	}{e.ViewNames(), version})
+}
+
+func (e *Engine) handleReadView(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	v, _, err := e.lookupView(name, nil)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	db, version := e.Snapshot()
+	eq := map[string]string{}
+	for param, vals := range r.URL.Query() {
+		if len(vals) > 0 {
+			eq[param] = vals[0]
+		}
+	}
+	parsed, err := parseEq(v.Schema(), eq)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rows, cols := renderRows(v, db, parsed)
+	writeJSON(w, http.StatusOK, rowsReply{
+		View: name, Columns: cols, Rows: rows, Count: len(rows), Version: version,
+	})
+}
+
+// parseOpKind maps the {op} path segment to an update kind.
+func parseOpKind(op string) (update.Kind, error) {
+	switch op {
+	case "insert":
+		return update.Insert, nil
+	case "delete":
+		return update.Delete, nil
+	case "replace":
+		return update.Replace, nil
+	default:
+		return 0, fmt.Errorf("server: unknown operation %q (want insert|delete|replace)", op)
+	}
+}
+
+// decodeBody reads and decodes a JSON update body.
+func decodeBody(r *http.Request, into any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("server: decoding body: %w", err)
+	}
+	return nil
+}
+
+// handleUpdate is the single-shot path: translate against the
+// published snapshot in parallel with every other request, then funnel
+// the commit through the group-commit pipeline.
+func (e *Engine) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	kind, err := parseOpKind(r.PathValue("op"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var body updateBody
+	if err := decodeBody(r, &body); err != nil {
+		writeError(w, err)
+		return
+	}
+	cand, eff, _, baseVersion, err := e.Translate(r.PathValue("name"), body.Prefer, buildRequest(kind, body))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	version, err := e.Commit(r.Context(), cand.Translation, false, baseVersion)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	reply := updateReply{OK: true, Class: cand.Class, Ops: renderOps(cand.Translation), Version: version}
+	if eff != nil && !eff.None() {
+		reply.SideEffects = eff.String()
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (e *Engine) handleTxBegin(w http.ResponseWriter, r *http.Request) {
+	token, err := e.BeginTx()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, txReply{Token: token, OK: true})
+}
+
+func (e *Engine) handleTxUpdate(w http.ResponseWriter, r *http.Request) {
+	kind, err := parseOpKind(r.PathValue("op"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var body updateBody
+	if err := decodeBody(r, &body); err != nil {
+		writeError(w, err)
+		return
+	}
+	cand, eff, err := e.TxUpdate(r.PathValue("token"), r.PathValue("name"), body.Prefer, buildRequest(kind, body))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	reply := updateReply{OK: true, Class: cand.Class, Ops: renderOps(cand.Translation), Staged: true}
+	if eff != nil && !eff.None() {
+		reply.SideEffects = eff.String()
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (e *Engine) handleTxReadView(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	v, _, err := e.lookupView(name, nil)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	staged, err := e.TxView(r.PathValue("token"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rows, cols := renderRows(v, staged, nil)
+	writeJSON(w, http.StatusOK, rowsReply{
+		View: name, Columns: cols, Rows: rows, Count: len(rows),
+	})
+}
+
+func (e *Engine) handleTxCommit(w http.ResponseWriter, r *http.Request) {
+	n, version, err := e.TxCommit(r.Context(), r.PathValue("token"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, txReply{Committed: n, Version: version, OK: true})
+}
+
+func (e *Engine) handleTxRollback(w http.ResponseWriter, r *http.Request) {
+	if err := e.TxRollback(r.PathValue("token")); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, txReply{OK: true})
+}
+
+// handleExec runs a sqlish script serially against the session — the
+// setup path for DDL, view definitions and policies, which have no
+// dedicated wire endpoints. It holds the state lock for its whole
+// duration, so it must not be on any hot path.
+func (e *Engine) handleExec(w http.ResponseWriter, r *http.Request) {
+	var body execBody
+	if err := decodeBody(r, &body); err != nil {
+		writeError(w, err)
+		return
+	}
+	start := time.Now()
+	out, err := e.ExecScript(body.Script)
+	obs.Observe("server.exec.ns", int64(time.Since(start)))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, execReply{Output: out, OK: true})
+}

@@ -1,6 +1,7 @@
 package sqlish
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -36,6 +37,11 @@ type Session struct {
 	tx        *txState                          // open transaction, when any
 }
 
+// ErrExists reports that a CREATE names a domain, table or view that is
+// already defined. Match with errors.Is; ExecScriptSkipExisting skips
+// statements failing with it.
+var ErrExists = errors.New("already exists")
+
 // NewSession returns an empty session.
 func NewSession() *Session {
 	sch := schema.NewDatabase()
@@ -57,6 +63,25 @@ func (s *Session) DB() *storage.Database { return s.db }
 // View returns the named view, or nil (for tooling such as the
 // translator-configuration dialog).
 func (s *Session) View(name string) view.View { return s.lookupView(name) }
+
+// ViewNames returns the names of all defined views (SP and join),
+// sorted.
+func (s *Session) ViewNames() []string {
+	names := make([]string, 0, len(s.spViews)+len(s.joinViews))
+	for n := range s.spViews {
+		names = append(names, n)
+	}
+	for n := range s.joinViews {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Policy returns the configured policy chain for the named view (the
+// default chain when the view has no configuration). Used by the
+// network serving layer, which translates outside the session.
+func (s *Session) Policy(name string) core.Policy { return s.policyFor(name) }
 
 // SetExplain toggles explain mode: every view update is translated via
 // the traced pipeline and the rendered explain trace precedes the usual
@@ -94,15 +119,34 @@ func (s *Session) ExecLine(input string) (string, error) {
 // ExecScript parses and executes a multi-statement script, returning
 // the concatenated results.
 func (s *Session) ExecScript(input string) (string, error) {
+	out, _, err := s.execScript(input, false)
+	return out, err
+}
+
+// ExecScriptSkipExisting executes a script like ExecScript but skips
+// statements that fail with ErrExists instead of aborting, returning
+// how many were skipped. This makes a DDL script idempotent — the boot
+// path for a server that re-runs its -init script over a recovered
+// store, where the snapshot already holds the domains and tables.
+func (s *Session) ExecScriptSkipExisting(input string) (string, int, error) {
+	return s.execScript(input, true)
+}
+
+func (s *Session) execScript(input string, skipExisting bool) (string, int, error) {
 	parts, err := parseScriptParts(input)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	var b strings.Builder
+	skipped := 0
 	for _, part := range parts {
 		out, err := s.Exec(part.Stmt)
 		if err != nil {
-			return b.String(), err
+			if skipExisting && errors.Is(err, ErrExists) {
+				skipped++
+				continue
+			}
+			return b.String(), skipped, err
 		}
 		s.journalStmt(part.Stmt, part.Text)
 		if out != "" {
@@ -112,7 +156,7 @@ func (s *Session) ExecScript(input string) (string, error) {
 			}
 		}
 	}
-	return b.String(), nil
+	return b.String(), skipped, nil
 }
 
 // journalStmt records the source text of statements that change the
@@ -224,7 +268,7 @@ func (s *Session) execLoad(st Load) (string, error) {
 
 func (s *Session) execCreateDomain(st CreateDomain) (string, error) {
 	if _, dup := s.domains[st.Name]; dup {
-		return "", fmt.Errorf("sqlish: domain %s already exists", st.Name)
+		return "", fmt.Errorf("sqlish: domain %s %w", st.Name, ErrExists)
 	}
 	var d *schema.Domain
 	var err error
@@ -250,6 +294,9 @@ func (s *Session) execCreateDomain(st CreateDomain) (string, error) {
 }
 
 func (s *Session) execCreateTable(st CreateTable) (string, error) {
+	if s.sch.Relation(st.Name) != nil {
+		return "", fmt.Errorf("sqlish: table %s %w", st.Name, ErrExists)
+	}
 	attrs := make([]schema.Attribute, len(st.Cols))
 	for i, col := range st.Cols {
 		d := s.domains[col.Domain]
@@ -287,7 +334,7 @@ func (s *Session) execCreateTable(st CreateTable) (string, error) {
 
 func (s *Session) execCreateView(st CreateView) (string, error) {
 	if s.viewExists(st.Name) {
-		return "", fmt.Errorf("sqlish: view %s already exists", st.Name)
+		return "", fmt.Errorf("sqlish: view %s %w", st.Name, ErrExists)
 	}
 	rel := s.sch.Relation(st.Table)
 	if rel == nil {
@@ -313,7 +360,7 @@ func (s *Session) execCreateView(st CreateView) (string, error) {
 
 func (s *Session) execCreateJoinView(st CreateJoinView) (string, error) {
 	if s.viewExists(st.Name) {
-		return "", fmt.Errorf("sqlish: view %s already exists", st.Name)
+		return "", fmt.Errorf("sqlish: view %s %w", st.Name, ErrExists)
 	}
 	// Build one node per referenced SP view, wiring edges owner->target.
 	nodes := map[string]*view.Node{}

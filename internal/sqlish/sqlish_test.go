@@ -1,6 +1,7 @@
 package sqlish
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -436,6 +437,44 @@ func TestSessionErrors(t *testing.T) {
 		if _, err := s.ExecLine(bad); err == nil {
 			t.Errorf("ExecLine(%q) should fail", bad)
 		}
+	}
+}
+
+// TestExecScriptSkipExisting: re-running a DDL script over a session
+// that already defines its objects skips the duplicates instead of
+// aborting — the idempotent boot path for a server restart.
+func TestExecScriptSkipExisting(t *testing.T) {
+	s := NewSession()
+	if _, err := s.ExecScript(empScript); err != nil {
+		t.Fatal(err)
+	}
+	ddl := `
+CREATE DOMAIN LocDom AS STRING ('New York', 'San Francisco');
+CREATE TABLE EXTRA (EmpNo EmpNoDom, PRIMARY KEY (EmpNo));
+CREATE VIEW ViewP AS SELECT * FROM EMP WHERE Location = 'New York';
+`
+	_, skipped, err := s.ExecScriptSkipExisting(ddl)
+	if err != nil {
+		t.Fatalf("ExecScriptSkipExisting: %v", err)
+	}
+	if skipped != 2 { // LocDom and ViewP exist; EXTRA is new
+		t.Fatalf("skipped = %d, want 2", skipped)
+	}
+	if s.sch.Relation("EXTRA") == nil {
+		t.Fatal("new table EXTRA should have been created")
+	}
+	// Re-running the whole thing skips everything.
+	if _, skipped, err = s.ExecScriptSkipExisting(ddl); err != nil || skipped != 3 {
+		t.Fatalf("second run: skipped = %d, err = %v; want 3, nil", skipped, err)
+	}
+	// Plain ExecScript still hard-fails, with a matchable sentinel.
+	_, err = s.ExecScript("CREATE TABLE EXTRA (EmpNo EmpNoDom, PRIMARY KEY (EmpNo));")
+	if !errors.Is(err, ErrExists) {
+		t.Fatalf("ExecScript duplicate table: err = %v, want ErrExists", err)
+	}
+	// Other failures are not skipped.
+	if _, _, err = s.ExecScriptSkipExisting("CREATE TABLE T (A NoSuchDom, PRIMARY KEY (A));"); err == nil {
+		t.Fatal("unknown domain must still fail")
 	}
 }
 

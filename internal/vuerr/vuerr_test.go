@@ -1,0 +1,54 @@
+package vuerr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestClassification(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		err       error
+		transient bool
+		corrupt   bool
+	}{
+		{"nil", nil, false, false},
+		{"plain", errors.New("boom"), false, false},
+		{"transient sentinel", ErrTransient, true, false},
+		{"corrupt sentinel", ErrCorrupt, false, true},
+		{"wrapped transient", fmt.Errorf("wal: append: %w", ErrTransient), true, false},
+		{"wrapped corrupt", fmt.Errorf("persist: replay: %w", ErrCorrupt), false, true},
+		{"deeply wrapped", fmt.Errorf("a: %w", fmt.Errorf("b: %w", ErrTransient)), true, false},
+		{"joined", errors.Join(errors.New("x"), ErrCorrupt), false, true},
+		{"both", fmt.Errorf("%w (%w)", ErrTransient, ErrCorrupt), true, true},
+	} {
+		if got := IsTransient(tc.err); got != tc.transient {
+			t.Errorf("%s: IsTransient = %v, want %v", tc.name, got, tc.transient)
+		}
+		if got := IsCorrupt(tc.err); got != tc.corrupt {
+			t.Errorf("%s: IsCorrupt = %v, want %v", tc.name, got, tc.corrupt)
+		}
+	}
+}
+
+// TestSentinelsDistinct: the two sentinels never satisfy each other —
+// a retry decision must not confuse them.
+func TestSentinelsDistinct(t *testing.T) {
+	if errors.Is(ErrTransient, ErrCorrupt) || errors.Is(ErrCorrupt, ErrTransient) {
+		t.Fatal("sentinels alias each other")
+	}
+	if IsCorrupt(ErrTransient) || IsTransient(ErrCorrupt) {
+		t.Fatal("classifiers cross-match")
+	}
+}
+
+// TestMessagesStable: downstream log scrapers rely on these substrings.
+func TestMessagesStable(t *testing.T) {
+	if ErrTransient.Error() != "transient failure" {
+		t.Errorf("ErrTransient message changed: %q", ErrTransient.Error())
+	}
+	if ErrCorrupt.Error() != "corrupt state" {
+		t.Errorf("ErrCorrupt message changed: %q", ErrCorrupt.Error())
+	}
+}
