@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race soak bench bench-obs serve-bench clean
+.PHONY: all build test check vet fmt race race-core soak bench bench-obs bench-translate serve-bench clean
 
 all: build
 
@@ -26,6 +26,12 @@ fmt:
 
 race:
 	$(GO) test -race ./...
+
+# race-core runs the translation pipeline's packages under the race
+# detector — the overlay, the delta-driven verifier and the parallel
+# candidate judging (see docs/PERFORMANCE.md).
+race-core:
+	$(GO) test -race ./internal/core/... ./internal/storage/...
 
 # soak exercises the durability and fault-injection surface: the
 # crash-safety, recovery and churn tests under the race detector, plus
@@ -51,6 +57,14 @@ bench-obs:
 	$(GO) test -bench 'BenchmarkObs' -run '^$$' -benchtime 10x .
 	@cat BENCH_obs.json
 
+# bench-translate emits BENCH_translate.json: the overlay-based
+# pipeline against the clone-per-candidate baseline it replaced —
+# candidates/sec, translate latency p50/p99, allocs/op and the
+# overlay/clone speedups (see docs/PERFORMANCE.md).
+bench-translate:
+	$(GO) test -bench 'BenchmarkTranslate' -run '^$$' -benchtime 20x .
+	@cat BENCH_translate.json
+
 # serve-bench boots vuserved on a scratch store, drives it with vuload
 # (8 clients, wire-level inserts/replaces/deletes) and emits
 # BENCH_server.json: throughput, p50/p99 latency, conflict/overload
@@ -70,4 +84,4 @@ serve-bench:
 	@cat BENCH_server.json
 
 clean:
-	rm -f BENCH_obs.json BENCH_server.json
+	rm -f BENCH_obs.json BENCH_server.json BENCH_translate.json

@@ -40,7 +40,7 @@ func baseRelations(v view.View) []string {
 // returns the union translation together with the per-item choices.
 // The lemma guarantees the union collectively satisfies the five
 // criteria when each part does.
-func TranslateBatch(db *storage.Database, items []BatchItem) (*update.Translation, []Candidate, error) {
+func TranslateBatch(db storage.Source, items []BatchItem) (*update.Translation, []Candidate, error) {
 	if len(items) == 0 {
 		return nil, nil, fmt.Errorf("core: empty batch")
 	}

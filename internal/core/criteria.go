@@ -18,40 +18,21 @@ import (
 // It returns false both when the translation cannot be applied (absent
 // tuples, key conflicts, constraint violations) and when the resulting
 // view differs from the requested one.
-func Valid(db *storage.Database, v view.View, r Request, tr *update.Translation) bool {
-	want, err := r.ApplyToViewSet(v.Materialize(db))
-	if err != nil {
-		return false
-	}
-	clone := db.Clone()
-	if err := clone.Apply(tr); err != nil {
-		return false
-	}
-	return v.Materialize(clone).Equal(want)
+//
+// Checking many translations for one request? Build one Verifier and
+// use its Valid method — this convenience re-materializes the view per
+// call.
+func Valid(db storage.Source, v view.View, r Request, tr *update.Translation) bool {
+	return NewVerifier(db, v, r).Valid(tr)
 }
 
 // ValidRequested implements the relaxed validity applicable to join
 // views, which "may have update translators with side effects in the
 // view": the requested tuples must change as asked (added tuples
 // present, removed tuples absent afterwards), while other view rows may
-// change.
-func ValidRequested(db *storage.Database, v view.View, r Request, tr *update.Translation) bool {
-	clone := db.Clone()
-	if err := clone.Apply(tr); err != nil {
-		return false
-	}
-	after := v.Materialize(clone)
-	for _, t := range r.AddedTuples() {
-		if !after.Contains(t) {
-			return false
-		}
-	}
-	for _, t := range r.RemovedTuples() {
-		if after.Contains(t) {
-			return false
-		}
-	}
-	return true
+// change. As with Valid, prefer a Verifier for repeated checks.
+func ValidRequested(db storage.Source, v view.View, r Request, tr *update.Translation) bool {
+	return NewVerifier(db, v, r).ValidRequested(tr)
 }
 
 // A Violation reports that a translation breaks one of the five
@@ -82,14 +63,14 @@ type CheckOptions struct {
 // is empty iff the translation satisfies all five criteria. Validity
 // itself is a precondition, not one of the criteria; callers usually
 // check Valid first.
-func CheckCriteria(db *storage.Database, v view.View, r Request, tr *update.Translation, opts CheckOptions) []Violation {
+func CheckCriteria(db storage.Source, v view.View, r Request, tr *update.Translation, opts CheckOptions) []Violation {
 	span := obs.StartSpan("core.criteria.check")
 	defer span.End()
 	obs.Inc("core.criteria.checked")
 	var out []Violation
 	valid := opts.Valid
 	if valid == nil {
-		valid = func(t *update.Translation) bool { return Valid(db, v, r, t) }
+		valid = NewVerifier(db, v, r).Valid
 	}
 	if viol := checkCriterion1(v, r, tr); viol != nil {
 		out = append(out, *viol)

@@ -42,7 +42,7 @@ func (f *indepFixture) tup(t testing.TB, k int64, a string) tuple.T {
 
 // violatedSet runs CheckCriteria and returns the violated criterion
 // numbers.
-func violatedSet(db *storage.Database, v view.View, r Request, tr *update.Translation) map[int]bool {
+func violatedSet(db storage.Source, v view.View, r Request, tr *update.Translation) map[int]bool {
 	out := map[int]bool{}
 	for _, viol := range CheckCriteria(db, v, r, tr, CheckOptions{}) {
 		out[viol.Criterion] = true

@@ -36,30 +36,11 @@ func (e *Effects) String() string {
 	return fmt.Sprintf("view side effects: +%d rows, -%d rows", e.ExtraAdded.Len(), e.ExtraRemoved.Len())
 }
 
-// SideEffects applies tr to a clone of db and reports the view changes
-// beyond those requested by r. The database itself is not modified. An
-// error is returned if the translation cannot be applied.
-func SideEffects(db *storage.Database, v view.View, r Request, tr *update.Translation) (*Effects, error) {
-	before := v.Materialize(db)
-	clone := db.Clone()
-	if err := clone.Apply(tr); err != nil {
-		return nil, err
-	}
-	after := v.Materialize(clone)
-
-	requestedAdd := tuple.NewSet(r.AddedTuples()...)
-	requestedRemove := tuple.NewSet(r.RemovedTuples()...)
-
-	eff := &Effects{ExtraAdded: tuple.NewSet(), ExtraRemoved: tuple.NewSet()}
-	for _, row := range after.Slice() {
-		if !before.Contains(row) && !requestedAdd.Contains(row) {
-			eff.ExtraAdded.Add(row)
-		}
-	}
-	for _, row := range before.Slice() {
-		if !after.Contains(row) && !requestedRemove.Contains(row) {
-			eff.ExtraRemoved.Add(row)
-		}
-	}
-	return eff, nil
+// SideEffects applies tr to a copy-on-write overlay of db and reports
+// the view changes beyond those requested by r. The database itself is
+// not modified. An error is returned if the translation cannot be
+// applied. For repeated checks against one request, build a Verifier
+// and call its SideEffects method.
+func SideEffects(db storage.Source, v view.View, r Request, tr *update.Translation) (*Effects, error) {
+	return NewVerifier(db, v, r).SideEffects(tr)
 }

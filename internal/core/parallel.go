@@ -1,0 +1,42 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// runParallel executes fn(0) … fn(n-1) on a bounded worker pool of at
+// most GOMAXPROCS goroutines, returning when all calls are done. Work
+// is handed out by an atomic counter, so workers stay busy regardless
+// of per-item cost; callers keep determinism by writing results into
+// index i of a pre-sized slice. For n <= 1 (or a single-processor
+// GOMAXPROCS) the calls run inline on the caller's goroutine.
+func runParallel(n int, fn func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

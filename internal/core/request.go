@@ -129,7 +129,7 @@ func (r Request) ApplyToViewSet(s *tuple.Set) (*tuple.Set, error) {
 //   - replace: the replaced tuple is in the view, the replacement tuple
 //     is not, both satisfy the selection condition, and any existing
 //     view tuple with the replacement's key is the replaced tuple.
-func ValidateRequest(db *storage.Database, v view.View, r Request) error {
+func ValidateRequest(db storage.Source, v view.View, r Request) error {
 	switch vv := v.(type) {
 	case *view.SP:
 		return validateSPRequest(db, vv, r)
@@ -149,7 +149,7 @@ func checkSchema(v view.View, ts ...tuple.T) error {
 	return nil
 }
 
-func validateSPRequest(db *storage.Database, v *view.SP, r Request) error {
+func validateSPRequest(db storage.Source, v *view.SP, r Request) error {
 	switch r.Kind {
 	case update.Insert:
 		if err := checkSchema(v, r.Tuple); err != nil {
@@ -199,7 +199,7 @@ func validateSPRequest(db *storage.Database, v *view.SP, r Request) error {
 	}
 }
 
-func validateJoinRequest(db *storage.Database, j *view.Join, r Request) error {
+func validateJoinRequest(db storage.Source, j *view.Join, r Request) error {
 	selOK := func(t tuple.T) error {
 		if err := j.JoinConsistent(t); err != nil {
 			return err

@@ -203,7 +203,7 @@ func extendReplace(v *view.SP, base tuple.T, u tuple.T) tuple.T {
 // exactly the algorithms of classes I-1 and I-2. The two classes apply
 // to disjoint database states: I-1 when no database tuple carries u's
 // key, I-2 when one does.
-func EnumerateSPInsert(db *storage.Database, v *view.SP, u tuple.T) ([]Candidate, error) {
+func EnumerateSPInsert(db storage.Source, v *view.SP, u tuple.T) ([]Candidate, error) {
 	if err := ValidateRequest(db, v, InsertRequest(u)); err != nil {
 		return nil, err
 	}
@@ -240,7 +240,7 @@ func EnumerateSPInsert(db *storage.Database, v *view.SP, u tuple.T) ([]Candidate
 // (delete the underlying tuple) and D-2 (replace it, flipping one
 // non-key selecting attribute to an excluding value). D-2 is empty when
 // the selection is "true" or selects only key attributes.
-func EnumerateSPDelete(db *storage.Database, v *view.SP, u tuple.T) ([]Candidate, error) {
+func EnumerateSPDelete(db storage.Source, v *view.SP, u tuple.T) ([]Candidate, error) {
 	if err := ValidateRequest(db, v, DeleteRequest(u)); err != nil {
 		return nil, err
 	}
@@ -287,7 +287,7 @@ func d2Candidates(v *view.SP, base tuple.T) []Candidate {
 //	                                       R-4 (D-2 on old × I-1 on new)
 //	key changes, hidden key conflict:      R-3 (I-2 on new + delete old)
 //	                                       R-5 (D-2 on old × I-2 on new)
-func EnumerateSPReplace(db *storage.Database, v *view.SP, old, new tuple.T) ([]Candidate, error) {
+func EnumerateSPReplace(db storage.Source, v *view.SP, old, new tuple.T) ([]Candidate, error) {
 	if err := ValidateRequest(db, v, ReplaceRequest(old, new)); err != nil {
 		return nil, err
 	}
@@ -362,7 +362,7 @@ func EnumerateSPReplace(db *storage.Database, v *view.SP, old, new tuple.T) ([]C
 }
 
 // EnumerateSP dispatches on the request kind.
-func EnumerateSP(db *storage.Database, v *view.SP, r Request) ([]Candidate, error) {
+func EnumerateSP(db storage.Source, v *view.SP, r Request) ([]Candidate, error) {
 	span := obs.StartSpan("core.sp.generate")
 	defer span.End()
 	var cands []Candidate

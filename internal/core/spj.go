@@ -99,7 +99,7 @@ func relabel(node string, cands []Candidate) []Candidate {
 // EnumerateJoinDelete implements ALGORITHM CLASS SPJ-D (§5-2): "delete
 // the tuple from the root relation (or SP view) only, using one of the
 // algorithms of classes D-1 or D-2". No other relation is touched.
-func EnumerateJoinDelete(db *storage.Database, j *view.Join, u tuple.T) ([]Candidate, error) {
+func EnumerateJoinDelete(db storage.Source, j *view.Join, u tuple.T) ([]Candidate, error) {
 	span := obs.StartSpan("core.spj.delete")
 	defer span.End()
 	if err := ValidateRequest(db, j, DeleteRequest(u)); err != nil {
@@ -152,7 +152,7 @@ func countNodeVisit(node string) {
 // The node steps compose by Cartesian product (§5-3); the storage layer
 // applies the whole translation atomically, so "if any of the SP view
 // operations fail, the entire view update request fails and is undone".
-func EnumerateJoinInsert(db *storage.Database, j *view.Join, u tuple.T) ([]Candidate, error) {
+func EnumerateJoinInsert(db storage.Source, j *view.Join, u tuple.T) ([]Candidate, error) {
 	span := obs.StartSpan("core.spj.insert")
 	defer span.End()
 	if err := ValidateRequest(db, j, InsertRequest(u)); err != nil {
@@ -206,7 +206,7 @@ const (
 // view is inserted (Case I-2); an exactly-matching projection is a
 // no-op (Case I-3); a conflicting tuple with the new key is replaced
 // (Case I-4); all descend in State I.
-func EnumerateJoinReplace(db *storage.Database, j *view.Join, old, new tuple.T) ([]Candidate, error) {
+func EnumerateJoinReplace(db storage.Source, j *view.Join, old, new tuple.T) ([]Candidate, error) {
 	span := obs.StartSpan("core.spj.replace")
 	defer span.End()
 	if err := ValidateRequest(db, j, ReplaceRequest(old, new)); err != nil {
@@ -322,7 +322,7 @@ func EnumerateJoinReplace(db *storage.Database, j *view.Join, old, new tuple.T) 
 }
 
 // EnumerateJoin dispatches on the request kind.
-func EnumerateJoin(db *storage.Database, j *view.Join, r Request) ([]Candidate, error) {
+func EnumerateJoin(db storage.Source, j *view.Join, r Request) ([]Candidate, error) {
 	switch r.Kind {
 	case update.Insert:
 		return EnumerateJoinInsert(db, j, r.Tuple)
@@ -337,7 +337,7 @@ func EnumerateJoin(db *storage.Database, j *view.Join, r Request) ([]Candidate, 
 
 // Enumerate returns every candidate translation of the request against
 // the view: the complete generator set of the paper's theorems.
-func Enumerate(db *storage.Database, v view.View, r Request) ([]Candidate, error) {
+func Enumerate(db storage.Source, v view.View, r Request) ([]Candidate, error) {
 	switch vv := v.(type) {
 	case *view.SP:
 		return EnumerateSP(db, vv, r)

@@ -134,7 +134,7 @@ func choiceStrings(c Candidate) []string {
 // five criteria and naive probe alternatives are synthesized and judged
 // — so it is meant for inspection, debugging and the -explain mode of
 // the CLI, not for hot paths.
-func (t *Translator) TranslateTraced(db *storage.Database, r Request) (Candidate, *Trace, error) {
+func (t *Translator) TranslateTraced(db storage.Source, r Request) (Candidate, *Trace, error) {
 	return TraceTranslate(db, t.View, t.Policy, r, TraceOptions{Probes: true})
 }
 
@@ -143,7 +143,7 @@ func (t *Translator) TranslateTraced(db *storage.Database, r Request) (Candidate
 // judge probe alternatives, then let the policy choose. The database is
 // read, not modified. The returned error mirrors Translate's; the trace
 // is non-nil even on failure and records what happened.
-func TraceTranslate(db *storage.Database, v view.View, p Policy, r Request, opts TraceOptions) (Candidate, *Trace, error) {
+func TraceTranslate(db storage.Source, v view.View, p Policy, r Request, opts TraceOptions) (Candidate, *Trace, error) {
 	if p == nil {
 		p = PickFirst{}
 	}
@@ -167,11 +167,6 @@ func TraceTranslate(db *storage.Database, v view.View, p Policy, r Request, opts
 		tr.Phases = append(tr.Phases, TracePhase{Name: name, Nanos: int64(sp.End())})
 	}
 
-	validFn := func(x *update.Translation) bool { return Valid(db, v, r, x) }
-	if isJoin {
-		validFn = func(x *update.Translation) bool { return ValidRequested(db, v, r, x) }
-	}
-
 	var cands []Candidate
 	var enumErr error
 	phase("enumerate", func() {
@@ -181,6 +176,13 @@ func TraceTranslate(db *storage.Database, v view.View, p Policy, r Request, opts
 		tr.Err = enumErr.Error()
 		return Candidate{}, tr, enumErr
 	}
+
+	// One verifier for the whole request: the view and the requested
+	// view state are materialized once, candidates are judged against
+	// copy-on-write overlays. The verifier is immutable, so judging is
+	// safe to parallelize.
+	vf := NewVerifier(db, v, r)
+	validFn := vf.ValidFn()
 
 	judge := func(c Candidate, source string) TraceCandidate {
 		tc := TraceCandidate{
@@ -205,11 +207,18 @@ func TraceTranslate(db *storage.Database, v view.View, p Policy, r Request, opts
 		return tc
 	}
 
+	// Candidates are judged on a bounded worker pool; results land in
+	// their candidate's slot, and the trace appends them in enumeration
+	// order, so the output is byte-identical to a sequential run.
+	//
 	// acceptedIdx maps trace indices back into cands for the policy.
 	var acceptedIdx []int
 	phase("criteria", func() {
-		for i, c := range cands {
-			tc := judge(c, "generator")
+		judged := make([]TraceCandidate, len(cands))
+		runParallel(len(cands), func(i int) {
+			judged[i] = judge(cands[i], "generator")
+		})
+		for i, tc := range judged {
 			tr.Candidates = append(tr.Candidates, tc)
 			if tc.Verdict == VerdictAccepted {
 				acceptedIdx = append(acceptedIdx, i)
@@ -219,9 +228,12 @@ func TraceTranslate(db *storage.Database, v view.View, p Policy, r Request, opts
 
 	if opts.Probes {
 		phase("probes", func() {
-			for _, pr := range buildProbes(db, v, r, cands, opts.MaxProbes) {
-				tr.Candidates = append(tr.Candidates, judge(pr, "probe"))
-			}
+			probes := buildProbes(db, v, r, cands, opts.MaxProbes)
+			judged := make([]TraceCandidate, len(probes))
+			runParallel(len(probes), func(i int) {
+				judged[i] = judge(probes[i], "probe")
+			})
+			tr.Candidates = append(tr.Candidates, judged...)
 		})
 	}
 
@@ -267,7 +279,7 @@ func TraceTranslate(db *storage.Database, v view.View, p Policy, r Request, opts
 //     invisible tuple (criterion 1: no database side effects).
 //
 // Probes are deterministic and bounded by maxProbes.
-func buildProbes(db *storage.Database, v view.View, r Request, cands []Candidate, maxProbes int) []Candidate {
+func buildProbes(db storage.Source, v view.View, r Request, cands []Candidate, maxProbes int) []Candidate {
 	var out []Candidate
 	add := func(c Candidate) bool {
 		if len(out) >= maxProbes {
@@ -376,7 +388,7 @@ func widenReplacement(c Candidate) (Candidate, bool) {
 // visible in the view nor mentioned (by key) in the request — deleting
 // it is the classic criterion-1 violation (a database side effect the
 // view user never asked for).
-func invisibleVictim(db *storage.Database, v view.View, r Request) (tuple.T, bool) {
+func invisibleVictim(db storage.Source, v view.View, r Request) (tuple.T, bool) {
 	mentioned := r.Mentioned()
 	for _, sp := range relationsOf(v) {
 		for _, t := range db.Tuples(sp.Base().Name()) {

@@ -10,7 +10,6 @@ import (
 	"viewupdate/internal/schema"
 	"viewupdate/internal/storage"
 	"viewupdate/internal/tuple"
-	"viewupdate/internal/update"
 	"viewupdate/internal/value"
 	"viewupdate/internal/view"
 	"viewupdate/internal/vuerr"
@@ -87,7 +86,7 @@ func NewTranslator(v view.View, p Policy) *Translator {
 
 // Translate enumerates the complete candidate set for the request and
 // lets the policy choose. The database state is read, not modified.
-func (t *Translator) Translate(db *storage.Database, r Request) (Candidate, error) {
+func (t *Translator) Translate(db storage.Source, r Request) (Candidate, error) {
 	span := obs.StartSpan("core.translate")
 	defer span.End()
 	cands, err := Enumerate(db, t.View, r)
@@ -189,17 +188,28 @@ func MustRow(rel *schema.Relation, raw ...interface{}) tuple.T {
 // descriptive error for the first failure. Used by the paranoid mode of
 // the CLI and by tests; the paper's theorems say this never fails for
 // generator output on SP views.
-func CheckCandidates(db *storage.Database, v view.View, r Request, cands []Candidate, exact bool) error {
-	validFn := func(tr *update.Translation) bool { return Valid(db, v, r, tr) }
+func CheckCandidates(db storage.Source, v view.View, r Request, cands []Candidate, exact bool) error {
+	vf := NewVerifier(db, v, r)
+	validFn := vf.Valid
 	if !exact {
-		validFn = func(tr *update.Translation) bool { return ValidRequested(db, v, r, tr) }
+		validFn = vf.ValidRequested
 	}
-	for _, c := range cands {
+	// Candidates are independent; check them on the worker pool and
+	// report the first failure in input order, as a sequential run would.
+	errs := make([]error, len(cands))
+	runParallel(len(cands), func(i int) {
+		c := cands[i]
 		if !validFn(c.Translation) {
-			return fmt.Errorf("core: candidate %s is not a valid translation of %s", c, r)
+			errs[i] = fmt.Errorf("core: candidate %s is not a valid translation of %s", c, r)
+			return
 		}
 		if viols := CheckCriteria(db, v, r, c.Translation, CheckOptions{Valid: validFn}); len(viols) > 0 {
-			return fmt.Errorf("core: candidate %s: %v", c, viols[0])
+			errs[i] = fmt.Errorf("core: candidate %s: %v", c, viols[0])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"viewupdate/internal/obs"
+	"viewupdate/internal/storage"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/update"
+	"viewupdate/internal/view"
+)
+
+// A Verifier evaluates candidate translations for one (state, view,
+// request) triple: validity under both semantics, the five criteria,
+// and view side effects. It is the delta-first replacement for the
+// clone-per-candidate path — the base view is materialized once, the
+// requested view state is computed once, and every candidate is applied
+// to a copy-on-write storage.Overlay instead of a full database clone.
+//
+// The after-state of the view is computed incrementally where the view
+// structure allows it:
+//
+//   - SP views: always. The base key is the view key, so the rows of
+//     the candidate's removed/added base tuples (via SP.RowFor) are
+//     exactly the view delta.
+//   - Join views: when the candidate touches only the root relation.
+//     The root has in-degree zero in the (tree or DAG) query graph, so
+//     references from and between the other nodes resolve identically
+//     before and after; the view delta is the rows of the touched root
+//     tuples (via Join.RowForRoot).
+//   - Otherwise: full materialization over the overlay — still no
+//     clone, reads merge base + delta.
+//
+// A Verifier is immutable after construction and safe for concurrent
+// use: every evaluation works on its own overlay.
+type Verifier struct {
+	src     storage.Source
+	v       view.View
+	r       Request
+	before  *tuple.Set // V(DB), materialized once
+	want    *tuple.Set // U(V(DB)), the exact-validity target
+	wantErr error      // request not applicable to the view state
+
+	sp       *view.SP
+	join     *view.Join
+	rootRel  string
+	nodeRels map[string]bool // join node base relations other than the root
+}
+
+// NewVerifier materializes the view and the requested view state once
+// and returns a verifier for candidates of r against v over src.
+func NewVerifier(src storage.Source, v view.View, r Request) *Verifier {
+	vf := &Verifier{src: src, v: v, r: r}
+	vf.before = v.Materialize(src)
+	vf.want, vf.wantErr = r.ApplyToViewSet(vf.before)
+	switch vv := v.(type) {
+	case *view.SP:
+		vf.sp = vv
+	case *view.Join:
+		vf.join = vv
+		vf.rootRel = vv.Root().SP.Base().Name()
+		vf.nodeRels = make(map[string]bool, len(vv.Nodes()))
+		for _, n := range vv.Nodes() {
+			if rel := n.SP.Base().Name(); rel != vf.rootRel {
+				vf.nodeRels[rel] = true
+			}
+		}
+	}
+	return vf
+}
+
+// Before returns the view state the verifier was built on.
+func (vf *Verifier) Before() *tuple.Set { return vf.before }
+
+// afterView applies tr to a fresh overlay and returns the resulting
+// view state, delta-computed when the translation is local to the
+// view's key-carrying relation. The returned set may alias the memoized
+// before-state; callers must not mutate it.
+func (vf *Verifier) afterView(tr *update.Translation) (*tuple.Set, error) {
+	ov := storage.NewOverlay(vf.src)
+	if err := ov.Apply(tr); err != nil {
+		return nil, err
+	}
+	switch {
+	case vf.sp != nil:
+		obs.Inc("core.verify.delta")
+		return vf.deltaRows(tr, vf.sp.Base().Name(), func(_ storage.Source, t tuple.T) (tuple.T, bool) {
+			return vf.sp.RowFor(t)
+		}, ov), nil
+	case vf.join != nil:
+		for _, rel := range tr.RelationsTouched() {
+			if vf.nodeRels[rel] {
+				// A non-root node changed: reference resolution may shift
+				// for any root tuple, so the delta is non-local.
+				obs.Inc("core.verify.materialize")
+				return vf.join.Materialize(ov), nil
+			}
+		}
+		obs.Inc("core.verify.delta")
+		return vf.deltaRows(tr, vf.rootRel, vf.join.RowForRoot, ov), nil
+	default:
+		obs.Inc("core.verify.materialize")
+		return vf.v.Materialize(ov), nil
+	}
+}
+
+// deltaRows edits the memoized before-state by the rows of the
+// translation's removed/added tuples of relation rel, evaluated by
+// rowFor. Removed rows are computed against the base state, added rows
+// against the overlay (equivalent here — the candidate is local to rel,
+// which no row evaluation reads through a reference — but the overlay
+// is the honest final state). Copy-on-write: if no tuple of rel is
+// touched or no row changes, the before-set is returned as is.
+func (vf *Verifier) deltaRows(tr *update.Translation, rel string, rowFor func(storage.Source, tuple.T) (tuple.T, bool), ov *storage.Overlay) *tuple.Set {
+	after := vf.before
+	edit := func() *tuple.Set {
+		if after == vf.before {
+			after = vf.before.Clone()
+		}
+		return after
+	}
+	for _, t := range tr.Removed().Slice() {
+		if t.Relation().Name() != rel {
+			continue
+		}
+		if row, ok := rowFor(vf.src, t); ok {
+			edit().Remove(row)
+		}
+	}
+	for _, t := range tr.Added().Slice() {
+		if t.Relation().Name() != rel {
+			continue
+		}
+		if row, ok := rowFor(ov, t); ok {
+			edit().Add(row)
+		}
+	}
+	return after
+}
+
+// Valid implements the paper's exact validity — V(DB′) = U(V(DB)) — for
+// the verifier's request, against the candidate translation.
+func (vf *Verifier) Valid(tr *update.Translation) bool {
+	if vf.wantErr != nil {
+		return false
+	}
+	after, err := vf.afterView(tr)
+	if err != nil {
+		return false
+	}
+	return after.Equal(vf.want)
+}
+
+// ValidRequested implements the relaxed validity applicable to join
+// views: requested additions present, requested removals absent, other
+// rows free to change.
+func (vf *Verifier) ValidRequested(tr *update.Translation) bool {
+	after, err := vf.afterView(tr)
+	if err != nil {
+		return false
+	}
+	for _, t := range vf.r.AddedTuples() {
+		if !after.Contains(t) {
+			return false
+		}
+	}
+	for _, t := range vf.r.RemovedTuples() {
+		if after.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidFn returns the validity predicate matching the view class: exact
+// validity for SP views, requested-changes validity for join views —
+// the same choice TraceTranslate and CheckCandidates historically made.
+func (vf *Verifier) ValidFn() func(*update.Translation) bool {
+	if vf.join != nil {
+		return vf.ValidRequested
+	}
+	return vf.Valid
+}
+
+// SideEffects reports the view changes of tr beyond those requested. An
+// error is returned if the translation cannot be applied.
+func (vf *Verifier) SideEffects(tr *update.Translation) (*Effects, error) {
+	after, err := vf.afterView(tr)
+	if err != nil {
+		return nil, err
+	}
+	requestedAdd := tuple.NewSet(vf.r.AddedTuples()...)
+	requestedRemove := tuple.NewSet(vf.r.RemovedTuples()...)
+	eff := &Effects{ExtraAdded: tuple.NewSet(), ExtraRemoved: tuple.NewSet()}
+	if after == vf.before {
+		return eff, nil // delta path proved the view unchanged
+	}
+	for _, row := range after.Slice() {
+		if !vf.before.Contains(row) && !requestedAdd.Contains(row) {
+			eff.ExtraAdded.Add(row)
+		}
+	}
+	for _, row := range vf.before.Slice() {
+		if !after.Contains(row) && !requestedRemove.Contains(row) {
+			eff.ExtraRemoved.Add(row)
+		}
+	}
+	return eff, nil
+}

@@ -37,6 +37,7 @@ import (
 	"viewupdate/internal/persist"
 	"viewupdate/internal/sqlish"
 	"viewupdate/internal/storage"
+	"viewupdate/internal/tuple"
 	"viewupdate/internal/update"
 	"viewupdate/internal/view"
 	"viewupdate/internal/wal"
@@ -125,6 +126,10 @@ type Engine struct {
 	// batches and admin script execution.
 	stateMu sync.Mutex
 
+	// views memoizes view materializations of the published snapshot;
+	// see materializeOn.
+	views viewCache
+
 	commitC  chan *commitReq
 	sendMu   sync.RWMutex // guards commitC sends against close
 	draining bool
@@ -206,10 +211,68 @@ func (e *Engine) Snapshot() (*storage.Database, uint64) {
 	return s.db, s.version
 }
 
-// publishSnapshot clones the live state and publishes it at version v.
-// Callers must hold stateMu (or be the only goroutine, during init).
+// publishSnapshot publishes the live state at version v as a
+// copy-on-write shared clone: extensions are shared with the live
+// database and cloned per relation on the live side's next write, so
+// publication costs O(relations), not O(tuples). The published snapshot
+// itself is never mutated. Callers must hold stateMu (or be the only
+// goroutine, during init).
 func (e *Engine) publishSnapshot(v uint64) {
-	e.snap.Store(&snapshot{db: e.db.Clone(), version: v})
+	e.snap.Store(&snapshot{db: e.db.CloneShared(), version: v})
+}
+
+// A viewCache memoizes view materializations of the published snapshot
+// for one snapshot version at a time, keyed by view name. Publishing a
+// new version invalidates it implicitly: the first read at a newer
+// version resets the map.
+type viewCache struct {
+	mu      sync.Mutex
+	version uint64
+	sets    map[string]*tuple.Set
+}
+
+// materializeOn returns the view's rows over src. When src is the
+// currently published snapshot, the materialization is memoized per
+// (snapshot version, view), so repeated reads of one view between
+// commits share one set. Any other source — a staged transaction
+// overlay, a stale snapshot — is materialized directly. The returned
+// set is shared and must not be mutated.
+func (e *Engine) materializeOn(v view.View, src storage.Source) *tuple.Set {
+	s := e.snap.Load()
+	if db, ok := src.(*storage.Database); !ok || db != s.db {
+		return v.Materialize(src)
+	}
+	return e.cachedView(v, s)
+}
+
+// cachedView looks v up in the view cache at snapshot s, materializing
+// and (if s is still current) storing on miss. Materialization runs
+// outside the lock; a publish racing the fill simply loses the entry.
+func (e *Engine) cachedView(v view.View, s *snapshot) *tuple.Set {
+	c := &e.views
+	c.mu.Lock()
+	if c.version == s.version && c.sets != nil {
+		if set, ok := c.sets[v.Name()]; ok {
+			c.mu.Unlock()
+			obs.Inc("server.viewcache.hit")
+			return set
+		}
+	}
+	c.mu.Unlock()
+	set := v.Materialize(s.db)
+	obs.Inc("server.viewcache.miss")
+	c.mu.Lock()
+	if c.version < s.version || c.sets == nil {
+		if c.version <= s.version {
+			c.version = s.version
+			c.sets = make(map[string]*tuple.Set)
+		}
+	}
+	if c.version == s.version && c.sets != nil {
+		c.sets[v.Name()] = set
+	}
+	c.mu.Unlock()
+	return set
 }
 
 // lookupView resolves a view and its configured policy; prefer, when
@@ -268,7 +331,7 @@ func (e *Engine) bumpVersionLocked(delta uint64) {
 // snapshot, and returns the chosen candidate plus its side effects and
 // the snapshot version the translation is based on. It does not apply
 // anything.
-func (e *Engine) Translate(viewName string, prefer []string, build func(view.View, *storage.Database) (core.Request, error)) (core.Candidate, *core.Effects, core.Request, uint64, error) {
+func (e *Engine) Translate(viewName string, prefer []string, build func(view.View, storage.Source) (core.Request, error)) (core.Candidate, *core.Effects, core.Request, uint64, error) {
 	v, pol, err := e.lookupView(viewName, prefer)
 	if err != nil {
 		return core.Candidate{}, nil, core.Request{}, 0, err

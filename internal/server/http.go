@@ -169,7 +169,7 @@ func (e *Engine) handleReadView(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	rows, cols := renderRows(v, db, parsed)
+	rows, cols := renderRows(v, e.materializeOn(v, db), parsed)
 	writeJSON(w, http.StatusOK, rowsReply{
 		View: name, Columns: cols, Rows: rows, Count: len(rows), Version: version,
 	})
@@ -213,7 +213,7 @@ func (e *Engine) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	cand, eff, _, baseVersion, err := e.Translate(r.PathValue("name"), body.Prefer, buildRequest(kind, body))
+	cand, eff, _, baseVersion, err := e.Translate(r.PathValue("name"), body.Prefer, e.buildRequest(kind, body))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -250,7 +250,7 @@ func (e *Engine) handleTxUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	cand, eff, err := e.TxUpdate(r.PathValue("token"), r.PathValue("name"), body.Prefer, buildRequest(kind, body))
+	cand, eff, err := e.TxUpdate(r.PathValue("token"), r.PathValue("name"), body.Prefer, e.buildRequest(kind, body))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -274,7 +274,7 @@ func (e *Engine) handleTxReadView(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	rows, cols := renderRows(v, staged, nil)
+	rows, cols := renderRows(v, v.Materialize(staged), nil)
 	writeJSON(w, http.StatusOK, rowsReply{
 		View: name, Columns: cols, Rows: rows, Count: len(rows),
 	})

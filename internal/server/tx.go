@@ -19,15 +19,14 @@ import (
 // token.
 var ErrNoTx = errors.New("server: unknown or expired transaction")
 
-// A wireTx is one open wire transaction: a staged clone all its
-// statements run against, the version of the snapshot it was staged
-// from (checked strictly at commit), and a deadline after which the
-// sweeper reaps it.
+// A wireTx is one open wire transaction: a copy-on-write overlay all
+// its statements run against, the version of the snapshot it was
+// staged from (checked strictly at commit), and a deadline after which
+// the sweeper reaps it.
 type wireTx struct {
 	token       string
 	mu          sync.Mutex // serializes statements on one token
-	base        *storage.Database
-	staged      *storage.Database
+	staged      *storage.Overlay
 	baseVersion uint64
 	expires     time.Time
 	ops         int
@@ -93,9 +92,9 @@ func newToken() (string, error) {
 }
 
 // BeginTx opens a wire transaction against the current snapshot and
-// returns its token. The staged state is the snapshot itself cloned
-// once more — statements mutate the clone; the snapshot stays immutable
-// for concurrent readers.
+// returns its token. The staged state is a copy-on-write overlay over
+// the snapshot — statements record deltas in the overlay; the snapshot
+// stays immutable for concurrent readers and nothing is copied.
 func (e *Engine) BeginTx() (string, error) {
 	snap, version := e.Snapshot()
 	token, err := newToken()
@@ -104,8 +103,7 @@ func (e *Engine) BeginTx() (string, error) {
 	}
 	e.txs.put(&wireTx{
 		token:       token,
-		base:        snap,
-		staged:      snap.Clone(),
+		staged:      storage.NewOverlay(snap),
 		baseVersion: version,
 		expires:     time.Now().Add(e.cfg.TxTTL),
 	})
@@ -116,7 +114,7 @@ func (e *Engine) BeginTx() (string, error) {
 // TxUpdate translates and applies one view update inside the
 // transaction's staged state. Nothing reaches the live database until
 // TxCommit.
-func (e *Engine) TxUpdate(token, viewName string, prefer []string, build func(view.View, *storage.Database) (core.Request, error)) (core.Candidate, *core.Effects, error) {
+func (e *Engine) TxUpdate(token, viewName string, prefer []string, build func(view.View, storage.Source) (core.Request, error)) (core.Candidate, *core.Effects, error) {
 	tx, err := e.txs.get(token)
 	if err != nil {
 		return core.Candidate{}, nil, err
@@ -148,26 +146,27 @@ func (e *Engine) TxUpdate(token, viewName string, prefer []string, build func(vi
 	return cand, eff, nil
 }
 
-// TxView materializes a view against the transaction's staged state,
+// TxView returns a readable source for the transaction's staged state,
 // so clients can read their own uncommitted writes.
-func (e *Engine) TxView(token string) (*storage.Database, error) {
+func (e *Engine) TxView(token string) (storage.Source, error) {
 	tx, err := e.txs.get(token)
 	if err != nil {
 		return nil, err
 	}
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
-	// Clone so the caller reads a stable state even if another request
-	// on the same token stages more updates concurrently.
-	return tx.staged.Clone(), nil
+	// Snapshot the overlay (the delta is copied, the base is shared) so
+	// the caller reads a stable state even if another request on the
+	// same token stages more updates concurrently.
+	return tx.staged.Snapshot(), nil
 }
 
-// TxCommit diffs the staged state against its base and submits the
-// diff as a strict commit: it lands only if the database is still at
-// the version the transaction was staged from, otherwise ErrConflict.
-// The token is consumed either way — a conflicted transaction must be
-// restaged from a fresh snapshot, matching the sqlish session's
-// first-writer-wins semantics.
+// TxCommit turns the staged overlay's delta into a translation and
+// submits it as a strict commit: it lands only if the database is
+// still at the version the transaction was staged from, otherwise
+// ErrConflict. The token is consumed either way — a conflicted
+// transaction must be restaged from a fresh snapshot, matching the
+// sqlish session's first-writer-wins semantics.
 func (e *Engine) TxCommit(ctx context.Context, token string) (int, uint64, error) {
 	tx, err := e.txs.get(token)
 	if err != nil {
@@ -176,10 +175,7 @@ func (e *Engine) TxCommit(ctx context.Context, token string) (int, uint64, error
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
 	e.txs.drop(token)
-	diff, err := storage.Diff(tx.base, tx.staged)
-	if err != nil {
-		return 0, 0, err
-	}
+	diff := tx.staged.Diff()
 	if diff.Len() == 0 {
 		_, v := e.Snapshot()
 		obs.Inc("server.tx.commit.empty")

@@ -146,15 +146,15 @@ func matchEq(row tuple.T, eq map[string]value.Value) bool {
 	return true
 }
 
-// uniqueRow finds the single current view row matching the equalities,
+// uniqueRow finds the single view row of rows matching the equalities,
 // mirroring the sqlish session's single-tuple request discipline.
-func uniqueRow(v view.View, db *storage.Database, eq map[string]value.Value) (tuple.T, error) {
+func uniqueRow(v view.View, rows *tuple.Set, eq map[string]value.Value) (tuple.T, error) {
 	if len(eq) == 0 {
 		return tuple.T{}, fmt.Errorf("server: where clause required")
 	}
 	var match tuple.T
 	n := 0
-	for _, row := range v.Materialize(db).Slice() {
+	for _, row := range rows.Slice() {
 		if matchEq(row, eq) {
 			match = row
 			n++
@@ -172,9 +172,11 @@ func uniqueRow(v view.View, db *storage.Database, eq map[string]value.Value) (tu
 
 // buildRequest converts a wire update body of the given kind into a
 // core.Request builder, evaluated against whichever state (published
-// snapshot or staged transaction clone) the caller supplies.
-func buildRequest(kind update.Kind, body updateBody) func(view.View, *storage.Database) (core.Request, error) {
-	return func(v view.View, db *storage.Database) (core.Request, error) {
+// snapshot or staged transaction overlay) the caller supplies. Row
+// resolution for delete/replace goes through the engine's view cache
+// when the supplied state is the published snapshot.
+func (e *Engine) buildRequest(kind update.Kind, body updateBody) func(view.View, storage.Source) (core.Request, error) {
+	return func(v view.View, src storage.Source) (core.Request, error) {
 		switch kind {
 		case update.Insert:
 			t, err := parseRow(v.Schema(), body.Values)
@@ -187,7 +189,7 @@ func buildRequest(kind update.Kind, body updateBody) func(view.View, *storage.Da
 			if err != nil {
 				return core.Request{}, err
 			}
-			row, err := uniqueRow(v, db, eq)
+			row, err := uniqueRow(v, e.materializeOn(v, src), eq)
 			if err != nil {
 				return core.Request{}, err
 			}
@@ -200,7 +202,7 @@ func buildRequest(kind update.Kind, body updateBody) func(view.View, *storage.Da
 			if err != nil {
 				return core.Request{}, err
 			}
-			row, err := uniqueRow(v, db, eq)
+			row, err := uniqueRow(v, e.materializeOn(v, src), eq)
 			if err != nil {
 				return core.Request{}, err
 			}
@@ -232,12 +234,12 @@ func renderOps(tr *update.Translation) []string {
 	return out
 }
 
-// renderRows materializes a view (optionally filtered by equalities)
-// into the wire row format.
-func renderRows(v view.View, db *storage.Database, eq map[string]value.Value) ([][]string, []string) {
+// renderRows renders a materialized view row set (optionally filtered
+// by equalities) into the wire row format.
+func renderRows(v view.View, set *tuple.Set, eq map[string]value.Value) ([][]string, []string) {
 	cols := v.Schema().AttributeNames()
 	var rows [][]string
-	for _, row := range v.Materialize(db).Slice() {
+	for _, row := range set.Slice() {
 		if len(eq) > 0 && !matchEq(row, eq) {
 			continue
 		}

@@ -32,6 +32,12 @@ type Database struct {
 	// state is no longer trustworthy, so every later mutation returns
 	// this error (which wraps ErrPoisoned and vuerr.ErrCorrupt).
 	poisoned error
+	// sharedExts marks extensions shared with a CloneShared snapshot;
+	// the next mutation of a marked relation clones its extension first
+	// (copy-on-write at relation granularity). sharedRefs does the same
+	// for the inclusion reference index.
+	sharedExts map[string]bool
+	sharedRefs bool
 }
 
 // Open returns an empty database instance for the schema.
@@ -180,6 +186,64 @@ func (db *Database) Clone() *Database {
 	return out
 }
 
+// CloneShared returns a snapshot that shares every extension and the
+// reference index with the receiver, turning both sides copy-on-write:
+// whichever side mutates a relation next clones that relation's
+// extension first, so the other side never observes the write.
+// Publishing a read snapshot this way costs O(relations), not
+// O(tuples) — the win the server's snapshot publication relies on.
+func (db *Database) CloneShared() *Database {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := &Database{sch: db.sch, exts: make(map[string]*relation.Extension, len(db.exts))}
+	if db.sharedExts == nil {
+		db.sharedExts = make(map[string]bool, len(db.exts))
+	}
+	out.sharedExts = make(map[string]bool, len(db.exts))
+	for n, e := range db.exts {
+		out.exts[n] = e
+		db.sharedExts[n] = true
+		out.sharedExts[n] = true
+	}
+	out.refs = db.refs
+	db.sharedRefs = true
+	out.sharedRefs = true
+	out.poisoned = db.poisoned
+	return out
+}
+
+// writableExt returns the named extension for mutation, cloning it
+// first if it is shared with a snapshot. Callers hold db.mu for
+// writing.
+func (db *Database) writableExt(name string) *relation.Extension {
+	e := db.exts[name]
+	if e != nil && db.sharedExts[name] {
+		e = e.Clone()
+		db.exts[name] = e
+		delete(db.sharedExts, name)
+	}
+	return e
+}
+
+// writableRefs returns the reference index for mutation, deep-copying
+// it first if it is shared with a snapshot. Callers hold db.mu for
+// writing.
+func (db *Database) writableRefs() []map[string]int {
+	if db.sharedRefs {
+		refs := make([]map[string]int, len(db.refs))
+		for i, m := range db.refs {
+			cp := make(map[string]int, len(m))
+			for k, v := range m {
+				cp[k] = v
+			}
+			refs[i] = cp
+		}
+		db.refs = refs
+		db.sharedRefs = false
+	}
+	return db.refs
+}
+
 // Equal reports whether two instances of the same schema hold the same
 // tuples in every relation.
 func (db *Database) Equal(o *Database) bool {
@@ -277,7 +341,7 @@ func (db *Database) applyLocked(tr *update.Translation) (err error) {
 			if ferr := faultinject.Hit(faultinject.SiteRollback); ferr != nil {
 				return fmt.Errorf("storage: rollback interrupted: %w", ferr)
 			}
-			e := db.exts[a.t.Relation().Name()]
+			e := db.writableExt(a.t.Relation().Name())
 			if a.remove {
 				if ierr := e.Insert(a.t); ierr != nil {
 					return fmt.Errorf("storage: rollback re-insert failed: %w", ierr)
@@ -321,7 +385,7 @@ func (db *Database) applyLocked(tr *update.Translation) (err error) {
 		if ferr := faultinject.Hit(faultinject.SiteApplyDelete); ferr != nil {
 			return fail(fmt.Errorf("storage: %w", ferr))
 		}
-		e := db.exts[t.Relation().Name()]
+		e := db.writableExt(t.Relation().Name())
 		if err := e.Delete(t); err != nil {
 			return fail(fmt.Errorf("storage: %w", err))
 		}
@@ -334,7 +398,7 @@ func (db *Database) applyLocked(tr *update.Translation) (err error) {
 		if ferr := faultinject.Hit(faultinject.SiteApplyInsert); ferr != nil {
 			return fail(fmt.Errorf("storage: %w", ferr))
 		}
-		e := db.exts[t.Relation().Name()]
+		e := db.writableExt(t.Relation().Name())
 		if err := e.Insert(t); err != nil {
 			return fail(fmt.Errorf("storage: %w", err))
 		}
@@ -362,12 +426,13 @@ func (db *Database) refAdjust(t tuple.T, delta int) {
 		if d.Child != rel {
 			continue
 		}
+		refs := db.writableRefs()
 		k := childRefKey(d, t)
-		n := db.refs[i][k] + delta
+		n := refs[i][k] + delta
 		if n == 0 {
-			delete(db.refs[i], k)
+			delete(refs[i], k)
 		} else {
-			db.refs[i][k] = n
+			refs[i][k] = n
 		}
 	}
 }
@@ -493,6 +558,7 @@ func (db *Database) SyncSchema() error {
 		}
 	}
 	db.refs = refs
+	db.sharedRefs = false
 	return nil
 }
 
@@ -501,11 +567,10 @@ func (db *Database) SyncSchema() error {
 func (db *Database) CreateIndex(rel, attr string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	e := db.exts[rel]
-	if e == nil {
+	if db.exts[rel] == nil {
 		return fmt.Errorf("%w %s", ErrUnknownRelation, rel)
 	}
-	return e.EnsureIndex(attr)
+	return db.writableExt(rel).EnsureIndex(attr)
 }
 
 // HasIndex reports whether the named relation carries a secondary index

@@ -1,0 +1,463 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"viewupdate/internal/obs"
+	"viewupdate/internal/relation"
+	"viewupdate/internal/schema"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/update"
+	"viewupdate/internal/value"
+)
+
+// An Overlay is a copy-on-write read layer over a base state: it
+// records the insert/delete/replace delta of applied translations per
+// relation and answers lookups, scans and full-relation reads against
+// "base + delta" without copying any extension. Overlays stack — the
+// base may itself be an Overlay — which is how staged transactions
+// layer candidate evaluation over staged-but-uncommitted state.
+//
+// Apply enforces exactly the constraints Database.Apply enforces (key
+// dependencies, exact-tuple deletes, inclusion dependencies checked as
+// deltas against the final state) and is atomic: on error the overlay
+// is unchanged. Unlike Database.Apply it mutates no extension and
+// performs no rollback, so it cannot poison anything; fault-injection
+// sites of the apply path are deliberately not wired in, because an
+// overlay apply is a pure validation + bookkeeping step.
+//
+// An Overlay is safe for concurrent readers, but Apply must not run
+// concurrently with other method calls on the same Overlay. The base
+// must not change while the overlay is in use; overlays are meant to
+// sit on immutable snapshots or on states the caller has serialized.
+type Overlay struct {
+	base Source
+	ints sourceInternals
+	// deltas holds the per-relation delta, keyed by relation name.
+	deltas map[string]*overlayDelta
+	// refDelta adjusts the base's inclusion reference counts, keyed by
+	// inclusion-dependency index then parent-key encoding.
+	refDelta map[int]map[string]int
+}
+
+// overlayDelta is one relation's delta. Both maps are keyed by
+// tuple.Key(). Invariants: every removed entry is an exact tuple
+// present in the base; every added entry's key is not effectively
+// present beneath it (hidden by removed, or absent from the base).
+type overlayDelta struct {
+	removed map[string]tuple.T
+	added   map[string]tuple.T
+}
+
+func newOverlayDelta() *overlayDelta {
+	return &overlayDelta{removed: map[string]tuple.T{}, added: map[string]tuple.T{}}
+}
+
+func (d *overlayDelta) clone() *overlayDelta {
+	out := &overlayDelta{
+		removed: make(map[string]tuple.T, len(d.removed)),
+		added:   make(map[string]tuple.T, len(d.added)),
+	}
+	for k, t := range d.removed {
+		out.removed[k] = t
+	}
+	for k, t := range d.added {
+		out.added[k] = t
+	}
+	return out
+}
+
+func (d *overlayDelta) empty() bool { return len(d.removed) == 0 && len(d.added) == 0 }
+
+// NewOverlay returns an empty overlay over base.
+func NewOverlay(base Source) *Overlay {
+	return &Overlay{base: base, ints: base.internal(), deltas: map[string]*overlayDelta{}}
+}
+
+// Base returns the state the overlay layers over.
+func (o *Overlay) Base() Source { return o.base }
+
+// Snapshot returns a copy of the overlay sharing the (immutable) base:
+// further Apply calls on either side do not affect the other.
+func (o *Overlay) Snapshot() *Overlay {
+	out := NewOverlay(o.base)
+	for rel, d := range o.deltas {
+		out.deltas[rel] = d.clone()
+	}
+	if len(o.refDelta) > 0 {
+		out.refDelta = make(map[int]map[string]int, len(o.refDelta))
+		for i, m := range o.refDelta {
+			cp := make(map[string]int, len(m))
+			for k, n := range m {
+				cp[k] = n
+			}
+			out.refDelta[i] = cp
+		}
+	}
+	return out
+}
+
+// DeltaSize returns the number of removed and added tuples recorded
+// across all relations — the cost of Diff, and a measure of how far the
+// overlay has diverged from its base.
+func (o *Overlay) DeltaSize() (removed, added int) {
+	for _, d := range o.deltas {
+		removed += len(d.removed)
+		added += len(d.added)
+	}
+	return removed, added
+}
+
+// Schema implements Source.
+func (o *Overlay) Schema() *schema.Database { return o.base.Schema() }
+
+// Err implements Source: an overlay is trustworthy iff its base is.
+func (o *Overlay) Err() error { return o.base.Err() }
+
+// Tuples implements Source: the base tuples minus the removed set plus
+// the added set, in deterministic (key-encoding) order.
+func (o *Overlay) Tuples(name string) []tuple.T {
+	d := o.deltas[name]
+	if d == nil || d.empty() {
+		return o.base.Tuples(name)
+	}
+	base := o.base.Tuples(name)
+	out := make([]tuple.T, 0, len(base)-len(d.removed)+len(d.added))
+	for _, t := range base {
+		if _, gone := d.removed[t.Key()]; gone {
+			continue
+		}
+		out = append(out, t)
+	}
+	for _, t := range d.added {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Len implements Source.
+func (o *Overlay) Len(name string) int {
+	n := o.base.Len(name)
+	if d := o.deltas[name]; d != nil {
+		n += len(d.added) - len(d.removed)
+	}
+	return n
+}
+
+// Contains implements Source.
+func (o *Overlay) Contains(t tuple.T) bool {
+	if d := o.deltas[t.Relation().Name()]; d != nil {
+		k := t.Key()
+		if cur, ok := d.added[k]; ok {
+			return cur.Equal(t)
+		}
+		if _, gone := d.removed[k]; gone {
+			return false
+		}
+	}
+	return o.base.Contains(t)
+}
+
+// LookupKey implements Source.
+func (o *Overlay) LookupKey(probe tuple.T) (tuple.T, bool) {
+	if d := o.deltas[probe.Relation().Name()]; d != nil {
+		k := probe.Key()
+		if t, ok := d.added[k]; ok {
+			return t, true
+		}
+		if _, gone := d.removed[k]; gone {
+			return tuple.T{}, false
+		}
+	}
+	return o.base.LookupKey(probe)
+}
+
+// HasIndex implements Source: indexes live in the base; ScanValues
+// merges the delta on top of the indexed scan.
+func (o *Overlay) HasIndex(rel, attr string) bool { return o.base.HasIndex(rel, attr) }
+
+// ScanValues implements Source.
+func (o *Overlay) ScanValues(rel, attr string, vals []value.Value, fn func(tuple.T) bool) {
+	d := o.deltas[rel]
+	if d == nil || d.empty() {
+		o.base.ScanValues(rel, attr, vals, fn)
+		return
+	}
+	stopped := false
+	o.base.ScanValues(rel, attr, vals, func(t tuple.T) bool {
+		if _, gone := d.removed[t.Key()]; gone {
+			return true
+		}
+		if !fn(t) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	want := make(map[value.Value]bool, len(vals))
+	for _, v := range vals {
+		want[v] = true
+	}
+	for _, t := range d.added {
+		if want[t.MustGet(attr)] && !fn(t) {
+			return
+		}
+	}
+}
+
+// internal implements Source.
+func (o *Overlay) internal() sourceInternals { return overlayInternals{o} }
+
+type overlayInternals struct{ o *Overlay }
+
+func (i overlayInternals) refCount(dep int, keyEnc string) int {
+	return i.o.ints.refCount(dep, keyEnc) + i.o.refDelta[dep][keyEnc]
+}
+
+func (i overlayInternals) containsKeyEncoding(rel, enc string) bool {
+	if d := i.o.deltas[rel]; d != nil {
+		if _, ok := d.added[enc]; ok {
+			return true
+		}
+		if _, gone := d.removed[enc]; gone {
+			return false
+		}
+	}
+	return i.o.ints.containsKeyEncoding(rel, enc)
+}
+
+func (i overlayInternals) hasRelation(name string) bool { return i.o.ints.hasRelation(name) }
+
+// applyScratch stages one Apply: deltas and reference adjustments are
+// cloned lazily for the relations and dependencies the translation
+// touches, so a failed apply leaves the overlay untouched.
+type applyScratch struct {
+	o      *Overlay
+	deltas map[string]*overlayDelta
+	refs   map[int]map[string]int
+}
+
+// delta returns the writable scratch delta for rel.
+func (s *applyScratch) delta(rel string) *overlayDelta {
+	if d, ok := s.deltas[rel]; ok {
+		return d
+	}
+	var d *overlayDelta
+	if cur := s.o.deltas[rel]; cur != nil {
+		d = cur.clone()
+	} else {
+		d = newOverlayDelta()
+	}
+	s.deltas[rel] = d
+	return d
+}
+
+// peek returns the current delta for rel — scratch if touched, the
+// overlay's otherwise — without cloning. May be nil.
+func (s *applyScratch) peek(rel string) *overlayDelta {
+	if d, ok := s.deltas[rel]; ok {
+		return d
+	}
+	return s.o.deltas[rel]
+}
+
+// refs(i) returns the writable scratch reference adjustment for dep i.
+func (s *applyScratch) refMap(dep int) map[string]int {
+	if m, ok := s.refs[dep]; ok {
+		return m
+	}
+	m := make(map[string]int, len(s.o.refDelta[dep])+1)
+	for k, n := range s.o.refDelta[dep] {
+		m[k] = n
+	}
+	s.refs[dep] = m
+	return m
+}
+
+// refCount is the staged reference count for dep/keyEnc.
+func (s *applyScratch) refCount(dep int, keyEnc string) int {
+	base := s.o.ints.refCount(dep, keyEnc)
+	if m, ok := s.refs[dep]; ok {
+		return base + m[keyEnc]
+	}
+	return base + s.o.refDelta[dep][keyEnc]
+}
+
+// adjustRefs mirrors Database.refAdjust on the scratch state.
+func (s *applyScratch) adjustRefs(t tuple.T, delta int) {
+	rel := t.Relation().Name()
+	for i, d := range s.o.base.Schema().Inclusions() {
+		if d.Child != rel {
+			continue
+		}
+		k := childRefKey(d, t)
+		m := s.refMap(i)
+		n := m[k] + delta
+		if n == 0 {
+			delete(m, k)
+		} else {
+			m[k] = n
+		}
+	}
+}
+
+// parentKeyExists mirrors Database.parentKeyExists on the staged state.
+func (s *applyScratch) parentKeyExists(parent, keyEnc string) bool {
+	enc := keyEncProbe(parent, keyEnc)
+	if d := s.peek(parent); d != nil {
+		if _, ok := d.added[enc]; ok {
+			return true
+		}
+		if _, gone := d.removed[enc]; gone {
+			return false
+		}
+	}
+	return s.o.ints.containsKeyEncoding(parent, enc)
+}
+
+// commit folds the scratch into the overlay. Empty deltas are dropped
+// so untouched-relation fast paths stay fast.
+func (s *applyScratch) commit() {
+	for rel, d := range s.deltas {
+		if d.empty() {
+			delete(s.o.deltas, rel)
+		} else {
+			s.o.deltas[rel] = d
+		}
+	}
+	for i, m := range s.refs {
+		if s.o.refDelta == nil {
+			s.o.refDelta = make(map[int]map[string]int)
+		}
+		if len(m) == 0 {
+			delete(s.o.refDelta, i)
+		} else {
+			s.o.refDelta[i] = m
+		}
+	}
+}
+
+// Apply records the translation in the overlay, enforcing exactly the
+// constraints Database.Apply enforces — phase for phase, in the same
+// deterministic order, with the same added/removed-set semantics
+// (removals happen "first", additions "second") and the same
+// inclusion-dependency delta checks against the final state. On any
+// violation the overlay is left unchanged and an error classified like
+// Database.Apply's (relation.ErrNotPresent, relation.ErrKeyConflict,
+// ErrInclusion, ErrUnknownRelation) is returned.
+func (o *Overlay) Apply(tr *update.Translation) error {
+	if err := o.Err(); err != nil {
+		return err
+	}
+	sch := o.base.Schema()
+
+	// Phase 0: validate ops reference relations of this schema.
+	for _, op := range tr.Ops() {
+		if !o.ints.hasRelation(op.RelationName()) {
+			return fmt.Errorf("%w %s in %s", ErrUnknownRelation, op.RelationName(), op)
+		}
+	}
+
+	removed := tr.Removed().Slice()
+	added := tr.Added().Slice()
+	s := &applyScratch{o: o, deltas: map[string]*overlayDelta{}, refs: map[int]map[string]int{}}
+
+	// Phase 1: remove the removed set.
+	for _, t := range removed {
+		rel := t.Relation().Name()
+		d := s.delta(rel)
+		k := t.Key()
+		if cur, ok := d.added[k]; ok {
+			if !cur.Equal(t) {
+				return fmt.Errorf("storage: %w: %s in %s", relation.ErrNotPresent, t, rel)
+			}
+			delete(d.added, k)
+		} else if _, gone := d.removed[k]; gone {
+			return fmt.Errorf("storage: %w: %s in %s", relation.ErrNotPresent, t, rel)
+		} else if !o.base.Contains(t) {
+			return fmt.Errorf("storage: %w: %s in %s", relation.ErrNotPresent, t, rel)
+		} else {
+			d.removed[k] = t
+		}
+		s.adjustRefs(t, -1)
+	}
+
+	// Phase 2: add the added set.
+	for _, t := range added {
+		rel := t.Relation().Name()
+		d := s.delta(rel)
+		k := t.Key()
+		if cur, ok := d.added[k]; ok {
+			return fmt.Errorf("storage: %w in %s: %s vs existing %s", relation.ErrKeyConflict, rel, t, cur)
+		}
+		if _, gone := d.removed[k]; !gone {
+			if cur, ok := o.base.LookupKey(t); ok {
+				return fmt.Errorf("storage: %w in %s: %s vs existing %s", relation.ErrKeyConflict, rel, t, cur)
+			}
+		}
+		d.added[k] = t
+		s.adjustRefs(t, +1)
+	}
+
+	// Phase 3: inclusion dependencies on the final state, as deltas.
+	deps := sch.Inclusions()
+	for _, t := range added {
+		rel := t.Relation().Name()
+		for _, d := range deps {
+			if d.Child != rel {
+				continue
+			}
+			if !s.parentKeyExists(d.Parent, childRefKey(d, t)) {
+				return fmt.Errorf("%w %s violated: %s references missing %s key", ErrInclusion, d, t, d.Parent)
+			}
+		}
+	}
+	for _, t := range removed {
+		rel := t.Relation().Name()
+		for i, d := range deps {
+			if d.Parent != rel {
+				continue
+			}
+			k := parentKeyEnc(t)
+			if s.parentKeyExists(d.Parent, k) {
+				continue // key survived (replacement kept it)
+			}
+			if n := s.refCount(i, k); n > 0 {
+				return fmt.Errorf("%w %s violated: removing %s leaves %d dangling references", ErrInclusion, d, t, n)
+			}
+		}
+	}
+
+	s.commit()
+	obs.Inc("storage.overlay.apply")
+	return nil
+}
+
+// Diff returns the translation transforming the base state into the
+// overlay's state: a delete for every removed tuple and an insert for
+// every added tuple, skipping keys whose removed and added entries are
+// equal. It matches the shape of storage.Diff (deletes + inserts, no
+// replaces) but costs O(delta) instead of a full scan.
+func (o *Overlay) Diff() *update.Translation {
+	tr := update.NewTranslation()
+	for _, d := range o.deltas {
+		for k, t := range d.removed {
+			if cur, ok := d.added[k]; ok && cur.Equal(t) {
+				continue
+			}
+			tr.Add(update.NewDelete(t))
+		}
+		for k, t := range d.added {
+			if cur, ok := d.removed[k]; ok && cur.Equal(t) {
+				continue
+			}
+			tr.Add(update.NewInsert(t))
+		}
+	}
+	return tr
+}

@@ -1,0 +1,404 @@
+package storage
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"viewupdate/internal/schema"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/update"
+	"viewupdate/internal/value"
+)
+
+// overlayEqualsDB asserts the overlay's visible state matches the
+// database, relation by relation, via every read path.
+func overlayEqualsDB(t *testing.T, ov *Overlay, db *Database) {
+	t.Helper()
+	for _, name := range db.Schema().RelationNames() {
+		want := db.Tuples(name)
+		got := ov.Tuples(name)
+		if len(got) != len(want) {
+			t.Fatalf("%s: overlay has %d tuples, database %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("%s[%d]: overlay %s, database %s", name, i, got[i], want[i])
+			}
+		}
+		if ov.Len(name) != db.Len(name) {
+			t.Fatalf("%s: Len mismatch: overlay %d, database %d", name, ov.Len(name), db.Len(name))
+		}
+		for _, u := range want {
+			if !ov.Contains(u) {
+				t.Fatalf("%s: overlay missing %s", name, u)
+			}
+			got, ok := ov.LookupKey(u)
+			if !ok || !got.Equal(u) {
+				t.Fatalf("%s: overlay LookupKey(%s) = %s, %v", name, u, got, ok)
+			}
+		}
+	}
+}
+
+func TestOverlayReadsMergeDelta(t *testing.T) {
+	sch, p, c := pcSchema(t)
+	db := Open(sch)
+	if err := db.LoadAll(pt(t, p, 1, "u"), pt(t, p, 2, "v"), ct(t, c, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	ov := NewOverlay(db)
+	overlayEqualsDB(t, ov, db) // empty delta: all reads delegate
+
+	tr := update.NewTranslation(
+		update.NewReplace(pt(t, p, 1, "u"), pt(t, p, 1, "v")),
+		update.NewInsert(pt(t, p, 3, "u")),
+	)
+	if err := ov.Apply(tr); err != nil {
+		t.Fatal(err)
+	}
+
+	want := db.Clone()
+	if err := want.Apply(tr); err != nil {
+		t.Fatal(err)
+	}
+	overlayEqualsDB(t, ov, want)
+
+	// The base is untouched.
+	if !db.Contains(pt(t, p, 1, "u")) || db.Len("P") != 2 {
+		t.Fatal("overlay apply mutated the base")
+	}
+	if rm, add := ov.DeltaSize(); rm != 1 || add != 2 {
+		t.Fatalf("DeltaSize = %d removed, %d added; want 1, 2", rm, add)
+	}
+}
+
+func TestOverlayScanValues(t *testing.T) {
+	sch, p, _ := pcSchema(t)
+	db := Open(sch)
+	if err := db.LoadAll(pt(t, p, 1, "u"), pt(t, p, 2, "v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("P", "PV"); err != nil {
+		t.Fatal(err)
+	}
+	ov := NewOverlay(db)
+	if !ov.HasIndex("P", "PV") {
+		t.Fatal("overlay should expose the base index")
+	}
+	if err := ov.Apply(update.NewTranslation(
+		update.NewDelete(pt(t, p, 2, "v")),
+		update.NewInsert(pt(t, p, 3, "v")),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	var hits []tuple.T
+	ov.ScanValues("P", "PV", []value.Value{value.NewString("v")}, func(u tuple.T) bool {
+		hits = append(hits, u)
+		return true
+	})
+	if len(hits) != 1 || hits[0].MustGet("PK") != value.NewInt(3) {
+		t.Fatalf("ScanValues over delta = %v, want only (3,v)", hits)
+	}
+	// Early stop from the added set is honored.
+	n := 0
+	ov.ScanValues("P", "PV", []value.Value{value.NewString("u"), value.NewString("v")}, func(tuple.T) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("early-stopped scan visited %d tuples, want 1", n)
+	}
+}
+
+func TestOverlayApplyErrorsMatchDatabase(t *testing.T) {
+	sch, p, c := pcSchema(t)
+	base := Open(sch)
+	if err := base.LoadAll(pt(t, p, 1, "u"), pt(t, p, 2, "v"), ct(t, c, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		tr   *update.Translation
+	}{
+		{"delete absent", update.NewTranslation(update.NewDelete(pt(t, p, 3, "u")))},
+		{"delete wrong value", update.NewTranslation(update.NewDelete(pt(t, p, 1, "v")))},
+		{"insert key conflict", update.NewTranslation(update.NewInsert(pt(t, p, 1, "v")))},
+		{"double insert same key", update.NewTranslation(
+			update.NewInsert(pt(t, p, 3, "u")),
+			update.NewInsert(pt(t, p, 3, "v")),
+		)},
+		{"dangling child insert", update.NewTranslation(update.NewInsert(ct(t, c, 2, 3)))},
+		{"delete referenced parent", update.NewTranslation(update.NewDelete(pt(t, p, 1, "u")))},
+		{"key-changing parent replace", update.NewTranslation(
+			update.NewReplace(pt(t, p, 1, "u"), pt(t, p, 3, "u")),
+		)},
+		{"swap with conflict", update.NewTranslation(
+			update.NewDelete(pt(t, p, 1, "u")),
+			update.NewInsert(pt(t, p, 2, "u")),
+		)},
+		{"parent and child delete", update.NewTranslation(
+			update.NewDelete(pt(t, p, 1, "u")),
+			update.NewDelete(ct(t, c, 1, 1)),
+		)},
+		{"key-preserving parent replace", update.NewTranslation(
+			update.NewReplace(pt(t, p, 1, "u"), pt(t, p, 1, "v")),
+		)},
+		{"delete then reinsert same key", update.NewTranslation(
+			update.NewDelete(pt(t, p, 1, "u")),
+			update.NewInsert(pt(t, p, 1, "v")),
+		)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ov := NewOverlay(base)
+			cl := base.Clone()
+			ovErr := ov.Apply(tc.tr)
+			clErr := cl.Apply(tc.tr)
+			if (ovErr == nil) != (clErr == nil) {
+				t.Fatalf("overlay err = %v, clone err = %v", ovErr, clErr)
+			}
+			if ovErr != nil {
+				overlayEqualsDB(t, ov, base) // failed apply must be a no-op
+				return
+			}
+			overlayEqualsDB(t, ov, cl)
+		})
+	}
+}
+
+func TestOverlayUnknownRelation(t *testing.T) {
+	sch, _, _ := pcSchema(t)
+	db := Open(sch)
+	other := schema.MustRelation("X", []schema.Attribute{
+		{Name: "K", Domain: schema.MustDomain("XD", value.NewInt(1))},
+	}, []string{"K"})
+	tr := update.NewTranslation(update.NewInsert(tuple.MustNew(other, value.NewInt(1))))
+	err := NewOverlay(db).Apply(tr)
+	if err == nil || !errors.Is(err, ErrUnknownRelation) {
+		t.Fatalf("want ErrUnknownRelation, got %v", err)
+	}
+}
+
+func TestOverlayStacking(t *testing.T) {
+	sch, p, c := pcSchema(t)
+	db := Open(sch)
+	if err := db.LoadAll(pt(t, p, 1, "u"), ct(t, c, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Layer 1 removes the child; the parent is still referenced in the
+	// base, but layer 1's ref delta frees it.
+	ov1 := NewOverlay(db)
+	if err := ov1.Apply(update.NewTranslation(update.NewDelete(ct(t, c, 1, 1)))); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting the parent directly on a fresh overlay over the base
+	// still fails — the child is there.
+	if err := NewOverlay(db).Apply(update.NewTranslation(update.NewDelete(pt(t, p, 1, "u")))); err == nil {
+		t.Fatal("parent delete over base should fail while child exists")
+	}
+	// Layer 2 over layer 1 sees the child gone and allows it.
+	ov2 := NewOverlay(ov1)
+	if err := ov2.Apply(update.NewTranslation(update.NewDelete(pt(t, p, 1, "u")))); err != nil {
+		t.Fatalf("parent delete over child-less overlay failed: %v", err)
+	}
+	if ov2.Len("P") != 0 || ov2.Len("C") != 0 {
+		t.Fatal("stacked overlay state wrong")
+	}
+	// Layer 1 and the base are untouched.
+	if ov1.Len("P") != 1 || db.Len("C") != 1 {
+		t.Fatal("stacking leaked writes downward")
+	}
+}
+
+func TestOverlaySnapshotIndependence(t *testing.T) {
+	sch, p, _ := pcSchema(t)
+	db := Open(sch)
+	if err := db.Load("P", pt(t, p, 1, "u")); err != nil {
+		t.Fatal(err)
+	}
+	ov := NewOverlay(db)
+	if err := ov.Apply(update.NewTranslation(update.NewInsert(pt(t, p, 2, "u")))); err != nil {
+		t.Fatal(err)
+	}
+	snap := ov.Snapshot()
+	if err := ov.Apply(update.NewTranslation(update.NewInsert(pt(t, p, 3, "u")))); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len("P") != 2 || ov.Len("P") != 3 {
+		t.Fatalf("snapshot sees %d tuples, overlay %d; want 2 and 3", snap.Len("P"), ov.Len("P"))
+	}
+	if err := snap.Apply(update.NewTranslation(update.NewDelete(pt(t, p, 1, "u")))); err != nil {
+		t.Fatal(err)
+	}
+	if ov.Len("P") != 3 {
+		t.Fatal("snapshot write leaked into the overlay")
+	}
+}
+
+func TestOverlayDiff(t *testing.T) {
+	sch, p, c := pcSchema(t)
+	db := Open(sch)
+	if err := db.LoadAll(pt(t, p, 1, "u"), pt(t, p, 2, "v"), ct(t, c, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	ov := NewOverlay(db)
+	steps := []*update.Translation{
+		update.NewTranslation(update.NewReplace(pt(t, p, 1, "u"), pt(t, p, 1, "v"))),
+		update.NewTranslation(update.NewInsert(pt(t, p, 3, "u"))),
+		update.NewTranslation(update.NewDelete(pt(t, p, 3, "u"))),
+	}
+	for _, tr := range steps {
+		if err := ov.Apply(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	diff := ov.Diff()
+	// Applying the diff to a clone of the base must land on the overlay
+	// state; the net-zero insert+delete of (3,u) must not appear.
+	cl := db.Clone()
+	if err := cl.Apply(diff); err != nil {
+		t.Fatalf("diff does not apply: %v", err)
+	}
+	overlayEqualsDB(t, ov, cl)
+	for _, op := range diff.Ops() {
+		if op.Tuple.MustGet("PK") == value.NewInt(3) {
+			t.Fatalf("net-zero churn leaked into diff: %s", op)
+		}
+	}
+	// And it matches the full-scan Diff.
+	want, err := Diff(db, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Equal(want) {
+		t.Fatalf("overlay diff %s != storage.Diff %s", diff, want)
+	}
+	// Reverting to the base yields an empty diff.
+	ov2 := NewOverlay(db)
+	if err := ov2.Apply(update.NewTranslation(update.NewDelete(pt(t, p, 2, "v")))); err != nil {
+		t.Fatal(err)
+	}
+	if err := ov2.Apply(update.NewTranslation(update.NewInsert(pt(t, p, 2, "v")))); err != nil {
+		t.Fatal(err)
+	}
+	if got := ov2.Diff(); len(got.Ops()) != 0 {
+		t.Fatalf("round-trip diff not empty: %s", got)
+	}
+}
+
+// TestOverlayRandomizedEquivalence drives an overlay and a clone with
+// the same random translation stream and demands identical accept/
+// reject decisions and identical visible states throughout.
+func TestOverlayRandomizedEquivalence(t *testing.T) {
+	sch, p, c := pcSchema(t)
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := Open(sch)
+		if err := db.LoadAll(pt(t, p, 1, "u"), pt(t, p, 2, "v"), ct(t, c, 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+		ov := NewOverlay(db)
+		cl := db.Clone()
+		randP := func() tuple.T { return pt(t, p, rng.Int63n(3)+1, []string{"u", "v"}[rng.Intn(2)]) }
+		randC := func() tuple.T { return ct(t, c, rng.Int63n(3)+1, rng.Int63n(3)+1) }
+		for step := 0; step < 120; step++ {
+			tr := update.NewTranslation()
+			for n := rng.Intn(3) + 1; n > 0; n-- {
+				var u tuple.T
+				if rng.Intn(2) == 0 {
+					u = randP()
+				} else {
+					u = randC()
+				}
+				switch rng.Intn(3) {
+				case 0:
+					tr.Add(update.NewInsert(u))
+				case 1:
+					tr.Add(update.NewDelete(u))
+				default:
+					old, ok := cl.LookupKey(u)
+					if !ok {
+						old = u
+					}
+					tr.Add(update.NewReplace(old, u))
+				}
+			}
+			ovErr := ov.Apply(tr)
+			clErr := cl.Apply(tr)
+			if (ovErr == nil) != (clErr == nil) {
+				t.Fatalf("seed %d step %d: overlay err %v, clone err %v, tr %s", seed, step, ovErr, clErr, tr)
+			}
+			overlayEqualsDB(t, ov, cl)
+		}
+		// The accumulated diff reproduces the final state from the base.
+		re := db.Clone()
+		if err := re.Apply(ov.Diff()); err != nil {
+			t.Fatalf("seed %d: final diff does not apply: %v", seed, err)
+		}
+		if !re.Equal(cl) {
+			t.Fatalf("seed %d: diff replay diverges", seed)
+		}
+	}
+}
+
+func TestCloneSharedCopyOnWrite(t *testing.T) {
+	sch, p, c := pcSchema(t)
+	db := Open(sch)
+	if err := db.LoadAll(pt(t, p, 1, "u"), ct(t, c, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	snap := db.CloneShared()
+	if !db.Equal(snap) {
+		t.Fatal("shared clone should equal original")
+	}
+	// Writes to the original must not show through the snapshot, and
+	// vice versa — including the reference index.
+	if err := db.Apply(update.NewTranslation(update.NewDelete(ct(t, c, 1, 1)))); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len("C") != 1 || db.Len("C") != 0 {
+		t.Fatal("write to original leaked into shared snapshot")
+	}
+	// Snapshot still refuses to drop the referenced parent; the
+	// original, whose child is gone, allows it.
+	if err := snap.Apply(update.NewTranslation(update.NewDelete(pt(t, p, 1, "u")))); err == nil {
+		t.Fatal("snapshot ref index corrupted by shared clone")
+	}
+	if err := db.Apply(update.NewTranslation(update.NewDelete(pt(t, p, 1, "u")))); err != nil {
+		t.Fatalf("original ref index wrong after COW: %v", err)
+	}
+	if snap.Len("P") != 1 {
+		t.Fatal("original write leaked into snapshot")
+	}
+	// Chained shared clones stay independent too.
+	snap2 := snap.CloneShared()
+	if err := snap2.Apply(update.NewTranslation(update.NewInsert(pt(t, p, 2, "u")))); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len("P") != 1 || snap2.Len("P") != 2 {
+		t.Fatal("chained shared clone not independent")
+	}
+	// CreateIndex on a shared extension clones first.
+	if err := snap.CreateIndex("P", "PV"); err != nil {
+		t.Fatal(err)
+	}
+	if snap2.HasIndex("P", "PV") {
+		t.Fatal("index build leaked into sibling snapshot")
+	}
+}
+
+func TestOverlayPoisonedBase(t *testing.T) {
+	sch, p, _ := pcSchema(t)
+	db := Open(sch)
+	db.mu.Lock()
+	db.poisoned = ErrPoisoned
+	db.mu.Unlock()
+	ov := NewOverlay(db)
+	if err := ov.Apply(update.NewTranslation(update.NewInsert(pt(t, p, 1, "u")))); err == nil {
+		t.Fatal("overlay over a poisoned base must refuse writes")
+	}
+}

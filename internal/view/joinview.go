@@ -188,7 +188,7 @@ func (j *Join) NodeOfAttr(attr string) int {
 // tuple exists and passes its node's SP selection. With the inclusion
 // dependencies enforced by storage, identity SP views make every root
 // row appear.
-func (j *Join) Materialize(db *storage.Database) *tuple.Set {
+func (j *Join) Materialize(db storage.Source) *tuple.Set {
 	out := tuple.NewSet()
 	for _, rt := range db.Tuples(j.root.SP.Base().Name()) {
 		if row, ok := j.RowForRoot(db, rt); ok {
@@ -202,7 +202,7 @@ func (j *Join) Materialize(db *storage.Database) *tuple.Set {
 // base tuple, or ok=false if any node's selection fails, a reference
 // does not resolve, or (in a DAG view) two reference paths to a shared
 // node resolve to different tuples.
-func (j *Join) RowForRoot(db *storage.Database, rootBase tuple.T) (tuple.T, bool) {
+func (j *Join) RowForRoot(db storage.Source, rootBase tuple.T) (tuple.T, bool) {
 	vals := make(map[string]value.Value, j.vrel.Arity())
 	resolved := make(map[*Node]tuple.T, len(j.nodes))
 	var fill func(n *Node, base tuple.T) bool
@@ -304,7 +304,7 @@ func (j *Join) JoinConsistent(viewTuple tuple.T) error {
 
 // Lookup returns the current view row whose (root) key matches probe's
 // key; ok is false if no such row.
-func (j *Join) Lookup(db *storage.Database, probe tuple.T) (tuple.T, bool) {
+func (j *Join) Lookup(db storage.Source, probe tuple.T) (tuple.T, bool) {
 	rootBase, ok := j.RootBaseForKey(db, probe)
 	if !ok {
 		return tuple.T{}, false
@@ -314,6 +314,6 @@ func (j *Join) Lookup(db *storage.Database, probe tuple.T) (tuple.T, bool) {
 
 // RootBaseForKey returns the root base tuple whose key matches probe's
 // key (probe is of the view schema).
-func (j *Join) RootBaseForKey(db *storage.Database, probe tuple.T) (tuple.T, bool) {
+func (j *Join) RootBaseForKey(db storage.Source, probe tuple.T) (tuple.T, bool) {
 	return db.LookupKey(keyProbe(j.root.SP.Base(), probe))
 }

@@ -22,7 +22,7 @@ type View interface {
 	// Schema returns the relation schema of the view rows.
 	Schema() *schema.Relation
 	// Materialize computes the view extension on db.
-	Materialize(db *storage.Database) *tuple.Set
+	Materialize(db storage.Source) *tuple.Set
 }
 
 // An SP view is a selection and projection of one base relation. The
@@ -107,7 +107,7 @@ func (v *SP) RowFor(base tuple.T) (tuple.T, bool) {
 // Materialize implements View. When the base relation carries a
 // secondary index on one of the view's selecting attributes, only the
 // tuples holding selecting values of that attribute are visited.
-func (v *SP) Materialize(db *storage.Database) *tuple.Set {
+func (v *SP) Materialize(db storage.Source) *tuple.Set {
 	out := tuple.NewSet()
 	base := v.base.Name()
 	for _, attr := range v.sel.SelectingAttributes() {
@@ -131,7 +131,7 @@ func (v *SP) Materialize(db *storage.Database) *tuple.Set {
 
 // Lookup returns the current view row whose key matches probe's key
 // (probe is a tuple of the view schema); ok is false if no such row.
-func (v *SP) Lookup(db *storage.Database, probe tuple.T) (tuple.T, bool) {
+func (v *SP) Lookup(db storage.Source, probe tuple.T) (tuple.T, bool) {
 	base, ok := v.BaseForKey(db, probe)
 	if !ok {
 		return tuple.T{}, false
@@ -142,7 +142,7 @@ func (v *SP) Lookup(db *storage.Database, probe tuple.T) (tuple.T, bool) {
 // BaseForKey returns the base tuple whose key matches probe's key
 // (probe is of the view schema — the view and base keys coincide),
 // whether or not it satisfies the selection.
-func (v *SP) BaseForKey(db *storage.Database, probe tuple.T) (tuple.T, bool) {
+func (v *SP) BaseForKey(db storage.Source, probe tuple.T) (tuple.T, bool) {
 	return db.LookupKey(keyProbe(v.base, probe))
 }
 
