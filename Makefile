@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race race-core soak bench bench-obs bench-translate serve-bench clean
+.PHONY: all build test check vet fmt race race-core soak bench bench-obs bench-translate bench-ivm serve-bench clean
 
 all: build
 
@@ -28,10 +28,11 @@ race:
 	$(GO) test -race ./...
 
 # race-core runs the translation pipeline's packages under the race
-# detector — the overlay, the delta-driven verifier and the parallel
-# candidate judging (see docs/PERFORMANCE.md).
+# detector — the overlay, the delta-driven verifier, the parallel
+# candidate judging, and the IVM layer (reverse reference index, join
+# delta maintenance, view-cache patching; see docs/PERFORMANCE.md).
 race-core:
-	$(GO) test -race ./internal/core/... ./internal/storage/...
+	$(GO) test -race ./internal/core/... ./internal/storage/... ./internal/view/... ./internal/server/...
 
 # soak exercises the durability and fault-injection surface: the
 # crash-safety, recovery and churn tests under the race detector, plus
@@ -65,6 +66,16 @@ bench-translate:
 	$(GO) test -bench 'BenchmarkTranslate' -run '^$$' -benchtime 20x .
 	@cat BENCH_translate.json
 
+# bench-ivm emits BENCH_ivm.json: incremental view maintenance against
+# its full-rebuild baselines — a non-root SPJ mutation stream where the
+# materialization is kept current by delta patching vs rematerialized
+# per commit, and read-heavy serve churn through the engine's view
+# cache with delta patching on publish vs invalidate-on-publish
+# (see docs/PERFORMANCE.md).
+bench-ivm:
+	$(GO) test -bench 'BenchmarkIVM' -run '^$$' -benchtime 40x .
+	@cat BENCH_ivm.json
+
 # serve-bench boots vuserved on a scratch store, drives it with vuload
 # (8 clients, wire-level inserts/replaces/deletes) and emits
 # BENCH_server.json: throughput, p50/p99 latency, conflict/overload
@@ -84,4 +95,4 @@ serve-bench:
 	@cat BENCH_server.json
 
 clean:
-	rm -f BENCH_obs.json BENCH_server.json BENCH_translate.json
+	rm -f BENCH_obs.json BENCH_server.json BENCH_translate.json BENCH_ivm.json

@@ -98,6 +98,7 @@ func overlayPipeline(db *storage.Database, v view.View, r core.Request) (int, er
 // benchEntry is one benchmark mode's result row in the JSON report.
 type benchEntry struct {
 	Iterations       int     `json:"iterations"`
+	Warmup           int     `json:"warmup"`
 	Candidates       int64   `json:"candidates"`
 	CandidatesPerSec float64 `json:"candidates_per_sec"`
 	TranslateNsP50   int64   `json:"translate_ns_p50"`
@@ -138,6 +139,18 @@ func runTranslateBench(b *testing.B, name string, db *storage.Database, v view.V
 	reqs []core.Request, pipeline func(*storage.Database, view.View, core.Request) (int, error)) {
 	b.Helper()
 	b.ReportAllocs()
+	// Warm up before measuring: the first iterations pay one-time costs
+	// (lazy map growth, allocator and cache warmup) that previously
+	// landed in the timed run and skewed the p99 to ~35× the p50.
+	warmup := 4
+	if warmup > len(reqs) {
+		warmup = len(reqs)
+	}
+	for i := 0; i < warmup; i++ {
+		if _, err := pipeline(db, v, reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
 	lats := make([]int64, 0, b.N)
 	var candidates int64
 	var msBefore, msAfter runtime.MemStats
@@ -172,6 +185,7 @@ func runTranslateBench(b *testing.B, name string, db *storage.Database, v view.V
 	}
 	benchTranslateResults[name] = benchEntry{
 		Iterations:       b.N,
+		Warmup:           warmup,
 		Candidates:       candidates,
 		CandidatesPerSec: perSec,
 		TranslateNsP50:   quantile(0.50),

@@ -21,13 +21,17 @@ import (
 //   - SP views: always. The base key is the view key, so the rows of
 //     the candidate's removed/added base tuples (via SP.RowFor) are
 //     exactly the view delta.
-//   - Join views: when the candidate touches only the root relation.
-//     The root has in-degree zero in the (tree or DAG) query graph, so
+//   - Join views, candidate touching only the root relation: the root
+//     has in-degree zero in the (tree or DAG) query graph, so
 //     references from and between the other nodes resolve identically
 //     before and after; the view delta is the rows of the touched root
 //     tuples (via Join.RowForRoot).
-//   - Otherwise: full materialization over the overlay — still no
-//     clone, reads merge base + delta.
+//   - Join views, candidate touching non-root relations: the view
+//     delta is Join.DeltaForChange — a reverse-reference-index walk
+//     from the touched tuples to the affected root set, O(affected
+//     roots) instead of O(view).
+//   - Otherwise (non-SP, non-join views): full materialization over
+//     the overlay — still no clone, reads merge base + delta.
 //
 // A Verifier is immutable after construction and safe for concurrent
 // use: every evaluation works on its own overlay.
@@ -89,9 +93,11 @@ func (vf *Verifier) afterView(tr *update.Translation) (*tuple.Set, error) {
 		for _, rel := range tr.RelationsTouched() {
 			if vf.nodeRels[rel] {
 				// A non-root node changed: reference resolution may shift
-				// for any root tuple, so the delta is non-local.
-				obs.Inc("core.verify.materialize")
-				return vf.join.Materialize(ov), nil
+				// for the root tuples that (transitively) reference the
+				// touched tuples. Walk the reverse reference index to
+				// exactly those roots instead of rematerializing.
+				obs.Inc("core.verify.ivm")
+				return vf.ivmRows(tr, ov), nil
 			}
 		}
 		obs.Inc("core.verify.delta")
@@ -100,6 +106,27 @@ func (vf *Verifier) afterView(tr *update.Translation) (*tuple.Set, error) {
 		obs.Inc("core.verify.materialize")
 		return vf.v.Materialize(ov), nil
 	}
+}
+
+// ivmRows edits the memoized before-state by the join view's
+// incremental delta for tr: Join.DeltaForChange walks the reverse
+// reference index from the candidate's touched tuples to the affected
+// root set and recomputes only those rows against the base state and
+// the overlay. Copy-on-write: an empty delta returns the before-set as
+// is.
+func (vf *Verifier) ivmRows(tr *update.Translation, ov *storage.Overlay) *tuple.Set {
+	removedRows, addedRows := vf.join.DeltaForChange(vf.src, ov, tr.Removed().Slice(), tr.Added().Slice())
+	if removedRows.Len() == 0 && addedRows.Len() == 0 {
+		return vf.before
+	}
+	after := vf.before.Clone()
+	for _, row := range removedRows.Slice() {
+		after.Remove(row)
+	}
+	for _, row := range addedRows.Slice() {
+		after.Add(row)
+	}
+	return after
 }
 
 // deltaRows edits the memoized before-state by the rows of the

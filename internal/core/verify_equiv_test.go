@@ -305,8 +305,8 @@ func randJoinRequest(u *fixtures.University, db *storage.Database, rng *rand.Ran
 }
 
 // TestVerifierMatchesCloneJoin is the SPJ half of the property: the
-// three-level university tree, where non-root candidates force the
-// verifier's materialize fallback and root-only candidates take the
+// three-level university tree, where non-root candidates take the
+// reverse-reference-index IVM path and root-only candidates take the
 // delta path — both must agree with the clone reference.
 func TestVerifierMatchesCloneJoin(t *testing.T) {
 	u := fixtures.NewUniversity(6)

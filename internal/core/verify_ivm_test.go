@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"viewupdate/internal/fixtures"
+	"viewupdate/internal/obs"
+)
+
+// metricsSink installs a fresh obs registry for the test and returns
+// it, so counter deltas can prove which verifier path ran.
+func metricsSink(t *testing.T) *obs.Sink {
+	t.Helper()
+	s := obs.NewSink(nil)
+	obs.Enable(s)
+	t.Cleanup(obs.Disable)
+	return s
+}
+
+// TestVerifierJoinNeverMaterializes re-runs the join half of the
+// Overlay ≡ Clone property with metrics on and asserts the acceptance
+// criterion of the IVM layer: candidates touching non-root relations
+// go through Join.DeltaForChange (core.verify.ivm), and the verifier's
+// full-materialization fallback (core.verify.materialize) fires zero
+// times — it remains only for view classes without a delta form.
+func TestVerifierJoinNeverMaterializes(t *testing.T) {
+	sink := metricsSink(t)
+	u := fixtures.NewUniversity(6)
+	checked := 0
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := randUniversityDB(t, u, rng)
+		for i := 0; i < 8; i++ {
+			r, ok := randJoinRequest(u, db, rng)
+			if !ok {
+				continue
+			}
+			cands, ok := candidatesAndProbes(db, u.View, r)
+			if !ok {
+				continue
+			}
+			checkCandidates(t, db, u.View, r, cands)
+			checked += len(cands)
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("property test exercised only %d candidates", checked)
+	}
+	snap := sink.Metrics().Snapshot()
+	if n := snap.Counters["core.verify.materialize"]; n != 0 {
+		t.Errorf("core.verify.materialize = %d, want 0: some join candidate still rematerialized", n)
+	}
+	if snap.Counters["core.verify.ivm"] == 0 {
+		t.Error("core.verify.ivm = 0: no candidate exercised the IVM path")
+	}
+	if snap.Counters["core.verify.delta"] == 0 {
+		t.Error("core.verify.delta = 0: no candidate exercised the root-delta path")
+	}
+}

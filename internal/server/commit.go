@@ -79,7 +79,8 @@ func (e *Engine) commitBatch(batch []*commitReq) {
 		return
 	}
 
-	version := e.snap.Load().version
+	oldSnap := e.snap.Load()
+	version := oldSnap.version
 
 	// Strict commits are validated against the version their state was
 	// staged from, ordered ahead of the op-validated commits so the
@@ -115,17 +116,20 @@ func (e *Engine) commitBatch(batch []*commitReq) {
 	errs := e.applyBatch(trs)
 
 	landed := 0
+	var landedTrs []*update.Translation
 	for i, r := range admitted {
 		if err := errs[i]; err != nil {
 			r.done <- commitRes{err: classifyApplyError(err)}
 			continue
 		}
 		landed++
+		landedTrs = append(landedTrs, r.tr)
 		r.done <- commitRes{version: version + uint64(landed)}
 	}
 	if landed > 0 {
 		version += uint64(landed)
 		e.publishSnapshot(version)
+		e.patchViewCache(oldSnap, e.snap.Load(), landedTrs)
 		obs.Add("server.commit.committed", int64(landed))
 	}
 }

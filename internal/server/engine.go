@@ -84,6 +84,11 @@ type Config struct {
 	// WrapWAL is threaded to persist.Options.WrapWAL for fault
 	// injection in tests.
 	WrapWAL func(wal.File) wal.File
+	// DisableIVM turns off delta patching of the view cache on commit
+	// publish, restoring PR 4's invalidate-on-publish behavior (the
+	// first read after every commit rematerializes). Baseline knob for
+	// benchmarks; leave false in production.
+	DisableIVM bool
 }
 
 func (c Config) withDefaults() Config {
@@ -222,9 +227,12 @@ func (e *Engine) publishSnapshot(v uint64) {
 }
 
 // A viewCache memoizes view materializations of the published snapshot
-// for one snapshot version at a time, keyed by view name. Publishing a
-// new version invalidates it implicitly: the first read at a newer
-// version resets the map.
+// for one snapshot version at a time, keyed by view name. The commit
+// pipeline carries warm entries forward across publishes by patching
+// them with each landed batch's view delta (see patchViewCache);
+// versions the patcher skips — cold cache, DDL via ExecScript,
+// Config.DisableIVM — invalidate implicitly, and the first read at the
+// newer version resets the map and rematerializes.
 type viewCache struct {
 	mu      sync.Mutex
 	version uint64
@@ -261,6 +269,7 @@ func (e *Engine) cachedView(v view.View, s *snapshot) *tuple.Set {
 	c.mu.Unlock()
 	set := v.Materialize(s.db)
 	obs.Inc("server.viewcache.miss")
+	obs.Inc("server.ivm.rebuild")
 	c.mu.Lock()
 	if c.version < s.version || c.sets == nil {
 		if c.version <= s.version {
@@ -273,6 +282,18 @@ func (e *Engine) cachedView(v view.View, s *snapshot) *tuple.Set {
 	}
 	c.mu.Unlock()
 	return set
+}
+
+// ReadView returns the named view's rows at the published snapshot,
+// served through the view cache, plus the snapshot version. The
+// returned set is shared and must not be mutated.
+func (e *Engine) ReadView(name string) (*tuple.Set, uint64, error) {
+	v, _, err := e.lookupView(name, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	db, version := e.Snapshot()
+	return e.materializeOn(v, db), version, nil
 }
 
 // lookupView resolves a view and its configured policy; prefer, when

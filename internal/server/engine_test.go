@@ -309,9 +309,15 @@ func TestCrashMidBatchRecovery(t *testing.T) {
 	})
 
 	acked := map[int]bool{}
+	// Land one commit synchronously so at least one ack precedes the
+	// crash regardless of how the concurrent storm below batches up.
+	if err := insertKey(e, 1); err != nil {
+		t.Fatalf("pre-crash commit failed: %v", err)
+	}
+	acked[1] = true
 	var ackMu sync.Mutex
 	var wg sync.WaitGroup
-	for i := 1; i <= 24; i++ {
+	for i := 2; i <= 24; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"viewupdate/internal/obs"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/update"
+	"viewupdate/internal/view"
+)
+
+// This file is the serving side of incremental view maintenance: the
+// commit pipeline knows exactly which base tuples each landed batch
+// removed and added, so instead of letting a publish invalidate the
+// view cache (making the next reader pay a full O(view)
+// rematerialization), it patches every warm cached set with the batch's
+// view delta. Readers share cached sets, so patching is copy-on-write:
+// a patched entry is a fresh set and sets already handed out are never
+// mutated.
+
+// patchViewCache carries the view cache across a publish: given the
+// snapshot that was current when commitBatch started, the snapshot just
+// published, and the translations that landed between them (in apply
+// order), it patches each warm cached set with the corresponding view
+// delta and advances the cache to the new version. If the cache is cold
+// or stale — or IVM is disabled — it does nothing and the cache
+// invalidates implicitly as before.
+//
+// Called with stateMu held. Reading e.sess without sessMu is safe here:
+// DDL mutation (ExecScript) requires sessMu AND stateMu, and we hold
+// stateMu.
+func (e *Engine) patchViewCache(old, new *snapshot, landed []*update.Translation) {
+	if e.cfg.DisableIVM || len(landed) == 0 {
+		return
+	}
+	removed, added := netDelta(landed)
+
+	c := &e.views
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.version != old.version || c.sets == nil {
+		// Cold or already-stale cache: nothing warm to carry forward.
+		return
+	}
+	for name, set := range c.sets {
+		v := e.sess.View(name)
+		patched, ok := patchMaterialization(v, old, new, set, removed, added)
+		if !ok {
+			// View dropped, redefined, or of a shape we cannot patch:
+			// evict and let the next read rematerialize.
+			delete(c.sets, name)
+			obs.Inc("server.ivm.rebuild")
+			continue
+		}
+		c.sets[name] = patched
+		obs.Inc("server.ivm.patch")
+	}
+	c.version = new.version
+}
+
+// patchMaterialization computes the cached set of v at the new snapshot
+// from its set at the old snapshot plus the net base delta. ok=false
+// means the set cannot be patched and must be rematerialized.
+func patchMaterialization(v view.View, old, new *snapshot, set *tuple.Set, removed, added []tuple.T) (*tuple.Set, bool) {
+	switch vv := v.(type) {
+	case *view.SP:
+		// The base key is the view key: removed/added base tuples map
+		// (through the selection) one-to-one onto removed/added rows.
+		base := vv.Base().Name()
+		removedRows, addedRows := tuple.NewSet(), tuple.NewSet()
+		for _, t := range removed {
+			if t.Relation().Name() != base {
+				continue
+			}
+			if row, ok := vv.RowFor(t); ok {
+				removedRows.Add(row)
+			}
+		}
+		for _, t := range added {
+			if t.Relation().Name() != base {
+				continue
+			}
+			if row, ok := vv.RowFor(t); ok {
+				addedRows.Add(row)
+			}
+		}
+		return patchSet(set, removedRows, addedRows), true
+	case *view.Join:
+		removedRows, addedRows := vv.DeltaForChange(old.db, new.db, removed, added)
+		return patchSet(set, removedRows, addedRows), true
+	default:
+		return nil, false
+	}
+}
+
+// patchSet applies a view-row delta copy-on-write: the input set is
+// shared with readers and never mutated; an empty delta returns it
+// unchanged.
+func patchSet(set *tuple.Set, removedRows, addedRows *tuple.Set) *tuple.Set {
+	if removedRows.Len() == 0 && addedRows.Len() == 0 {
+		return set
+	}
+	out := set.Clone()
+	for _, row := range removedRows.Slice() {
+		out.Remove(row)
+	}
+	for _, row := range addedRows.Slice() {
+		out.Add(row)
+	}
+	return out
+}
+
+// netDelta folds a batch's translations (in apply order) into the net
+// base change between the pre-batch and post-batch states: a tuple
+// removed after being added earlier in the batch cancels out, and vice
+// versa, so the result is exactly Diff(old, new) restricted to the
+// touched relations — the contract Join.DeltaForChange expects.
+func netDelta(landed []*update.Translation) (removed, added []tuple.T) {
+	removedSet, addedSet := tuple.NewSet(), tuple.NewSet()
+	for _, tr := range landed {
+		for _, t := range tr.Removed().Slice() {
+			if addedSet.Contains(t) {
+				addedSet.Remove(t)
+			} else {
+				removedSet.Add(t)
+			}
+		}
+		for _, t := range tr.Added().Slice() {
+			if removedSet.Contains(t) {
+				removedSet.Remove(t)
+			} else {
+				addedSet.Add(t)
+			}
+		}
+	}
+	return removedSet.Slice(), addedSet.Slice()
+}

@@ -24,10 +24,15 @@ type Database struct {
 	mu   sync.RWMutex
 	sch  *schema.Database
 	exts map[string]*relation.Extension
-	// refs[i] indexes inclusion dependency sch.Inclusions()[i]:
-	// it maps the encoding of a referenced parent key to the number of
-	// child tuples referencing it. Maintained incrementally.
-	refs []map[string]int
+	// refs[i] is the reverse reference index of inclusion dependency
+	// sch.Inclusions()[i]: it maps the encoding of a referenced parent
+	// key to the set of child tuples referencing it (keyed by the child
+	// tuple's Key()). Maintained incrementally by Apply; the set size is
+	// the reference count the inclusion delta checks consume, and the
+	// tuples themselves back Referencers — the edge walk incremental
+	// view maintenance uses to find the root tuples affected by a
+	// non-root change.
+	refs []map[string]map[string]tuple.T
 	// poisoned is non-nil once an in-memory rollback has failed: the
 	// state is no longer trustworthy, so every later mutation returns
 	// this error (which wraps ErrPoisoned and vuerr.ErrCorrupt).
@@ -46,9 +51,9 @@ func Open(sch *schema.Database) *Database {
 	for _, name := range sch.RelationNames() {
 		db.exts[name] = relation.NewExtension(sch.Relation(name))
 	}
-	db.refs = make([]map[string]int, len(sch.Inclusions()))
+	db.refs = make([]map[string]map[string]tuple.T, len(sch.Inclusions()))
 	for i := range db.refs {
-		db.refs[i] = make(map[string]int)
+		db.refs[i] = make(map[string]map[string]tuple.T)
 	}
 	return db
 }
@@ -174,15 +179,26 @@ func (db *Database) Clone() *Database {
 	for n, e := range db.exts {
 		out.exts[n] = e.Clone()
 	}
-	out.refs = make([]map[string]int, len(db.refs))
-	for i, m := range db.refs {
-		cp := make(map[string]int, len(m))
-		for k, v := range m {
-			cp[k] = v
-		}
-		out.refs[i] = cp
-	}
+	out.refs = cloneRefs(db.refs)
 	out.poisoned = db.poisoned
+	return out
+}
+
+// cloneRefs deep-copies a reverse reference index (tuples are immutable
+// and shared).
+func cloneRefs(refs []map[string]map[string]tuple.T) []map[string]map[string]tuple.T {
+	out := make([]map[string]map[string]tuple.T, len(refs))
+	for i, m := range refs {
+		cp := make(map[string]map[string]tuple.T, len(m))
+		for k, set := range m {
+			s := make(map[string]tuple.T, len(set))
+			for ck, ct := range set {
+				s[ck] = ct
+			}
+			cp[k] = s
+		}
+		out[i] = cp
+	}
 	return out
 }
 
@@ -228,17 +244,9 @@ func (db *Database) writableExt(name string) *relation.Extension {
 // writableRefs returns the reference index for mutation, deep-copying
 // it first if it is shared with a snapshot. Callers hold db.mu for
 // writing.
-func (db *Database) writableRefs() []map[string]int {
+func (db *Database) writableRefs() []map[string]map[string]tuple.T {
 	if db.sharedRefs {
-		refs := make([]map[string]int, len(db.refs))
-		for i, m := range db.refs {
-			cp := make(map[string]int, len(m))
-			for k, v := range m {
-				cp[k] = v
-			}
-			refs[i] = cp
-		}
-		db.refs = refs
+		db.refs = cloneRefs(db.refs)
 		db.sharedRefs = false
 	}
 	return db.refs
@@ -418,8 +426,9 @@ func (db *Database) applyLocked(tr *update.Translation) (err error) {
 	return nil
 }
 
-// refAdjust updates the reference index for every inclusion dependency
-// whose child relation is t's relation.
+// refAdjust updates the reverse reference index for every inclusion
+// dependency whose child relation is t's relation: delta +1 records t
+// as a referencer of the parent key it carries, -1 erases it.
 func (db *Database) refAdjust(t tuple.T, delta int) {
 	rel := t.Relation().Name()
 	for i, d := range db.sch.Inclusions() {
@@ -428,11 +437,19 @@ func (db *Database) refAdjust(t tuple.T, delta int) {
 		}
 		refs := db.writableRefs()
 		k := childRefKey(d, t)
-		n := refs[i][k] + delta
-		if n == 0 {
-			delete(refs[i], k)
-		} else {
-			refs[i][k] = n
+		ck := t.Key()
+		set := refs[i][k]
+		if delta > 0 {
+			if set == nil {
+				set = make(map[string]tuple.T, 1)
+				refs[i][k] = set
+			}
+			set[ck] = t
+		} else if set != nil {
+			delete(set, ck)
+			if len(set) == 0 {
+				delete(refs[i], k)
+			}
 		}
 	}
 }
@@ -464,8 +481,8 @@ func (db *Database) checkInclusionDeltas(removed, added []tuple.T) error {
 			if db.parentKeyExists(d.Parent, k) {
 				continue // key survived (replacement kept it)
 			}
-			if db.refs[i][k] > 0 {
-				return fmt.Errorf("%w %s violated: removing %s leaves %d dangling references", ErrInclusion, d, t, db.refs[i][k])
+			if n := len(db.refs[i][k]); n > 0 {
+				return fmt.Errorf("%w %s violated: removing %s leaves %d dangling references", ErrInclusion, d, t, n)
 			}
 		}
 	}
@@ -531,9 +548,9 @@ func (db *Database) SyncSchema() error {
 		}
 	}
 	deps := db.sch.Inclusions()
-	refs := make([]map[string]int, len(deps))
+	refs := make([]map[string]map[string]tuple.T, len(deps))
 	for i, d := range deps {
-		refs[i] = make(map[string]int)
+		refs[i] = make(map[string]map[string]tuple.T)
 		child := db.exts[d.Child]
 		if child == nil {
 			return fmt.Errorf("storage: inclusion %s references unknown relation", d)
@@ -541,7 +558,10 @@ func (db *Database) SyncSchema() error {
 		var err error
 		child.Each(func(t tuple.T) bool {
 			k := childRefKey(d, t)
-			refs[i][k]++
+			if refs[i][k] == nil {
+				refs[i][k] = make(map[string]tuple.T, 1)
+			}
+			refs[i][k][t.Key()] = t
 			probe := d.Parent
 			if k != "" {
 				probe += "\n" + k

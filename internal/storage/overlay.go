@@ -36,9 +36,49 @@ type Overlay struct {
 	ints sourceInternals
 	// deltas holds the per-relation delta, keyed by relation name.
 	deltas map[string]*overlayDelta
-	// refDelta adjusts the base's inclusion reference counts, keyed by
-	// inclusion-dependency index then parent-key encoding.
-	refDelta map[int]map[string]int
+	// refDelta adjusts the base's reverse reference index, keyed by
+	// inclusion-dependency index then parent-key encoding: per parent
+	// key, the base referencers the overlay erased and the new ones it
+	// recorded. Set sizes adjust the reference counts the inclusion
+	// delta checks consume; the tuples themselves feed Referencers.
+	refDelta map[int]map[string]*refEdgeDelta
+}
+
+// refEdgeDelta is one parent key's referencer-set delta. Both maps are
+// keyed by the child tuple's Key(). Invariant: removed entries shadow
+// base referencers (matched by child key), added entries are referencers
+// the overlay introduced.
+type refEdgeDelta struct {
+	removed map[string]tuple.T
+	added   map[string]tuple.T
+}
+
+func newRefEdgeDelta() *refEdgeDelta {
+	return &refEdgeDelta{removed: map[string]tuple.T{}, added: map[string]tuple.T{}}
+}
+
+func (d *refEdgeDelta) clone() *refEdgeDelta {
+	out := &refEdgeDelta{
+		removed: make(map[string]tuple.T, len(d.removed)),
+		added:   make(map[string]tuple.T, len(d.added)),
+	}
+	for k, t := range d.removed {
+		out.removed[k] = t
+	}
+	for k, t := range d.added {
+		out.added[k] = t
+	}
+	return out
+}
+
+func (d *refEdgeDelta) empty() bool { return len(d.removed) == 0 && len(d.added) == 0 }
+
+// count is the delta this edge applies to the base reference count.
+func (d *refEdgeDelta) count() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.added) - len(d.removed)
 }
 
 // overlayDelta is one relation's delta. Both maps are keyed by
@@ -86,11 +126,11 @@ func (o *Overlay) Snapshot() *Overlay {
 		out.deltas[rel] = d.clone()
 	}
 	if len(o.refDelta) > 0 {
-		out.refDelta = make(map[int]map[string]int, len(o.refDelta))
+		out.refDelta = make(map[int]map[string]*refEdgeDelta, len(o.refDelta))
 		for i, m := range o.refDelta {
-			cp := make(map[string]int, len(m))
-			for k, n := range m {
-				cp[k] = n
+			cp := make(map[string]*refEdgeDelta, len(m))
+			for k, d := range m {
+				cp[k] = d.clone()
 			}
 			out.refDelta[i] = cp
 		}
@@ -216,7 +256,41 @@ func (o *Overlay) internal() sourceInternals { return overlayInternals{o} }
 type overlayInternals struct{ o *Overlay }
 
 func (i overlayInternals) refCount(dep int, keyEnc string) int {
-	return i.o.ints.refCount(dep, keyEnc) + i.o.refDelta[dep][keyEnc]
+	return i.o.ints.refCount(dep, keyEnc) + i.o.refDelta[dep][keyEnc].count()
+}
+
+func (i overlayInternals) eachReferencer(dep int, keyEnc string, fn func(tuple.T) bool) {
+	d := i.o.refDelta[dep][keyEnc]
+	if d == nil {
+		i.o.ints.eachReferencer(dep, keyEnc, fn)
+		return
+	}
+	stopped := false
+	i.o.ints.eachReferencer(dep, keyEnc, func(t tuple.T) bool {
+		if _, gone := d.removed[t.Key()]; gone {
+			return true
+		}
+		if !fn(t) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	for _, t := range d.added {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Referencers implements Source: the base's referencers of parent's key
+// under dependency dep, merged with the overlay's reference delta, in
+// deterministic order.
+func (o *Overlay) Referencers(dep int, parent tuple.T) []tuple.T {
+	return sortedReferencers(o.internal(), dep, parent)
 }
 
 func (i overlayInternals) containsKeyEncoding(rel, enc string) bool {
@@ -239,7 +313,7 @@ func (i overlayInternals) hasRelation(name string) bool { return i.o.ints.hasRel
 type applyScratch struct {
 	o      *Overlay
 	deltas map[string]*overlayDelta
-	refs   map[int]map[string]int
+	refs   map[int]map[string]*refEdgeDelta
 }
 
 // delta returns the writable scratch delta for rel.
@@ -267,13 +341,14 @@ func (s *applyScratch) peek(rel string) *overlayDelta {
 }
 
 // refs(i) returns the writable scratch reference adjustment for dep i.
-func (s *applyScratch) refMap(dep int) map[string]int {
+func (s *applyScratch) refMap(dep int) map[string]*refEdgeDelta {
 	if m, ok := s.refs[dep]; ok {
 		return m
 	}
-	m := make(map[string]int, len(s.o.refDelta[dep])+1)
-	for k, n := range s.o.refDelta[dep] {
-		m[k] = n
+	cur := s.o.refDelta[dep]
+	m := make(map[string]*refEdgeDelta, len(cur)+1)
+	for k, d := range cur {
+		m[k] = d.clone()
 	}
 	s.refs[dep] = m
 	return m
@@ -283,12 +358,15 @@ func (s *applyScratch) refMap(dep int) map[string]int {
 func (s *applyScratch) refCount(dep int, keyEnc string) int {
 	base := s.o.ints.refCount(dep, keyEnc)
 	if m, ok := s.refs[dep]; ok {
-		return base + m[keyEnc]
+		return base + m[keyEnc].count()
 	}
-	return base + s.o.refDelta[dep][keyEnc]
+	return base + s.o.refDelta[dep][keyEnc].count()
 }
 
-// adjustRefs mirrors Database.refAdjust on the scratch state.
+// adjustRefs mirrors Database.refAdjust on the scratch state: +1
+// records t as a referencer of the parent key it carries, -1 erases it
+// (cancelling a staged addition of the identical tuple, or shadowing a
+// base referencer otherwise).
 func (s *applyScratch) adjustRefs(t tuple.T, delta int) {
 	rel := t.Relation().Name()
 	for i, d := range s.o.base.Schema().Inclusions() {
@@ -297,11 +375,27 @@ func (s *applyScratch) adjustRefs(t tuple.T, delta int) {
 		}
 		k := childRefKey(d, t)
 		m := s.refMap(i)
-		n := m[k] + delta
-		if n == 0 {
-			delete(m, k)
+		ed := m[k]
+		if ed == nil {
+			ed = newRefEdgeDelta()
+			m[k] = ed
+		}
+		ck := t.Key()
+		if delta > 0 {
+			if cur, ok := ed.removed[ck]; ok && cur.Equal(t) {
+				delete(ed.removed, ck)
+			} else {
+				ed.added[ck] = t
+			}
 		} else {
-			m[k] = n
+			if cur, ok := ed.added[ck]; ok && cur.Equal(t) {
+				delete(ed.added, ck)
+			} else {
+				ed.removed[ck] = t
+			}
+		}
+		if ed.empty() {
+			delete(m, k)
 		}
 	}
 }
@@ -332,7 +426,7 @@ func (s *applyScratch) commit() {
 	}
 	for i, m := range s.refs {
 		if s.o.refDelta == nil {
-			s.o.refDelta = make(map[int]map[string]int)
+			s.o.refDelta = make(map[int]map[string]*refEdgeDelta)
 		}
 		if len(m) == 0 {
 			delete(s.o.refDelta, i)
@@ -365,7 +459,7 @@ func (o *Overlay) Apply(tr *update.Translation) error {
 
 	removed := tr.Removed().Slice()
 	added := tr.Added().Slice()
-	s := &applyScratch{o: o, deltas: map[string]*overlayDelta{}, refs: map[int]map[string]int{}}
+	s := &applyScratch{o: o, deltas: map[string]*overlayDelta{}, refs: map[int]map[string]*refEdgeDelta{}}
 
 	// Phase 1: remove the removed set.
 	for _, t := range removed {

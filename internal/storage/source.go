@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"sort"
+
 	"viewupdate/internal/schema"
 	"viewupdate/internal/tuple"
 	"viewupdate/internal/value"
@@ -35,6 +37,14 @@ type Source interface {
 	// of vals, using the secondary index when present. fn must not call
 	// back into the source.
 	ScanValues(rel, attr string, vals []value.Value, fn func(tuple.T) bool)
+	// Referencers returns the child tuples referencing parent's key
+	// under inclusion dependency Schema().Inclusions()[dep], in
+	// deterministic (key-encoding) order. parent may be any tuple of
+	// the dependency's parent relation carrying the key values; tuples
+	// of other relations have no referencers. This is the reverse
+	// reference index incremental view maintenance walks from a changed
+	// tuple toward the root tuples whose view rows it can affect.
+	Referencers(dep int, parent tuple.T) []tuple.T
 	// Err returns the poisoning error if the state is no longer
 	// trustworthy, nil otherwise.
 	Err() error
@@ -52,6 +62,10 @@ type sourceInternals interface {
 	// (encoded without the relation-name prefix) under inclusion
 	// dependency sch.Inclusions()[dep].
 	refCount(dep int, keyEnc string) int
+	// eachReferencer calls fn for every child tuple referencing the
+	// parent key under dependency dep, in unspecified order; fn
+	// returning false stops the walk.
+	eachReferencer(dep int, keyEnc string, fn func(tuple.T) bool)
 	// containsKeyEncoding reports whether the named relation holds a
 	// tuple whose tuple.Key() equals enc.
 	containsKeyEncoding(rel, enc string) bool
@@ -72,7 +86,38 @@ func (i dbInternals) refCount(dep int, keyEnc string) int {
 	if dep < 0 || dep >= len(i.db.refs) {
 		return 0
 	}
-	return i.db.refs[dep][keyEnc]
+	return len(i.db.refs[dep][keyEnc])
+}
+
+func (i dbInternals) eachReferencer(dep int, keyEnc string, fn func(tuple.T) bool) {
+	i.db.mu.RLock()
+	defer i.db.mu.RUnlock()
+	if dep < 0 || dep >= len(i.db.refs) {
+		return
+	}
+	for _, t := range i.db.refs[dep][keyEnc] {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Referencers implements Source: the child tuples referencing parent's
+// key under inclusion dependency dep, in deterministic order.
+func (db *Database) Referencers(dep int, parent tuple.T) []tuple.T {
+	return sortedReferencers(db.internal(), dep, parent)
+}
+
+// sortedReferencers collects an internals' referencer walk into the
+// deterministic order the exported Referencers contract promises.
+func sortedReferencers(ints sourceInternals, dep int, parent tuple.T) []tuple.T {
+	var out []tuple.T
+	ints.eachReferencer(dep, parentKeyEnc(parent), func(t tuple.T) bool {
+		out = append(out, t)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
 }
 
 func (i dbInternals) containsKeyEncoding(rel, enc string) bool {

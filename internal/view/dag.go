@@ -35,7 +35,7 @@ func NewJoinDAG(name string, sch *schema.Database, root *Node) (*Join, error) {
 	if root == nil {
 		return nil, fmt.Errorf("view: join %s has no root", name)
 	}
-	j := &Join{name: name, root: root, attrNode: make(map[string]int), dag: true}
+	j := &Join{name: name, root: root, attrNode: make(map[string]int), dag: true, inDeps: make(map[string][]int)}
 	seenRel := make(map[string]bool)
 	nodeIdx := make(map[*Node]int)
 	inProgress := make(map[*Node]bool)
@@ -87,7 +87,7 @@ func NewJoinDAG(name string, sch *schema.Database, root *Node) (*Join, error) {
 					return fmt.Errorf("view: join %s: domain mismatch on join attribute %s", name, a)
 				}
 			}
-			if !hasInclusion(sch, baseName, ref.Attrs, ref.Target.SP.Base().Name()) {
+			if !j.recordRefEdge(sch, baseName, ref) {
 				return fmt.Errorf("view: join %s: no inclusion dependency %s[%s] ⊆ %s[key]",
 					name, baseName, strings.Join(ref.Attrs, ","), ref.Target.SP.Base().Name())
 			}
@@ -107,6 +107,7 @@ func NewJoinDAG(name string, sch *schema.Database, root *Node) (*Join, error) {
 		return nil, fmt.Errorf("view: join %s: %w", name, err)
 	}
 	j.vrel = vrel
+	j.finishIVMIndex()
 	return j, nil
 }
 

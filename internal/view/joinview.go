@@ -40,6 +40,16 @@ type Join struct {
 	attrNode map[string]int
 	// dag marks views built with NewJoinDAG (shared target nodes).
 	dag bool
+	// rootRel is the root node's base relation name; nodeRels holds the
+	// base relation name of every node. Both back the reverse-index walk
+	// in DeltaForChange.
+	rootRel  string
+	nodeRels map[string]bool
+	// inDeps maps a node's base relation name to the schema inclusion
+	// dependency indexes of the view's reference connections *into* that
+	// relation — the edges to walk backwards (via Source.Referencers)
+	// from a changed tuple toward the root tuples whose rows it affects.
+	inDeps map[string][]int
 }
 
 // NewJoin validates and builds a join view over the query graph rooted
@@ -61,7 +71,7 @@ func NewJoin(name string, sch *schema.Database, root *Node) (*Join, error) {
 	if root == nil {
 		return nil, fmt.Errorf("view: join %s has no root", name)
 	}
-	j := &Join{name: name, root: root, attrNode: make(map[string]int)}
+	j := &Join{name: name, root: root, attrNode: make(map[string]int), inDeps: make(map[string][]int)}
 	seenRel := make(map[string]bool)
 	seenNode := make(map[*Node]bool)
 
@@ -110,7 +120,7 @@ func NewJoin(name string, sch *schema.Database, root *Node) (*Join, error) {
 						name, a, va.Domain.Name(), ta.Domain.Name())
 				}
 			}
-			if !hasInclusion(sch, baseName, ref.Attrs, ref.Target.SP.Base().Name()) {
+			if !j.recordRefEdge(sch, baseName, ref) {
 				return fmt.Errorf("view: join %s: no inclusion dependency %s[%s] ⊆ %s[key] (reference connection required)",
 					name, baseName, strings.Join(ref.Attrs, ","), ref.Target.SP.Base().Name())
 			}
@@ -129,6 +139,7 @@ func NewJoin(name string, sch *schema.Database, root *Node) (*Join, error) {
 		return nil, fmt.Errorf("view: join %s: %w", name, err)
 	}
 	j.vrel = vrel
+	j.finishIVMIndex()
 	return j, nil
 }
 
@@ -141,23 +152,56 @@ func MustNewJoin(name string, sch *schema.Database, root *Node) *Join {
 	return j
 }
 
-func hasInclusion(sch *schema.Database, child string, attrs []string, parent string) bool {
-	for _, d := range sch.InclusionsFrom(child) {
-		if d.Parent != parent || len(d.ChildAttrs) != len(attrs) {
+// inclusionIndex returns the position in sch.Inclusions() of the
+// dependency backing the reference connection child[attrs] ⊆
+// parent[key], or -1 if the schema records none. The position doubles
+// as the dependency's slot in storage's reverse reference index.
+func inclusionIndex(sch *schema.Database, child string, attrs []string, parent string) int {
+	for i, d := range sch.Inclusions() {
+		if d.Child != child || d.Parent != parent || len(d.ChildAttrs) != len(attrs) {
 			continue
 		}
 		match := true
-		for i := range attrs {
-			if d.ChildAttrs[i] != attrs[i] {
+		for k := range attrs {
+			if d.ChildAttrs[k] != attrs[k] {
 				match = false
 				break
 			}
 		}
 		if match {
+			return i
+		}
+	}
+	return -1
+}
+
+// recordRefEdge validates that ref is backed by an inclusion dependency
+// from child and, if so, records the dependency's index under the
+// target relation for DeltaForChange's reverse walk. It reports whether
+// the dependency exists.
+func (j *Join) recordRefEdge(sch *schema.Database, child string, ref Ref) bool {
+	parent := ref.Target.SP.Base().Name()
+	idx := inclusionIndex(sch, child, ref.Attrs, parent)
+	if idx < 0 {
+		return false
+	}
+	for _, have := range j.inDeps[parent] {
+		if have == idx {
 			return true
 		}
 	}
-	return false
+	j.inDeps[parent] = append(j.inDeps[parent], idx)
+	return true
+}
+
+// finishIVMIndex records the relation-name lookups DeltaForChange needs
+// once the node walk has succeeded.
+func (j *Join) finishIVMIndex() {
+	j.rootRel = j.root.SP.Base().Name()
+	j.nodeRels = make(map[string]bool, len(j.nodes))
+	for _, n := range j.nodes {
+		j.nodeRels[n.SP.Base().Name()] = true
+	}
 }
 
 // Name implements View.
@@ -190,12 +234,28 @@ func (j *Join) NodeOfAttr(attr string) int {
 // row appear.
 func (j *Join) Materialize(db storage.Source) *tuple.Set {
 	out := tuple.NewSet()
+	sc := j.newRowScratch()
 	for _, rt := range db.Tuples(j.root.SP.Base().Name()) {
-		if row, ok := j.RowForRoot(db, rt); ok {
+		if row, ok := j.rowForRoot(db, rt, sc); ok {
 			out.Add(row)
 		}
 	}
 	return out
+}
+
+// rowScratch holds the per-row assembly maps of rowForRoot so one
+// materialization (or delta pass) reuses them across root tuples
+// instead of allocating per row.
+type rowScratch struct {
+	vals     map[string]value.Value
+	resolved map[*Node]tuple.T
+}
+
+func (j *Join) newRowScratch() *rowScratch {
+	return &rowScratch{
+		vals:     make(map[string]value.Value, j.vrel.Arity()),
+		resolved: make(map[*Node]tuple.T, len(j.nodes)),
+	}
 }
 
 // RowForRoot assembles the join-view row generated by the given root
@@ -203,8 +263,13 @@ func (j *Join) Materialize(db storage.Source) *tuple.Set {
 // does not resolve, or (in a DAG view) two reference paths to a shared
 // node resolve to different tuples.
 func (j *Join) RowForRoot(db storage.Source, rootBase tuple.T) (tuple.T, bool) {
-	vals := make(map[string]value.Value, j.vrel.Arity())
-	resolved := make(map[*Node]tuple.T, len(j.nodes))
+	return j.rowForRoot(db, rootBase, j.newRowScratch())
+}
+
+func (j *Join) rowForRoot(db storage.Source, rootBase tuple.T, sc *rowScratch) (tuple.T, bool) {
+	vals, resolved := sc.vals, sc.resolved
+	clear(vals)
+	clear(resolved)
 	var fill func(n *Node, base tuple.T) bool
 	fill = func(n *Node, base tuple.T) bool {
 		if prev, seen := resolved[n]; seen {
