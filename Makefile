@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race race-core soak bench bench-obs bench-translate bench-ivm serve-bench clean
+.PHONY: all build test check vet fmt race race-core soak bench bench-obs obs-bench bench-translate bench-ivm serve-bench metrics-smoke clean
 
 all: build
 
@@ -52,11 +52,15 @@ bench:
 	$(GO) test -bench . -run '^$$' .
 
 # bench-obs emits BENCH_obs.json: candidates/sec, translate latency
-# p50/p99 and the per-criterion rejection histogram (see
-# docs/OBSERVABILITY.md).
+# p50/p99/p999, the per-criterion rejection histogram, and the hot-path
+# contract evidence — disabled-path cost (~a nil check) and
+# allocation-free enabled-path Observe (see docs/OBSERVABILITY.md).
 bench-obs:
 	$(GO) test -bench 'BenchmarkObs' -run '^$$' -benchtime 10x .
 	@cat BENCH_obs.json
+
+# obs-bench is an alias for bench-obs.
+obs-bench: bench-obs
 
 # bench-translate emits BENCH_translate.json: the overlay-based
 # pipeline against the clone-per-candidate baseline it replaced —
@@ -93,6 +97,31 @@ serve-bench:
 	rm -rf /tmp/vuserved-bench-data /tmp/vuserved-bench /tmp/vuload-bench; \
 	exit $$RC
 	@cat BENCH_server.json
+
+# metrics-smoke boots an in-memory vuserved, exercises one update, and
+# fails unless /metrics serves every required family, /debug/slow serves
+# traces, and pprof is absent without its flag. This is the CI gate for
+# the observability surface.
+metrics-smoke:
+	$(GO) build -o /tmp/vuserved-smoke ./cmd/vuserved
+	@/tmp/vuserved-smoke -addr 127.0.0.1:18098 -log-level warn & \
+	SRV=$$!; sleep 1; RC=0; \
+	B=http://127.0.0.1:18098; \
+	curl -sf -X POST $$B/execz -d '{"script":"CREATE DOMAIN D AS INT RANGE 1 TO 9; CREATE DOMAIN L AS STRING ('\''NY'\''); CREATE TABLE T (K D, Loc L, PRIMARY KEY (K)); CREATE VIEW V AS SELECT * FROM T WHERE Loc = '\''NY'\'';"}' >/dev/null || RC=1; \
+	curl -sf -X POST $$B/views/V/insert -d '{"values":["1","NY"]}' >/dev/null || RC=1; \
+	M=$$(curl -sf $$B/metrics) || RC=1; \
+	for fam in server_requests server_commit_committed server_commit_batch_size \
+	    server_stage_translate_ns server_stage_verify_ns server_stage_queue_ns \
+	    server_stage_commit_ns server_stage_publish_ns \
+	    server_commit_queue_depth server_http_inflight go_goroutines; do \
+	  echo "$$M" | grep -q "# TYPE $$fam " || { echo "metrics-smoke: /metrics missing $$fam"; RC=1; }; \
+	done; \
+	curl -sf $$B/debug/slow | grep -q '"total_ns"' || { echo "metrics-smoke: /debug/slow has no traces"; RC=1; }; \
+	PP=$$(curl -s -o /dev/null -w '%{http_code}' $$B/debug/pprof/cmdline); \
+	[ "$$PP" = "404" ] || { echo "metrics-smoke: pprof served without -pprof (status $$PP)"; RC=1; }; \
+	kill -TERM $$SRV 2>/dev/null; wait $$SRV 2>/dev/null; \
+	rm -f /tmp/vuserved-smoke; \
+	[ $$RC -eq 0 ] && echo "metrics-smoke: ok"; exit $$RC
 
 clean:
 	rm -f BENCH_obs.json BENCH_server.json BENCH_translate.json BENCH_ivm.json

@@ -2,9 +2,12 @@
 // drives N concurrent HTTP clients through an insert/replace/delete
 // view-update workload against disjoint key partitions (plus an
 // optional contended hot-key mix), measures client-side latency, and
-// emits BENCH_server.json with throughput, p50/p99 latency,
-// conflict/overload rates, and the server's group-commit counters
-// (commits per fsync) scraped from /metricsz.
+// emits BENCH_server.json with throughput, p50/p99/p999 latency,
+// conflict/overload rates, the server's group-commit counters
+// (commits per fsync) scraped from /metricsz, and the server-side
+// per-stage pipeline breakdown (translate/verify/queue/commit/fsync/
+// publish) scraped from the Prometheus /metrics endpoint before and
+// after the run.
 //
 // Usage:
 //
@@ -62,15 +65,32 @@ type benchRates struct {
 }
 
 // serverStats is the group-commit evidence, as deltas of the server's
-// obs counters across the run.
+// obs counters across the run, plus the per-stage pipeline latency
+// breakdown scraped from /metrics.
 type serverStats struct {
-	WALSyncs       int64   `json:"wal_syncs"`
-	Commits        int64   `json:"commits"`
-	Batches        int64   `json:"batches"`
-	CommitsPerSync float64 `json:"commits_per_sync"`
-	BatchSizeP99   int64   `json:"batch_size_p99"`
-	BatchSizeMax   int64   `json:"batch_size_max"`
+	WALSyncs       int64                     `json:"wal_syncs"`
+	Commits        int64                     `json:"commits"`
+	Batches        int64                     `json:"batches"`
+	CommitsPerSync float64                   `json:"commits_per_sync"`
+	BatchSizeP99   int64                     `json:"batch_size_p99"`
+	BatchSizeMax   int64                     `json:"batch_size_max"`
+	Stages         map[string]stageBreakdown `json:"stages"`
 }
+
+// stageBreakdown is one pipeline stage's server-side latency summary:
+// the observation count is the delta across the run; the quantiles are
+// from the closing scrape (the run dominates them on a fresh server).
+type stageBreakdown struct {
+	Count  int64 `json:"count"`
+	P50NS  int64 `json:"p50_ns"`
+	P90NS  int64 `json:"p90_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	P999NS int64 `json:"p999_ns"`
+}
+
+// pipelineStages are the stage families reported in the breakdown, in
+// pipeline order.
+var pipelineStages = []string{"translate", "verify", "queue", "commit", "fsync", "publish"}
 
 // counters aggregates client-side outcomes.
 type counters struct {
@@ -102,6 +122,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "metrics:", err)
 		os.Exit(1)
 	}
+	promBefore, err := scrapeProm(hc, *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prom metrics:", err)
+		os.Exit(1)
+	}
 
 	lat := obs.NewHistogram()
 	var cnt counters
@@ -122,11 +147,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "metrics:", err)
 		os.Exit(1)
 	}
+	promAfter, err := scrapeProm(hc, *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prom metrics:", err)
+		os.Exit(1)
+	}
 
 	rep := buildReport(benchConfig{
 		Addr: *addr, Clients: *clients, Requests: *requests,
 		Keys: *keys, HotFrac: *hotFrac, Seed: *seed,
 	}, elapsed, lat, &cnt, before, after)
+	rep.Server.Stages = stageBreakdowns(promBefore, promAfter)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -138,9 +169,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "writing report:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("vuload: %d ok / %d sent in %s (%.0f req/s), p50 %s p99 %s, %.2f commits/fsync\n",
+	fmt.Printf("vuload: %d ok / %d sent in %s (%.0f req/s), p50 %s p99 %s p999 %s, %.2f commits/fsync\n",
 		rep.OK, rep.Sent, elapsed.Round(time.Millisecond), rep.Throughput,
-		time.Duration(rep.Latency.P50), time.Duration(rep.Latency.P99), rep.Server.CommitsPerSync)
+		time.Duration(rep.Latency.P50), time.Duration(rep.Latency.P99),
+		time.Duration(rep.Latency.P999), rep.Server.CommitsPerSync)
+	for _, name := range pipelineStages {
+		if st, ok := rep.Server.Stages[name]; ok && st.Count > 0 {
+			fmt.Printf("vuload:   stage %-9s n=%-6d p50 %-10s p99 %s\n",
+				name, st.Count, time.Duration(st.P50NS), time.Duration(st.P99NS))
+		}
+	}
 	if *assertBatching && rep.Server.CommitsPerSync <= 1 {
 		fmt.Fprintf(os.Stderr, "vuload: group commit did not batch (%.2f commits/fsync)\n", rep.Server.CommitsPerSync)
 		os.Exit(1)
@@ -205,6 +243,84 @@ func runSetup(hc *http.Client, addr string, keys int64) error {
 		}
 	}
 	return nil
+}
+
+// scrapeProm fetches /metrics and parses the Prometheus text format
+// into a flat map: plain samples under "name", quantile samples under
+// "name|q" (e.g. "server_stage_commit_ns|0.99"). Comment lines and
+// anything it does not understand are skipped.
+func scrapeProm(hc *http.Client, addr string) (map[string]float64, error) {
+	resp, err := hc.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		key := name
+		if base, labels, hasLabels := strings.Cut(name, "{"); hasLabels {
+			q, found := quantileLabel(strings.TrimSuffix(labels, "}"))
+			if !found {
+				continue
+			}
+			key = base + "|" + q
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			continue
+		}
+		out[key] = v
+	}
+	return out, nil
+}
+
+// quantileLabel extracts the quantile="..." value from a label set.
+func quantileLabel(labels string) (string, bool) {
+	for _, l := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(l, "=")
+		if ok && strings.TrimSpace(k) == "quantile" {
+			return strings.Trim(strings.TrimSpace(v), `"`), true
+		}
+	}
+	return "", false
+}
+
+// stageBreakdowns folds the before/after Prometheus scrapes into the
+// per-stage latency breakdown: counts as deltas across the run,
+// quantiles from the closing scrape. Stages that saw no observations
+// during the run are omitted.
+func stageBreakdowns(before, after map[string]float64) map[string]stageBreakdown {
+	out := map[string]stageBreakdown{}
+	for _, name := range pipelineStages {
+		fam := "server_stage_" + name + "_ns"
+		n := int64(after[fam+"_count"] - before[fam+"_count"])
+		if n <= 0 {
+			continue
+		}
+		out[name] = stageBreakdown{
+			Count:  n,
+			P50NS:  int64(after[fam+"|0.5"]),
+			P90NS:  int64(after[fam+"|0.9"]),
+			P99NS:  int64(after[fam+"|0.99"]),
+			P999NS: int64(after[fam+"|0.999"]),
+		}
+	}
+	return out
 }
 
 func scrapeMetrics(hc *http.Client, addr string) (obs.Snapshot, error) {

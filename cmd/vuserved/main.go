@@ -44,6 +44,7 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
+	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	logger, err := obs.SetupDefault(os.Stderr, *logLevel)
@@ -76,6 +77,7 @@ func main() {
 		MaxBatch:       *maxBatch,
 		RequestTimeout: *timeout,
 		Logger:         logger,
+		EnablePprof:    *enablePprof,
 	}, script)
 	if err != nil {
 		slog.Error("starting engine", "err", err)
@@ -103,7 +105,7 @@ func main() {
 	}()
 
 	slog.Info("serving", "addr", *addr, "data", *data, "sync", pol.String(),
-		"max_in_flight", *maxInFlight, "max_batch", *maxBatch)
+		"max_in_flight", *maxInFlight, "max_batch", *maxBatch, "pprof", *enablePprof)
 	err = srv.ListenAndServe()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		slog.Error("serve", "err", err)
@@ -114,5 +116,33 @@ func main() {
 		slog.Error("drain", "err", err)
 		os.Exit(1)
 	}
+	logFinalMetrics()
 	slog.Info("drained cleanly")
+}
+
+// logFinalMetrics emits the lifetime metrics snapshot as the last act
+// of a graceful drain: the headline aggregates as structured attributes
+// for log pipelines, plus the full snapshot as JSON so a post-mortem
+// has everything a final /metrics scrape would have had.
+func logFinalMetrics() {
+	s := obs.Active()
+	if s == nil {
+		return
+	}
+	snap := s.Metrics().Snapshot()
+	req := snap.Histograms["server.request.ns"]
+	slog.Info("final metrics",
+		"requests", snap.Counters["server.requests"],
+		"committed", snap.Counters["server.commit.committed"],
+		"batches", snap.Counters["server.commit.batches"],
+		"conflicts", snap.Counters["server.commit.conflict"],
+		"overload", snap.Counters["server.overload"],
+		"wal_syncs", snap.Counters["wal.sync"],
+		"request_p50_ns", req.P50,
+		"request_p99_ns", req.P99,
+		"request_p999_ns", req.P999,
+	)
+	if data, err := snap.JSON(); err == nil {
+		slog.Info("final metrics snapshot", "snapshot", string(data))
+	}
 }

@@ -24,21 +24,28 @@ import (
 	"time"
 )
 
-// A Sink aggregates the instrumentation of a process: a metric registry
-// and an optional structured logger. A nil logger silences span logs
-// while keeping the metrics.
+// A Sink aggregates the instrumentation of a process: a metric
+// registry, a ring of the slowest request traces, and an optional
+// structured logger. A nil logger silences span logs while keeping the
+// metrics.
 type Sink struct {
 	logger  *slog.Logger
 	metrics *Registry
+	slow    *TraceRing
 }
 
-// NewSink returns a sink with a fresh registry. logger may be nil.
+// NewSink returns a sink with a fresh registry and a slow-trace ring of
+// DefaultSlowTraces capacity. logger may be nil.
 func NewSink(logger *slog.Logger) *Sink {
-	return &Sink{logger: logger, metrics: NewRegistry()}
+	return &Sink{logger: logger, metrics: NewRegistry(), slow: NewTraceRing(DefaultSlowTraces)}
 }
 
 // Metrics returns the sink's registry.
 func (s *Sink) Metrics() *Registry { return s.metrics }
+
+// SlowTraces returns the sink's ring of slowest completed request
+// traces.
+func (s *Sink) SlowTraces() *TraceRing { return s.slow }
 
 // Logger returns the sink's logger, possibly nil.
 func (s *Sink) Logger() *slog.Logger { return s.logger }
@@ -79,6 +86,20 @@ func Add(name string, delta int64) {
 func Observe(name string, v int64) {
 	if s := active.Load(); s != nil {
 		s.metrics.Histogram(name).Observe(v)
+	}
+}
+
+// SetGauge stores v in the named gauge of the active sink, if any.
+func SetGauge(name string, v int64) {
+	if s := active.Load(); s != nil {
+		s.metrics.Gauge(name).Set(v)
+	}
+}
+
+// AddGauge adds delta to the named gauge of the active sink, if any.
+func AddGauge(name string, delta int64) {
+	if s := active.Load(); s != nil {
+		s.metrics.Gauge(name).Add(delta)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"log/slog"
+	"math"
 	"sync"
 	"testing"
 )
@@ -24,11 +25,52 @@ func TestDisabledPathAllocatesNothing(t *testing.T) {
 		Inc("core.requests.delete")
 		Add("core.candidates", 7)
 		Observe("core.spj.steps", 3)
+		SetGauge("core.gauge", 9)
+		AddGauge("core.gauge", -1)
+		tr := StartTrace("GET /views/NY")
+		tr.Stage("translate", 5)
+		tr.Finish()
 		Log(slog.LevelInfo, "should be dropped", "k", "v")
 		sp.End()
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled instrumentation allocated %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestEnabledObserveAllocatesNothing pins the hot-path contract: with a
+// sink installed, recording into an already-created counter, gauge or
+// histogram must not allocate.
+func TestEnabledObserveAllocatesNothing(t *testing.T) {
+	s := NewSink(nil)
+	install(t, s)
+	// Touch the names once so the registry entries exist (get-or-create
+	// may allocate; steady-state must not).
+	Inc("hot.counter")
+	SetGauge("hot.gauge", 0)
+	Observe("hot.hist", 1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		Inc("hot.counter")
+		AddGauge("hot.gauge", 1)
+		Observe("hot.hist", 12345678)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled Observe allocated %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	s := NewSink(nil)
+	install(t, s)
+	SetGauge("q.depth", 7)
+	AddGauge("q.depth", 5)
+	AddGauge("q.depth", -2)
+	if got := s.Metrics().Gauge("q.depth").Value(); got != 10 {
+		t.Fatalf("gauge = %d, want 10", got)
+	}
+	snap := s.Metrics().Snapshot()
+	if got := snap.Gauges["q.depth"]; got != 10 {
+		t.Fatalf("snapshot gauge = %d, want 10", got)
 	}
 }
 
@@ -81,22 +123,33 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 	}
 }
 
+// relErr is the relative error of got against the true value.
+func relErr(got, true_ int64) float64 {
+	d := float64(got - true_)
+	if d < 0 {
+		d = -d
+	}
+	return d / float64(true_)
+}
+
 func TestHistogramQuantileBounds(t *testing.T) {
 	h := NewHistogram()
 	for v := int64(1); v <= 1000; v++ {
 		h.Observe(v)
 	}
-	// Power-of-two buckets: the quantile bound must be >= the true
-	// quantile and < 2x it.
+	// Log-linear buckets with interpolation: every quantile estimate
+	// must be within 6% of the true value (bucket relative width is
+	// 1/16 = 6.25%; interpolation in a uniform distribution does far
+	// better, but 6% is the contract we assert).
 	for _, tc := range []struct {
 		q     float64
 		true_ int64
 	}{
-		{0.50, 500}, {0.90, 900}, {0.99, 990}, {1.0, 1000},
+		{0.50, 500}, {0.90, 900}, {0.99, 990}, {0.999, 999}, {1.0, 1000},
 	} {
 		got := h.Quantile(tc.q)
-		if got < tc.true_ || got >= 2*tc.true_ {
-			t.Errorf("Quantile(%v) = %d, want in [%d, %d)", tc.q, got, tc.true_, 2*tc.true_)
+		if e := relErr(got, tc.true_); e > 0.06 {
+			t.Errorf("Quantile(%v) = %d, want within 6%% of %d (err %.2f%%)", tc.q, got, tc.true_, e*100)
 		}
 	}
 	if NewHistogram().Quantile(0.5) != 0 {
@@ -106,6 +159,73 @@ func TestHistogramQuantileBounds(t *testing.T) {
 	z.Observe(0)
 	if z.Quantile(0.99) != 0 {
 		t.Error("all-zero histogram quantile should be 0")
+	}
+}
+
+// TestHistogramQuantilesNotQuantized is the regression test for the
+// power-of-two quantization bug: a latency distribution living entirely
+// inside one power-of-two range (8.39ms–16.78ms) used to collapse every
+// quantile onto the single bucket bound, reporting p50 == p90 == p99.
+// Log-linear buckets must keep them distinct and each within 6% of the
+// truth.
+func TestHistogramQuantilesNotQuantized(t *testing.T) {
+	h := NewHistogram()
+	// 10000 uniform samples in [8.5ms, 15ms): all inside [2^23, 2^24).
+	const lo, hi = 8_500_000, 15_000_000
+	n := int64(10000)
+	for i := int64(0); i < n; i++ {
+		h.Observe(lo + i*(hi-lo)/n)
+	}
+	trueQ := func(q float64) int64 { return lo + int64(q*float64(hi-lo)) }
+	p50, p90, p99 := h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)
+	if p50 == p90 || p90 == p99 {
+		t.Fatalf("quantiles collapsed: p50=%d p90=%d p99=%d", p50, p90, p99)
+	}
+	for _, tc := range []struct {
+		name string
+		q    float64
+		got  int64
+	}{
+		{"p50", 0.50, p50}, {"p90", 0.90, p90}, {"p99", 0.99, p99},
+	} {
+		if e := relErr(tc.got, trueQ(tc.q)); e > 0.06 {
+			t.Errorf("%s = %d, want within 6%% of %d (err %.2f%%)", tc.name, tc.got, trueQ(tc.q), e*100)
+		}
+	}
+}
+
+// TestBucketIndexBounds checks the bucket layout invariants: every
+// value lands in a bucket whose [lo, hi) range contains it, indexes are
+// monotonic in the value, and the last bucket covers MaxInt64.
+func TestBucketIndexBounds(t *testing.T) {
+	vals := []int64{0, 1, 31, 32, 33, 47, 48, 63, 64, 100, 500, 1000,
+		1 << 20, 8_500_000, 1<<40 + 12345, 1<<62 + 999, math.MaxInt64}
+	prev := -1
+	for _, v := range vals {
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d, out of range [0, %d)", v, i, histBuckets)
+		}
+		if i < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous index %d: not monotonic", v, i, prev)
+		}
+		prev = i
+		lo, hi := bucketBounds(i)
+		if v < lo || (hi > lo && v >= hi) {
+			t.Fatalf("value %d in bucket %d with bounds [%d, %d)", v, i, lo, hi)
+		}
+		// Above the linear region every bucket's relative width is at
+		// most 1/subBucketCount (unit buckets below are exact anyway).
+		if lo >= linearLimit && hi > lo && float64(hi-lo)/float64(lo) > 1.0/subBucketCount+1e-9 {
+			t.Fatalf("bucket %d [%d, %d) wider than 1/%d relative", i, lo, hi, subBucketCount)
+		}
+	}
+	// Exhaustive round-trip over the small range and bucket boundaries.
+	for v := int64(0); v < 4096; v++ {
+		lo, hi := bucketBounds(bucketIndex(v))
+		if v < lo || v >= hi {
+			t.Fatalf("value %d outside its bucket bounds [%d, %d)", v, lo, hi)
+		}
 	}
 }
 

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of the text exposition
+// format rendered by WritePrometheus.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a dotted metric name into a Prometheus metric
+// name: dots (and any other character outside [a-zA-Z0-9_]) become
+// underscores, and a leading digit gains an underscore prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format: counters as `counter` families, gauges as `gauge`
+// families, and histograms as `summary` families with interpolated
+// quantiles (0.5, 0.9, 0.99, 0.999) plus `_sum`, `_count`, and `_min` /
+// `_max` gauge companions. Families are sorted by name so the output is
+// deterministic for a given snapshot.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		n := promName(name)
+		if _, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n"+
+				"%s{quantile=\"0.5\"} %d\n"+
+				"%s{quantile=\"0.9\"} %d\n"+
+				"%s{quantile=\"0.99\"} %d\n"+
+				"%s{quantile=\"0.999\"} %d\n"+
+				"%s_sum %d\n"+
+				"%s_count %d\n",
+			n, n, h.P50, n, h.P90, n, h.P99, n, h.P999, n, h.Sum, n, h.Count); err != nil {
+			return err
+		}
+		if h.Count > 0 {
+			if _, err := fmt.Fprintf(w,
+				"# TYPE %s_min gauge\n%s_min %d\n# TYPE %s_max gauge\n%s_max %d\n",
+				n, n, h.Min, n, n, h.Max); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteRuntimeMetrics renders Go runtime health — goroutines, memory,
+// and GC activity — in the Prometheus text exposition format. It calls
+// runtime.ReadMemStats, which briefly stops the world; scrape-rate
+// callers (the /metrics endpoint) are fine, hot paths should not call
+// it.
+func WriteRuntimeMetrics(w io.Writer) error {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauges := []struct {
+		name string
+		val  uint64
+	}{
+		{"go_goroutines", uint64(runtime.NumGoroutine())},
+		{"go_gomaxprocs", uint64(runtime.GOMAXPROCS(0))},
+		{"go_memstats_heap_alloc_bytes", ms.HeapAlloc},
+		{"go_memstats_heap_objects", ms.HeapObjects},
+		{"go_memstats_sys_bytes", ms.Sys},
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.val); err != nil {
+			return err
+		}
+	}
+	counters := []struct {
+		name string
+		val  uint64
+	}{
+		{"go_memstats_alloc_bytes_total", ms.TotalAlloc},
+		{"go_gc_cycles_total", uint64(ms.NumGC)},
+		{"go_gc_pause_ns_total", ms.PauseTotalNs},
+	}
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}

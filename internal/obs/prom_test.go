@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"server.request.ns":     "server_request_ns",
+		"wal.fsync.ns":          "wal_fsync_ns",
+		"already_fine":          "already_fine",
+		"9starts.with.digit":    "_9starts_with_digit",
+		"weird-chars/and:more?": "weird_chars_and_more_",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusGolden pins the exact text exposition rendering of
+// a deterministic snapshot. Regenerate with `go test -run Golden -update`.
+func TestWritePrometheusGolden(t *testing.T) {
+	s := NewSink(nil)
+	install(t, s)
+	Inc("server.requests")
+	Add("server.commit.committed", 41)
+	SetGauge("server.commit.queue_depth", 3)
+	SetGauge("server.tx.open", 0)
+	for v := int64(1); v <= 100; v++ {
+		Observe("server.request.ns", v*1000)
+	}
+	Observe("server.stage.fsync.ns", 8_500_000)
+
+	var buf bytes.Buffer
+	if err := s.Metrics().Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	golden := filepath.Join("testdata", "prom.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("Prometheus rendering drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestWriteRuntimeMetrics checks the runtime block exposes the required
+// families with sane values; exact numbers vary by run.
+func TestWriteRuntimeMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRuntimeMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, fam := range []string{
+		"go_goroutines", "go_gomaxprocs",
+		"go_memstats_heap_alloc_bytes", "go_memstats_heap_objects", "go_memstats_sys_bytes",
+		"go_memstats_alloc_bytes_total", "go_gc_cycles_total", "go_gc_pause_ns_total",
+	} {
+		if !strings.Contains(out, "# TYPE "+fam+" ") {
+			t.Errorf("runtime metrics missing family %q:\n%s", fam, out)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"io"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestObsStress hammers every concurrent surface of the package at once
+// — counters, gauges, histograms, spans, traces, the slow-trace ring —
+// from GOMAXPROCS writer goroutines while snapshot/render readers run
+// against them. Its value is under `go test -race`: any unsynchronized
+// access in the instrumentation plane fails this test.
+func TestObsStress(t *testing.T) {
+	s := NewSink(nil)
+	install(t, s)
+
+	writers := runtime.GOMAXPROCS(0)
+	if writers < 2 {
+		writers = 2
+	}
+	const iters = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				Inc("stress.counter")
+				AddGauge("stress.gauge", int64(1-2*(i%2))) // oscillates ±1
+				Observe("stress.hist", int64(g*iters+i))
+				sp := StartSpan("stress.span")
+				tr := StartTrace("GET /stress")
+				tr.Stage("translate", time.Duration(i))
+				tr.Stage("commit", time.Duration(g))
+				tr.Finish()
+				sp.End()
+			}
+		}()
+	}
+
+	// Readers: snapshots, Prometheus renders and ring reads racing the
+	// writers above.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := s.Metrics().Snapshot()
+				_ = snap.WritePrometheus(io.Discard)
+				_ = s.SlowTraces().Snapshot()
+				_ = s.Metrics().Histogram("stress.hist").Quantile(0.99)
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	snap := s.Metrics().Snapshot()
+	if got, want := snap.Counters["stress.counter"], int64(writers*iters); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := snap.Gauges["stress.gauge"]; got != 0 {
+		t.Errorf("gauge = %d, want 0 (balanced ±1 oscillation)", got)
+	}
+	h := snap.Histograms["stress.hist"]
+	if got, want := h.Count, int64(writers*iters); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	if h.Min != 0 || h.Max != int64(writers*iters-1) {
+		t.Errorf("histogram min/max = %d/%d, want 0/%d", h.Min, h.Max, writers*iters-1)
+	}
+	if n := s.SlowTraces().Len(); n != DefaultSlowTraces {
+		t.Errorf("slow ring holds %d traces, want full at %d", n, DefaultSlowTraces)
+	}
+}

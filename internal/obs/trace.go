@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSlowTraces is the capacity of a sink's slow-trace ring: the N
+// slowest completed request traces retained for /debug/slow.
+const DefaultSlowTraces = 32
+
+// traceSeq numbers traces process-wide.
+var traceSeq atomic.Uint64
+
+// A Trace follows one request through the pipeline: a request ID, a
+// monotonic start, and the duration of every named stage the request
+// passed through (translate, verify, queue, commit, fsync, publish, …).
+// A nil *Trace is valid and every method on it is a no-op, so disabled
+// instrumentation pays only a nil check: StartTrace returns nil when no
+// sink is installed.
+//
+// Stages may be recorded from a different goroutine than the one that
+// started the trace (the group-commit pipeline records the commit
+// stages); a mutex serializes them. Stages recorded after Finish are
+// dropped — the request already reported its fate.
+type Trace struct {
+	id    uint64
+	op    string
+	start time.Time
+
+	mu       sync.Mutex
+	stages   []TraceStage
+	finished bool
+}
+
+// A TraceStage is one named phase of a trace with its duration.
+type TraceStage struct {
+	Name string `json:"name"`
+	NS   int64  `json:"ns"`
+}
+
+// A TraceSnapshot is the JSON-able, immutable record of a finished
+// trace.
+type TraceSnapshot struct {
+	ID      uint64       `json:"id"`
+	Op      string       `json:"op"`
+	Start   time.Time    `json:"start"`
+	TotalNS int64        `json:"total_ns"`
+	Stages  []TraceStage `json:"stages"`
+}
+
+// StartTrace opens a request trace against the active sink, or returns
+// nil when instrumentation is disabled. op labels the request (for HTTP
+// requests, "METHOD /path"). Callers building op dynamically should
+// guard on Enabled() first — argument construction is not free even
+// when the call returns nil.
+func StartTrace(op string) *Trace {
+	if active.Load() == nil {
+		return nil
+	}
+	return &Trace{id: traceSeq.Add(1), op: op, start: time.Now()}
+}
+
+// ID returns the trace's request ID (0 on a nil trace).
+func (t *Trace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// Stage records one named phase duration. No-op on a nil or finished
+// trace.
+func (t *Trace) Stage(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if !t.finished {
+		t.stages = append(t.stages, TraceStage{Name: name, NS: int64(d)})
+	}
+	t.mu.Unlock()
+}
+
+// Finish closes the trace, offers it to the active sink's slow-trace
+// ring, and returns its total duration. Idempotent; later calls return
+// the original total. No-op on a nil trace.
+func (t *Trace) Finish() time.Duration {
+	if t == nil {
+		return 0
+	}
+	total := time.Since(t.start)
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return total
+	}
+	t.finished = true
+	snap := TraceSnapshot{
+		ID:      t.id,
+		Op:      t.op,
+		Start:   t.start,
+		TotalNS: int64(total),
+		Stages:  t.stages,
+	}
+	t.mu.Unlock()
+	if s := active.Load(); s != nil && s.slow != nil {
+		s.slow.Offer(snap)
+	}
+	return total
+}
+
+// traceKey is the context key carrying a *Trace.
+type traceKey struct{}
+
+// ContextWithTrace attaches t to ctx; a nil trace returns ctx
+// unchanged.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the trace attached to ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// A TraceRing retains the N slowest completed traces seen so far,
+// sorted slowest-first. Offers below the current floor are rejected in
+// O(1) once the ring is full; insertions shift within a fixed slice.
+type TraceRing struct {
+	mu   sync.Mutex
+	cap  int
+	slow []TraceSnapshot // sorted by TotalNS descending
+}
+
+// NewTraceRing returns a ring retaining the capacity slowest traces
+// (minimum 1).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{cap: capacity}
+}
+
+// Offer considers s for retention.
+func (r *TraceRing) Offer(s TraceSnapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.slow) == r.cap {
+		if s.TotalNS <= r.slow[len(r.slow)-1].TotalNS {
+			return
+		}
+		r.slow = r.slow[:len(r.slow)-1]
+	}
+	i := len(r.slow)
+	for i > 0 && r.slow[i-1].TotalNS < s.TotalNS {
+		i--
+	}
+	r.slow = append(r.slow, TraceSnapshot{})
+	copy(r.slow[i+1:], r.slow[i:])
+	r.slow[i] = s
+}
+
+// Len reports how many traces the ring currently holds.
+func (r *TraceRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.slow)
+}
+
+// Snapshot copies the retained traces, slowest first.
+func (r *TraceRing) Snapshot() []TraceSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceSnapshot, len(r.slow))
+	copy(out, r.slow)
+	return out
+}

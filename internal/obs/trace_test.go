@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceDisabledIsNil(t *testing.T) {
+	install(t, nil)
+	tr := StartTrace("GET /views/NY")
+	if tr != nil {
+		t.Fatal("StartTrace should return nil when instrumentation is disabled")
+	}
+	// Every method on a nil trace is a no-op, not a panic.
+	tr.Stage("translate", time.Millisecond)
+	if tr.ID() != 0 {
+		t.Error("nil trace ID should be 0")
+	}
+	if tr.Finish() != 0 {
+		t.Error("nil trace Finish should return 0")
+	}
+	if got := ContextWithTrace(context.Background(), nil); got != context.Background() {
+		t.Error("attaching a nil trace should return the context unchanged")
+	}
+}
+
+func TestTraceStagesAndContext(t *testing.T) {
+	s := NewSink(nil)
+	install(t, s)
+	tr := StartTrace("POST /views/NY/insert")
+	if tr == nil {
+		t.Fatal("StartTrace returned nil with a sink installed")
+	}
+	if tr.ID() == 0 {
+		t.Error("trace ID should be non-zero")
+	}
+	ctx := ContextWithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatal("TraceFrom did not return the attached trace")
+	}
+	if got := TraceFrom(context.Background()); got != nil {
+		t.Fatal("TraceFrom on a bare context should be nil")
+	}
+	// Stages may come from another goroutine (the committer does this).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		TraceFrom(ctx).Stage("commit", 3*time.Millisecond)
+	}()
+	<-done
+	tr.Stage("translate", time.Millisecond)
+	tr.Finish()
+	// Stages after Finish are dropped.
+	tr.Stage("late", time.Second)
+
+	slow := s.SlowTraces().Snapshot()
+	if len(slow) != 1 {
+		t.Fatalf("slow ring holds %d traces, want 1", len(slow))
+	}
+	snap := slow[0]
+	if snap.Op != "POST /views/NY/insert" || snap.ID != tr.ID() {
+		t.Errorf("snapshot op/id = %q/%d", snap.Op, snap.ID)
+	}
+	got := map[string]int64{}
+	for _, st := range snap.Stages {
+		got[st.Name] = st.NS
+	}
+	if got["commit"] != int64(3*time.Millisecond) || got["translate"] != int64(time.Millisecond) {
+		t.Errorf("stages = %v", got)
+	}
+	if _, ok := got["late"]; ok {
+		t.Error("stage recorded after Finish should be dropped")
+	}
+	if snap.TotalNS < 0 {
+		t.Errorf("total = %d, want >= 0", snap.TotalNS)
+	}
+}
+
+func TestTraceFinishIdempotent(t *testing.T) {
+	s := NewSink(nil)
+	install(t, s)
+	tr := StartTrace("GET /healthz")
+	tr.Finish()
+	tr.Finish()
+	if n := s.SlowTraces().Len(); n != 1 {
+		t.Fatalf("double Finish offered %d snapshots, want 1", n)
+	}
+}
+
+func TestTraceRingKeepsSlowest(t *testing.T) {
+	r := NewTraceRing(3)
+	for _, ns := range []int64{50, 10, 90, 30, 70, 20} {
+		r.Offer(TraceSnapshot{ID: uint64(ns), TotalNS: ns})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(snap))
+	}
+	for i, want := range []int64{90, 70, 50} {
+		if snap[i].TotalNS != want {
+			t.Errorf("ring[%d].TotalNS = %d, want %d (slowest first)", i, snap[i].TotalNS, want)
+		}
+	}
+	// An offer below the floor must be rejected.
+	r.Offer(TraceSnapshot{TotalNS: 5})
+	if got := r.Snapshot()[2].TotalNS; got != 50 {
+		t.Errorf("floor trace = %d after below-floor offer, want 50", got)
+	}
+}
+
+func TestTraceRingConcurrentOffer(t *testing.T) {
+	r := NewTraceRing(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Offer(TraceSnapshot{TotalNS: int64(g*500 + i)})
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("ring holds %d, want 8", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].TotalNS < snap[i].TotalNS {
+			t.Fatalf("ring not sorted: %d before %d", snap[i-1].TotalNS, snap[i].TotalNS)
+		}
+	}
+	if snap[0].TotalNS != 1999 {
+		t.Errorf("slowest retained = %d, want 1999", snap[0].TotalNS)
+	}
+}

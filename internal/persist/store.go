@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"viewupdate/internal/obs"
 	"viewupdate/internal/storage"
@@ -291,6 +292,31 @@ func (s *Store) Apply(tr *update.Translation) error {
 // again matches the durable state; if that rollback fails the store is
 // broken (ErrCorrupt), exactly as in Apply.
 func (s *Store) ApplyBatch(trs []*update.Translation) []error {
+	errs, _ := s.ApplyBatchStats(trs)
+	return errs
+}
+
+// ApplyStats reports where one group commit spent its time. Populated
+// only while instrumentation is enabled (obs.Enabled()); the hot path
+// never reads the clock otherwise.
+type ApplyStats struct {
+	// ApplyNS is the time spent applying the surviving translations in
+	// memory.
+	ApplyNS int64
+	// WALNS is the time spent landing the batch in the WAL, including
+	// the durability barrier.
+	WALNS int64
+	// FsyncNS is the barrier portion of WALNS.
+	FsyncNS int64
+	// Synced reports whether the batch ended with a durability barrier.
+	Synced bool
+}
+
+// ApplyBatchStats is ApplyBatch returning a timing breakdown — memory
+// apply, WAL write, fsync — that the serving layer threads into
+// per-request pipeline traces. See ApplyBatch for the commit semantics.
+func (s *Store) ApplyBatchStats(trs []*update.Translation) ([]error, ApplyStats) {
+	var stats ApplyStats
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	errs := make([]error, len(trs))
@@ -298,11 +324,16 @@ func (s *Store) ApplyBatch(trs []*update.Translation) []error {
 		for i := range errs {
 			errs[i] = s.broken
 		}
-		return errs
+		return errs, stats
 	}
 	type stagedCommit struct {
 		idx int
 		tr  *update.Translation
+	}
+	timed := obs.Enabled()
+	var start time.Time
+	if timed {
+		start = time.Now()
 	}
 	var landed []stagedCommit
 	var recs []wal.Record
@@ -317,10 +348,20 @@ func (s *Store) ApplyBatch(trs []*update.Translation) []error {
 		recs = append(recs, EncodeBatchRecords(s.seq, tr)...)
 		landed = append(landed, stagedCommit{i, tr})
 	}
-	if len(landed) == 0 {
-		return errs
+	if timed {
+		stats.ApplyNS = int64(time.Since(start))
+		start = time.Now()
 	}
-	if err := s.log.AppendBatch(recs); err != nil {
+	if len(landed) == 0 {
+		return errs, stats
+	}
+	wstats, err := s.log.AppendBatchStats(recs)
+	if timed {
+		stats.WALNS = int64(time.Since(start))
+		stats.FsyncNS = wstats.SyncNS
+		stats.Synced = wstats.Synced
+	}
+	if err != nil {
 		for j := len(landed) - 1; j >= 0; j-- {
 			if uerr := s.db.Apply(invert(landed[j].tr)); uerr != nil {
 				s.broken = fmt.Errorf("persist: store broken: batch append failed (%v), rollback failed: %w (%w)",
@@ -329,18 +370,18 @@ func (s *Store) ApplyBatch(trs []*update.Translation) []error {
 				for _, st := range landed {
 					errs[st.idx] = s.broken
 				}
-				return errs
+				return errs, stats
 			}
 		}
 		for _, st := range landed {
 			errs[st.idx] = fmt.Errorf("%w, rolled back: %w", ErrNotDurable, err)
 		}
-		return errs
+		return errs, stats
 	}
 	obs.Inc("persist.batch")
 	obs.Add("persist.batch.commits", int64(len(landed)))
 	obs.Observe("persist.batch.size", int64(len(landed)))
-	return errs
+	return errs, stats
 }
 
 // EncodeBatchRecords builds the WAL frames of one committed

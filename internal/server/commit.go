@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"viewupdate/internal/faultinject"
 	"viewupdate/internal/obs"
@@ -10,6 +11,20 @@ import (
 	"viewupdate/internal/update"
 	"viewupdate/internal/vuerr"
 	"viewupdate/internal/wal"
+)
+
+// Stage histogram names of the pipeline trace, pre-declared so the hot
+// path observes them without building strings. Every name lands in the
+// trace of each request that passed through the stage and in the
+// corresponding histogram; docs/OBSERVABILITY.md documents the
+// semantics of each.
+const (
+	stageTranslateNS = "server.stage.translate.ns"
+	stageVerifyNS    = "server.stage.verify.ns"
+	stageQueueNS     = "server.stage.queue.ns"
+	stageCommitNS    = "server.stage.commit.ns"
+	stageFsyncNS     = "server.stage.fsync.ns"
+	stagePublishNS   = "server.stage.publish.ns"
 )
 
 // A commitReq is one translation waiting in the pipeline.
@@ -23,6 +38,12 @@ type commitReq struct {
 	strict      bool
 	baseVersion uint64
 	done        chan commitRes
+	// trace, when non-nil, is the submitting request's pipeline trace;
+	// the committer records the queue/commit/fsync/publish stages into
+	// it. enqueued is the submission time the queue stage is measured
+	// from (set only when trace is non-nil).
+	trace    *obs.Trace
+	enqueued time.Time
 }
 
 type commitRes struct {
@@ -62,7 +83,11 @@ func (e *Engine) runCommitter() {
 // commitBatch lands one batch: recheck optimistic conflicts against the
 // live state, apply the survivors through the store's group commit,
 // bump the version by the number of commits that landed, publish a
-// fresh snapshot, and answer every waiter.
+// fresh snapshot, and answer every waiter. Along the way it records the
+// pipeline stages — queue wait per request; commit, fsync and publish
+// per batch — into the stage histograms and into each request's trace
+// (the batch-shared stages with the same shared duration, since that is
+// what each request actually waited for).
 func (e *Engine) commitBatch(batch []*commitReq) {
 	sp := obs.StartSpan("server.commit.batch")
 	defer sp.End()
@@ -70,6 +95,19 @@ func (e *Engine) commitBatch(batch []*commitReq) {
 	defer e.stateMu.Unlock()
 	obs.Inc("server.commit.batches")
 	obs.Observe("server.commit.batch_size", int64(len(batch)))
+	obs.SetGauge("server.commit.queue_depth", int64(len(e.commitC)))
+
+	timed := obs.Enabled()
+	if timed {
+		now := time.Now()
+		for _, r := range batch {
+			if r.trace != nil {
+				wait := now.Sub(r.enqueued)
+				r.trace.Stage("queue", wait)
+				obs.Observe(stageQueueNS, int64(wait))
+			}
+		}
+	}
 
 	if ferr := faultinject.Hit(faultinject.SiteServerCommit); ferr != nil {
 		err := fmt.Errorf("server: commit pipeline: %w", ferr)
@@ -113,9 +151,22 @@ func (e *Engine) commitBatch(batch []*commitReq) {
 	for i, r := range admitted {
 		trs[i] = r.tr
 	}
-	errs := e.applyBatch(trs)
+	errs, stats := e.applyBatch(trs)
+
+	// The commit stage is the batch's time applying in memory and
+	// writing the WAL, minus the durability barrier, which is its own
+	// stage. Both are batch-shared: every request in the batch waited
+	// for the whole batch to land.
+	commitNS := stats.ApplyNS + stats.WALNS - stats.FsyncNS
+	if timed {
+		obs.Observe(stageCommitNS, commitNS)
+		if stats.Synced {
+			obs.Observe(stageFsyncNS, stats.FsyncNS)
+		}
+	}
 
 	landed := 0
+	var landedReqs []*commitReq
 	var landedTrs []*update.Translation
 	for i, r := range admitted {
 		if err := errs[i]; err != nil {
@@ -123,28 +174,63 @@ func (e *Engine) commitBatch(batch []*commitReq) {
 			continue
 		}
 		landed++
+		landedReqs = append(landedReqs, r)
 		landedTrs = append(landedTrs, r.tr)
-		r.done <- commitRes{version: version + uint64(landed)}
 	}
 	if landed > 0 {
+		var pubStart time.Time
+		if timed {
+			pubStart = time.Now()
+		}
 		version += uint64(landed)
 		e.publishSnapshot(version)
 		e.patchViewCache(oldSnap, e.snap.Load(), landedTrs)
 		obs.Add("server.commit.committed", int64(landed))
+		var publishNS int64
+		if timed {
+			publishNS = int64(time.Since(pubStart))
+			obs.Observe(stagePublishNS, publishNS)
+		}
+		// Answer the waiters only after publish, so a request that gets
+		// its commit acknowledged can immediately re-read the view at
+		// (at least) the version it landed at, and its trace covers the
+		// full pipeline.
+		v := version - uint64(landed)
+		for _, r := range landedReqs {
+			v++
+			if r.trace != nil {
+				r.trace.Stage("commit", time.Duration(commitNS))
+				if stats.Synced {
+					r.trace.Stage("fsync", time.Duration(stats.FsyncNS))
+				}
+				r.trace.Stage("publish", time.Duration(publishNS))
+			}
+			r.done <- commitRes{version: v}
+		}
 	}
 }
 
 // applyBatch lands translations on the durable store when one is
-// attached, or directly on the in-memory database otherwise.
-func (e *Engine) applyBatch(trs []*update.Translation) []error {
+// attached, or directly on the in-memory database otherwise. The
+// returned stats are populated only while instrumentation is enabled.
+func (e *Engine) applyBatch(trs []*update.Translation) ([]error, persist.ApplyStats) {
 	if e.store != nil {
-		return e.store.ApplyBatch(trs)
+		return e.store.ApplyBatchStats(trs)
+	}
+	var stats persist.ApplyStats
+	timed := obs.Enabled()
+	var start time.Time
+	if timed {
+		start = time.Now()
 	}
 	errs := make([]error, len(trs))
 	for i, tr := range trs {
 		errs[i] = e.db.Apply(tr)
 	}
-	return errs
+	if timed {
+		stats.ApplyNS = int64(time.Since(start))
+	}
+	return errs, stats
 }
 
 // classifyApplyError folds an apply-time failure into the serving

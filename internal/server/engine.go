@@ -89,6 +89,10 @@ type Config struct {
 	// first read after every commit rematerializes). Baseline knob for
 	// benchmarks; leave false in production.
 	DisableIVM bool
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// engine's handler. Off by default: profiling endpoints expose
+	// stacks and heap contents, so they are opt-in (vuserved -pprof).
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -198,8 +202,45 @@ func NewEngine(cfg Config, initScript string) (*Engine, error) {
 		}
 	}
 	e.publishSnapshot(0)
+	e.preregisterMetrics()
 	go e.runCommitter()
 	return e, nil
+}
+
+// preregisterMetrics touches every metric family the serving layer can
+// emit, so a /metrics scrape sees the full schema from the first poll —
+// scrapers and alerts can rely on family presence instead of treating
+// "absent" and "zero" differently. No-op without an active sink.
+func (e *Engine) preregisterMetrics() {
+	s := obs.Active()
+	if s == nil {
+		return
+	}
+	reg := s.Metrics()
+	for _, c := range []string{
+		"server.requests", "server.commit.enqueued", "server.commit.batches",
+		"server.commit.committed", "server.commit.conflict", "server.commit.deadline",
+		"server.overload", "server.drain.rejected",
+		"server.viewcache.hit", "server.viewcache.miss",
+		"server.ivm.patch", "server.ivm.rebuild",
+		"wal.append", "wal.append_batch", "wal.sync",
+	} {
+		reg.Counter(c)
+	}
+	for _, g := range []string{
+		"server.http.inflight", "server.commit.queue_depth",
+		"server.tx.open", "server.viewcache.entries", "server.viewcache.version",
+	} {
+		reg.Gauge(g)
+	}
+	for _, h := range []string{
+		"server.request.ns", "server.commit.batch_size",
+		stageTranslateNS, stageVerifyNS, stageQueueNS,
+		stageCommitNS, stageFsyncNS, stagePublishNS,
+		"wal.fsync.ns",
+	} {
+		reg.Histogram(h)
+	}
 }
 
 func (e *Engine) logf(msg string, args ...any) {
@@ -280,6 +321,8 @@ func (e *Engine) cachedView(v view.View, s *snapshot) *tuple.Set {
 	if c.version == s.version && c.sets != nil {
 		c.sets[v.Name()] = set
 	}
+	obs.SetGauge("server.viewcache.entries", int64(len(c.sets)))
+	obs.SetGauge("server.viewcache.version", int64(c.version))
 	c.mu.Unlock()
 	return set
 }
@@ -351,8 +394,9 @@ func (e *Engine) bumpVersionLocked(delta uint64) {
 // Translate resolves the view, translates req against the published
 // snapshot, and returns the chosen candidate plus its side effects and
 // the snapshot version the translation is based on. It does not apply
-// anything.
-func (e *Engine) Translate(viewName string, prefer []string, build func(view.View, storage.Source) (core.Request, error)) (core.Candidate, *core.Effects, core.Request, uint64, error) {
+// anything. The translate and verify stages are recorded into the
+// request trace attached to ctx (if any) and into the stage histograms.
+func (e *Engine) Translate(ctx context.Context, viewName string, prefer []string, build func(view.View, storage.Source) (core.Request, error)) (core.Candidate, *core.Effects, core.Request, uint64, error) {
 	v, pol, err := e.lookupView(viewName, prefer)
 	if err != nil {
 		return core.Candidate{}, nil, core.Request{}, 0, err
@@ -362,13 +406,20 @@ func (e *Engine) Translate(viewName string, prefer []string, build func(view.Vie
 	if err != nil {
 		return core.Candidate{}, nil, core.Request{}, 0, err
 	}
+	rt := obs.TraceFrom(ctx)
 	sp := obs.StartSpan("server.translate")
 	cand, err := core.NewTranslator(v, pol).Translate(snap, req)
-	sp.End()
+	d := sp.End()
+	rt.Stage("translate", d)
+	obs.Observe(stageTranslateNS, int64(d))
 	if err != nil {
 		return core.Candidate{}, nil, req, 0, err
 	}
+	vsp := obs.StartSpan("server.verify")
 	eff, err := core.SideEffects(snap, v, req, cand.Translation)
+	vd := vsp.End()
+	rt.Stage("verify", vd)
+	obs.Observe(stageVerifyNS, int64(vd))
 	if err != nil {
 		return core.Candidate{}, nil, req, 0, err
 	}
@@ -387,6 +438,10 @@ func (e *Engine) Commit(ctx context.Context, tr *update.Translation, strict bool
 		return v, nil
 	}
 	req := &commitReq{tr: tr, strict: strict, baseVersion: baseVersion, done: make(chan commitRes, 1)}
+	if rt := obs.TraceFrom(ctx); rt != nil {
+		req.trace = rt
+		req.enqueued = time.Now()
+	}
 	if err := e.submit(req); err != nil {
 		return 0, err
 	}
@@ -412,6 +467,7 @@ func (e *Engine) submit(req *commitReq) error {
 	select {
 	case e.commitC <- req:
 		obs.Inc("server.commit.enqueued")
+		obs.SetGauge("server.commit.queue_depth", int64(len(e.commitC)))
 		return nil
 	default:
 		obs.Inc("server.overload")

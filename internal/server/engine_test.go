@@ -43,7 +43,7 @@ func newTestEngine(t *testing.T, dir string, mut func(*Config)) *Engine {
 // translate-then-group-commit path.
 func insertKey(e *Engine, k int) error {
 	body := updateBody{Values: []string{strconv.Itoa(k), "NY"}}
-	cand, _, _, base, err := e.Translate("NY", nil, e.buildRequest(update.Insert, body))
+	cand, _, _, base, err := e.Translate(context.Background(), "NY", nil, e.buildRequest(update.Insert, body))
 	if err != nil {
 		return err
 	}
@@ -161,7 +161,7 @@ func TestGroupCommitBatches(t *testing.T) {
 // submitAsync fires one insert without waiting for its fate.
 func submitAsync(e *Engine, k int) error {
 	body := updateBody{Values: []string{strconv.Itoa(k), "NY"}}
-	cand, _, _, _, err := e.Translate("NY", nil, e.buildRequest(update.Insert, body))
+	cand, _, _, _, err := e.Translate(context.Background(), "NY", nil, e.buildRequest(update.Insert, body))
 	if err != nil {
 		return err
 	}
@@ -216,7 +216,7 @@ func TestConflictingTransactions(t *testing.T) {
 			Where: map[string]string{"EmpNo": "1"},
 			Set:   map[string]string{"EmpNo": strconv.Itoa(to)},
 		}
-		_, _, err := e.TxUpdate(tok, "NY", nil, e.buildRequest(update.Replace, body))
+		_, _, err := e.TxUpdate(context.Background(), tok, "NY", nil, e.buildRequest(update.Replace, body))
 		return err
 	}
 	if err := move(tok1, 2); err != nil {
@@ -277,11 +277,11 @@ func TestSingleShotConflict(t *testing.T) {
 		t.Fatal(err)
 	}
 	body := updateBody{Where: map[string]string{"EmpNo": "7"}}
-	c1, _, _, b1, err := e.Translate("NY", nil, e.buildRequest(update.Delete, body))
+	c1, _, _, b1, err := e.Translate(context.Background(), "NY", nil, e.buildRequest(update.Delete, body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, _, _, b2, err := e.Translate("NY", nil, e.buildRequest(update.Delete, body))
+	c2, _, _, b2, err := e.Translate(context.Background(), "NY", nil, e.buildRequest(update.Delete, body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,7 +430,7 @@ func TestCommitDeadline(t *testing.T) {
 	}
 	waitForPickup(t, e)
 	body := updateBody{Values: []string{"2", "NY"}}
-	cand, _, _, base, err := e.Translate("NY", nil, e.buildRequest(update.Insert, body))
+	cand, _, _, base, err := e.Translate(context.Background(), "NY", nil, e.buildRequest(update.Insert, body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -509,7 +509,7 @@ func TestTxLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	body := updateBody{Values: []string{"2", "NY"}}
-	if _, _, err := e.TxUpdate(tok, "NY", nil, e.buildRequest(update.Insert, body)); err != nil {
+	if _, _, err := e.TxUpdate(context.Background(), tok, "NY", nil, e.buildRequest(update.Insert, body)); err != nil {
 		t.Fatal(err)
 	}
 	staged, err := e.TxView(tok)

@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"viewupdate/internal/core"
@@ -27,6 +29,9 @@ const retryAfterSeconds = 1
 //
 //	GET  /healthz                        liveness + engine state
 //	GET  /metricsz                       obs counters/histograms as JSON
+//	GET  /metrics                        Prometheus text exposition + runtime stats
+//	GET  /debug/slow                     slowest complete request traces as JSON
+//	GET  /debug/pprof/...                net/http/pprof (only with Config.EnablePprof)
 //	GET  /views                          list view names
 //	GET  /views/{name}?Attr=val          read a view (optional equality filters)
 //	POST /views/{name}/insert            single-shot view update …
@@ -44,6 +49,15 @@ func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", e.handleHealthz)
 	mux.HandleFunc("GET /metricsz", handleMetricsz)
+	mux.HandleFunc("GET /metrics", handleMetrics)
+	mux.HandleFunc("GET /debug/slow", handleSlowTraces)
+	if e.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("GET /views", e.handleListViews)
 	mux.HandleFunc("GET /views/{name}", e.handleReadView)
 	mux.HandleFunc("POST /views/{name}/{op}", e.handleUpdate)
@@ -58,14 +72,29 @@ func NewHandler(e *Engine) http.Handler {
 
 // withDeadline enforces the per-request deadline via the request
 // context, so handlers blocked on the commit pipeline give up in
-// bounded time, and counts every request into the obs registry.
+// bounded time, counts every request into the obs registry, tracks the
+// in-flight gauge, and — when instrumentation is enabled — starts the
+// request-scoped pipeline trace that downstream stages record into.
+// pprof endpoints are exempt from the deadline: a 30s CPU profile must
+// outlive the per-request timeout.
 func (e *Engine) withDeadline(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sp := obs.StartSpan("server.request")
 		defer sp.End()
 		obs.Inc("server.requests")
-		ctx, cancel := context.WithTimeout(r.Context(), e.cfg.RequestTimeout)
-		defer cancel()
+		obs.AddGauge("server.http.inflight", 1)
+		defer obs.AddGauge("server.http.inflight", -1)
+		ctx := r.Context()
+		if !strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, e.cfg.RequestTimeout)
+			defer cancel()
+		}
+		if obs.Enabled() {
+			tr := obs.StartTrace(r.Method + " " + r.URL.Path)
+			defer tr.Finish()
+			ctx = obs.ContextWithTrace(ctx, tr)
+		}
 		h.ServeHTTP(w, r.WithContext(ctx))
 	})
 }
@@ -135,11 +164,43 @@ func handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	if s == nil {
 		writeJSON(w, http.StatusOK, obs.Snapshot{
 			Counters:   map[string]int64{},
+			Gauges:     map[string]int64{},
 			Histograms: map[string]obs.HistogramSnapshot{},
 		})
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Metrics().Snapshot())
+}
+
+// handleMetrics renders the active sink in Prometheus text exposition
+// format, followed by Go runtime metrics (goroutines, heap, GC). With
+// no sink active only the runtime block is emitted, so the endpoint is
+// always scrapeable.
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	if s := obs.Active(); s != nil {
+		_ = s.Metrics().Snapshot().WritePrometheus(w)
+	}
+	_ = obs.WriteRuntimeMetrics(w)
+}
+
+// handleSlowTraces dumps the slow-trace ring: the N slowest complete
+// request traces seen since the sink was installed, slowest first.
+func handleSlowTraces(w http.ResponseWriter, r *http.Request) {
+	s := obs.Active()
+	if s == nil {
+		writeJSON(w, http.StatusOK, struct {
+			Traces []obs.TraceSnapshot `json:"traces"`
+		}{Traces: []obs.TraceSnapshot{}})
+		return
+	}
+	traces := s.SlowTraces().Snapshot()
+	if traces == nil {
+		traces = []obs.TraceSnapshot{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Traces []obs.TraceSnapshot `json:"traces"`
+	}{Traces: traces})
 }
 
 func (e *Engine) handleListViews(w http.ResponseWriter, r *http.Request) {
@@ -213,7 +274,7 @@ func (e *Engine) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	cand, eff, _, baseVersion, err := e.Translate(r.PathValue("name"), body.Prefer, e.buildRequest(kind, body))
+	cand, eff, _, baseVersion, err := e.Translate(r.Context(), r.PathValue("name"), body.Prefer, e.buildRequest(kind, body))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -250,7 +311,7 @@ func (e *Engine) handleTxUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	cand, eff, err := e.TxUpdate(r.PathValue("token"), r.PathValue("name"), body.Prefer, e.buildRequest(kind, body))
+	cand, eff, err := e.TxUpdate(r.Context(), r.PathValue("token"), r.PathValue("name"), body.Prefer, e.buildRequest(kind, body))
 	if err != nil {
 		writeError(w, err)
 		return

@@ -54,6 +54,8 @@ func (e *Engine) patchViewCache(old, new *snapshot, landed []*update.Translation
 		obs.Inc("server.ivm.patch")
 	}
 	c.version = new.version
+	obs.SetGauge("server.viewcache.entries", int64(len(c.sets)))
+	obs.SetGauge("server.viewcache.version", int64(c.version))
 }
 
 // patchMaterialization computes the cached set of v at the new snapshot

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"viewupdate/internal/obs"
+)
+
+// get fetches url and returns the status and body.
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestHTTPPrometheusMetrics: /metrics serves the Prometheus text format
+// with every family the dashboards and the load generator depend on —
+// request counters, commit pipeline stage summaries, queue gauges, WAL
+// fsync timings and Go runtime stats — after a single update has moved
+// through the full pipeline.
+func TestHTTPPrometheusMetrics(t *testing.T) {
+	metricsSink(t)
+	_, srv := newTestServer(t, nil)
+
+	if code := doJSON(t, "POST", srv.URL+"/views/NY/insert",
+		map[string]any{"values": []string{"1", "NY"}}, nil); code != http.StatusOK {
+		t.Fatal("insert failed")
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obs.PrometheusContentType)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, fam := range []string{
+		"server_requests",
+		"server_commit_committed",
+		"server_commit_batches",
+		"server_commit_batch_size",
+		"server_commit_queue_depth",
+		"server_http_inflight",
+		"server_tx_open",
+		"server_request_ns",
+		"server_stage_translate_ns",
+		"server_stage_verify_ns",
+		"server_stage_queue_ns",
+		"server_stage_commit_ns",
+		"server_stage_fsync_ns",
+		"server_stage_publish_ns",
+		"wal_fsync_ns",
+		"go_goroutines",
+		"go_memstats_heap_alloc_bytes",
+	} {
+		if !strings.Contains(body, "# TYPE "+fam+" ") {
+			t.Errorf("/metrics missing family %q", fam)
+		}
+	}
+	// The stage summaries must have real observations, not just
+	// pre-registered empty families: the insert above passed through
+	// translate, verify, queue, commit and publish.
+	for _, fam := range []string{
+		"server_stage_translate_ns_count",
+		"server_stage_verify_ns_count",
+		"server_stage_queue_ns_count",
+		"server_stage_commit_ns_count",
+		"server_stage_publish_ns_count",
+	} {
+		if strings.Contains(body, fam+" 0\n") {
+			t.Errorf("stage family %q has zero observations after an update", fam)
+		}
+	}
+}
+
+// TestHTTPMetricsWithoutSink: /metrics must stay scrapeable with
+// instrumentation disabled — only the runtime block is served.
+func TestHTTPMetricsWithoutSink(t *testing.T) {
+	obs.Disable()
+	_, srv := newTestServer(t, nil)
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics without sink: status %d", code)
+	}
+	if !strings.Contains(body, "go_goroutines") {
+		t.Error("/metrics without sink missing runtime block")
+	}
+	if strings.Contains(body, "server_requests") {
+		t.Error("/metrics without sink should not render engine families")
+	}
+}
+
+// TestHTTPSlowTraces: after updates flow through the pipeline,
+// /debug/slow serves complete request traces with the pipeline stages
+// recorded, slowest first.
+func TestHTTPSlowTraces(t *testing.T) {
+	metricsSink(t)
+	_, srv := newTestServer(t, nil)
+
+	for _, k := range []string{"1", "2", "3"} {
+		if code := doJSON(t, "POST", srv.URL+"/views/NY/insert",
+			map[string]any{"values": []string{k, "NY"}}, nil); code != http.StatusOK {
+			t.Fatal("insert failed")
+		}
+	}
+
+	var out struct {
+		Traces []obs.TraceSnapshot `json:"traces"`
+	}
+	if code := doJSON(t, "GET", srv.URL+"/debug/slow", nil, &out); code != http.StatusOK {
+		t.Fatalf("/debug/slow status %d", code)
+	}
+	if len(out.Traces) < 3 {
+		t.Fatalf("slow ring holds %d traces, want >= 3", len(out.Traces))
+	}
+	for i := 1; i < len(out.Traces); i++ {
+		if out.Traces[i-1].TotalNS < out.Traces[i].TotalNS {
+			t.Fatal("/debug/slow not sorted slowest-first")
+		}
+	}
+	var insert *obs.TraceSnapshot
+	for i := range out.Traces {
+		if strings.HasPrefix(out.Traces[i].Op, "POST /views/NY/insert") {
+			insert = &out.Traces[i]
+			break
+		}
+	}
+	if insert == nil {
+		t.Fatal("no insert trace retained")
+	}
+	if insert.ID == 0 {
+		t.Error("trace has no request ID")
+	}
+	stages := map[string]bool{}
+	for _, st := range insert.Stages {
+		stages[st.Name] = true
+	}
+	for _, want := range []string{"translate", "verify", "queue", "commit", "fsync", "publish"} {
+		if !stages[want] {
+			t.Errorf("insert trace missing stage %q (got %v)", want, insert.Stages)
+		}
+	}
+}
+
+// TestHTTPSlowTracesWithoutSink: /debug/slow answers an empty list, not
+// an error, with instrumentation disabled.
+func TestHTTPSlowTracesWithoutSink(t *testing.T) {
+	obs.Disable()
+	_, srv := newTestServer(t, nil)
+	var out struct {
+		Traces []obs.TraceSnapshot `json:"traces"`
+	}
+	if code := doJSON(t, "GET", srv.URL+"/debug/slow", nil, &out); code != http.StatusOK {
+		t.Fatalf("/debug/slow without sink: status %d", code)
+	}
+	if len(out.Traces) != 0 {
+		t.Fatalf("traces = %d, want 0", len(out.Traces))
+	}
+}
+
+// TestHTTPPprofGating: the pprof surface is absent by default and
+// served only when Config.EnablePprof opts in.
+func TestHTTPPprofGating(t *testing.T) {
+	_, off := newTestServer(t, nil)
+	if code, _ := get(t, off.URL+"/debug/pprof/cmdline"); code != http.StatusNotFound {
+		t.Fatalf("pprof without flag: status %d, want 404", code)
+	}
+
+	_, on := newTestServer(t, func(c *Config) { c.EnablePprof = true })
+	if code, _ := get(t, on.URL+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("pprof with flag: status %d, want 200", code)
+	}
+	if code, body := get(t, on.URL+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: status %d", code)
+	}
+}

@@ -53,6 +53,7 @@ func (t *txTable) sweepLocked(now time.Time) {
 			obs.Inc("server.tx.expired")
 		}
 	}
+	obs.SetGauge("server.tx.open", int64(len(t.m)))
 }
 
 func (t *txTable) put(tx *wireTx) {
@@ -63,6 +64,7 @@ func (t *txTable) put(tx *wireTx) {
 	}
 	t.sweepLocked(time.Now())
 	t.m[tx.token] = tx
+	obs.SetGauge("server.tx.open", int64(len(t.m)))
 }
 
 func (t *txTable) get(token string) (*wireTx, error) {
@@ -80,6 +82,7 @@ func (t *txTable) drop(token string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	delete(t.m, token)
+	obs.SetGauge("server.tx.open", int64(len(t.m)))
 }
 
 // newToken returns a fresh 16-byte random hex token.
@@ -113,8 +116,9 @@ func (e *Engine) BeginTx() (string, error) {
 
 // TxUpdate translates and applies one view update inside the
 // transaction's staged state. Nothing reaches the live database until
-// TxCommit.
-func (e *Engine) TxUpdate(token, viewName string, prefer []string, build func(view.View, storage.Source) (core.Request, error)) (core.Candidate, *core.Effects, error) {
+// TxCommit. The translate and verify stages are recorded into the
+// request trace attached to ctx (if any) and into the stage histograms.
+func (e *Engine) TxUpdate(ctx context.Context, token, viewName string, prefer []string, build func(view.View, storage.Source) (core.Request, error)) (core.Candidate, *core.Effects, error) {
 	tx, err := e.txs.get(token)
 	if err != nil {
 		return core.Candidate{}, nil, err
@@ -130,11 +134,20 @@ func (e *Engine) TxUpdate(token, viewName string, prefer []string, build func(vi
 	if err != nil {
 		return core.Candidate{}, nil, err
 	}
+	rt := obs.TraceFrom(ctx)
+	sp := obs.StartSpan("server.translate")
 	cand, err := core.NewTranslator(v, pol).Translate(tx.staged, req)
+	d := sp.End()
+	rt.Stage("translate", d)
+	obs.Observe(stageTranslateNS, int64(d))
 	if err != nil {
 		return core.Candidate{}, nil, err
 	}
+	vsp := obs.StartSpan("server.verify")
 	eff, err := core.SideEffects(tx.staged, v, req, cand.Translation)
+	vd := vsp.End()
+	rt.Stage("verify", vd)
+	obs.Observe(stageVerifyNS, int64(vd))
 	if err != nil {
 		return core.Candidate{}, nil, err
 	}

@@ -41,6 +41,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"viewupdate/internal/faultinject"
 	"viewupdate/internal/obs"
@@ -271,16 +272,37 @@ func (l *Log) Append(rec Record) error {
 	l.off += int64(len(frame))
 	obs.Inc("wal.append")
 	if l.policy == SyncAlways || (l.policy == SyncOnCommit && rec.Kind == KindCommit) {
-		if err := l.f.Sync(); err != nil {
+		if _, err := l.syncTimedLocked(); err != nil {
 			// After a failed durability barrier the fate of every
 			// unsynced byte is unknown; no truncate can re-prove the
 			// tail, so the log is done.
 			l.sealLocked(err)
 			return fmt.Errorf("wal: sync: %w", err)
 		}
-		obs.Inc("wal.sync")
 	}
 	return nil
+}
+
+// syncTimedLocked runs a durability barrier and, when instrumentation
+// is enabled, reports its duration in nanoseconds and records it in the
+// "wal.fsync.ns" histogram. With instrumentation disabled the clock is
+// never read and 0 is reported. Callers hold l.mu.
+func (l *Log) syncTimedLocked() (int64, error) {
+	timed := obs.Enabled()
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
+	if err := l.f.Sync(); err != nil {
+		return 0, err
+	}
+	obs.Inc("wal.sync")
+	if !timed {
+		return 0, nil
+	}
+	d := int64(time.Since(start))
+	obs.Observe("wal.fsync.ns", d)
+	return d, nil
 }
 
 // AppendBatch writes recs as consecutive frames in one Write call,
@@ -298,11 +320,34 @@ func (l *Log) Append(rec Record) error {
 // record of the batch survives), and a failed repair or sync seals the
 // log.
 func (l *Log) AppendBatch(recs []Record) error {
+	_, err := l.AppendBatchStats(recs)
+	return err
+}
+
+// BatchStats reports where one AppendBatch spent its time. The fields
+// are populated only while instrumentation is enabled (obs.Enabled());
+// with it disabled the append path never reads the clock and the stats
+// are zero except Synced.
+type BatchStats struct {
+	// WriteNS is the time spent in the media Write call.
+	WriteNS int64
+	// SyncNS is the time spent in the durability barrier (0 when the
+	// policy skipped it).
+	SyncNS int64
+	// Synced reports whether the batch ended with a durability barrier.
+	Synced bool
+}
+
+// AppendBatchStats is AppendBatch returning a timing breakdown of the
+// write and the fsync — the serving layer threads these into per-request
+// pipeline traces. See AppendBatch for the append semantics.
+func (l *Log) AppendBatchStats(recs []Record) (BatchStats, error) {
+	var stats BatchStats
 	if len(recs) == 0 {
-		return nil
+		return stats, nil
 	}
 	if ferr := faultinject.Hit(faultinject.SiteWALAppend); ferr != nil {
-		return fmt.Errorf("wal: %w", ferr)
+		return stats, fmt.Errorf("wal: %w", ferr)
 	}
 	sp := obs.StartSpan("wal.append_batch")
 	defer sp.End()
@@ -311,7 +356,7 @@ func (l *Log) AppendBatch(recs []Record) error {
 	for _, rec := range recs {
 		frame, err := Frame(rec)
 		if err != nil {
-			return err
+			return stats, err
 		}
 		buf = append(buf, frame...)
 		if rec.Kind == KindCommit {
@@ -321,23 +366,33 @@ func (l *Log) AppendBatch(recs []Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.sealed != nil {
-		return l.sealed
+		return stats, l.sealed
+	}
+	timed := obs.Enabled()
+	var start time.Time
+	if timed {
+		start = time.Now()
 	}
 	if _, err := l.f.Write(buf); err != nil {
 		l.repairLocked(err)
-		return fmt.Errorf("wal: append batch: %w", err)
+		return stats, fmt.Errorf("wal: append batch: %w", err)
+	}
+	if timed {
+		stats.WriteNS = int64(time.Since(start))
 	}
 	l.off += int64(len(buf))
 	obs.Add("wal.append", int64(len(recs)))
 	obs.Inc("wal.append_batch")
 	if l.policy == SyncAlways || (l.policy == SyncOnCommit && hasCommit) {
-		if err := l.f.Sync(); err != nil {
+		d, err := l.syncTimedLocked()
+		if err != nil {
 			l.sealLocked(err)
-			return fmt.Errorf("wal: sync: %w", err)
+			return stats, fmt.Errorf("wal: sync: %w", err)
 		}
-		obs.Inc("wal.sync")
+		stats.SyncNS = d
+		stats.Synced = true
 	}
-	return nil
+	return stats, nil
 }
 
 // repairLocked restores the media to the last known-good frame boundary
@@ -372,11 +427,10 @@ func (l *Log) Sync() error {
 	if l.sealed != nil {
 		return l.sealed
 	}
-	if err := l.f.Sync(); err != nil {
+	if _, err := l.syncTimedLocked(); err != nil {
 		l.sealLocked(err)
 		return fmt.Errorf("wal: sync: %w", err)
 	}
-	obs.Inc("wal.sync")
 	return nil
 }
 
