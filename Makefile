@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race race-core soak bench bench-obs obs-bench bench-translate bench-ivm serve-bench metrics-smoke clean
+.PHONY: all build test check vet fmt race race-core soak chaos-soak bench bench-obs obs-bench bench-translate bench-ivm serve-bench metrics-smoke clean
 
 all: build
 
@@ -42,6 +42,45 @@ soak:
 	$(GO) test -race -run 'Crash|Recover|Churn|Torn|Fault|Broken' ./internal/wal/ ./internal/persist/ ./internal/workload/ ./internal/storage/ ./internal/server/
 	$(GO) test -fuzz FuzzScan -fuzztime 5s -run '^$$' ./internal/wal/
 	$(GO) test -fuzz FuzzLoad -fuzztime 5s -run '^$$' ./internal/persist/
+
+# chaos-soak is the crash-contract gate (see docs/ROBUSTNESS.md). Part
+# one runs the deterministic in-process kill-point matrix: a live engine
+# is crashed (via an armed WAL writer that keeps a seeded byte prefix)
+# at every pipeline stage — admission, translate, commit, WAL append,
+# fsync, publish — restarted, and checked over the wire: every acked
+# commit survived, idempotent retries of ambiguous ops resolve without
+# double-applying, and the recovered state is byte-equivalent to a
+# fault-free replay. Part two is the same contract end-to-end: vuserved
+# is kill -9'd mid-workload and restarted while vuload -chaos retries
+# keyed inserts through the outage, then verifies acks and dedup over
+# the wire and emits BENCH_chaos.json. Any lost ack, duplicate apply,
+# or dedup miss fails the target.
+chaos-soak:
+	$(GO) test ./internal/chaos -run TestChaosSoak -count=1
+	$(GO) build -o /tmp/vuserved-chaos ./cmd/vuserved
+	$(GO) build -o /tmp/vuload-chaos ./cmd/vuload
+	@rm -rf /tmp/vuserved-chaos-data; \
+	printf '%s\n' \
+	  "CREATE DOMAIN KeyDom AS INT RANGE 1 TO 100000;" \
+	  "CREATE DOMAIN LocDom AS STRING ('New York', 'San Francisco', 'Austin');" \
+	  "CREATE TABLE EMP (EmpNo KeyDom, Location LocDom, PRIMARY KEY (EmpNo));" \
+	  "CREATE VIEW NY AS SELECT * FROM EMP WHERE Location = 'New York';" \
+	  > /tmp/vuserved-chaos-init.sql; \
+	/tmp/vuserved-chaos -addr 127.0.0.1:18097 -data /tmp/vuserved-chaos-data \
+		-init /tmp/vuserved-chaos-init.sql -log-level warn & \
+	SRV=$$!; sleep 1; \
+	/tmp/vuload-chaos -addr http://127.0.0.1:18097 -chaos -clients 4 -requests 1000 \
+		-seed 7 -out BENCH_chaos.json & \
+	LOAD=$$!; sleep 0.3; \
+	kill -9 $$SRV 2>/dev/null; wait $$SRV 2>/dev/null; \
+	/tmp/vuserved-chaos -addr 127.0.0.1:18097 -data /tmp/vuserved-chaos-data \
+		-init /tmp/vuserved-chaos-init.sql -log-level warn & \
+	SRV=$$!; \
+	wait $$LOAD; RC=$$?; \
+	kill -TERM $$SRV 2>/dev/null; wait $$SRV 2>/dev/null; \
+	rm -rf /tmp/vuserved-chaos-data /tmp/vuserved-chaos /tmp/vuload-chaos /tmp/vuserved-chaos-init.sql; \
+	cat BENCH_chaos.json; \
+	exit $$RC
 
 # The tier-1+ check: build, vet, formatting, the full test suite under
 # the race detector (which subsumes the plain `go test ./...`), and the
@@ -113,9 +152,12 @@ metrics-smoke:
 	for fam in server_requests server_commit_committed server_commit_batch_size \
 	    server_stage_translate_ns server_stage_verify_ns server_stage_queue_ns \
 	    server_stage_commit_ns server_stage_publish_ns \
-	    server_commit_queue_depth server_http_inflight go_goroutines; do \
+	    server_commit_queue_depth server_http_inflight go_goroutines \
+	    server_degraded server_breaker_state server_idem_entries; do \
 	  echo "$$M" | grep -q "# TYPE $$fam " || { echo "metrics-smoke: /metrics missing $$fam"; RC=1; }; \
 	done; \
+	curl -sf $$B/healthz | grep -q '"status": "ok"' || { echo "metrics-smoke: /healthz not ok"; RC=1; }; \
+	curl -sf $$B/readyz | grep -q '"ready": true' || { echo "metrics-smoke: /readyz not ready"; RC=1; }; \
 	curl -sf $$B/debug/slow | grep -q '"total_ns"' || { echo "metrics-smoke: /debug/slow has no traces"; RC=1; }; \
 	PP=$$(curl -s -o /dev/null -w '%{http_code}' $$B/debug/pprof/cmdline); \
 	[ "$$PP" = "404" ] || { echo "metrics-smoke: pprof served without -pprof (status $$PP)"; RC=1; }; \
@@ -124,4 +166,4 @@ metrics-smoke:
 	[ $$RC -eq 0 ] && echo "metrics-smoke: ok"; exit $$RC
 
 clean:
-	rm -f BENCH_obs.json BENCH_server.json BENCH_translate.json BENCH_ivm.json
+	rm -f BENCH_obs.json BENCH_server.json BENCH_translate.json BENCH_ivm.json BENCH_chaos.json

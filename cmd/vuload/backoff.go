@@ -1,0 +1,59 @@
+package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+// A backoff computes retry delays as capped exponential backoff with
+// full jitter: attempt n draws uniformly from [hint, hint + ceiling)
+// where ceiling doubles per attempt from base up to cap, and hint is
+// the server's Retry-After demand (a hard floor). Full jitter is the
+// thundering-herd fix: when many clients are rejected in the same
+// instant — an overload burst, a server restart — their retries spread
+// across the whole window instead of re-arriving in lockstep at the
+// exact Retry-After boundary.
+type backoff struct {
+	base time.Duration
+	cap  time.Duration
+	rng  *rand.Rand
+}
+
+// newBackoff builds a schedule with the given first-attempt ceiling and
+// cap, drawing jitter from seed (per-client seeds keep clients
+// decorrelated AND runs reproducible).
+func newBackoff(base, cap time.Duration, seed int64) *backoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if cap < base {
+		cap = base
+	}
+	return &backoff{base: base, cap: cap, rng: rand.New(rand.NewSource(seed))}
+}
+
+// ceiling is the jitter window for the given 0-based attempt:
+// base << attempt, capped.
+func (b *backoff) ceiling(attempt int) time.Duration {
+	c := b.base
+	for i := 0; i < attempt; i++ {
+		c *= 2
+		if c >= b.cap || c <= 0 {
+			return b.cap
+		}
+	}
+	if c > b.cap {
+		return b.cap
+	}
+	return c
+}
+
+// delay returns the sleep before retrying attempt (0-based). hint is
+// the server's Retry-After (zero when absent) and lower-bounds the
+// result; the jittered window rides on top of it.
+func (b *backoff) delay(attempt int, hint time.Duration) time.Duration {
+	if hint < 0 {
+		hint = 0
+	}
+	return hint + time.Duration(b.rng.Int63n(int64(b.ceiling(attempt))))
+}

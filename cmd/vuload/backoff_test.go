@@ -1,0 +1,70 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffSchedule pins the shape of the retry schedule: ceilings
+// double from base to cap and every delay falls inside the jitter
+// window [hint, hint+ceiling).
+func TestBackoffSchedule(t *testing.T) {
+	b := newBackoff(50*time.Millisecond, 800*time.Millisecond, 1)
+	wantCeil := []time.Duration{
+		50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 800 * time.Millisecond, 800 * time.Millisecond,
+		800 * time.Millisecond,
+	}
+	for attempt, want := range wantCeil {
+		if got := b.ceiling(attempt); got != want {
+			t.Fatalf("ceiling(%d) = %s, want %s", attempt, got, want)
+		}
+	}
+	hint := 1 * time.Second
+	for attempt := range wantCeil {
+		for i := 0; i < 100; i++ {
+			d := b.delay(attempt, hint)
+			if d < hint || d >= hint+wantCeil[attempt] {
+				t.Fatalf("delay(%d, %s) = %s outside [%s, %s)", attempt, hint, d, hint, hint+wantCeil[attempt])
+			}
+		}
+	}
+}
+
+// TestBackoffJitterSpreads is the thundering-herd property: delays for
+// one attempt are not a constant — concurrent rejected clients retry
+// at spread-out times rather than in lockstep.
+func TestBackoffJitterSpreads(t *testing.T) {
+	b := newBackoff(50*time.Millisecond, 800*time.Millisecond, 42)
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 50; i++ {
+		seen[b.delay(3, 0)] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("50 draws produced only %d distinct delays; jitter is not spreading", len(seen))
+	}
+}
+
+// TestBackoffDeterministic pins reproducibility: the same seed yields
+// the same schedule, so a recorded chaos run can be replayed exactly.
+func TestBackoffDeterministic(t *testing.T) {
+	a := newBackoff(50*time.Millisecond, 800*time.Millisecond, 7)
+	b := newBackoff(50*time.Millisecond, 800*time.Millisecond, 7)
+	for attempt := 0; attempt < 8; attempt++ {
+		if da, db := a.delay(attempt, 0), b.delay(attempt, 0); da != db {
+			t.Fatalf("attempt %d: seeds diverged (%s vs %s)", attempt, da, db)
+		}
+	}
+}
+
+// TestBackoffDegenerateConfig pins the defaulting: non-positive base
+// and a cap below base still produce a sane schedule.
+func TestBackoffDegenerateConfig(t *testing.T) {
+	b := newBackoff(0, 0, 1)
+	if b.ceiling(0) <= 0 {
+		t.Fatal("defaulted backoff has non-positive ceiling")
+	}
+	if d := b.delay(5, 0); d < 0 || d >= b.cap {
+		t.Fatalf("delay %s outside [0, cap %s)", d, b.cap)
+	}
+}

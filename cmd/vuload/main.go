@@ -107,6 +107,8 @@ func main() {
 	setup := flag.Bool("setup", true, "create the bench schema and view via /execz first")
 	out := flag.String("out", "BENCH_server.json", "report path")
 	assertBatching := flag.Bool("assert-batching", false, "exit 1 unless group commit averaged >1 commit per fsync")
+	chaos := flag.Bool("chaos", false, "chaos mode: idempotent keyed inserts, retry-through-outage, ack verification; writes BENCH_chaos.json")
+	opTimeout := flag.Duration("op-timeout", 60*time.Second, "chaos mode: per-operation retry budget (must cover the server outage)")
 	flag.Parse()
 
 	hc := &http.Client{Timeout: 30 * time.Second}
@@ -115,6 +117,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "setup:", err)
 			os.Exit(1)
 		}
+	}
+
+	if *chaos {
+		dest := *out
+		if dest == "BENCH_server.json" {
+			dest = "BENCH_chaos.json"
+		}
+		os.Exit(runChaos(*addr, *clients, *requests, *seed, *opTimeout, dest))
 	}
 
 	before, err := scrapeMetrics(hc, *addr)
@@ -339,9 +349,11 @@ func scrapeMetrics(hc *http.Client, addr string) (obs.Snapshot, error) {
 // runClient drives one client's share of the workload: a rotation of
 // insert → replace (move to a fresh key) → delete over the client's own
 // key partition, with an optional fraction of contended hot-key ops.
-// 429 responses are retried after the server's Retry-After hint.
+// 429 and 503 responses are retried on a per-client jittered backoff
+// schedule seeded from the workload seed.
 func runClient(hc *http.Client, addr string, id, clients, requests int, keys int64, hotFrac float64, seed int64, lat *obs.Histogram, cnt *counters) {
 	rng := rand.New(rand.NewSource(seed + int64(id)))
+	bo := newBackoff(50*time.Millisecond, 800*time.Millisecond, seed+int64(id))
 	hotBase := keys - 16 // top 16 keys are the shared hot range
 	span := (hotBase) / int64(clients)
 	base := int64(id) * span
@@ -407,13 +419,16 @@ func runClient(hc *http.Client, addr string, id, clients, requests int, keys int
 				body = map[string]any{"where": map[string]string{"EmpNo": strconv.FormatInt(k, 10)}}
 			}
 		}
-		issue(hc, addr+path, body, lat, cnt)
+		issue(hc, addr+path, body, lat, cnt, bo)
 	}
 }
 
 // issue sends one update, classifying the outcome and retrying
-// overloads per the Retry-After hint (up to 3 attempts).
-func issue(hc *http.Client, url string, body map[string]any, lat *obs.Histogram, cnt *counters) {
+// overloads (429) and brownouts (503) on the client's jittered backoff
+// schedule (up to 3 attempts). The Retry-After hint floors each delay;
+// full jitter on top keeps a burst of rejected clients from
+// re-arriving in lockstep.
+func issue(hc *http.Client, url string, body map[string]any, lat *obs.Histogram, cnt *counters, bo *backoff) {
 	payload, _ := json.Marshal(body)
 	for attempt := 0; ; attempt++ {
 		cnt.sent.Add(1)
@@ -433,16 +448,14 @@ func issue(hc *http.Client, url string, body map[string]any, lat *obs.Histogram,
 		case resp.StatusCode == http.StatusConflict:
 			cnt.conflicts.Add(1)
 			return
-		case resp.StatusCode == http.StatusTooManyRequests:
+		case resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable:
 			cnt.overloaded.Add(1)
 			if attempt >= 2 {
 				return
 			}
 			after, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
-			if after <= 0 {
-				after = 1
-			}
-			time.Sleep(time.Duration(after) * 100 * time.Millisecond)
+			time.Sleep(bo.delay(attempt, time.Duration(after)*100*time.Millisecond))
 		case resp.StatusCode == http.StatusBadRequest ||
 			resp.StatusCode == http.StatusUnprocessableEntity ||
 			resp.StatusCode == http.StatusNotFound:

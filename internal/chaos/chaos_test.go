@@ -1,0 +1,77 @@
+package chaos
+
+import (
+	"testing"
+
+	"viewupdate/internal/faultinject"
+)
+
+// TestChaosSoak sweeps the kill-site matrix: at every pipeline stage
+// boundary, crash the WAL media mid-run, restart, and hold the crash
+// contract — zero lost acks, zero duplicate applies, zero dedup
+// misses, recovered state equivalent to a fault-free replay. The fault
+// plan is process-global, so scenarios run sequentially.
+func TestChaosSoak(t *testing.T) {
+	scenarios := []struct {
+		name      string
+		site      string
+		killAfter int
+		seed      int64
+	}{
+		{"admission", faultinject.SiteServerAdmission, 20, 1},
+		{"translate", faultinject.SiteServerTranslate, 20, 2},
+		{"commit-head", faultinject.SiteServerCommit, 4, 3},
+		{"wal-append", faultinject.SiteWALAppend, 10, 4},
+		{"wal-sync", faultinject.SiteWALSync, 3, 5},
+		{"publish", faultinject.SiteServerPublish, 3, 6},
+		// A second seed on the WAL sites varies the surviving byte
+		// prefix, exercising different torn-tail shapes at recovery.
+		{"wal-append-alt", faultinject.SiteWALAppend, 17, 7},
+		{"wal-sync-alt", faultinject.SiteWALSync, 5, 8},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			rep, err := Run(Config{
+				Dir:       t.TempDir(),
+				Seed:      sc.seed,
+				KillSite:  sc.site,
+				KillAfter: sc.killAfter,
+				Logf:      t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.LostAcks > 0 {
+				t.Errorf("%d acked commits lost after crash at %s", rep.LostAcks, sc.site)
+			}
+			if rep.DuplicateApplies > 0 {
+				t.Errorf("%d duplicate applies after crash at %s", rep.DuplicateApplies, sc.site)
+			}
+			if rep.DedupMisses > 0 {
+				t.Errorf("%d landed ops lost their idempotency key at %s", rep.DedupMisses, sc.site)
+			}
+			if !rep.StateMatch {
+				t.Errorf("recovered state diverges from fault-free replay after crash at %s", sc.site)
+			}
+			if rep.Acked == 0 {
+				t.Errorf("no operation was acked before the crash at %s; kill fired too early to test anything", sc.site)
+			}
+		})
+	}
+}
+
+// TestRunRequiresKill pins the harness's own guard: a kill point that
+// the workload never reaches is an error, not a silent pass.
+func TestRunRequiresKill(t *testing.T) {
+	_, err := Run(Config{
+		Dir:       t.TempDir(),
+		Seed:      1,
+		Clients:   1,
+		Ops:       2,
+		KillSite:  faultinject.SiteServerCommit,
+		KillAfter: 1000,
+	})
+	if err == nil {
+		t.Fatal("Run with an unreachable kill point should fail")
+	}
+}

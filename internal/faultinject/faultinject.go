@@ -36,16 +36,33 @@ const (
 	SiteRollback = "storage.rollback"
 	// SiteWALAppend fires before each WAL record append.
 	SiteWALAppend = "wal.append"
+	// SiteWALSync fires before each WAL durability barrier; an injected
+	// error seals the log, exactly as a real fsync failure would.
+	SiteWALSync = "wal.sync"
 	// SiteServerCommit fires at the head of each server group-commit
 	// batch, before any translation in the batch touches memory or the
 	// WAL: the whole batch fails cleanly and every waiting request gets
 	// the injected error.
 	SiteServerCommit = "server.commit"
+	// SiteServerAdmission fires on each commit submission, before
+	// admission control; the stage boundary between the HTTP layer and
+	// the pipeline queue.
+	SiteServerAdmission = "server.admission"
+	// SiteServerTranslate fires before each translation of a wire
+	// request against the published snapshot.
+	SiteServerTranslate = "server.translate"
+	// SiteServerPublish fires after a batch has durably landed, before
+	// the fresh snapshot is published and waiters are acknowledged.
+	// Injected errors at this site are ignored by the server (a durable
+	// batch cannot be unlanded); it exists for CallNth crash triggers.
+	SiteServerPublish = "server.publish"
 )
 
-// A rule decides whether one hit at a site fails.
+// A rule decides whether one hit at a site fails, or — for callback
+// rules — what runs when the hit fires.
 type rule struct {
 	err       error
+	fn        func()  // callback rule: runs on fire, injects no error
 	nth       int     // fire on exactly this 1-based hit number
 	every     int     // fire on every k-th hit
 	prob      float64 // fire with this probability (plan-seeded)
@@ -103,6 +120,19 @@ func (p *Plan) FailEveryNth(site string, k, limit int, err error) *Plan {
 	return p
 }
 
+// CallNth arranges for fn to run on exactly the n-th (1-based) hit at
+// site. Callback rules never inject an error — the hit proceeds
+// normally — and run after the plan's internal lock is released, so fn
+// may itself call into fault-injected code. This is the chaos
+// harness's kill-point primitive: the callback flips the WAL media
+// into its crashed state at an exact pipeline stage boundary.
+func (p *Plan) CallNth(site string, n int, fn func()) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.site(site).rules = append(p.site(site).rules, &rule{fn: fn, nth: n, remaining: 1})
+	return p
+}
+
 // FailProb arranges for each hit at site to fail with err with the
 // given probability, at most limit times (limit <= 0 means no limit).
 // Draws come from the plan's seeded generator, so a single-goroutine
@@ -118,13 +148,22 @@ func (p *Plan) FailProb(site string, prob float64, limit int, err error) *Plan {
 }
 
 // hit records one call at site and returns the injected error, if any.
+// Every firing callback rule runs (after the lock is released); the
+// first firing error rule wins, exactly as before callbacks existed.
 func (p *Plan) hit(name string) error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	s := p.site(name)
 	s.hits++
+	var injected error
+	var cbs []func()
 	for _, r := range s.rules {
 		if r.remaining == 0 {
+			continue
+		}
+		if r.fn == nil && injected != nil {
+			// First error rule wins; later ones are not evaluated (and
+			// draw nothing from the rng), matching the pre-callback
+			// early-return behavior.
 			continue
 		}
 		fire := false
@@ -142,10 +181,18 @@ func (p *Plan) hit(name string) error {
 		if r.remaining > 0 {
 			r.remaining--
 		}
+		if r.fn != nil {
+			cbs = append(cbs, r.fn)
+			continue
+		}
 		s.fired++
-		return fmt.Errorf("faultinject: %s hit %d: %w", name, s.hits, r.err)
+		injected = fmt.Errorf("faultinject: %s hit %d: %w", name, s.hits, r.err)
 	}
-	return nil
+	p.mu.Unlock()
+	for _, fn := range cbs {
+		fn()
+	}
+	return injected
 }
 
 // Hits returns the number of Hit calls observed at site.

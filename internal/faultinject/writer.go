@@ -9,6 +9,7 @@ package faultinject
 import (
 	"errors"
 	"io"
+	"sync"
 
 	"viewupdate/internal/vuerr"
 )
@@ -89,6 +90,90 @@ func (c *CrashWriter) Truncate(size int64) error {
 
 // Crashed reports whether the cut-off has been reached.
 func (c *CrashWriter) Crashed() bool { return c.crashed }
+
+// An ArmedCrashWriter is a CrashWriter whose cut-off is armed at
+// runtime instead of fixed at construction: it passes writes through
+// untouched until Crash(keep) is called, after which the next keep
+// bytes still persist (the kernel flushing an arbitrary prefix of
+// in-flight appends) and then every Write, Sync and Truncate fails
+// with ErrCrashed. Safe for concurrent use — the chaos harness arms it
+// from a failpoint callback while the committer goroutine is writing.
+type ArmedCrashWriter struct {
+	W io.Writer
+
+	mu      sync.Mutex
+	armed   bool
+	keep    int64
+	crashed bool
+}
+
+// Crash arms the cut-off: keep more bytes persist, everything after is
+// lost. keep <= 0 makes the very next write fail. Arming twice keeps
+// the first cut-off.
+func (a *ArmedCrashWriter) Crash(keep int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.armed {
+		return
+	}
+	a.armed = true
+	if keep < 0 {
+		keep = 0
+	}
+	a.keep = keep
+}
+
+// Crashed reports whether the cut-off has been reached.
+func (a *ArmedCrashWriter) Crashed() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.crashed
+}
+
+// Write implements io.Writer.
+func (a *ArmedCrashWriter) Write(p []byte) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.crashed {
+		return 0, ErrCrashed
+	}
+	if !a.armed {
+		return a.W.Write(p)
+	}
+	if int64(len(p)) <= a.keep {
+		n, err := a.W.Write(p)
+		a.keep -= int64(n)
+		return n, err
+	}
+	n, _ := a.W.Write(p[:a.keep])
+	a.keep = 0
+	a.crashed = true
+	return n, ErrCrashed
+}
+
+// Sync implements the WAL media contract. Once armed, the barrier
+// fails: a process about to die cannot prove durability of its tail.
+func (a *ArmedCrashWriter) Sync() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.armed || a.crashed {
+		a.crashed = true
+		return ErrCrashed
+	}
+	return syncUnderlying(a.W)
+}
+
+// Truncate fails once armed — a dead process cannot repair its file —
+// and otherwise delegates to the underlying writer.
+func (a *ArmedCrashWriter) Truncate(size int64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.armed || a.crashed {
+		a.crashed = true
+		return ErrCrashed
+	}
+	return truncateUnderlying(a.W, size)
+}
 
 // A FlakyWriter fails exactly its FailNth-th Write call (1-based) with
 // a transient error, writing nothing on that call; every other call

@@ -94,7 +94,18 @@ type Store struct {
 	seq    uint64
 	report RecoveryReport
 	broken error // non-nil once the store can no longer trust its state
+	// recoveredKeys are the idempotency keys of every committed
+	// translation found in the WAL at Open, in commit order. The
+	// serving layer replays them into its dedup table at boot. The
+	// window is bounded by the WAL: a checkpoint resets the log and
+	// with it the recoverable keys — see docs/ROBUSTNESS.md.
+	recoveredKeys []string
 }
+
+// RecoveredKeys returns the idempotency keys of the committed
+// translations the WAL held at Open, in commit order (nil for a
+// freshly created store).
+func (s *Store) RecoveredKeys() []string { return s.recoveredKeys }
 
 // Create initializes dir as a new store holding db's current state and
 // an empty WAL. It fails if dir already contains a snapshot.
@@ -159,7 +170,14 @@ func Open(dir string, opts Options) (*Store, error) {
 
 	committed, discarded := res.Committed()
 	report.Discarded = discarded
+	var keys []string
 	for _, rec := range committed {
+		if rec.Key != "" {
+			// Keys of durably committed translations — replayed or
+			// already folded into the snapshot — seed the serving
+			// layer's idempotency table.
+			keys = append(keys, rec.Key)
+		}
 		if rec.Seq <= snap.Seq {
 			// Already folded into the snapshot by a checkpoint whose WAL
 			// truncation the crash pre-empted; replaying would apply it
@@ -187,7 +205,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if snap.Seq > seq {
 		seq = snap.Seq
 	}
-	s := &Store{dir: dir, db: db, opts: opts, seq: seq, report: report}
+	s := &Store{dir: dir, db: db, opts: opts, seq: seq, report: report, recoveredKeys: keys}
 	if err := s.openLog(); err != nil {
 		return nil, err
 	}
@@ -316,6 +334,15 @@ type ApplyStats struct {
 // apply, WAL write, fsync — that the serving layer threads into
 // per-request pipeline traces. See ApplyBatch for the commit semantics.
 func (s *Store) ApplyBatchStats(trs []*update.Translation) ([]error, ApplyStats) {
+	return s.ApplyBatchKeyed(trs, nil)
+}
+
+// ApplyBatchKeyed is ApplyBatchStats stamping each translation's WAL
+// record with its idempotency key (keys may be nil, or hold "" for
+// unkeyed commits; when non-nil it must be parallel to trs). Keys of
+// committed translations are recovered by Open and surfaced through
+// RecoveredKeys.
+func (s *Store) ApplyBatchKeyed(trs []*update.Translation, keys []string) ([]error, ApplyStats) {
 	var stats ApplyStats
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -345,7 +372,11 @@ func (s *Store) ApplyBatchStats(trs []*update.Translation) ([]error, ApplyStats)
 		// Seq discipline matches Apply: every staged translation burns a
 		// sequence number, landed or not.
 		s.seq++
-		recs = append(recs, EncodeBatchRecords(s.seq, tr)...)
+		key := ""
+		if i < len(keys) {
+			key = keys[i]
+		}
+		recs = append(recs, EncodeBatchRecordsKeyed(s.seq, key, tr)...)
 		landed = append(landed, stagedCommit{i, tr})
 	}
 	if timed {
@@ -388,7 +419,13 @@ func (s *Store) ApplyBatchStats(trs []*update.Translation) ([]error, ApplyStats)
 // translation inside a batch: its translation record immediately
 // followed by its commit marker.
 func EncodeBatchRecords(seq uint64, tr *update.Translation) []wal.Record {
-	return []wal.Record{wal.EncodeTranslation(seq, tr), wal.CommitRecord(seq)}
+	return EncodeBatchRecordsKeyed(seq, "", tr)
+}
+
+// EncodeBatchRecordsKeyed is EncodeBatchRecords stamping the
+// translation record with an idempotency key (empty means none).
+func EncodeBatchRecordsKeyed(seq uint64, key string, tr *update.Translation) []wal.Record {
+	return []wal.Record{wal.EncodeTranslationKeyed(seq, key, tr), wal.CommitRecord(seq)}
 }
 
 // invert returns the translation that undoes tr.

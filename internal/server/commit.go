@@ -37,7 +37,11 @@ type commitReq struct {
 	// is a conflict.
 	strict      bool
 	baseVersion uint64
-	done        chan commitRes
+	// key is the request's idempotency key ("" for none): written into
+	// the WAL translation frame and fulfilled/released in the dedup
+	// table by the committer.
+	key  string
+	done chan commitRes
 	// trace, when non-nil, is the submitting request's pipeline trace;
 	// the committer records the queue/commit/fsync/publish stages into
 	// it. enqueued is the submission time the queue stage is measured
@@ -111,7 +115,9 @@ func (e *Engine) commitBatch(batch []*commitReq) {
 
 	if ferr := faultinject.Hit(faultinject.SiteServerCommit); ferr != nil {
 		err := fmt.Errorf("server: commit pipeline: %w", ferr)
+		e.brk.onFailure(err)
 		for _, r := range batch {
+			e.releaseKey(r)
 			r.done <- commitRes{err: err}
 		}
 		return
@@ -135,6 +141,7 @@ func (e *Engine) commitBatch(batch []*commitReq) {
 		}
 		if r.baseVersion != predicted {
 			obs.Inc("server.commit.conflict")
+			e.releaseKey(r)
 			r.done <- commitRes{err: fmt.Errorf("%w: database moved from version %d to %d since BEGIN",
 				ErrConflict, r.baseVersion, predicted)}
 			continue
@@ -148,10 +155,12 @@ func (e *Engine) commitBatch(batch []*commitReq) {
 	}
 
 	trs := make([]*update.Translation, len(admitted))
+	keys := make([]string, len(admitted))
 	for i, r := range admitted {
 		trs[i] = r.tr
+		keys[i] = r.key
 	}
-	errs, stats := e.applyBatch(trs)
+	errs, stats := e.applyBatch(trs, keys)
 
 	// The commit stage is the batch's time applying in memory and
 	// writing the WAL, minus the durability barrier, which is its own
@@ -170,6 +179,11 @@ func (e *Engine) commitBatch(batch []*commitReq) {
 	var landedTrs []*update.Translation
 	for i, r := range admitted {
 		if err := errs[i]; err != nil {
+			// A failed slot applied nothing: free its idempotency key so
+			// a retry re-executes, and feed the breaker — durability
+			// failures (not conflicts) push it toward brownout.
+			e.releaseKey(r)
+			e.brk.onFailure(err)
 			r.done <- commitRes{err: classifyApplyError(err)}
 			continue
 		}
@@ -178,6 +192,13 @@ func (e *Engine) commitBatch(batch []*commitReq) {
 		landedTrs = append(landedTrs, r.tr)
 	}
 	if landed > 0 {
+		e.brk.onSuccess()
+		// The publish failpoint exists for chaos kill triggers: the batch
+		// is already durable, so an injected error cannot unland it and
+		// is deliberately ignored.
+		if ferr := faultinject.Hit(faultinject.SiteServerPublish); ferr != nil {
+			e.logf("ignoring injected publish fault (batch already durable)", "err", ferr.Error())
+		}
 		var pubStart time.Time
 		if timed {
 			pubStart = time.Now()
@@ -198,6 +219,9 @@ func (e *Engine) commitBatch(batch []*commitReq) {
 		v := version - uint64(landed)
 		for _, r := range landedReqs {
 			v++
+			if r.key != "" {
+				e.idem.fulfill(r.key, v)
+			}
 			if r.trace != nil {
 				r.trace.Stage("commit", time.Duration(commitNS))
 				if stats.Synced {
@@ -210,12 +234,22 @@ func (e *Engine) commitBatch(batch []*commitReq) {
 	}
 }
 
+// releaseKey frees a request's idempotency reservation after a clean
+// failure (nothing applied), letting a retry execute fresh.
+func (e *Engine) releaseKey(r *commitReq) {
+	if r.key != "" {
+		e.idem.release(r.key)
+	}
+}
+
 // applyBatch lands translations on the durable store when one is
-// attached, or directly on the in-memory database otherwise. The
-// returned stats are populated only while instrumentation is enabled.
-func (e *Engine) applyBatch(trs []*update.Translation) ([]error, persist.ApplyStats) {
+// attached, or directly on the in-memory database otherwise. keys are
+// the translations' idempotency keys, recorded in the WAL frames so
+// recovery can rebuild the dedup table. The returned stats are
+// populated only while instrumentation is enabled.
+func (e *Engine) applyBatch(trs []*update.Translation, keys []string) ([]error, persist.ApplyStats) {
 	if e.store != nil {
-		return e.store.ApplyBatchStats(trs)
+		return e.store.ApplyBatchKeyed(trs, keys)
 	}
 	var stats persist.ApplyStats
 	timed := obs.Enabled()

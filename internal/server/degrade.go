@@ -1,0 +1,166 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"viewupdate/internal/obs"
+	"viewupdate/internal/persist"
+	"viewupdate/internal/vuerr"
+	"viewupdate/internal/wal"
+)
+
+// ErrDegraded rejects a write while the engine is in read-only
+// brownout: the durability path is failing (sealed WAL, repeated fsync
+// errors, corrupt store) but snapshot reads still work. Mapped to 503
+// with Retry-After; clients should back off and retry.
+var ErrDegraded = errors.New("server: degraded (read-only); durability path unavailable")
+
+// Breaker states, also exported as the server.breaker.state gauge.
+const (
+	breakerClosed   = 0 // healthy: writes flow
+	breakerOpen     = 1 // brownout: writes rejected until cooldown
+	breakerHalfOpen = 2 // probing: exactly one write allowed through
+)
+
+// breakerTripThreshold is how many consecutive durability failures of
+// the retryable kind (ErrNotDurable, transient apply errors) open the
+// breaker. Terminal failures — a sealed WAL, a corrupt store — trip it
+// on the first sighting.
+const breakerTripThreshold = 3
+
+// A breaker is the write-path circuit breaker behind graceful
+// degradation. The commit pipeline reports each batch outcome; once
+// the durability path looks broken the breaker opens and the engine
+// enters read-only brownout: submissions fail fast with ErrDegraded
+// instead of queueing doomed work. After a cooldown, one probe write
+// is let through (half-open); its fate decides whether the breaker
+// closes or re-opens for another cooldown.
+type breaker struct {
+	cooldown time.Duration
+
+	mu          sync.Mutex
+	state       int
+	consecutive int       // consecutive retryable failures while closed
+	openedAt    time.Time // when the breaker last opened
+	probing     bool      // a half-open probe is in flight
+}
+
+func newBreaker(cooldown time.Duration) *breaker {
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &breaker{cooldown: cooldown}
+}
+
+// allow gates one write submission. In brownout it fails fast with
+// ErrDegraded, except that after the cooldown one caller is admitted
+// as the half-open probe.
+func (b *breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerHalfOpen:
+		if b.probing {
+			return ErrDegraded
+		}
+		b.probing = true
+		obs.Inc("server.breaker.probe")
+		return nil
+	default: // breakerOpen
+		if time.Since(b.openedAt) < b.cooldown {
+			obs.Inc("server.brownout.rejected")
+			return ErrDegraded
+		}
+		b.setStateLocked(breakerHalfOpen)
+		b.probing = true
+		obs.Inc("server.breaker.probe")
+		return nil
+	}
+}
+
+// onSuccess reports a batch that landed durably. Any success fully
+// heals the breaker: a half-open probe that lands closes it, and
+// consecutive-failure counting restarts.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerClosed {
+		obs.Inc("server.breaker.recovered")
+	}
+	b.setStateLocked(breakerClosed)
+	b.consecutive = 0
+	b.probing = false
+}
+
+// onFailure reports a durability failure from the commit pipeline.
+// Terminal conditions (sealed WAL, corrupt store) trip immediately;
+// retryable ones (fsync hiccup, transient apply error) trip after
+// breakerTripThreshold in a row. A failed half-open probe re-opens for
+// another cooldown.
+func (b *breaker) onFailure(err error) {
+	terminal := errors.Is(err, wal.ErrSealed) || vuerr.IsCorrupt(err)
+	retryable := errors.Is(err, persist.ErrNotDurable) || vuerr.IsTransient(err)
+	if !terminal && !retryable {
+		return // logical failure (conflict, validation): not a durability signal
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case terminal:
+		b.tripLocked()
+	case b.state == breakerHalfOpen:
+		b.tripLocked()
+	default:
+		b.consecutive++
+		if b.consecutive >= breakerTripThreshold {
+			b.tripLocked()
+		}
+	}
+}
+
+// tripLocked opens the breaker and restarts the cooldown clock.
+// Callers hold b.mu.
+func (b *breaker) tripLocked() {
+	if b.state != breakerOpen {
+		obs.Inc("server.breaker.trip")
+	}
+	b.setStateLocked(breakerOpen)
+	b.openedAt = time.Now()
+	b.consecutive = 0
+	b.probing = false
+}
+
+func (b *breaker) setStateLocked(state int) {
+	b.state = state
+	obs.SetGauge("server.breaker.state", int64(state))
+	degraded := int64(0)
+	if state != breakerClosed {
+		degraded = 1
+	}
+	obs.SetGauge("server.degraded", degraded)
+}
+
+// degraded reports whether writes are currently browning out.
+func (b *breaker) degraded() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != breakerClosed
+}
+
+// stateName renders the current state for health endpoints.
+func (b *breaker) stateName() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"viewupdate/internal/core"
+	"viewupdate/internal/faultinject"
 	"viewupdate/internal/obs"
 	"viewupdate/internal/persist"
 	"viewupdate/internal/sqlish"
@@ -93,6 +94,19 @@ type Config struct {
 	// engine's handler. Off by default: profiling endpoints expose
 	// stacks and heap contents, so they are opt-in (vuserved -pprof).
 	EnablePprof bool
+	// IdemCapacity bounds the durable-idempotency dedup table: how many
+	// fulfilled request keys are remembered before FIFO eviction.
+	// Default 4096.
+	IdemCapacity int
+	// ShedFraction enables adaptive load shedding: once the commit
+	// queue passes this fraction of MaxInFlight, submissions are shed
+	// probabilistically, ramping to certain rejection at a full queue.
+	// 0 disables shedding (the default); admission control alone then
+	// bounds the queue.
+	ShedFraction float64
+	// BreakerCooldown is how long the write-path circuit breaker stays
+	// open after tripping before it admits a probe. Default 2s.
+	BreakerCooldown time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +121,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TxTTL <= 0 {
 		c.TxTTL = 60 * time.Second
+	}
+	if c.IdemCapacity <= 0 {
+		c.IdemCapacity = 4096
 	}
 	return c
 }
@@ -142,9 +159,17 @@ type Engine struct {
 	commitC  chan *commitReq
 	sendMu   sync.RWMutex // guards commitC sends against close
 	draining bool
+	killed   bool // true after Kill: skip checkpoint/close in Close
 	drained  chan struct{}
 
 	txs txTable
+
+	// idem is the durable-idempotency dedup table; brk the write-path
+	// circuit breaker behind graceful degradation. shedTick drives the
+	// deterministic shedding schedule.
+	idem     idemTable
+	brk      *breaker
+	shedTick atomic.Uint64
 
 	start time.Time
 }
@@ -161,9 +186,11 @@ func NewEngine(cfg Config, initScript string) (*Engine, error) {
 		sess:    sqlish.NewSession(),
 		commitC: make(chan *commitReq, cfg.MaxInFlight),
 		drained: make(chan struct{}),
+		brk:     newBreaker(cfg.BreakerCooldown),
 		start:   time.Now(),
 	}
 	e.txs.ttl = cfg.TxTTL
+	e.idem.cap = cfg.IdemCapacity
 	if cfg.Dir != "" {
 		opts := persist.Options{Sync: cfg.Sync, WrapWAL: cfg.WrapWAL}
 		st, err := persist.Open(cfg.Dir, opts)
@@ -202,6 +229,22 @@ func NewEngine(cfg Config, initScript string) (*Engine, error) {
 		}
 	}
 	e.publishSnapshot(0)
+	if e.store != nil {
+		// Seed the dedup table with every request key recovery found in
+		// the WAL: a client retrying an ack the crash made ambiguous gets
+		// its original outcome back instead of a double apply. The window
+		// is exactly the WAL's — a checkpoint folds the log away and with
+		// it the keys — which covers the crash case, where no checkpoint
+		// ran (see docs/ROBUSTNESS.md).
+		keys := e.store.RecoveredKeys()
+		for _, k := range keys {
+			e.idem.seed(k, 0)
+		}
+		if len(keys) > 0 {
+			obs.Add("server.idem.replayed", int64(len(keys)))
+			e.logf("replayed idempotency keys", "keys", len(keys))
+		}
+	}
 	e.preregisterMetrics()
 	go e.runCommitter()
 	return e, nil
@@ -220,7 +263,10 @@ func (e *Engine) preregisterMetrics() {
 	for _, c := range []string{
 		"server.requests", "server.commit.enqueued", "server.commit.batches",
 		"server.commit.committed", "server.commit.conflict", "server.commit.deadline",
-		"server.overload", "server.drain.rejected",
+		"server.overload", "server.drain.rejected", "server.shed",
+		"server.idem.hit", "server.idem.replayed", "server.idem.evicted",
+		"server.brownout.rejected",
+		"server.breaker.trip", "server.breaker.probe", "server.breaker.recovered",
 		"server.viewcache.hit", "server.viewcache.miss",
 		"server.ivm.patch", "server.ivm.rebuild",
 		"wal.append", "wal.append_batch", "wal.sync",
@@ -230,6 +276,7 @@ func (e *Engine) preregisterMetrics() {
 	for _, g := range []string{
 		"server.http.inflight", "server.commit.queue_depth",
 		"server.tx.open", "server.viewcache.entries", "server.viewcache.version",
+		"server.degraded", "server.breaker.state", "server.idem.entries",
 	} {
 		reg.Gauge(g)
 	}
@@ -406,6 +453,9 @@ func (e *Engine) Translate(ctx context.Context, viewName string, prefer []string
 	if err != nil {
 		return core.Candidate{}, nil, core.Request{}, 0, err
 	}
+	if ferr := faultinject.Hit(faultinject.SiteServerTranslate); ferr != nil {
+		return core.Candidate{}, nil, req, 0, ferr
+	}
 	rt := obs.TraceFrom(ctx)
 	sp := obs.StartSpan("server.translate")
 	cand, err := core.NewTranslator(v, pol).Translate(snap, req)
@@ -433,16 +483,33 @@ func (e *Engine) Translate(ctx context.Context, viewName string, prefer []string
 // validated op-by-op at apply time instead. Returns the version the
 // commit landed at.
 func (e *Engine) Commit(ctx context.Context, tr *update.Translation, strict bool, baseVersion uint64) (uint64, error) {
+	return e.CommitKeyed(ctx, tr, strict, baseVersion, "")
+}
+
+// CommitKeyed is Commit carrying an idempotency key. A non-empty key
+// must already be reserved in the engine's dedup table by the caller
+// (see handleUpdate); it rides the commit request into the WAL frame,
+// and the committer fulfills it when the batch lands or releases it on
+// a clean failure. On an ambiguous outcome — the caller's deadline
+// fired while the commit was still queued — the reservation is left in
+// place for the pipeline to settle, so a retry observes the true fate.
+func (e *Engine) CommitKeyed(ctx context.Context, tr *update.Translation, strict bool, baseVersion uint64, key string) (uint64, error) {
 	if tr.Len() == 0 {
 		_, v := e.Snapshot()
+		if key != "" {
+			e.idem.fulfill(key, v)
+		}
 		return v, nil
 	}
-	req := &commitReq{tr: tr, strict: strict, baseVersion: baseVersion, done: make(chan commitRes, 1)}
+	req := &commitReq{tr: tr, strict: strict, baseVersion: baseVersion, key: key, done: make(chan commitRes, 1)}
 	if rt := obs.TraceFrom(ctx); rt != nil {
 		req.trace = rt
 		req.enqueued = time.Now()
 	}
 	if err := e.submit(req); err != nil {
+		if key != "" {
+			e.idem.release(key)
+		}
 		return 0, err
 	}
 	select {
@@ -456,13 +523,25 @@ func (e *Engine) Commit(ctx context.Context, tr *update.Translation, strict bool
 	}
 }
 
-// submit enqueues a commit, enforcing admission control and drain.
+// submit enqueues a commit, enforcing (in order) the drain flag, the
+// degradation breaker, fault injection at the admission boundary,
+// adaptive shedding, and admission control.
 func (e *Engine) submit(req *commitReq) error {
 	e.sendMu.RLock()
 	defer e.sendMu.RUnlock()
 	if e.draining {
 		obs.Inc("server.drain.rejected")
 		return ErrDraining
+	}
+	if err := e.brk.allow(); err != nil {
+		return err
+	}
+	if err := faultinject.Hit(faultinject.SiteServerAdmission); err != nil {
+		return err
+	}
+	if e.shed() {
+		obs.Inc("server.shed")
+		return ErrOverloaded
 	}
 	select {
 	case e.commitC <- req:
@@ -475,8 +554,42 @@ func (e *Engine) submit(req *commitReq) error {
 	}
 }
 
+// shed decides whether this submission is dropped by adaptive load
+// shedding. Below the ShedFraction threshold nothing sheds; from the
+// threshold to a full queue the drop rate ramps linearly to certain
+// rejection, scheduled by a deterministic tick counter rather than a
+// random draw so the behavior is reproducible under test.
+func (e *Engine) shed() bool {
+	f := e.cfg.ShedFraction
+	if f <= 0 || f >= 1 {
+		return false
+	}
+	depth := len(e.commitC)
+	if depth >= e.cfg.MaxInFlight {
+		// Hard-full is plain overload, reported by the admission select;
+		// shedding only drops pre-emptively while room remains.
+		return false
+	}
+	start := int(f * float64(e.cfg.MaxInFlight))
+	if depth < start {
+		return false
+	}
+	// Of each `window` consecutive submissions arriving at this depth,
+	// drop `over`: the ratio ramps from ~1/window at the threshold to
+	// window/window (all) at a full queue.
+	window := e.cfg.MaxInFlight - start + 1
+	over := depth - start + 1
+	if over > window {
+		over = window
+	}
+	return int((e.shedTick.Add(1)-1)%uint64(window)) < over
+}
+
 // QueueDepth reports how many commits are waiting in the pipeline.
 func (e *Engine) QueueDepth() int { return len(e.commitC) }
+
+// Degraded reports whether the engine is in read-only brownout.
+func (e *Engine) Degraded() bool { return e.brk.degraded() }
 
 // Store exposes the durable store (nil in memory-only mode).
 func (e *Engine) Store() *persist.Store { return e.store }
@@ -490,8 +603,28 @@ type Healthz struct {
 	MaxQueue  int      `json:"queue_capacity"`
 	OpenTxs   int      `json:"open_txs"`
 	Durable   bool     `json:"durable"`
+	Degraded  bool     `json:"degraded"`
+	Breaker   string   `json:"breaker"`
+	IdemKeys  int      `json:"idem_keys"`
 	UptimeSec float64  `json:"uptime_sec"`
 	Error     string   `json:"error,omitempty"`
+}
+
+// Ready reports whether the engine can currently serve writes: not
+// draining, not broken, breaker closed. /readyz keys off this — a
+// degraded engine stays alive (reads work) but reports unready so load
+// balancers steer writes elsewhere.
+func (e *Engine) Ready() bool {
+	e.sendMu.RLock()
+	draining := e.draining
+	e.sendMu.RUnlock()
+	if draining || e.brk.degraded() {
+		return false
+	}
+	if e.store != nil && e.store.Err() != nil {
+		return false
+	}
+	return e.db.Err() == nil
 }
 
 // Health reports the engine's current health. Status degrades to
@@ -507,9 +640,15 @@ func (e *Engine) Health() Healthz {
 		MaxQueue:  e.cfg.MaxInFlight,
 		OpenTxs:   e.txs.open(),
 		Durable:   e.store != nil,
+		Degraded:  e.brk.degraded(),
+		Breaker:   e.brk.stateName(),
+		IdemKeys:  e.idem.size(),
 		UptimeSec: time.Since(e.start).Seconds(),
 	}
 	sort.Strings(h.Views)
+	if h.Degraded {
+		h.Status = "degraded"
+	}
 	e.sendMu.RLock()
 	if e.draining {
 		h.Status = "draining"
@@ -526,6 +665,29 @@ func (e *Engine) Health() Healthz {
 		h.Error = err.Error()
 	}
 	return h
+}
+
+// Kill stops the engine the way a crash would, minus the goroutine
+// leak: commits stop being accepted, already-queued batches run to
+// completion, and the store is closed WITHOUT a checkpoint — the WAL
+// keeps its tail, exactly as if the process had died. The chaos
+// harness uses this to "restart" an engine whose media a failpoint has
+// already crashed; a later Close is a no-op.
+func (e *Engine) Kill() {
+	e.sendMu.Lock()
+	already := e.draining
+	e.draining = true
+	e.killed = true
+	if !already {
+		close(e.commitC)
+	}
+	e.sendMu.Unlock()
+	<-e.drained
+	if !already && e.store != nil {
+		// Crashed media makes close errors expected; the next Open
+		// recovers from whatever bytes survived.
+		_ = e.store.Close()
+	}
 }
 
 // Close drains the engine: stop accepting commits, flush every queued

@@ -28,6 +28,7 @@ const retryAfterSeconds = 1
 // NewHandler builds the HTTP API over an engine:
 //
 //	GET  /healthz                        liveness + engine state
+//	GET  /readyz                         write readiness (503 while degraded/draining)
 //	GET  /metricsz                       obs counters/histograms as JSON
 //	GET  /metrics                        Prometheus text exposition + runtime stats
 //	GET  /debug/slow                     slowest complete request traces as JSON
@@ -48,6 +49,7 @@ const retryAfterSeconds = 1
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", e.handleHealthz)
+	mux.HandleFunc("GET /readyz", e.handleReadyz)
 	mux.HandleFunc("GET /metricsz", handleMetricsz)
 	mux.HandleFunc("GET /metrics", handleMetrics)
 	mux.HandleFunc("GET /debug/slow", handleSlowTraces)
@@ -116,10 +118,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 //	409 conflict         optimistic conflict at apply time
 //	422 no_candidates    the view update admits no translation
 //	422 ambiguous        the policy refuses to choose among candidates
-//	429 overloaded       admission control rejected the commit (Retry-After)
-//	500 corrupt          store or database state no longer trusted
-//	503 unavailable      draining, transient I/O failure, sealed WAL (Retry-After)
+//	429 overloaded       admission control or load shedding rejected the commit (Retry-After)
+//	503 degraded         sealed WAL, corrupt store, open breaker: read-only brownout (Retry-After)
+//	503 unavailable      draining, transient I/O failure, idempotent-retry race (Retry-After)
 //	504 deadline         the commit's fate was not observed in time
+//
+// Durability failures — a sealed WAL, a corrupt store — map to 503
+// "degraded", not 500: the engine still serves snapshot reads and the
+// condition is visible on /readyz, so clients and load balancers treat
+// it as a brownout to retry elsewhere, not a server bug.
 func writeError(w http.ResponseWriter, err error) {
 	status, code := http.StatusBadRequest, "bad_request"
 	switch {
@@ -134,10 +141,11 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrOverloaded):
 		status, code = http.StatusTooManyRequests, "overloaded"
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
-	case vuerr.IsCorrupt(err):
-		status, code = http.StatusInternalServerError, "corrupt"
-	case errors.Is(err, ErrDraining), vuerr.IsTransient(err),
-		errors.Is(err, persist.ErrNotDurable), errors.Is(err, wal.ErrSealed):
+	case errors.Is(err, ErrDegraded), vuerr.IsCorrupt(err), errors.Is(err, wal.ErrSealed):
+		status, code = http.StatusServiceUnavailable, "degraded"
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrIdemRetry), vuerr.IsTransient(err),
+		errors.Is(err, persist.ErrNotDurable):
 		status, code = http.StatusServiceUnavailable, "unavailable"
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 	case errors.Is(err, context.DeadlineExceeded):
@@ -154,6 +162,28 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusInternalServerError
 	}
 	writeJSON(w, status, h)
+}
+
+// handleReadyz is the write-readiness probe: 200 while the engine
+// accepts commits, 503 with Retry-After while draining, degraded
+// (breaker open — reads still work) or broken. Load balancers poll
+// this to steer writes away during a brownout and back after the
+// breaker's probe succeeds.
+func (e *Engine) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := e.Health()
+	if e.Ready() {
+		writeJSON(w, http.StatusOK, struct {
+			Ready   bool   `json:"ready"`
+			Breaker string `json:"breaker"`
+		}{true, h.Breaker})
+		return
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	writeJSON(w, http.StatusServiceUnavailable, struct {
+		Ready   bool   `json:"ready"`
+		Status  string `json:"status"`
+		Breaker string `json:"breaker"`
+	}{false, h.Status, h.Breaker})
 }
 
 // handleMetricsz dumps the active obs sink's snapshot. Without a sink
@@ -263,6 +293,14 @@ func decodeBody(r *http.Request, into any) error {
 // handleUpdate is the single-shot path: translate against the
 // published snapshot in parallel with every other request, then funnel
 // the commit through the group-commit pipeline.
+//
+// An Idempotency-Key header makes the request safely retryable across
+// ambiguous outcomes (timeouts, dropped connections, server crashes):
+// the key is reserved in the engine's dedup table before the commit,
+// travels into the WAL frame with the translation, and a retry that
+// finds the key already fulfilled gets the original outcome back with
+// "duplicate": true instead of applying twice. See docs/ROBUSTNESS.md
+// for the full protocol.
 func (e *Engine) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	kind, err := parseOpKind(r.PathValue("op"))
 	if err != nil {
@@ -274,13 +312,37 @@ func (e *Engine) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	key := r.Header.Get("Idempotency-Key")
+	var ent *idemEntry
+	if key != "" {
+		var dup bool
+		ent, dup = e.idem.reserve(key)
+		if dup {
+			e.replayIdem(w, r, key, ent)
+			return
+		}
+	}
 	cand, eff, _, baseVersion, err := e.Translate(r.Context(), r.PathValue("name"), body.Prefer, e.buildRequest(kind, body))
 	if err != nil {
+		if key != "" {
+			e.idem.release(key)
+		}
 		writeError(w, err)
 		return
 	}
-	version, err := e.Commit(r.Context(), cand.Translation, false, baseVersion)
+	if ent != nil {
+		// Stash the reply class for future duplicates. Safe unlocked:
+		// this write happens-before the commit submission, which
+		// happens-before fulfill closes ent.done, which happens-before
+		// any duplicate reads it.
+		ent.class = cand.Class
+	}
+	version, err := e.CommitKeyed(r.Context(), cand.Translation, false, baseVersion, key)
 	if err != nil {
+		// Clean failures released the key inside the pipeline; an
+		// ambiguous outcome (deadline while queued) deliberately leaves
+		// the reservation for the committer to settle, so a retry learns
+		// the true fate instead of double-applying.
 		writeError(w, err)
 		return
 	}
@@ -289,6 +351,29 @@ func (e *Engine) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		reply.SideEffects = eff.String()
 	}
 	writeJSON(w, http.StatusOK, reply)
+}
+
+// replayIdem answers a request whose idempotency key is already known:
+// wait for the original attempt to settle, then return its outcome as
+// a duplicate, or tell the client to retry if the original failed
+// cleanly (nothing applied, key released).
+func (e *Engine) replayIdem(w http.ResponseWriter, r *http.Request, key string, ent *idemEntry) {
+	select {
+	case <-ent.done:
+	case <-r.Context().Done():
+		writeError(w, fmt.Errorf("server: awaiting original request with same idempotency key: %w", r.Context().Err()))
+		return
+	}
+	if !ent.ok {
+		// The original attempt failed cleanly and released the key.
+		writeError(w, ErrIdemRetry)
+		return
+	}
+	obs.Inc("server.idem.hit")
+	writeJSON(w, http.StatusOK, updateReply{
+		OK: true, Class: ent.class, Version: ent.version,
+		Duplicate: true, Replayed: ent.replayed,
+	})
 }
 
 func (e *Engine) handleTxBegin(w http.ResponseWriter, r *http.Request) {

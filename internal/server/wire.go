@@ -37,6 +37,13 @@ type updateReply struct {
 	SideEffects string   `json:"side_effects,omitempty"`
 	Version     uint64   `json:"version"`
 	Staged      bool     `json:"staged,omitempty"` // true inside a transaction
+	// Duplicate marks an idempotent replay: this request's key matched
+	// an already-landed commit, nothing was applied again, and the
+	// reply carries the original outcome. Replayed further marks keys
+	// recovered from the WAL after a crash, whose reply detail (class,
+	// exact version) did not survive the dead process.
+	Duplicate bool `json:"duplicate,omitempty"`
+	Replayed  bool `json:"replayed,omitempty"`
 }
 
 // errorReply is the JSON error envelope.

@@ -92,6 +92,12 @@ type Record struct {
 	Seq  uint64     `json:"seq"`
 	Kind int        `json:"kind"`
 	Ops  []OpRecord `json:"ops,omitempty"`
+	// Key is the client-supplied idempotency key of a translation
+	// record, when the commit carried one. Recovery replays keys into
+	// the serving layer's dedup table, so a client retrying an
+	// ambiguous ack across a crash still gets the original outcome
+	// instead of a double apply.
+	Key string `json:"id,omitempty"`
 }
 
 // SyncPolicy controls when the log calls Sync on its media.
@@ -288,6 +294,9 @@ func (l *Log) Append(rec Record) error {
 // "wal.fsync.ns" histogram. With instrumentation disabled the clock is
 // never read and 0 is reported. Callers hold l.mu.
 func (l *Log) syncTimedLocked() (int64, error) {
+	if ferr := faultinject.Hit(faultinject.SiteWALSync); ferr != nil {
+		return 0, ferr
+	}
 	timed := obs.Enabled()
 	var start time.Time
 	if timed {
@@ -564,7 +573,13 @@ func (r *ScanResult) MaxSeq() uint64 {
 // EncodeTranslation builds the translation record journaling tr under
 // the given sequence number.
 func EncodeTranslation(seq uint64, tr *update.Translation) Record {
-	rec := Record{Seq: seq, Kind: KindTranslation}
+	return EncodeTranslationKeyed(seq, "", tr)
+}
+
+// EncodeTranslationKeyed is EncodeTranslation stamping the record with
+// a client-supplied idempotency key (empty means none).
+func EncodeTranslationKeyed(seq uint64, key string, tr *update.Translation) Record {
+	rec := Record{Seq: seq, Kind: KindTranslation, Key: key}
 	for _, o := range tr.Ops() {
 		switch o.Kind {
 		case update.Insert:
