@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race race-core soak chaos-soak bench bench-obs obs-bench bench-translate bench-ivm serve-bench metrics-smoke clean
+.PHONY: all build test check vet fmt race race-core soak chaos-soak bench bench-obs obs-bench bench-translate bench-ivm bench-shard serve-bench metrics-smoke clean
 
 all: build
 
@@ -29,10 +29,11 @@ race:
 
 # race-core runs the translation pipeline's packages under the race
 # detector — the overlay, the delta-driven verifier, the parallel
-# candidate judging, and the IVM layer (reverse reference index, join
-# delta maintenance, view-cache patching; see docs/PERFORMANCE.md).
+# candidate judging, the IVM layer (reverse reference index, join
+# delta maintenance, view-cache patching; see docs/PERFORMANCE.md) and
+# the sharded store (shard map, router, 2PC recovery).
 race-core:
-	$(GO) test -race ./internal/core/... ./internal/storage/... ./internal/view/... ./internal/server/...
+	$(GO) test -race ./internal/core/... ./internal/storage/... ./internal/view/... ./internal/server/... ./internal/shard/...
 
 # soak exercises the durability and fault-injection surface: the
 # crash-safety, recovery and churn tests under the race detector, plus
@@ -54,9 +55,12 @@ soak:
 # is kill -9'd mid-workload and restarted while vuload -chaos retries
 # keyed inserts through the outage, then verifies acks and dedup over
 # the wire and emits BENCH_chaos.json. Any lost ack, duplicate apply,
-# or dedup miss fails the target.
+# or dedup miss fails the target. The sharded soak adds the two-phase
+# window: crashes landing after the prepare records but before the
+# decision must roll the in-doubt prepares back, while acked
+# cross-shard commits survive on every participant (docs/SHARDING.md).
 chaos-soak:
-	$(GO) test ./internal/chaos -run TestChaosSoak -count=1
+	$(GO) test ./internal/chaos -run 'TestChaosSoak|TestShardedChaosSoak' -count=1
 	$(GO) build -o /tmp/vuserved-chaos ./cmd/vuserved
 	$(GO) build -o /tmp/vuload-chaos ./cmd/vuload
 	@rm -rf /tmp/vuserved-chaos-data; \
@@ -119,6 +123,17 @@ bench-ivm:
 	$(GO) test -bench 'BenchmarkIVM' -run '^$$' -benchtime 40x .
 	@cat BENCH_ivm.json
 
+# bench-shard emits BENCH_shard.json: aggregate durable commit
+# throughput of the root-key sharded pipeline at 1/2/4/8 shards over
+# modeled datacenter block storage (every WAL barrier padded to 2ms,
+# MaxBatch=1 — the measured production regime, commits_per_sync ≈ 1;
+# see the bench file's header), with a 25% cross-shard (two-phase)
+# fraction. CI asserts speedup_8x_commits_per_sec ≥ 3
+# (see docs/SHARDING.md).
+bench-shard:
+	$(GO) test -bench 'BenchmarkShardScale' -run '^$$' -benchtime 2000x -timeout 900s .
+	@cat BENCH_shard.json
+
 # serve-bench boots vuserved on a scratch store, drives it with vuload
 # (8 clients, wire-level inserts/replaces/deletes) and emits
 # BENCH_server.json: throughput, p50/p99 latency, conflict/overload
@@ -166,4 +181,4 @@ metrics-smoke:
 	[ $$RC -eq 0 ] && echo "metrics-smoke: ok"; exit $$RC
 
 clean:
-	rm -f BENCH_obs.json BENCH_server.json BENCH_translate.json BENCH_ivm.json BENCH_chaos.json
+	rm -f BENCH_obs.json BENCH_server.json BENCH_translate.json BENCH_ivm.json BENCH_chaos.json BENCH_shard.json

@@ -1,0 +1,216 @@
+package viewupdate
+
+// Horizontal sharding benchmarks: aggregate commit throughput of the
+// root-key partitioned serving pipeline as the shard count grows, same
+// MaxBatch and admission limits at every point. shards-1 is the
+// single-writer persist.Store pipeline (one fsync stream); shards-N
+// runs N independent WAL streams behind the router and the cross-shard
+// coordinator, with a fixed fraction of commits spanning two shards.
+//
+// The sweep pins two regime choices, both reported in the JSON:
+//
+//   - MaxBatch=1 — one durability barrier per commit — models the
+//     measured production regime: the serving benchmark behind
+//     BENCH_server.json records commits_per_sync ≈ 1.01 (group commit
+//     exists but real closed-loop load arrives too spread out to fill
+//     batches), so the single-writer engine's throughput IS its serial
+//     fsync rate. That serialized stream is exactly what sharding
+//     breaks up; deep batches would amortize the barrier and hide the
+//     stream limit the tentpole exists to remove.
+//   - Every WAL sync runs against modeled datacenter block storage:
+//     the real fsync plus padding to sync_latency_ms total (2ms —
+//     BENCH_server.json's own fsync p99 is 2.1ms). The dev box's local
+//     ext4 answers fsync in ~0.2ms and coalesces concurrent barriers
+//     in its journal, which makes a single-core host CPU-bound long
+//     before it is stream-bound; the padding restores the latency the
+//     architecture is built for while every byte still hits media.
+//
+// Results land in BENCH_shard.json. Run with:
+//
+//	go test -bench 'BenchmarkShardScale' -run '^$' -benchtime 2000x .
+//
+// or `make bench-shard`. CI asserts the 8-shard aggregate is at least
+// 3x the 1-shard baseline.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"viewupdate/internal/server"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/update"
+	"viewupdate/internal/value"
+	"viewupdate/internal/wal"
+)
+
+// shardBenchScript is the parent/child schema of the sharded soak: a
+// cross-shard commit inserts an EMP row and extends its DEPT parent in
+// one translation.
+const shardBenchScript = `
+CREATE DOMAIN EKey AS INT RANGE 1 TO 100000;
+CREATE DOMAIN DKey AS INT RANGE 1 TO 100000;
+CREATE DOMAIN Funds AS INT RANGE 0 TO 100;
+CREATE TABLE DEPT (DNo DKey, Budget Funds, PRIMARY KEY (DNo));
+CREATE TABLE EMP (ENo EKey, Dept DKey, PRIMARY KEY (ENo),
+                  FOREIGN KEY (Dept) REFERENCES DEPT);
+CREATE VIEW DV AS SELECT * FROM DEPT;
+CREATE VIEW EV AS SELECT * FROM EMP;
+CREATE JOIN VIEW ED ROOT EV WITH EV (Dept) REFERENCES DV;
+`
+
+// benchSyncLatency is the modeled durability-barrier latency: real
+// local fsync padded out to datacenter block-storage time.
+const benchSyncLatency = 2 * time.Millisecond
+
+// slowMedia wraps WAL media so every durability barrier costs at least
+// benchSyncLatency: the real fsync runs first (every byte hits media),
+// then the remainder is slept off. Writes pass straight through.
+type slowMedia struct {
+	wal.File
+}
+
+func (s slowMedia) Sync() error {
+	start := time.Now()
+	if err := s.File.Sync(); err != nil {
+		return err
+	}
+	if d := benchSyncLatency - time.Since(start); d > 0 {
+		time.Sleep(d)
+	}
+	return nil
+}
+
+// shardBenchEntry is one shard count's result row in BENCH_shard.json.
+type shardBenchEntry struct {
+	Shards        int     `json:"shards"`
+	Commits       int64   `json:"commits"`
+	CrossFraction float64 `json:"cross_fraction"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	NsPerCommit   int64   `json:"ns_per_commit"`
+	SyncLatencyMS float64 `json:"sync_latency_ms"`
+	MaxBatch      int     `json:"max_batch"`
+}
+
+var benchShardResults = map[string]shardBenchEntry{}
+
+// writeBenchShard rewrites BENCH_shard.json with every entry collected
+// so far plus the scaling ratios against the 1-shard baseline.
+func writeBenchShard(b *testing.B) {
+	b.Helper()
+	out := map[string]interface{}{"benchmarks": benchShardResults}
+	if base, ok := benchShardResults["ShardScale/shards-1"]; ok && base.CommitsPerSec > 0 {
+		for _, n := range []int{2, 4, 8} {
+			if e, ok := benchShardResults[fmt.Sprintf("ShardScale/shards-%d", n)]; ok {
+				out[fmt.Sprintf("speedup_%dx_commits_per_sec", n)] = e.CommitsPerSec / base.CommitsPerSec
+			}
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_shard.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchShardN drives b.N durable commits from 64 concurrent writers
+// through an engine with the given shard count; every 4th commit is a
+// two-relation extend-insert (cross-shard whenever the two root keys
+// hash apart). Commit() returns only after the acked-implies-durable
+// barrier, so the measured rate is fsync-bound end-to-end throughput.
+func benchShardN(b *testing.B, shards int) {
+	eng, err := server.NewEngine(server.Config{
+		Dir: b.TempDir(), Shards: shards,
+		MaxInFlight: 256, MaxBatch: 1,
+		RequestTimeout: time.Minute,
+		WrapWAL:        func(f wal.File) wal.File { return slowMedia{f} },
+		WrapShardWAL:   func(_ int, f wal.File) wal.File { return slowMedia{f} },
+	}, shardBenchScript)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	db, _ := eng.Snapshot()
+	dept := db.Schema().Relation("DEPT")
+	emp := db.Schema().Relation("EMP")
+
+	const workers = 64
+	const crossEvery = 4
+	var next, crossN atomic.Int64
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for {
+				i := next.Add(1)
+				if i > int64(b.N) {
+					return
+				}
+				var tr *update.Translation
+				if i%crossEvery == 0 {
+					crossN.Add(1)
+					tr = update.NewTranslation(
+						update.NewInsert(tuple.MustNew(dept, value.NewInt(i), value.NewInt(7))),
+						update.NewInsert(tuple.MustNew(emp, value.NewInt(i), value.NewInt(i))),
+					)
+				} else {
+					tr = update.NewTranslation(
+						update.NewInsert(tuple.MustNew(dept, value.NewInt(i+50000), value.NewInt(7))))
+				}
+				if _, err := eng.Commit(ctx, tr, false, 0); err != nil {
+					errCh <- fmt.Errorf("commit %d (shards=%d): %w", i, shards, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		b.Fatal(err)
+	default:
+	}
+	perSec := 0.0
+	if elapsed > 0 {
+		perSec = float64(b.N) / elapsed.Seconds()
+	}
+	nsPer := int64(0)
+	if b.N > 0 {
+		nsPer = elapsed.Nanoseconds() / int64(b.N)
+	}
+	benchShardResults[fmt.Sprintf("ShardScale/shards-%d", shards)] = shardBenchEntry{
+		Shards:        shards,
+		Commits:       int64(b.N),
+		CrossFraction: float64(crossN.Load()) / float64(b.N),
+		CommitsPerSec: perSec,
+		NsPerCommit:   nsPer,
+		SyncLatencyMS: float64(benchSyncLatency) / float64(time.Millisecond),
+		MaxBatch:      1,
+	}
+	b.ReportMetric(perSec, "commits/s")
+	writeBenchShard(b)
+}
+
+// BenchmarkShardScale sweeps the shard count. Key spaces are disjoint
+// (cross-inserts take DNo 1..50000, single inserts 50001 up), so every
+// commit is conflict-free; domains stay small because the schema layer
+// materializes finite domains (paper-faithful), capping b.N at 50000.
+func BenchmarkShardScale(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) { benchShardN(b, n) })
+	}
+}

@@ -68,13 +68,18 @@ type benchRates struct {
 // obs counters across the run, plus the per-stage pipeline latency
 // breakdown scraped from /metrics.
 type serverStats struct {
-	WALSyncs       int64                     `json:"wal_syncs"`
-	Commits        int64                     `json:"commits"`
-	Batches        int64                     `json:"batches"`
-	CommitsPerSync float64                   `json:"commits_per_sync"`
-	BatchSizeP99   int64                     `json:"batch_size_p99"`
-	BatchSizeMax   int64                     `json:"batch_size_max"`
-	Stages         map[string]stageBreakdown `json:"stages"`
+	WALSyncs       int64   `json:"wal_syncs"`
+	Commits        int64   `json:"commits"`
+	Batches        int64   `json:"batches"`
+	CommitsPerSync float64 `json:"commits_per_sync"`
+	BatchSizeP99   int64   `json:"batch_size_p99"`
+	BatchSizeMax   int64   `json:"batch_size_max"`
+	// Sharded servers (vuserved -shards N) additionally report the
+	// cross-shard commit count and the per-shard commit distribution,
+	// so a load run shows both the 2PC fraction and hot-shard skew.
+	CrossCommits int64                     `json:"cross_commits,omitempty"`
+	ShardCommits []int64                   `json:"shard_commits,omitempty"`
+	Stages       map[string]stageBreakdown `json:"stages"`
 }
 
 // stageBreakdown is one pipeline stage's server-side latency summary:
@@ -226,6 +231,14 @@ func buildReport(cfg benchConfig, elapsed time.Duration, lat *obs.Histogram, cnt
 	if h, ok := after.Histograms["server.commit.batch_size"]; ok {
 		rep.Server.BatchSizeP99 = h.P99
 		rep.Server.BatchSizeMax = h.Max
+	}
+	rep.Server.CrossCommits = delta("server.cross.commits")
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("server.shard.%d.committed", i)
+		if _, ok := after.Counters[name]; !ok {
+			break
+		}
+		rep.Server.ShardCommits = append(rep.Server.ShardCommits, delta(name))
 	}
 	return rep
 }

@@ -6,6 +6,12 @@
 //
 //	vuserved -addr :8080 -data ./data
 //	vuserved -addr :8080 -data ./data -init schema.sql -sync commit
+//	vuserved -addr :8080 -data ./data -shards 8
+//
+// With -shards N the base relations are partitioned by root-key hash
+// into N independent WAL pipelines behind a cross-shard two-phase
+// coordinator; see docs/SHARDING.md. The shard count is fixed at store
+// creation and must match on every restart.
 //
 // Views and policies are not durable; pass -init with a sqlish script
 // (CREATE DOMAIN/TABLE/VIEW, SET POLICY) to define them at boot, or
@@ -37,6 +43,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	data := flag.String("data", "", "durable store directory (empty = in-memory only)")
+	shards := flag.Int("shards", 1, "root-key hash shards; >1 runs N WAL pipelines behind the cross-shard coordinator (requires -data, fixed at store creation)")
 	initScript := flag.String("init", "", "sqlish script executed at boot (schema, views, policies)")
 	syncMode := flag.String("sync", "commit", "WAL sync policy: commit|always|never")
 	maxInFlight := flag.Int("max-in-flight", 64, "bounded commit queue; beyond it requests get 429")
@@ -72,6 +79,7 @@ func main() {
 
 	eng, err := server.NewEngine(server.Config{
 		Dir:            *data,
+		Shards:         *shards,
 		Sync:           pol,
 		MaxInFlight:    *maxInFlight,
 		MaxBatch:       *maxBatch,
@@ -104,8 +112,9 @@ func main() {
 		}
 	}()
 
-	slog.Info("serving", "addr", *addr, "data", *data, "sync", pol.String(),
-		"max_in_flight", *maxInFlight, "max_batch", *maxBatch, "pprof", *enablePprof)
+	slog.Info("serving", "addr", *addr, "data", *data, "shards", *shards,
+		"sync", pol.String(), "max_in_flight", *maxInFlight,
+		"max_batch", *maxBatch, "pprof", *enablePprof)
 	err = srv.ListenAndServe()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		slog.Error("serve", "err", err)

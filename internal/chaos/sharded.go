@@ -1,0 +1,403 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"viewupdate/internal/faultinject"
+	"viewupdate/internal/server"
+	"viewupdate/internal/wal"
+	"viewupdate/internal/workload"
+)
+
+// ShardedInitScript is the sharded soak schema: a parent/child pair
+// under an inclusion dependency and a join view rooted at the child.
+// Every workload op inserts a fresh (employee, department) pair through
+// the join view, so SPJ-I extends BOTH relations — a cross-shard commit
+// whenever the two root keys hash to different shards.
+const ShardedInitScript = `
+CREATE DOMAIN EKey AS INT RANGE 1 TO 100000;
+CREATE DOMAIN DKey AS INT RANGE 1 TO 100000;
+CREATE DOMAIN Funds AS INT RANGE 0 TO 100;
+CREATE TABLE DEPT (DNo DKey, Budget Funds, PRIMARY KEY (DNo));
+CREATE TABLE EMP (ENo EKey, Dept DKey, PRIMARY KEY (ENo),
+                  FOREIGN KEY (Dept) REFERENCES DEPT);
+CREATE VIEW DV AS SELECT * FROM DEPT;
+CREATE VIEW EV AS SELECT * FROM EMP;
+CREATE JOIN VIEW ED ROOT EV WITH EV (Dept) REFERENCES DV;
+`
+
+// ShardedConfig parameterizes one sharded soak run. The contract under
+// test is Run's, plus the cross-shard clauses: an acked commit is
+// durable on EVERY participant shard even when the crash lands inside
+// the two-phase window, and an unacked prepare rolls back at recovery
+// (presumed abort) instead of surfacing a half-applied translation.
+type ShardedConfig struct {
+	// Dir is the shard store directory (required).
+	Dir string
+	// Seed drives the fault plan and the surviving-bytes cut-offs.
+	Seed int64
+	// Shards is the shard count. Default 4.
+	Shards int
+	// Clients and Ops shape the workload as in Config. Defaults 4, 25.
+	Clients int
+	Ops     int
+	// KillSite/KillAfter arm the crash exactly as in Config. The sites
+	// of interest here are faultinject.SiteShardPrepare (prepares
+	// durable, decision not yet written — the presumed-abort window) and
+	// faultinject.SiteShardDecision (decision durable, acks pending).
+	KillSite  string
+	KillAfter int
+	// Logf receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// ShardedReport extends Report with the recovery's two-phase verdicts.
+type ShardedReport struct {
+	Report
+	// PreparesCommitted / PreparesAborted are the restarted store's
+	// resolution of every prepare record found in the shard WALs:
+	// committed when a durable decision covered it, rolled back
+	// otherwise.
+	PreparesCommitted int `json:"prepares_committed"`
+	PreparesAborted   int `json:"prepares_aborted"`
+}
+
+func (c *ShardedConfig) withDefaults() ShardedConfig {
+	out := *c
+	if out.Shards <= 0 {
+		out.Shards = 4
+	}
+	if out.Clients <= 0 {
+		out.Clients = 4
+	}
+	if out.Ops <= 0 {
+		out.Ops = 25
+	}
+	if out.KillAfter <= 0 {
+		out.KillAfter = 1
+	}
+	return out
+}
+
+func (c *ShardedConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// shardedOp is one client operation: a keyed join-view insert of the
+// unique pair (eno, dno).
+type shardedOp struct {
+	key      string
+	eno, dno int
+	outcome  string // "acked", "ambiguous", "rejected"
+}
+
+// RunSharded executes one sharded soak: load a sharded engine over the
+// wire, crash every shard's WAL media at the armed kill point, restart,
+// and verify the crash contract across shards.
+func RunSharded(cfg ShardedConfig) (*ShardedReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("chaos: ShardedConfig.Dir is required")
+	}
+	if cfg.KillSite == "" {
+		return nil, fmt.Errorf("chaos: ShardedConfig.KillSite is required")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rep := &ShardedReport{}
+
+	// Phase 1: sharded engine on crashable media — one armed writer per
+	// shard, re-armed whenever a checkpoint reopens a log.
+	var armedMu sync.Mutex
+	armed := map[int]*faultinject.ArmedCrashWriter{}
+	keep := make([]int64, cfg.Shards) // surviving bytes per shard
+	for i := range keep {
+		keep[i] = rng.Int63n(4096)
+	}
+	eng, err := server.NewEngine(server.Config{
+		Dir: cfg.Dir, Shards: cfg.Shards, MaxInFlight: 16, MaxBatch: 8,
+		RequestTimeout:  2 * time.Second,
+		BreakerCooldown: time.Minute,
+		WrapShardWAL: func(i int, f wal.File) wal.File {
+			w := &faultinject.ArmedCrashWriter{W: f}
+			armedMu.Lock()
+			armed[i] = w
+			armedMu.Unlock()
+			return w
+		},
+	}, ShardedInitScript)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: starting sharded engine: %w", err)
+	}
+	srv := httptest.NewServer(server.NewHandler(eng))
+
+	// Warmup before the fault plan arms: a handful of keyed ops that are
+	// guaranteed to ack on healthy media, so every scenario has acked
+	// commits whose survival the crash can threaten — regardless of how
+	// the scheduler interleaves the concurrent phase with the kill.
+	warmClient := &http.Client{Timeout: 5 * time.Second}
+	var warm []shardedOp
+	for i := 0; i < 5; i++ {
+		eno := 90000 + i
+		r := shardedOp{key: fmt.Sprintf("warm-%d", i), eno: eno, dno: eno + 1000}
+		reply, status, err := postInsertED(warmClient, srv.URL, r.key, r.eno, r.dno)
+		if err != nil || status != http.StatusOK || !reply.OK {
+			srv.Close()
+			eng.Close()
+			return nil, fmt.Errorf("chaos: warmup op %d failed: status %d, err %v", i, status, err)
+		}
+		r.outcome = "acked"
+		warm = append(warm, r)
+	}
+
+	// The kill crashes EVERY shard's media at once — process-crash
+	// semantics — but each shard keeps a different surviving prefix, so
+	// recovery sees shards torn at different points.
+	plan := faultinject.NewPlan(cfg.Seed)
+	plan.CallNth(cfg.KillSite, cfg.KillAfter, func() {
+		armedMu.Lock()
+		for i, w := range armed {
+			w.Crash(keep[i])
+		}
+		armedMu.Unlock()
+	})
+	faultinject.Enable(plan)
+	defer faultinject.Disable()
+	cfg.logf("chaos: sharded kill point %s hit %d armed over %d shards, seed=%d",
+		cfg.KillSite, cfg.KillAfter, cfg.Shards, cfg.Seed)
+
+	ops := append(warm, driveShardedClients(&cfg, srv.URL)...)
+	rep.KillHits = plan.Hits(cfg.KillSite)
+
+	// Phase 2: the crash.
+	eng.Kill()
+	srv.Close()
+	faultinject.Disable()
+	if rep.KillHits < cfg.KillAfter {
+		return nil, fmt.Errorf("chaos: kill site %s never reached hit %d (saw %d hits); workload too small",
+			cfg.KillSite, cfg.KillAfter, rep.KillHits)
+	}
+	for _, r := range ops {
+		switch r.outcome {
+		case "acked":
+			rep.Acked++
+		case "ambiguous":
+			rep.Ambiguous++
+		default:
+			rep.Rejected++
+		}
+	}
+
+	// Phase 3: restart on healthy media.
+	t0 := time.Now()
+	eng2, err := server.NewEngine(server.Config{
+		Dir: cfg.Dir, Shards: cfg.Shards, MaxInFlight: 16, MaxBatch: 8,
+		RequestTimeout: 2 * time.Second,
+	}, ShardedInitScript)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: restarting sharded engine after crash: %w", err)
+	}
+	defer eng2.Close()
+	report := eng2.ShardStore().Report()
+	rep.PreparesCommitted = report.PreparesCommitted
+	rep.PreparesAborted = report.PreparesAborted
+	srv2 := httptest.NewServer(server.NewHandler(eng2))
+	defer srv2.Close()
+	if err := waitReady(srv2.URL, 5*time.Second); err != nil {
+		return nil, err
+	}
+	rep.RecoveryNS = int64(time.Since(t0))
+
+	// Phase 4: resolve every outcome with an idempotent retry. The dedup
+	// table was re-seeded from the per-shard WALs; a landed op answers
+	// duplicate, an unlanded one applies fresh.
+	landed := map[int]int{} // eno -> dno
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, r := range ops {
+		reply, status, err := postInsertED(client, srv2.URL, r.key, r.eno, r.dno)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: post-recovery retry of %s: %w", r.key, err)
+		}
+		switch {
+		case status == http.StatusOK && reply.Duplicate:
+			landed[r.eno] = r.dno
+			if r.outcome != "acked" {
+				rep.ResolvedLanded++
+			}
+		case status == http.StatusOK:
+			landed[r.eno] = r.dno
+			if r.outcome == "acked" {
+				rep.DuplicateApplies++
+			} else {
+				rep.RetriedFresh++
+			}
+		case status == http.StatusConflict:
+			landed[r.eno] = r.dno
+			rep.DedupMisses++
+		default:
+			return nil, fmt.Errorf("chaos: retry of %s answered %d %s: %s", r.key, status, reply.Code, reply.Error)
+		}
+	}
+
+	// Phase 5: acked implies durable on every shard — each acked pair
+	// must be present in the recovered join view (which only shows an
+	// employee whose department also survived; a half-applied cross-shard
+	// commit would drop out of the join or fail the inclusion check).
+	present, err := readViewInts(client, srv2.URL, "ED", "ENo")
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range ops {
+		if r.outcome == "acked" && !present[r.eno] {
+			rep.LostAcks++
+			cfg.logf("chaos: LOST ACK: %s (ENo %d, DNo %d) was acked but is absent after recovery",
+				r.key, r.eno, r.dno)
+		}
+	}
+
+	// Phase 6: state equivalence against a fault-free replay of exactly
+	// the landed pairs. An unacked prepare that leaked into the state —
+	// instead of rolling back — shows up here as a divergence.
+	rep.StateMatch, err = shardedStateMatchesReplay(eng2, landed)
+	if err != nil {
+		return nil, err
+	}
+	cfg.logf("%s prepares_committed=%d prepares_aborted=%d",
+		rep.Report.String(), rep.PreparesCommitted, rep.PreparesAborted)
+	return rep, nil
+}
+
+// driveShardedClients runs the concurrent join-view insert workload.
+// Employee and department keys are unique per op, so retries are
+// conflict-free and every insert extends a fresh parent.
+func driveShardedClients(cfg *ShardedConfig, baseURL string) []shardedOp {
+	var mu sync.Mutex
+	var ops []shardedOp
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 5 * time.Second}
+			for j := 0; j < cfg.Ops; j++ {
+				eno := c*cfg.Ops + j + 1
+				r := shardedOp{key: fmt.Sprintf("sc%d-op%d", c, j), eno: eno, dno: 50000 + eno}
+				reply, status, err := postInsertED(client, baseURL, r.key, r.eno, r.dno)
+				switch {
+				case err != nil:
+					r.outcome = "ambiguous"
+				case status == http.StatusOK && reply.OK:
+					r.outcome = "acked"
+				case status == http.StatusTooManyRequests:
+					r.outcome = "rejected"
+				default:
+					r.outcome = "ambiguous"
+				}
+				mu.Lock()
+				ops = append(ops, r)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	sort.Slice(ops, func(i, j int) bool { return ops[i].eno < ops[j].eno })
+	return ops
+}
+
+// postInsertED issues one keyed insert of (eno, dno) through the ED
+// join view: child attributes first, then the extended parent.
+func postInsertED(client *http.Client, baseURL, key string, eno, dno int) (updateWire, int, error) {
+	body, _ := json.Marshal(map[string]any{"values": []string{
+		strconv.Itoa(eno), strconv.Itoa(dno), strconv.Itoa(dno), "7"}})
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/views/ED/insert", bytes.NewReader(body))
+	if err != nil {
+		return updateWire{}, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return updateWire{}, 0, err
+	}
+	defer resp.Body.Close()
+	var reply updateWire
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return updateWire{}, resp.StatusCode, fmt.Errorf("decoding reply: %w", err)
+	}
+	return reply, resp.StatusCode, nil
+}
+
+// readViewInts reads a view and returns the set of integer values in
+// the named column.
+func readViewInts(client *http.Client, baseURL, view, column string) (map[int]bool, error) {
+	resp, err := client.Get(baseURL + "/views/" + view)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: reading recovered view %s: %w", view, err)
+	}
+	defer resp.Body.Close()
+	var reply struct {
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return nil, fmt.Errorf("chaos: decoding view read: %w", err)
+	}
+	col := -1
+	for i, c := range reply.Columns {
+		if c == column {
+			col = i
+		}
+	}
+	if col < 0 {
+		return nil, fmt.Errorf("chaos: view %s has no %s column (columns %v)", view, column, reply.Columns)
+	}
+	present := map[int]bool{}
+	for _, row := range reply.Rows {
+		n, err := strconv.Atoi(row[col])
+		if err != nil {
+			return nil, fmt.Errorf("chaos: non-integer %s %q in view read", column, row[col])
+		}
+		present[n] = true
+	}
+	return present, nil
+}
+
+// shardedStateMatchesReplay replays exactly the landed pairs into a
+// fresh in-memory engine and compares canonical state renderings.
+func shardedStateMatchesReplay(recovered *server.Engine, landed map[int]int) (bool, error) {
+	ref, err := server.NewEngine(server.Config{}, ShardedInitScript)
+	if err != nil {
+		return false, fmt.Errorf("chaos: building sharded replay reference: %w", err)
+	}
+	defer ref.Close()
+	srv := httptest.NewServer(server.NewHandler(ref))
+	defer srv.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+	enos := make([]int, 0, len(landed))
+	for eno := range landed {
+		enos = append(enos, eno)
+	}
+	sort.Ints(enos)
+	for _, eno := range enos {
+		reply, status, err := postInsertED(client, srv.URL, "", eno, landed[eno])
+		if err != nil || status != http.StatusOK {
+			return false, fmt.Errorf("chaos: replaying pair (%d, %d): status %d, code %s, err %v",
+				eno, landed[eno], status, reply.Code, err)
+		}
+	}
+	got, _ := recovered.Snapshot()
+	want, _ := ref.Snapshot()
+	return workload.RenderState(got) == workload.RenderState(want), nil
+}

@@ -1,0 +1,65 @@
+package chaos
+
+import (
+	"testing"
+
+	"viewupdate/internal/faultinject"
+)
+
+// TestShardedChaosSoak sweeps crash sites over the sharded pipeline,
+// with the two-phase window as the headline: a crash after the prepare
+// records are durable but before the decision (SiteShardPrepare) must
+// roll the in-doubt prepares back at recovery — the client was never
+// acked — while a crash right after the decision (SiteShardDecision)
+// must keep the commit on every participant even though no ack went
+// out. In both cases the recovered state must equal a fault-free
+// replay of exactly the landed operations.
+func TestShardedChaosSoak(t *testing.T) {
+	scenarios := []struct {
+		name      string
+		site      string
+		killAfter int
+		seed      int64
+	}{
+		{"prepare-window", faultinject.SiteShardPrepare, 3, 11},
+		{"prepare-window-alt", faultinject.SiteShardPrepare, 9, 12},
+		{"decision", faultinject.SiteShardDecision, 3, 13},
+		{"decision-alt", faultinject.SiteShardDecision, 8, 14},
+		{"wal-append", faultinject.SiteWALAppend, 12, 15},
+		{"wal-sync", faultinject.SiteWALSync, 5, 16},
+		{"commit-head", faultinject.SiteServerCommit, 4, 17},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			rep, err := RunSharded(ShardedConfig{
+				Dir:       t.TempDir(),
+				Seed:      sc.seed,
+				Shards:    4,
+				KillSite:  sc.site,
+				KillAfter: sc.killAfter,
+				Logf:      t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.LostAcks > 0 {
+				t.Errorf("%d acked commits lost after crash at %s", rep.LostAcks, sc.site)
+			}
+			if rep.DuplicateApplies > 0 {
+				t.Errorf("%d duplicate applies after crash at %s", rep.DuplicateApplies, sc.site)
+			}
+			if rep.DedupMisses > 0 {
+				t.Errorf("%d landed ops lost their idempotency key at %s", rep.DedupMisses, sc.site)
+			}
+			if !rep.StateMatch {
+				t.Errorf("recovered state diverges from fault-free replay after crash at %s", sc.site)
+			}
+			if rep.Acked == 0 {
+				t.Errorf("no operation was acked before the crash at %s; kill fired too early to test anything", sc.site)
+			}
+			if sc.site == faultinject.SiteShardPrepare && rep.PreparesAborted == 0 {
+				t.Errorf("crash inside the prepare window left no in-doubt prepare to roll back; the window was not exercised")
+			}
+		})
+	}
+}

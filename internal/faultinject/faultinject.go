@@ -56,6 +56,18 @@ const (
 	// Injected errors at this site are ignored by the server (a durable
 	// batch cannot be unlanded); it exists for CallNth crash triggers.
 	SiteServerPublish = "server.publish"
+	// SiteShardPrepare fires inside the two-phase-commit window of a
+	// cross-shard commit: after every participant's prepare record is
+	// durable and before the decision record is appended. A crash armed
+	// here leaves durable prepares with no decision, which recovery
+	// must roll back (presumed abort).
+	SiteShardPrepare = "shard.prepare"
+	// SiteShardDecision fires after the decision record is durable and
+	// before the client is acknowledged. Injected errors are ignored (a
+	// decided commit cannot be undone); like SiteServerPublish it
+	// exists for CallNth crash triggers — a crash armed here must
+	// recover with the cross-shard commit applied.
+	SiteShardDecision = "shard.decision"
 )
 
 // A rule decides whether one hit at a site fails, or — for callback

@@ -36,6 +36,7 @@ import (
 	"viewupdate/internal/faultinject"
 	"viewupdate/internal/obs"
 	"viewupdate/internal/persist"
+	"viewupdate/internal/shard"
 	"viewupdate/internal/sqlish"
 	"viewupdate/internal/storage"
 	"viewupdate/internal/tuple"
@@ -85,6 +86,15 @@ type Config struct {
 	// WrapWAL is threaded to persist.Options.WrapWAL for fault
 	// injection in tests.
 	WrapWAL func(wal.File) wal.File
+	// Shards enables horizontal sharding (requires Dir): base relations
+	// are partitioned by root-key hash into Shards independent stores,
+	// each with its own WAL and fsync stream, coordinated by the
+	// two-phase cross-shard protocol of internal/shard. 0 or 1 keeps the
+	// single persist.Store pipeline. See docs/SHARDING.md.
+	Shards int
+	// WrapShardWAL is the sharded twin of WrapWAL: it wraps shard i's
+	// WAL media for fault injection in tests.
+	WrapShardWAL func(shard int, f wal.File) wal.File
 	// DisableIVM turns off delta patching of the view cache on commit
 	// publish, restoring PR 4's invalidate-on-publish behavior (the
 	// first read after every commit rematerializes). Baseline knob for
@@ -141,7 +151,9 @@ type snapshot struct {
 type Engine struct {
 	cfg   Config
 	sess  *sqlish.Session
-	store *persist.Store    // nil in memory-only mode
+	store *persist.Store    // nil in memory-only and sharded modes
+	shst  *shard.Store      // non-nil in sharded mode (cfg.Shards > 1)
+	shr   *shardRuntime     // the sharded pipeline; set with shst
 	db    *storage.Database // live authoritative state
 
 	sessMu sync.RWMutex // guards session view/policy lookups vs DDL
@@ -191,7 +203,36 @@ func NewEngine(cfg Config, initScript string) (*Engine, error) {
 	}
 	e.txs.ttl = cfg.TxTTL
 	e.idem.cap = cfg.IdemCapacity
-	if cfg.Dir != "" {
+	if cfg.Shards > 1 && cfg.Dir == "" {
+		return nil, fmt.Errorf("server: Shards requires a store directory")
+	}
+	if cfg.Shards > 1 {
+		sopts := shard.Options{Sync: cfg.Sync, WrapWAL: cfg.WrapShardWAL}
+		st, err := shard.Open(cfg.Dir, cfg.Shards, sopts)
+		switch {
+		case err == nil:
+			e.logf("recovered sharded store", "dir", cfg.Dir, "report", st.Report().String())
+			if aerr := e.sess.AdoptRecovered(st.DB()); aerr != nil {
+				st.Close()
+				return nil, aerr
+			}
+		case errors.Is(err, persist.ErrNoStore):
+			st, err = shard.Create(cfg.Dir, cfg.Shards, e.sess.DB(), sopts)
+			if err != nil {
+				return nil, err
+			}
+			e.logf("created sharded store", "dir", cfg.Dir, "shards", cfg.Shards)
+		default:
+			return nil, err
+		}
+		e.shst = st
+		// Script statements (init DDL, admin ExecScript, vupdate wire
+		// scripts outside the pipeline) journal synchronously through the
+		// store; DDL drains the pipelines and checkpoints so the manifest
+		// carries the new inclusion dependencies.
+		e.sess.SetApplier(e.applyShardDirect)
+		e.sess.SetSchemaChanged(e.shardSchemaChanged)
+	} else if cfg.Dir != "" {
 		opts := persist.Options{Sync: cfg.Sync, WrapWAL: cfg.WrapWAL}
 		st, err := persist.Open(cfg.Dir, opts)
 		switch {
@@ -229,6 +270,25 @@ func NewEngine(cfg Config, initScript string) (*Engine, error) {
 		}
 	}
 	e.publishSnapshot(0)
+	if e.shst != nil {
+		// Sharded twin of the WAL key replay below: each shard's log
+		// contributes its own keys, seeded under the (shard, key) scoped
+		// name with the raw key aliased to the same entry — so a retry
+		// after recovery is deduplicated no matter which form it resolves
+		// through (see idemTable.aliasFulfilled).
+		total := 0
+		for i, keys := range e.shst.KeysByShard() {
+			for _, k := range keys {
+				e.idem.seed(shardIdemKey(i, k), 0)
+				e.idem.aliasFulfilled(k, shardIdemKey(i, k))
+				total++
+			}
+		}
+		if total > 0 {
+			obs.Add("server.idem.replayed", int64(total))
+			e.logf("replayed idempotency keys", "keys", total)
+		}
+	}
 	if e.store != nil {
 		// Seed the dedup table with every request key recovery found in
 		// the WAL: a client retrying an ack the crash made ambiguous gets
@@ -246,7 +306,14 @@ func NewEngine(cfg Config, initScript string) (*Engine, error) {
 		}
 	}
 	e.preregisterMetrics()
-	go e.runCommitter()
+	if e.shst != nil {
+		e.shr = newShardRuntime(e, e.shst)
+		e.preregisterShardMetrics()
+		e.shr.start()
+		go e.runShardSequencer()
+	} else {
+		go e.runCommitter()
+	}
 	return e, nil
 }
 
@@ -591,8 +658,12 @@ func (e *Engine) QueueDepth() int { return len(e.commitC) }
 // Degraded reports whether the engine is in read-only brownout.
 func (e *Engine) Degraded() bool { return e.brk.degraded() }
 
-// Store exposes the durable store (nil in memory-only mode).
+// Store exposes the durable store (nil in memory-only and sharded
+// modes).
 func (e *Engine) Store() *persist.Store { return e.store }
+
+// ShardStore exposes the sharded store (nil unless Config.Shards > 1).
+func (e *Engine) ShardStore() *shard.Store { return e.shst }
 
 // Healthz summarizes liveness for the health endpoint.
 type Healthz struct {
@@ -607,7 +678,11 @@ type Healthz struct {
 	Breaker   string   `json:"breaker"`
 	IdemKeys  int      `json:"idem_keys"`
 	UptimeSec float64  `json:"uptime_sec"`
-	Error     string   `json:"error,omitempty"`
+	// Sharded mode only: shard count and the per-shard durable
+	// watermarks (the shard version vector of docs/SHARDING.md).
+	Shards        int      `json:"shards,omitempty"`
+	ShardVersions []uint64 `json:"shard_versions,omitempty"`
+	Error         string   `json:"error,omitempty"`
 }
 
 // Ready reports whether the engine can currently serve writes: not
@@ -622,6 +697,9 @@ func (e *Engine) Ready() bool {
 		return false
 	}
 	if e.store != nil && e.store.Err() != nil {
+		return false
+	}
+	if e.shst != nil && e.shst.BrokenAny() != nil {
 		return false
 	}
 	return e.db.Err() == nil
@@ -639,7 +717,7 @@ func (e *Engine) Health() Healthz {
 		Queue:     e.QueueDepth(),
 		MaxQueue:  e.cfg.MaxInFlight,
 		OpenTxs:   e.txs.open(),
-		Durable:   e.store != nil,
+		Durable:   e.store != nil || e.shst != nil,
 		Degraded:  e.brk.degraded(),
 		Breaker:   e.brk.stateName(),
 		IdemKeys:  e.idem.size(),
@@ -656,6 +734,16 @@ func (e *Engine) Health() Healthz {
 	e.sendMu.RUnlock()
 	if e.store != nil {
 		if err := e.store.Err(); err != nil {
+			h.Status = "broken"
+			h.Error = err.Error()
+		}
+	}
+	if e.shst != nil {
+		h.Shards = e.shst.N()
+		if e.shr != nil {
+			h.ShardVersions = e.shr.DurableVersions()
+		}
+		if err := e.shst.BrokenAny(); err != nil {
 			h.Status = "broken"
 			h.Error = err.Error()
 		}
@@ -688,6 +776,9 @@ func (e *Engine) Kill() {
 		// recovers from whatever bytes survived.
 		_ = e.store.Close()
 	}
+	if !already && e.shst != nil {
+		_ = e.shst.Close()
+	}
 }
 
 // Close drains the engine: stop accepting commits, flush every queued
@@ -702,15 +793,27 @@ func (e *Engine) Close() error {
 	}
 	e.sendMu.Unlock()
 	<-e.drained
-	if already || e.store == nil {
+	if already || (e.store == nil && e.shst == nil) {
 		return nil
 	}
 	var errs []error
-	if err := e.store.Checkpoint(); err != nil {
-		errs = append(errs, fmt.Errorf("server: drain checkpoint: %w", err))
+	if e.store != nil {
+		if err := e.store.Checkpoint(); err != nil {
+			errs = append(errs, fmt.Errorf("server: drain checkpoint: %w", err))
+		}
+		if err := e.store.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("server: closing store: %w", err))
+		}
 	}
-	if err := e.store.Close(); err != nil {
-		errs = append(errs, fmt.Errorf("server: closing store: %w", err))
+	if e.shst != nil {
+		// The pipelines are drained (e.drained), so the shard WALs are
+		// idle: fold them into fresh snapshots, then close.
+		if err := e.shst.Checkpoint(); err != nil {
+			errs = append(errs, fmt.Errorf("server: drain checkpoint: %w", err))
+		}
+		if err := e.shst.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("server: closing store: %w", err))
+		}
 	}
 	e.logf("drained", "version", e.snap.Load().version)
 	return errors.Join(errs...)

@@ -1,0 +1,670 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"viewupdate/internal/faultinject"
+	"viewupdate/internal/obs"
+	"viewupdate/internal/persist"
+	"viewupdate/internal/shard"
+	"viewupdate/internal/update"
+	"viewupdate/internal/wal"
+)
+
+// The sharded commit pipeline. One sequencer goroutine owns every
+// memory mutation (validation, global + per-shard apply, sequence
+// allocation, snapshot publish) exactly like the unsharded committer —
+// but journaling fans out: each shard runs its own committer goroutine
+// draining a per-shard job queue into batched WAL appends, so N shards
+// sustain N concurrent fsync streams. A commit is acknowledged by the
+// acker goroutine only once every participant's records are durable,
+// the cross-shard decision (if any) is durable, and every fence shard's
+// durable watermark has caught up to the applied watermark observed at
+// validation — the acked-implies-durable contract of docs/SHARDING.md.
+//
+// Read semantics: the snapshot is published at apply time, before the
+// fsyncs land. Readers may observe state that is not yet durable; no
+// client is ever ACKED such state. See docs/SHARDING.md.
+
+// Job kinds on a shard's journal queue.
+const (
+	jobCommit   = iota // single-shard commit: translation(+key) + commit marker
+	jobPrepare         // cross-shard participant slice: prepare record (fsynced)
+	jobDecision        // cross-shard decision on the coordinator (fsynced)
+	jobResolve         // lazy resolve marker (never fsynced)
+)
+
+type shardJob struct {
+	kind  int
+	seq   uint64
+	key   string
+	tr    *update.Translation // participant slice (jobCommit, jobPrepare)
+	cross *crossCommit        // jobPrepare, jobDecision, jobResolve
+}
+
+// A crossCommit tracks one cross-shard commit through the two-phase
+// journal protocol. All fields after coord/parts are guarded by the
+// runtime's mu.
+type crossCommit struct {
+	xid     uint64
+	coord   int
+	parts   []int
+	pending int   // prepare records not yet durable
+	decided bool  // decision record durable on the coordinator
+	err     error // 2PC failure (prepare append failure, injected fault)
+}
+
+// A pendingAck is a commit waiting for its durability conditions.
+type pendingAck struct {
+	r       *commitReq
+	seq     uint64
+	version uint64 // version assigned at apply; reported on ack
+	parts   []int
+	fence   []int
+	need    []uint64 // per fence shard: durable watermark required
+	cross   *crossCommit
+	start   time.Time // set when tracing: jobs enqueued
+}
+
+// A shardQueue is an unbounded FIFO of journal jobs for one shard.
+// Unbounded is safe: admission control bounds commits upstream, and
+// committers enqueue follow-up jobs (decisions, resolves) to each
+// other — a bounded queue there could deadlock the fleet.
+type shardQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jobs   []*shardJob
+	closed bool
+}
+
+func newShardQueue() *shardQueue {
+	q := &shardQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *shardQueue) put(jobs ...*shardJob) {
+	q.mu.Lock()
+	q.jobs = append(q.jobs, jobs...)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// take blocks for at least one job and returns up to max, or nil when
+// the queue is closed and empty.
+func (q *shardQueue) take(max int) []*shardJob {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.jobs) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.jobs) == 0 {
+		return nil
+	}
+	n := len(q.jobs)
+	if n > max {
+		n = max
+	}
+	out := q.jobs[:n:n]
+	q.jobs = q.jobs[n:]
+	return out
+}
+
+func (q *shardQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *shardQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.jobs)
+}
+
+// shardRuntime is the engine's sharded pipeline state.
+type shardRuntime struct {
+	e  *Engine
+	st *shard.Store
+	n  int
+
+	queues []*shardQueue
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	applied     []uint64 // highest global seq applied to each shard's memory
+	durable     []uint64 // highest global seq durably journaled per shard
+	failed      []error  // journaling failure per shard (mirrors store broken state)
+	outstanding int      // enqueued jobs not yet durable (or failed)
+	acks        []*pendingAck
+	seqClosed   bool // sequencer has drained; no more commits will register
+
+	ackerDone chan struct{}
+	wg        sync.WaitGroup
+
+	// Preformatted per-shard metric names, so the hot path never
+	// builds strings.
+	gQueue    []string
+	gDurable  []string
+	cCommit   []string
+	gInflight string
+}
+
+func newShardRuntime(e *Engine, st *shard.Store) *shardRuntime {
+	n := st.N()
+	sr := &shardRuntime{
+		e: e, st: st, n: n,
+		queues:    make([]*shardQueue, n),
+		applied:   make([]uint64, n),
+		durable:   make([]uint64, n),
+		failed:    make([]error, n),
+		ackerDone: make(chan struct{}),
+		gQueue:    make([]string, n),
+		gDurable:  make([]string, n),
+		cCommit:   make([]string, n),
+		gInflight: "server.shard.inflight",
+	}
+	sr.cond = sync.NewCond(&sr.mu)
+	// Everything recovery replayed is durable by construction.
+	for i := 0; i < n; i++ {
+		sr.applied[i] = st.Seq()
+		sr.durable[i] = st.Seq()
+		sr.queues[i] = newShardQueue()
+		sr.gQueue[i] = fmt.Sprintf("server.shard.%d.queue_depth", i)
+		sr.gDurable[i] = fmt.Sprintf("server.shard.%d.version", i)
+		sr.cCommit[i] = fmt.Sprintf("server.shard.%d.committed", i)
+	}
+	return sr
+}
+
+// start launches the per-shard committers and the acker.
+func (sr *shardRuntime) start() {
+	for i := 0; i < sr.n; i++ {
+		sr.wg.Add(1)
+		go sr.runShardCommitter(i)
+	}
+	go sr.runAcker()
+}
+
+// runShardSequencer is the sharded twin of runCommitter: same batching
+// over the admission queue, but commits are journaled asynchronously
+// per shard instead of through one store append.
+func (e *Engine) runShardSequencer() {
+	sr := e.shr
+	defer func() {
+		// All commits are applied and their jobs enqueued; wait for the
+		// acker to see the fleet settle, then stop the committers.
+		sr.mu.Lock()
+		sr.seqClosed = true
+		sr.mu.Unlock()
+		sr.cond.Broadcast()
+		<-sr.ackerDone
+		for _, q := range sr.queues {
+			q.close()
+		}
+		sr.wg.Wait()
+		close(e.drained)
+	}()
+	for {
+		first, ok := <-e.commitC
+		if !ok {
+			return
+		}
+		batch := []*commitReq{first}
+		for len(batch) < e.cfg.MaxBatch {
+			select {
+			case r, more := <-e.commitC:
+				if !more {
+					sr.commitBatch(batch)
+					return
+				}
+				batch = append(batch, r)
+			default:
+				goto gathered
+			}
+		}
+	gathered:
+		sr.commitBatch(batch)
+	}
+}
+
+// commitBatch applies one batch to memory, publishes the snapshot, and
+// fans the journal work out to the shard committers. Waiters are NOT
+// answered here — the acker answers them when durability is reached.
+func (sr *shardRuntime) commitBatch(batch []*commitReq) {
+	e := sr.e
+	sp := obs.StartSpan("server.commit.batch")
+	defer sp.End()
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	obs.Inc("server.commit.batches")
+	obs.Observe("server.commit.batch_size", int64(len(batch)))
+	obs.SetGauge("server.commit.queue_depth", int64(len(e.commitC)))
+
+	timed := obs.Enabled()
+	if timed {
+		now := time.Now()
+		for _, r := range batch {
+			if r.trace != nil {
+				wait := now.Sub(r.enqueued)
+				r.trace.Stage("queue", wait)
+				obs.Observe(stageQueueNS, int64(wait))
+			}
+		}
+	}
+
+	if ferr := faultinject.Hit(faultinject.SiteServerCommit); ferr != nil {
+		err := fmt.Errorf("server: commit pipeline: %w", ferr)
+		e.brk.onFailure(err)
+		for _, r := range batch {
+			e.releaseKey(r)
+			r.done <- commitRes{err: err}
+		}
+		return
+	}
+
+	oldSnap := e.snap.Load()
+	version := oldSnap.version
+
+	// Strict admission, identical to the unsharded pipeline.
+	var admitted []*commitReq
+	var rest []*commitReq
+	predicted := version
+	for _, r := range batch {
+		if !r.strict {
+			rest = append(rest, r)
+			continue
+		}
+		if r.baseVersion != predicted {
+			obs.Inc("server.commit.conflict")
+			e.releaseKey(r)
+			r.done <- commitRes{err: fmt.Errorf("%w: database moved from version %d to %d since BEGIN",
+				ErrConflict, r.baseVersion, predicted)}
+			continue
+		}
+		admitted = append(admitted, r)
+		predicted++
+	}
+	admitted = append(admitted, rest...)
+	if len(admitted) == 0 {
+		return
+	}
+
+	var commitStart time.Time
+	if timed {
+		commitStart = time.Now()
+	}
+	landed := 0
+	var landedTrs []*update.Translation
+	for _, r := range admitted {
+		route, err := shard.Classify(sr.st.Map(), e.db.Schema(), r.tr)
+		if err == nil {
+			err = e.db.Apply(r.tr)
+		}
+		if err != nil {
+			e.releaseKey(r)
+			e.brk.onFailure(err)
+			r.done <- commitRes{err: classifyApplyError(err)}
+			continue
+		}
+		for _, p := range route.Participants {
+			if aerr := sr.st.ShardDB(p).Apply(route.Parts[p]); aerr != nil {
+				// Cannot happen once the global apply passed (the shard
+				// schema checks strictly less); record the divergence.
+				sr.st.MarkBroken(p, fmt.Errorf("shard %d: partition diverged: %w", p, aerr))
+			}
+		}
+		seq := sr.st.NextSeq()
+		version++
+		landed++
+		landedTrs = append(landedTrs, r.tr)
+		ack := &pendingAck{r: r, seq: seq, version: version,
+			parts: route.Participants, fence: route.Fence}
+		if timed {
+			ack.start = time.Now()
+		}
+		var cross *crossCommit
+		if route.Cross() {
+			cross = &crossCommit{xid: seq, coord: route.Home(),
+				parts: route.Participants, pending: len(route.Participants)}
+			ack.cross = cross
+			obs.Inc("server.cross.commits")
+		}
+		if len(route.Fence) > 0 {
+			obs.Inc("server.cross.fenced")
+		}
+		// Snapshot fence requirements and advance applied watermarks
+		// before the jobs exist, so no committer can observe the new
+		// seq without the bookkeeping.
+		sr.mu.Lock()
+		for _, f := range route.Fence {
+			ack.need = append(ack.need, sr.applied[f])
+		}
+		for _, p := range route.Participants {
+			if sr.applied[p] < seq {
+				sr.applied[p] = seq
+			}
+		}
+		sr.outstanding += len(route.Participants)
+		sr.acks = append(sr.acks, ack)
+		sr.mu.Unlock()
+		for _, p := range route.Participants {
+			j := &shardJob{seq: seq, tr: route.Parts[p], cross: cross}
+			if cross != nil {
+				j.kind = jobPrepare
+			} else {
+				j.kind = jobCommit
+			}
+			if p == route.Participants[0] {
+				j.key = r.key // idempotency key rides the home shard's record
+			}
+			sr.queues[p].put(j)
+		}
+	}
+	if landed == 0 {
+		return
+	}
+	// Publish-before-durable: readers may see this state now; no waiter
+	// is answered until the fsyncs land. The publish failpoint stays for
+	// chaos kill triggers.
+	if ferr := faultinject.Hit(faultinject.SiteServerPublish); ferr != nil {
+		e.logf("ignoring injected publish fault (batch already applied)", "err", ferr.Error())
+	}
+	e.publishSnapshot(version)
+	e.patchViewCache(oldSnap, e.snap.Load(), landedTrs)
+	obs.Add("server.commit.committed", int64(landed))
+	if timed {
+		obs.Observe(stageCommitNS, int64(time.Since(commitStart)))
+	}
+	sr.cond.Broadcast()
+}
+
+// runShardCommitter drains shard i's job queue into batched WAL
+// appends: one write and at most one fsync per batch, independent of
+// every other shard's committer. This is where the N-way fsync
+// parallelism lives.
+func (sr *shardRuntime) runShardCommitter(i int) {
+	defer sr.wg.Done()
+	q := sr.queues[i]
+	for {
+		jobs := q.take(sr.e.cfg.MaxBatch)
+		if jobs == nil {
+			return
+		}
+		recs := make([]wal.Record, 0, len(jobs)*2)
+		var maxSeq uint64
+		var prepared, decided []*crossCommit
+		for _, j := range jobs {
+			switch j.kind {
+			case jobCommit:
+				recs = append(recs, wal.EncodeTranslationKeyed(j.seq, j.key, j.tr), wal.CommitRecord(j.seq))
+				if j.seq > maxSeq {
+					maxSeq = j.seq
+				}
+			case jobPrepare:
+				recs = append(recs, wal.PrepareRecord(j.seq, j.key, j.cross.coord, j.tr))
+				prepared = append(prepared, j.cross)
+				if j.seq > maxSeq {
+					maxSeq = j.seq
+				}
+			case jobDecision:
+				recs = append(recs, wal.DecisionRecord(j.seq))
+				decided = append(decided, j.cross)
+			case jobResolve:
+				recs = append(recs, wal.ResolveRecord(j.seq))
+			}
+		}
+		stats, err := sr.st.AppendBatch(i, recs)
+		if err != nil {
+			sr.failShard(i, err, jobs)
+			continue
+		}
+		if obs.Enabled() && stats.Synced {
+			obs.Observe(stageFsyncNS, stats.SyncNS)
+		}
+		sr.mu.Lock()
+		if maxSeq > sr.durable[i] {
+			sr.durable[i] = maxSeq
+		}
+		sr.outstanding -= len(jobs)
+		obs.SetGauge(sr.gDurable[i], int64(sr.durable[i]))
+		obs.SetGauge(sr.gInflight, int64(sr.outstanding))
+		sr.mu.Unlock()
+		obs.SetGauge(sr.gQueue[i], int64(q.depth()))
+
+		// Prepares this batch made durable: the last participant to land
+		// crosses the prepare barrier and hands the decision to the
+		// coordinator. The failpoint between the two is the presumed-
+		// abort crash window.
+		for _, c := range prepared {
+			sr.mu.Lock()
+			c.pending--
+			ready := c.pending == 0 && c.err == nil
+			sr.mu.Unlock()
+			if !ready {
+				continue
+			}
+			obs.Inc("shard.cross.prepared")
+			if ferr := faultinject.Hit(faultinject.SiteShardPrepare); ferr != nil {
+				sr.mu.Lock()
+				c.err = fmt.Errorf("%w: cross-shard prepare window: %w", persist.ErrNotDurable, ferr)
+				sr.mu.Unlock()
+				sr.e.brk.onFailure(ferr)
+				continue
+			}
+			sr.mu.Lock()
+			sr.outstanding++
+			sr.mu.Unlock()
+			sr.queues[c.coord].put(&shardJob{kind: jobDecision, seq: c.xid, cross: c})
+		}
+		// Decisions this batch made durable: the commits are now
+		// irrevocable. Resolve markers let each participant settle its
+		// prepare locally at the next recovery; they are lazy (no sync).
+		for _, c := range decided {
+			obs.Inc("shard.cross.decided")
+			_ = faultinject.Hit(faultinject.SiteShardDecision) // errors ignored: decided is decided
+			sr.mu.Lock()
+			c.decided = true
+			sr.outstanding += len(c.parts)
+			sr.mu.Unlock()
+			for _, p := range c.parts {
+				sr.queues[p].put(&shardJob{kind: jobResolve, seq: c.xid, cross: c})
+			}
+		}
+		sr.cond.Broadcast()
+	}
+}
+
+// failShard records a journaling failure: the shard's memory is ahead
+// of its media and only a restart reconciles them. Every job in the
+// failed batch is accounted, affected cross commits are poisoned, and
+// the breaker pushes the engine into brownout.
+func (sr *shardRuntime) failShard(i int, err error, jobs []*shardJob) {
+	sr.e.brk.onFailure(err)
+	sr.e.logf("shard journaling failed", "shard", i, "err", err.Error())
+	sr.mu.Lock()
+	if sr.failed[i] == nil {
+		sr.failed[i] = err
+	}
+	sr.outstanding -= len(jobs)
+	for _, j := range jobs {
+		if j.cross != nil && j.cross.err == nil {
+			j.cross.err = err
+		}
+	}
+	sr.mu.Unlock()
+	sr.cond.Broadcast()
+}
+
+// runAcker answers waiters as their durability conditions come true:
+// participants durable past the commit's seq, decision durable for
+// cross-shard commits, fence shards durable past the applied watermark
+// observed at validation.
+func (sr *shardRuntime) runAcker() {
+	defer close(sr.ackerDone)
+	e := sr.e
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	for {
+		kept := sr.acks[:0]
+		for _, a := range sr.acks {
+			switch sr.ackStateLocked(a) {
+			case ackReady:
+				home := a.parts[0]
+				if a.r.key != "" {
+					e.idem.fulfill(a.r.key, a.version)
+					e.idem.aliasFulfilled(shardIdemKey(home, a.r.key), a.r.key)
+				}
+				if a.r.trace != nil {
+					a.r.trace.Stage("fsync", time.Since(a.start))
+				}
+				obs.Inc(sr.cCommit[home])
+				a.r.done <- commitRes{version: a.version}
+			case ackFailed:
+				err := sr.ackErrLocked(a)
+				e.releaseKey(a.r)
+				a.r.done <- commitRes{err: classifyApplyError(err)}
+			default:
+				kept = append(kept, a)
+			}
+		}
+		sr.acks = kept
+		if sr.seqClosed && len(sr.acks) == 0 && sr.outstanding == 0 {
+			return
+		}
+		sr.cond.Wait()
+	}
+}
+
+const (
+	ackWaiting = iota
+	ackReady
+	ackFailed
+)
+
+// ackStateLocked evaluates one pending ack. Callers hold sr.mu.
+func (sr *shardRuntime) ackStateLocked(a *pendingAck) int {
+	if a.cross != nil && a.cross.err != nil {
+		return ackFailed
+	}
+	for _, p := range a.parts {
+		if sr.failed[p] != nil {
+			return ackFailed
+		}
+	}
+	for _, f := range a.fence {
+		if sr.failed[f] != nil {
+			return ackFailed
+		}
+	}
+	for _, p := range a.parts {
+		if sr.durable[p] < a.seq {
+			return ackWaiting
+		}
+	}
+	if a.cross != nil && !a.cross.decided {
+		return ackWaiting
+	}
+	for k, f := range a.fence {
+		if sr.durable[f] < a.need[k] {
+			return ackWaiting
+		}
+	}
+	return ackReady
+}
+
+func (sr *shardRuntime) ackErrLocked(a *pendingAck) error {
+	if a.cross != nil && a.cross.err != nil {
+		return a.cross.err
+	}
+	for _, p := range a.parts {
+		if sr.failed[p] != nil {
+			return fmt.Errorf("%w: shard %d: %w", persist.ErrNotDurable, p, sr.failed[p])
+		}
+	}
+	for _, f := range a.fence {
+		if sr.failed[f] != nil {
+			return fmt.Errorf("%w: fence shard %d: %w", persist.ErrNotDurable, f, sr.failed[f])
+		}
+	}
+	return persist.ErrNotDurable
+}
+
+// quiesce blocks until every enqueued journal job has settled and every
+// waiter is answered. Callers hold stateMu (blocking the sequencer), so
+// no new work can enter while waiting. Used by the DDL checkpoint hook.
+func (sr *shardRuntime) quiesce() {
+	sr.mu.Lock()
+	for sr.outstanding > 0 || len(sr.acks) > 0 {
+		sr.cond.Wait()
+	}
+	sr.mu.Unlock()
+}
+
+// DurableVersions returns a snapshot of the per-shard durable
+// watermarks — the shard version vector exposed by /healthz.
+func (sr *shardRuntime) DurableVersions() []uint64 {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	out := make([]uint64, sr.n)
+	copy(out, sr.durable)
+	return out
+}
+
+// shardIdemKey is the shard-scoped form of an idempotency key: the
+// dedup table records each landed key under both its raw name (the
+// pre-translation fast path — handlers reserve before the home shard is
+// known) and this scoped alias (what per-shard WAL recovery can
+// rebuild). Both names share one entry.
+func shardIdemKey(shard int, key string) string {
+	return fmt.Sprintf("s%d\x00%s", shard, key)
+}
+
+// shardSchemaChanged is the session's DDL hook in sharded mode: drain
+// the pipelines, absorb the new relation into every shard, and fold the
+// WALs into fresh snapshots + manifest (which now carries the new
+// inclusion dependencies). Runs with stateMu held by ExecScript — or
+// before the runtime exists, during the boot init script.
+func (e *Engine) shardSchemaChanged() error {
+	if e.shr != nil {
+		e.shr.quiesce()
+	}
+	if err := e.shst.SyncSchema(); err != nil {
+		return err
+	}
+	return e.shst.Checkpoint()
+}
+
+// applyShardDirect is the session's durable applier in sharded mode:
+// the synchronous path for script statements (vupdate scripts, admin
+// ExecScript), serialized by stateMu at the session boundary.
+func (e *Engine) applyShardDirect(tr *update.Translation) error {
+	return e.shst.Apply(tr)
+}
+
+// preregisterShardMetrics extends the metric schema with the per-shard
+// and cross-shard families, so scrapes see them from the first poll.
+func (e *Engine) preregisterShardMetrics() {
+	s := obs.Active()
+	if s == nil || e.shr == nil {
+		return
+	}
+	reg := s.Metrics()
+	for _, c := range []string{
+		"server.cross.commits", "server.cross.fenced",
+		"shard.cross.prepared", "shard.cross.decided",
+		"shard.store.recovered", "shard.store.replayed",
+		"shard.store.checkpoint", "shard.store.broken", "shard.store.orphans_pruned",
+	} {
+		reg.Counter(c)
+	}
+	reg.Gauge(e.shr.gInflight)
+	for i := 0; i < e.shr.n; i++ {
+		reg.Gauge(e.shr.gQueue[i])
+		reg.Gauge(e.shr.gDurable[i])
+		reg.Counter(e.shr.cCommit[i])
+	}
+}

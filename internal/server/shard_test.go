@@ -1,0 +1,319 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"viewupdate/internal/faultinject"
+	"viewupdate/internal/persist"
+	"viewupdate/internal/shard"
+	"viewupdate/internal/update"
+	"viewupdate/internal/wal"
+)
+
+// shardScript is the sharded serving test schema: a parent/child pair
+// under an inclusion dependency plus a join view rooted at the child,
+// so join-view inserts extend across both relations — cross-shard
+// whenever the two root keys hash apart.
+const shardScript = `
+CREATE DOMAIN EKey AS INT RANGE 1 TO 100000;
+CREATE DOMAIN DKey AS INT RANGE 1 TO 100000;
+CREATE DOMAIN Funds AS INT RANGE 0 TO 100;
+CREATE TABLE DEPT (DNo DKey, Budget Funds, PRIMARY KEY (DNo));
+CREATE TABLE EMP (ENo EKey, Dept DKey, PRIMARY KEY (ENo),
+                  FOREIGN KEY (Dept) REFERENCES DEPT);
+CREATE VIEW DV AS SELECT * FROM DEPT;
+CREATE VIEW EV AS SELECT * FROM EMP;
+CREATE JOIN VIEW ED ROOT EV WITH EV (Dept) REFERENCES DV;
+`
+
+// newShardEngine builds an N-way sharded engine over dir.
+func newShardEngine(t *testing.T, dir string, n int, mut func(*Config)) *Engine {
+	t.Helper()
+	cfg := Config{Dir: dir, Shards: n, MaxInFlight: 32, MaxBatch: 8,
+		RequestTimeout: 5 * time.Second}
+	if mut != nil {
+		mut(&cfg)
+	}
+	e, err := NewEngine(cfg, shardScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// insertED inserts (eno, dno) through the join view with an optional
+// idempotency key: SPJ-I extends the missing DEPT parent, so the
+// translation spans EMP and DEPT — cross-shard when their keys hash to
+// different shards.
+func insertED(e *Engine, eno, dno int, key string) error {
+	body := updateBody{Values: []string{
+		strconv.Itoa(eno), strconv.Itoa(dno), strconv.Itoa(dno), "7"}}
+	cand, _, _, base, err := e.Translate(context.Background(), "ED", nil, e.buildRequest(update.Insert, body))
+	if err != nil {
+		return err
+	}
+	if key != "" {
+		if _, dup := e.idem.reserve(key); dup {
+			return nil
+		}
+	}
+	_, err = e.CommitKeyed(context.Background(), cand.Translation, false, base, key)
+	return err
+}
+
+// insertDept inserts a lone parent row through the DV selection view —
+// always single-shard.
+func insertDept(e *Engine, dno int) error {
+	body := updateBody{Values: []string{strconv.Itoa(dno), "7"}}
+	cand, _, _, base, err := e.Translate(context.Background(), "DV", nil, e.buildRequest(update.Insert, body))
+	if err != nil {
+		return err
+	}
+	_, err = e.Commit(context.Background(), cand.Translation, false, base)
+	return err
+}
+
+// TestShardedCommitsAndRecovery is the sharded twin of the engine's
+// acceptance test: concurrent single- and cross-shard commits all land,
+// the health report exposes the shard version vector, and a restart
+// over the shard directory recovers exactly the committed state.
+func TestShardedCommitsAndRecovery(t *testing.T) {
+	sink := metricsSink(t)
+	dir := t.TempDir()
+	e := newShardEngine(t, dir, 4, nil)
+
+	const n = 24
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = insertED(e, i+1, i+1001, "")
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("sharded commit %d failed: %v", i, err)
+		}
+	}
+	snap, version := e.Snapshot()
+	if snap.Len("EMP") != n || snap.Len("DEPT") != n {
+		t.Fatalf("snapshot EMP=%d DEPT=%d, want %d each", snap.Len("EMP"), snap.Len("DEPT"), n)
+	}
+	if version != n {
+		t.Fatalf("version %d, want %d", version, n)
+	}
+
+	h := e.Health()
+	if h.Shards != 4 || len(h.ShardVersions) != 4 {
+		t.Fatalf("healthz shards=%d vector=%v, want 4 shards", h.Shards, h.ShardVersions)
+	}
+	if !h.Durable || h.Status != "ok" {
+		t.Fatalf("healthz = %+v, want durable ok", h)
+	}
+	var durableMax uint64
+	for _, v := range h.ShardVersions {
+		if v > durableMax {
+			durableMax = v
+		}
+	}
+	if durableMax == 0 {
+		t.Fatalf("no shard reports durable progress: %v", h.ShardVersions)
+	}
+
+	ms := sink.Metrics().Snapshot()
+	if ms.Counters["server.cross.commits"] == 0 {
+		t.Fatalf("no cross-shard commits observed over %d extend-inserts on 4 shards", n)
+	}
+	perShard := int64(0)
+	for i := 0; i < 4; i++ {
+		perShard += ms.Counters[fmt.Sprintf("server.shard.%d.committed", i)]
+	}
+	if perShard != int64(n) {
+		t.Fatalf("per-shard committed counters sum to %d, want %d", perShard, n)
+	}
+
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over the same directory: state and shard count recover.
+	e2 := newShardEngine(t, dir, 4, nil)
+	set, _, err := e2.ReadView("ED")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != n {
+		t.Fatalf("recovered join view has %d rows, want %d", set.Len(), n)
+	}
+	if err := insertED(e2, 500, 1501, ""); err != nil {
+		t.Fatalf("post-recovery commit: %v", err)
+	}
+}
+
+// TestShardedShardCountMismatch: reopening a shard store with the wrong
+// -shards value must fail loudly, not silently repartition.
+func TestShardedShardCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	e := newShardEngine(t, dir, 2, nil)
+	if err := insertDept(e, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := NewEngine(Config{Dir: dir, Shards: 4}, shardScript)
+	if err == nil {
+		t.Fatal("reopening a 2-shard store with Shards=4 should fail")
+	}
+}
+
+// TestShardedIdemReplayAfterKill: a keyed commit survives a crash (Kill
+// skips the checkpoint), and the restarted engine seeds the dedup table
+// from the per-shard WALs under BOTH the raw key and its (shard, key)
+// scoped alias, resolving to one shared outcome.
+func TestShardedIdemReplayAfterKill(t *testing.T) {
+	dir := t.TempDir()
+	e := newShardEngine(t, dir, 3, nil)
+	if err := insertED(e, 42, 4242, "req-42"); err != nil {
+		t.Fatal(err)
+	}
+	e.Kill()
+
+	e2 := newShardEngine(t, dir, 3, nil)
+	ent, dup := e2.idem.reserve("req-42")
+	if !dup || !ent.ok || !ent.replayed {
+		t.Fatalf("raw key after recovery: dup=%v entry=%+v, want replayed fulfilled", dup, ent)
+	}
+	// The scoped alias points at the same entry.
+	found := false
+	for i := 0; i < 3; i++ {
+		if scoped, sdup := e2.idem.reserve(shardIdemKey(i, "req-42")); sdup {
+			if scoped != ent {
+				t.Fatalf("scoped key on shard %d resolves to a different entry", i)
+			}
+			found = true
+		} else {
+			e2.idem.release(shardIdemKey(i, "req-42"))
+		}
+	}
+	if !found {
+		t.Fatal("no shard-scoped alias was seeded for the recovered key")
+	}
+	// The commit itself is durable: the row survived the crash.
+	set, _, err := e2.ReadView("EV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 1 {
+		t.Fatalf("recovered EMP view has %d rows, want 1", set.Len())
+	}
+}
+
+// TestShardedBrokenShardDegrades: when one shard's WAL media dies, the
+// affected commits answer ErrNotDurable, the breaker browns the engine
+// out, health reports broken, and reads keep serving.
+func TestShardedBrokenShardDegrades(t *testing.T) {
+	dir := t.TempDir()
+	var mu sync.Mutex
+	armed := map[int]*faultinject.ArmedCrashWriter{}
+	e := newShardEngine(t, dir, 2, func(c *Config) {
+		c.BreakerCooldown = time.Minute
+		c.WrapShardWAL = func(i int, f wal.File) wal.File {
+			w := &faultinject.ArmedCrashWriter{W: f}
+			mu.Lock()
+			armed[i] = w
+			mu.Unlock()
+			return w
+		}
+	})
+	if err := insertDept(e, 1); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	for _, w := range armed {
+		w.Crash(0)
+	}
+	mu.Unlock()
+
+	var gotNotDurable bool
+	for i := 2; i < 20; i++ {
+		err := insertDept(e, i)
+		if err == nil {
+			t.Fatalf("insert %d landed on crashed media", i)
+		}
+		if errors.Is(err, persist.ErrNotDurable) {
+			gotNotDurable = true
+			break
+		}
+		// Brownout rejections after the breaker trips are also fine.
+		if errors.Is(err, ErrOverloaded) || e.Degraded() {
+			break
+		}
+	}
+	if !gotNotDurable && !e.Degraded() {
+		t.Fatal("crashed shard media produced neither ErrNotDurable nor degradation")
+	}
+	if e.Ready() {
+		t.Fatal("engine still ready with a broken shard")
+	}
+	h := e.Health()
+	if h.Status != "broken" && h.Status != "degraded" {
+		t.Fatalf("health status %q, want broken or degraded", h.Status)
+	}
+	// Reads keep serving the published (pre-crash plus unacked) state.
+	if _, _, err := e.ReadView("DV"); err != nil {
+		t.Fatalf("read during brownout: %v", err)
+	}
+	e.Kill() // crashed media: skip the checkpoint path
+}
+
+// TestShardedDDLAndScriptWrites: ExecScript DDL after boot quiesces the
+// pipelines and re-checkpoints (the manifest gains the new relation and
+// its inclusions), and script INSERTs journal synchronously through the
+// shard store; everything survives a restart.
+func TestShardedDDLAndScriptWrites(t *testing.T) {
+	dir := t.TempDir()
+	e := newShardEngine(t, dir, 2, nil)
+	if err := insertED(e, 7, 70, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ExecScript(`
+CREATE TABLE ANNEX (ANo EKey, Dept DKey, PRIMARY KEY (ANo),
+                    FOREIGN KEY (Dept) REFERENCES DEPT);
+INSERT INTO ANNEX VALUES (9, 70);
+`); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := e.Snapshot()
+	if snap.Len("ANNEX") != 1 {
+		t.Fatalf("ANNEX has %d rows, want 1", snap.Len("ANNEX"))
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restart proves the DDL checkpoint landed the new relation AND
+	// its inclusion dependency in the manifest.
+	st, err := shard.Open(dir, 2, shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.DB().Len("ANNEX") != 1 || st.DB().Len("EMP") != 1 || st.DB().Len("DEPT") != 1 {
+		t.Fatalf("recovered ANNEX=%d EMP=%d DEPT=%d, want 1 each",
+			st.DB().Len("ANNEX"), st.DB().Len("EMP"), st.DB().Len("DEPT"))
+	}
+	if len(st.DB().Schema().Inclusions()) != 2 {
+		t.Fatalf("recovered %d inclusions, want 2", len(st.DB().Schema().Inclusions()))
+	}
+}

@@ -1,0 +1,124 @@
+package shard
+
+import (
+	"sort"
+
+	"viewupdate/internal/schema"
+	"viewupdate/internal/update"
+)
+
+// A Route is the router's classification of one translation against a
+// shard map: which shards hold ops (the participants), the per-shard
+// op slices, and which further shards the commit must wait on for
+// durability (the fence) because an inclusion edge of an added tuple
+// points at a parent they own.
+type Route struct {
+	// Parts maps participant shard -> the slice of the translation that
+	// shard applies and journals. A replacement whose key moves between
+	// shards is split into a delete on the old owner and an insert on
+	// the new owner; all other ops land intact on their tuple's owner.
+	Parts map[int]*update.Translation
+	// Participants are the shards with at least one op, ascending. A
+	// translation is cross-shard iff it has more than one participant.
+	Participants []int
+	// Fence are the shards — disjoint from Participants, ascending —
+	// whose applied-but-not-yet-durable state this commit's validity
+	// may depend on: shards owning the referenced parent key of an
+	// added child tuple, plus (conservatively) every other shard when a
+	// parent-relation tuple is removed, since the delete's validity can
+	// rest on child removals applied anywhere. The committer must not
+	// acknowledge until each fence shard's durable watermark reaches
+	// the applied watermark observed at validation; otherwise a crash
+	// could surface an acked child whose parent never became durable,
+	// and recovery's orphan pruning would silently drop the acked row.
+	Fence []int
+}
+
+// Cross reports whether the translation spans more than one shard.
+func (r *Route) Cross() bool { return len(r.Participants) > 1 }
+
+// Home returns the shard that owns this translation for idempotency
+// scoping and 2PC coordination: the lowest participant (0 for an empty
+// translation).
+func (r *Route) Home() int {
+	if len(r.Participants) == 0 {
+		return 0
+	}
+	return r.Participants[0]
+}
+
+// Classify routes tr against the map and the schema's inclusion
+// dependencies. The error path only triggers on schema-inconsistent
+// translations (an inclusion dependency naming attributes its child
+// relation lacks).
+func Classify(m *Map, sch *schema.Database, tr *update.Translation) (*Route, error) {
+	r := &Route{Parts: make(map[int]*update.Translation)}
+	part := func(i int) *update.Translation {
+		p := r.Parts[i]
+		if p == nil {
+			p = update.NewTranslation()
+			r.Parts[i] = p
+		}
+		return p
+	}
+	for _, o := range tr.Ops() {
+		switch o.Kind {
+		case update.Insert, update.Delete:
+			part(m.Of(o.Tuple)).Add(o)
+		case update.Replace:
+			oldShard, newShard := m.Of(o.Old), m.Of(o.New)
+			if oldShard == newShard {
+				part(oldShard).Add(o)
+			} else {
+				part(oldShard).Add(update.NewDelete(o.Old))
+				part(newShard).Add(update.NewInsert(o.New))
+			}
+		}
+	}
+	r.Participants = make([]int, 0, len(r.Parts))
+	for i := range r.Parts {
+		r.Participants = append(r.Participants, i)
+	}
+	sort.Ints(r.Participants)
+
+	isParticipant := func(i int) bool {
+		for _, p := range r.Participants {
+			if p == i {
+				return true
+			}
+		}
+		return false
+	}
+	fence := map[int]bool{}
+	fenceAll := false
+	for _, t := range tr.Added().Slice() {
+		for _, d := range sch.InclusionsFrom(t.Relation().Name()) {
+			keyEnc, err := t.ProjectEncode(d.ChildAttrs)
+			if err != nil {
+				return nil, err
+			}
+			if p := m.OfParentKey(d.Parent, keyEnc); !isParticipant(p) {
+				fence[p] = true
+			}
+		}
+	}
+	for _, t := range tr.Removed().Slice() {
+		if len(sch.InclusionsInto(t.Relation().Name())) > 0 {
+			fenceAll = true
+			break
+		}
+	}
+	if fenceAll {
+		for i := 0; i < m.N(); i++ {
+			if !isParticipant(i) {
+				fence[i] = true
+			}
+		}
+	}
+	r.Fence = make([]int, 0, len(fence))
+	for i := range fence {
+		r.Fence = append(r.Fence, i)
+	}
+	sort.Ints(r.Fence)
+	return r, nil
+}

@@ -1,0 +1,312 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"viewupdate/internal/schema"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/update"
+	"viewupdate/internal/value"
+)
+
+func TestClassifySingleVsCross(t *testing.T) {
+	sch, p, _ := fkSchema(t)
+	m := mustMap(t, 4)
+	// Two parent keys on the same shard -> single-shard.
+	var same []int64
+	for k := int64(1); k < 200 && len(same) < 2; k++ {
+		if m.Of(pt(t, p, k, "u")) == m.Of(pt(t, p, 0, "u")) {
+			same = append(same, k)
+		}
+	}
+	tr := update.NewTranslation(
+		update.NewInsert(pt(t, p, 0, "u")),
+		update.NewInsert(pt(t, p, same[0], "u")),
+		update.NewInsert(pt(t, p, same[1], "u")),
+	)
+	r, err := Classify(m, sch, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cross() || len(r.Participants) != 1 || r.Parts[r.Home()].Len() != 3 {
+		t.Fatalf("colocated inserts classified as %+v", r)
+	}
+	// Add a key from another shard -> cross-shard.
+	var other int64 = -1
+	for k := int64(1); k < 200; k++ {
+		if m.Of(pt(t, p, k, "u")) != m.Of(pt(t, p, 0, "u")) {
+			other = k
+			break
+		}
+	}
+	tr.Add(update.NewInsert(pt(t, p, other, "u")))
+	r, err = Classify(m, sch, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Cross() || len(r.Participants) != 2 {
+		t.Fatalf("mixed-shard inserts classified as %+v", r)
+	}
+}
+
+// TestClassifyReplaceSplit pins the replacement rule: a key-preserving
+// replace stays one op on its shard; a key-moving replace becomes a
+// delete on the old owner and an insert on the new owner.
+func TestClassifyReplaceSplit(t *testing.T) {
+	sch, p, _ := fkSchema(t)
+	m := mustMap(t, 4)
+	intact := update.NewTranslation(update.NewReplace(pt(t, p, 5, "u"), pt(t, p, 5, "v")))
+	r, err := Classify(m, sch, intact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cross() || r.Parts[r.Home()].Ops()[0].Kind != update.Replace {
+		t.Fatalf("key-preserving replace classified as %+v", r)
+	}
+	var moved int64 = -1
+	for k := int64(1); k < 500; k++ {
+		if m.Of(pt(t, p, k, "u")) != m.Of(pt(t, p, 5, "u")) {
+			moved = k
+			break
+		}
+	}
+	split := update.NewTranslation(update.NewReplace(pt(t, p, 5, "u"), pt(t, p, moved, "v")))
+	r, err = Classify(m, sch, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Cross() || len(r.Participants) != 2 {
+		t.Fatalf("key-moving replace classified as %+v", r)
+	}
+	oldPart := r.Parts[m.Of(pt(t, p, 5, "u"))]
+	newPart := r.Parts[m.Of(pt(t, p, moved, "u"))]
+	if oldPart.Len() != 1 || oldPart.Ops()[0].Kind != update.Delete {
+		t.Fatalf("old owner got %s", oldPart)
+	}
+	if newPart.Len() != 1 || newPart.Ops()[0].Kind != update.Insert {
+		t.Fatalf("new owner got %s", newPart)
+	}
+}
+
+// TestClassifyFence pins the two fence rules directly: a child insert
+// fences the shard owning its referenced parent key, and any delete
+// touching a parent relation fences every non-participant shard.
+func TestClassifyFence(t *testing.T) {
+	sch, p, c := fkSchema(t)
+	m := mustMap(t, 4)
+	// A child whose parent lives on a different shard.
+	var ck, fk int64 = -1, -1
+	for a := int64(0); a < 200 && ck < 0; a++ {
+		for b := int64(0); b < 200; b++ {
+			if m.Of(ct(t, c, a, b)) != m.Of(pt(t, p, b, "u")) {
+				ck, fk = a, b
+				break
+			}
+		}
+	}
+	r, err := Classify(m, sch, update.NewTranslation(update.NewInsert(ct(t, c, ck, fk))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Of(pt(t, p, fk, "u"))
+	if len(r.Fence) != 1 || r.Fence[0] != want {
+		t.Fatalf("child insert fence = %v, want [%d]", r.Fence, want)
+	}
+	// A parent delete fences all other shards.
+	r, err = Classify(m, sch, update.NewTranslation(update.NewDelete(pt(t, p, 3, "u"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Fence) != 3 {
+		t.Fatalf("parent delete fence = %v, want the 3 other shards", r.Fence)
+	}
+	// A child delete fences nothing (nothing references C).
+	r, err = Classify(m, sch, update.NewTranslation(update.NewDelete(ct(t, c, 1, 1))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Fence) != 0 {
+		t.Fatalf("child delete fence = %v, want none", r.Fence)
+	}
+}
+
+// randSPJ generates a random SPJ base schema: nRel relations over a
+// shared key domain, relation i carrying zero or more foreign keys into
+// relations j < i (so the inclusion graph is acyclic, as the paper's
+// rooted join trees require).
+func randSPJ(t *testing.T, rng *rand.Rand, nRel int) (*schema.Database, []*schema.Relation) {
+	t.Helper()
+	kd, err := schema.IntRangeDomain("KD", 0, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := schema.NewDatabase()
+	rels := make([]*schema.Relation, nRel)
+	for i := 0; i < nRel; i++ {
+		attrs := []schema.Attribute{{Name: "K", Domain: kd}}
+		var deps []schema.InclusionDependency
+		for j := 0; j < i; j++ {
+			if rng.Intn(3) == 0 { // ~1/3 of possible edges
+				fkName := fmt.Sprintf("F%d", j)
+				attrs = append(attrs, schema.Attribute{Name: fkName, Domain: kd})
+				deps = append(deps, schema.InclusionDependency{
+					Child: fmt.Sprintf("R%d", i), ChildAttrs: []string{fkName}, Parent: fmt.Sprintf("R%d", j),
+				})
+			}
+		}
+		rels[i] = schema.MustRelation(fmt.Sprintf("R%d", i), attrs, []string{"K"})
+		if err := sch.AddRelation(rels[i]); err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range deps {
+			if err := sch.AddInclusion(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return sch, rels
+}
+
+// randTuple builds a schema-valid tuple of rel with the given key and
+// random foreign-key values.
+func randTuple(t *testing.T, rng *rand.Rand, rel *schema.Relation, key int64) tuple.T {
+	t.Helper()
+	vals := make([]value.Value, len(rel.Attributes()))
+	vals[0] = value.NewInt(key)
+	for i := 1; i < len(vals); i++ {
+		vals[i] = value.NewInt(int64(rng.Intn(1000)))
+	}
+	return tuple.MustNew(rel, vals...)
+}
+
+// TestClassifyPropertyRandomSPJ is the router soundness property test:
+// across randomized SPJ schemas, shard counts and translations, the
+// classification must agree with the inclusion-dependency graph —
+// every op lands on the shard owning its tuple, the parts reassemble
+// the translation exactly, and for every inclusion edge leaving an
+// added tuple, the shard owning the referenced parent (computed
+// independently, by hashing a materialized parent tuple) is covered by
+// participants ∪ fence. Deletes against parent relations must fence
+// every non-participant shard.
+func TestClassifyPropertyRandomSPJ(t *testing.T) {
+	rng := rand.New(rand.NewSource(85)) // deterministic: PODS '85
+	for trial := 0; trial < 150; trial++ {
+		nRel := 2 + rng.Intn(4)
+		sch, rels := randSPJ(t, rng, nRel)
+		m := mustMap(t, 1+rng.Intn(8))
+		tr := update.NewTranslation()
+		nextKey := int64(0)
+		key := func() int64 { nextKey++; return nextKey - 1 }
+		for i, nOps := 0, 1+rng.Intn(6); i < nOps; i++ {
+			rel := rels[rng.Intn(nRel)]
+			switch rng.Intn(3) {
+			case 0:
+				tr.Add(update.NewInsert(randTuple(t, rng, rel, key())))
+			case 1:
+				tr.Add(update.NewDelete(randTuple(t, rng, rel, key())))
+			case 2:
+				old := randTuple(t, rng, rel, key())
+				nk := old.MustGet("K")
+				if rng.Intn(2) == 0 {
+					nk = value.NewInt(key()) // key-moving replace
+				}
+				vals := []value.Value{nk}
+				for j := 1; j < len(rel.Attributes()); j++ {
+					vals = append(vals, value.NewInt(int64(rng.Intn(1000))))
+				}
+				tr.Add(update.NewReplace(old, tuple.MustNew(rel, vals...)))
+			}
+		}
+		r, err := Classify(m, sch, tr)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkRouteInvariants(t, trial, m, sch, tr, r)
+	}
+}
+
+func checkRouteInvariants(t *testing.T, trial int, m *Map, sch *schema.Database, tr *update.Translation, r *Route) {
+	t.Helper()
+	isPart := map[int]bool{}
+	for _, p := range r.Participants {
+		isPart[p] = true
+	}
+	if !sort.IntsAreSorted(r.Participants) || !sort.IntsAreSorted(r.Fence) {
+		t.Fatalf("trial %d: unsorted route %+v", trial, r)
+	}
+	for _, f := range r.Fence {
+		if isPart[f] || f < 0 || f >= m.N() {
+			t.Fatalf("trial %d: fence %v overlaps participants %v or out of range", trial, r.Fence, r.Participants)
+		}
+	}
+	// Placement + reassembly: collect every op from the parts and check
+	// it sits on its tuple's shard; the multiset of effects must equal
+	// the original translation's (replaces may appear split).
+	got := update.NewTranslation()
+	for shardIdx, part := range r.Parts {
+		if !isPart[shardIdx] || part.Len() == 0 {
+			t.Fatalf("trial %d: part on non-participant or empty part %d", trial, shardIdx)
+		}
+		for _, o := range part.Ops() {
+			switch o.Kind {
+			case update.Insert, update.Delete:
+				if m.Of(o.Tuple) != shardIdx {
+					t.Fatalf("trial %d: op %v on shard %d, owner %d", trial, o, shardIdx, m.Of(o.Tuple))
+				}
+			case update.Replace:
+				if m.Of(o.Old) != shardIdx || m.Of(o.New) != shardIdx {
+					t.Fatalf("trial %d: unsplit replace %v on shard %d spans shards", trial, o, shardIdx)
+				}
+			}
+			got.Add(o)
+		}
+	}
+	if !got.Added().Equal(tr.Added()) || !got.Removed().Equal(tr.Removed()) {
+		t.Fatalf("trial %d: parts reassemble to %s, want %s", trial, got, tr)
+	}
+	// Fence soundness against the inclusion graph: every parent shard
+	// reachable over an inclusion edge from an added tuple is covered.
+	for _, added := range tr.Added().Slice() {
+		for _, d := range sch.InclusionsFrom(added.Relation().Name()) {
+			fkVal, ok := added.Get(d.ChildAttrs[0])
+			if !ok {
+				t.Fatalf("trial %d: %v lacks %s", trial, added, d.ChildAttrs[0])
+			}
+			parentRel := sch.Relation(d.Parent)
+			vals := []value.Value{fkVal}
+			for j := 1; j < len(parentRel.Attributes()); j++ {
+				vals = append(vals, value.NewInt(0))
+			}
+			pShard := m.Of(tuple.MustNew(parentRel, vals...))
+			if !isPart[pShard] && !contains(r.Fence, pShard) {
+				t.Fatalf("trial %d: parent shard %d of %v not covered (participants %v fence %v)",
+					trial, pShard, added, r.Participants, r.Fence)
+			}
+		}
+	}
+	// Parent-delete rule: removing from a referenced relation fences
+	// every shard outside the participant set.
+	for _, removed := range tr.Removed().Slice() {
+		if len(sch.InclusionsInto(removed.Relation().Name())) == 0 {
+			continue
+		}
+		for i := 0; i < m.N(); i++ {
+			if !isPart[i] && !contains(r.Fence, i) {
+				t.Fatalf("trial %d: parent delete %v leaves shard %d unfenced", trial, removed, i)
+			}
+		}
+		break
+	}
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

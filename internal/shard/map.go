@@ -1,0 +1,67 @@
+// Package shard partitions a database across N independent shard
+// instances and routes translated view updates to them.
+//
+// The partitioning unit is the tuple key: shard(t) = h(t.Key()) mod N,
+// where t.Key() is the canonical "relation name + key values" encoding.
+// The paper's translators operate on rooted SPJ join trees — "the key
+// of the root is the key of the entire view" — so every root tuple,
+// and with it the fast-path bulk of translated updates, lands on the
+// shard its root key hashes to. An inclusion edge (a child tuple
+// referencing a parent relation's key) may cross shards; the router
+// classifies each translation as single-shard or cross-shard
+// accordingly, and the Store journals cross-shard commits under a
+// two-phase protocol. See docs/SHARDING.md.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"viewupdate/internal/tuple"
+)
+
+// MaxShards bounds the shard count; the manifest format and the
+// per-shard metric registration assume a small fixed fleet.
+const MaxShards = 64
+
+// A Map is the pure partitioning function: tuple key -> shard index.
+// It is immutable and safe for concurrent use.
+type Map struct {
+	n int
+}
+
+// NewMap returns the map for n shards (1 <= n <= MaxShards).
+func NewMap(n int) (*Map, error) {
+	if n < 1 || n > MaxShards {
+		return nil, fmt.Errorf("shard: shard count %d outside [1,%d]", n, MaxShards)
+	}
+	return &Map{n: n}, nil
+}
+
+// N returns the shard count.
+func (m *Map) N() int { return m.n }
+
+// Of returns the shard owning tuple t, determined solely by t's
+// relation name and key values.
+func (m *Map) Of(t tuple.T) int { return m.hash(t.Key()) }
+
+// OfParentKey returns the shard owning the parent-relation tuple whose
+// key values encode to keyEnc ('\n'-joined canonical encodings, the
+// same construction storage uses for its inclusion reference index).
+// This is how the router locates the remote parent of an inclusion
+// edge without materializing the parent tuple.
+func (m *Map) OfParentKey(parentRel, keyEnc string) int {
+	if keyEnc == "" {
+		return m.hash(parentRel)
+	}
+	return m.hash(parentRel + "\n" + keyEnc)
+}
+
+func (m *Map) hash(key string) int {
+	if m.n == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(m.n))
+}

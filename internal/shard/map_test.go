@@ -1,0 +1,130 @@
+package shard
+
+import (
+	"testing"
+
+	"viewupdate/internal/schema"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/value"
+)
+
+// fkSchema builds P(PK,PV) / C(CK,FK) with C[FK] ⊆ P[key] over a key
+// domain wide enough to spread across an 8-shard map.
+func fkSchema(t testing.TB) (*schema.Database, *schema.Relation, *schema.Relation) {
+	t.Helper()
+	kd, err := schema.IntRangeDomain("KD", 0, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd := schema.MustDomain("VD", value.NewString("u"), value.NewString("v"), value.NewString("w"))
+	p := schema.MustRelation("P", []schema.Attribute{
+		{Name: "PK", Domain: kd},
+		{Name: "PV", Domain: vd},
+	}, []string{"PK"})
+	c := schema.MustRelation("C", []schema.Attribute{
+		{Name: "CK", Domain: kd},
+		{Name: "FK", Domain: kd},
+	}, []string{"CK"})
+	sch := schema.NewDatabase()
+	if err := sch.AddRelation(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.AddRelation(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.AddInclusion(schema.InclusionDependency{Child: "C", ChildAttrs: []string{"FK"}, Parent: "P"}); err != nil {
+		t.Fatal(err)
+	}
+	return sch, p, c
+}
+
+func pt(t testing.TB, p *schema.Relation, k int64, v string) tuple.T {
+	t.Helper()
+	return tuple.MustNew(p, value.NewInt(k), value.NewString(v))
+}
+
+func ct(t testing.TB, c *schema.Relation, k, fk int64) tuple.T {
+	t.Helper()
+	return tuple.MustNew(c, value.NewInt(k), value.NewInt(fk))
+}
+
+func mustMap(t testing.TB, n int) *Map {
+	t.Helper()
+	m, err := NewMap(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMapBounds(t *testing.T) {
+	for _, n := range []int{0, -1, MaxShards + 1} {
+		if _, err := NewMap(n); err == nil {
+			t.Errorf("NewMap(%d) should fail", n)
+		}
+	}
+	for _, n := range []int{1, 2, MaxShards} {
+		if _, err := NewMap(n); err != nil {
+			t.Errorf("NewMap(%d): %v", n, err)
+		}
+	}
+}
+
+// TestMapDeterministicKeyOnly pins the two load-bearing map properties:
+// the shard of a tuple depends only on its relation and key values (not
+// the non-key attributes), and a 1-shard map sends everything to 0.
+func TestMapDeterministicKeyOnly(t *testing.T) {
+	_, p, _ := fkSchema(t)
+	m := mustMap(t, 8)
+	one := mustMap(t, 1)
+	for k := int64(0); k < 200; k++ {
+		a, b := pt(t, p, k, "u"), pt(t, p, k, "v")
+		if m.Of(a) != m.Of(b) {
+			t.Fatalf("key %d: shard depends on non-key attribute", k)
+		}
+		if s := m.Of(a); s < 0 || s >= 8 {
+			t.Fatalf("key %d: shard %d out of range", k, s)
+		}
+		if one.Of(a) != 0 {
+			t.Fatalf("key %d: single-shard map returned %d", k, one.Of(a))
+		}
+	}
+}
+
+// TestOfParentKeyAgreesWithOf checks the router's parent-locating
+// shortcut: hashing a child's projected foreign-key encoding must land
+// on the same shard as hashing the actual parent tuple. This is what
+// makes fence computation sound without materializing parents.
+func TestOfParentKeyAgreesWithOf(t *testing.T) {
+	sch, p, c := fkSchema(t)
+	m := mustMap(t, 8)
+	dep := sch.InclusionsFrom("C")[0]
+	for k := int64(0); k < 200; k++ {
+		child := ct(t, c, (k+7)%1000, k) // child referencing parent key k
+		enc, err := child.ProjectEncode(dep.ChildAttrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parent := pt(t, p, k, "w")
+		if m.OfParentKey(dep.Parent, enc) != m.Of(parent) {
+			t.Fatalf("key %d: OfParentKey disagrees with Of(parent tuple)", k)
+		}
+	}
+}
+
+// TestMapDistribution checks the hash spreads keys across the fleet:
+// with 1000 sequential integer keys over 8 shards, every shard should
+// own a reasonable slice (at least a quarter of the fair share).
+func TestMapDistribution(t *testing.T) {
+	_, p, _ := fkSchema(t)
+	m := mustMap(t, 8)
+	counts := make([]int, 8)
+	for k := int64(0); k < 1000; k++ {
+		counts[m.Of(pt(t, p, k%1000, "u"))]++
+	}
+	for i, n := range counts {
+		if n < 1000/8/4 {
+			t.Errorf("shard %d owns only %d of 1000 keys (counts %v)", i, n, counts)
+		}
+	}
+}

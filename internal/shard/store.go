@@ -1,0 +1,837 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"viewupdate/internal/faultinject"
+	"viewupdate/internal/obs"
+	"viewupdate/internal/persist"
+	"viewupdate/internal/schema"
+	"viewupdate/internal/storage"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/update"
+	"viewupdate/internal/wal"
+)
+
+// ManifestFile is the shard-map manifest inside the store directory; it
+// records the shard count and the schema's inclusion dependencies
+// (which the per-shard snapshots deliberately omit — see below).
+const ManifestFile = "shardmap.json"
+
+// manifestFormat is the current manifest layout.
+const manifestFormat = 1
+
+// A Manifest pins the store's partitioning so an Open with the wrong
+// -shards cannot scatter keys across a different map.
+type Manifest struct {
+	Format int `json:"format"`
+	Shards int `json:"shards"`
+	// Inclusions are the global schema's inclusion dependencies. They
+	// live here, not in the shard snapshots: a shard holds an arbitrary
+	// horizontal slice of every relation, so inclusion dependencies are
+	// only meaningful — and only enforced — against the global state.
+	Inclusions []persist.InclusionJSON `json:"inclusions,omitempty"`
+}
+
+// Options tune a Store.
+type Options struct {
+	// Sync is the per-shard WAL sync policy (default wal.SyncOnCommit).
+	Sync wal.SyncPolicy
+	// WrapWAL, when set, wraps shard i's WAL media before the log
+	// writes to it — the chaos harness's crash-injection hook.
+	WrapWAL func(shard int, f wal.File) wal.File
+}
+
+// A RecoveryReport describes what Open found and repaired across the
+// shard fleet.
+type RecoveryReport struct {
+	// Shards is the fleet size from the manifest.
+	Shards int
+	// Replayed counts committed records re-applied from shard WALs.
+	Replayed int
+	// Skipped counts committed records already folded into their
+	// shard's snapshot (seq <= that snapshot's watermark).
+	Skipped int
+	// Discarded counts translation records without a commit marker.
+	Discarded int
+	// PreparesCommitted counts cross-shard prepare records that
+	// resolved to commit (via a resolve marker or a decision record on
+	// the coordinator shard).
+	PreparesCommitted int
+	// PreparesAborted counts in-doubt prepares rolled back under
+	// presumed abort: durable on their shard, but no decision anywhere.
+	// By protocol order (ack strictly after the decision is durable)
+	// every such commit was never acknowledged.
+	PreparesAborted int
+	// OrphansPruned counts tuples dropped because a crash between
+	// shard fsyncs left them referencing a parent that never became
+	// durable. The commit fence (see docs/SHARDING.md) guarantees such
+	// tuples were never part of an acknowledged commit.
+	OrphansPruned int
+	// InclusionsSkipped counts manifest inclusion dependencies naming
+	// relations absent from every shard snapshot — the residue of a
+	// crash between a DDL checkpoint's manifest rename and its
+	// snapshot writes. The DDL was never acknowledged.
+	InclusionsSkipped int
+	// TornShards counts shards whose WAL had a damaged tail truncated.
+	TornShards int
+	// MaxSeq is the highest global sequence number recovered.
+	MaxSeq uint64
+}
+
+// String renders the report for logs.
+func (r RecoveryReport) String() string {
+	return fmt.Sprintf("shards %d: replayed %d, skipped %d, discarded %d, prepares committed %d aborted %d, orphans pruned %d, torn shards %d, max seq %d",
+		r.Shards, r.Replayed, r.Skipped, r.Discarded, r.PreparesCommitted, r.PreparesAborted, r.OrphansPruned, r.TornShards, r.MaxSeq)
+}
+
+// A Store is the durable side of an N-way sharded engine: one global
+// in-memory database (the authority for translation, validation and
+// reads) partitioned into N shard databases, each journaled by its own
+// WAL and snapshot under dir/shard-<i>/. Sequence numbers are global —
+// one counter spans all shards — so recovery can merge the per-shard
+// logs back into the exact memory order commits applied in.
+//
+// The Store does not serialize memory application itself; the engine
+// holds its state lock across validation + memory apply + sequence
+// allocation, then journals outside the lock (that is what lets N
+// fsync streams proceed in parallel). Apply is the synchronous
+// exception used by the script/session path.
+type Store struct {
+	dir  string
+	m    *Map
+	opts Options
+
+	db    *storage.Database   // global authoritative state
+	shsch *schema.Database    // shard schema: same *Relation pointers, no inclusions
+	dbs   []*storage.Database // per-shard partitions of db
+	logs  []*wal.Log
+
+	seq atomic.Uint64 // global sequence counter
+
+	brokenMu sync.Mutex
+	broken   []error // per-shard: first journaling failure; memory may be ahead of media
+
+	applyMu sync.Mutex // serializes the synchronous Apply path
+
+	report RecoveryReport
+	keys   [][]string // per-shard recovered idempotency keys, log order
+}
+
+func shardDir(dir string, i int) string { return filepath.Join(dir, fmt.Sprintf("shard-%d", i)) }
+
+// Create initializes dir as a new N-way sharded store holding db's
+// current state. It fails if dir already holds a manifest.
+func Create(dir string, n int, db *storage.Database, opts Options) (*Store, error) {
+	m, err := NewMap(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	manPath := filepath.Join(dir, ManifestFile)
+	if _, err := os.Stat(manPath); err == nil {
+		return nil, fmt.Errorf("shard: store already exists at %s", dir)
+	}
+	s := &Store{dir: dir, m: m, opts: opts, db: db, broken: make([]error, n), keys: make([][]string, n)}
+	if err := s.buildShardDBs(); err != nil {
+		return nil, err
+	}
+	if err := s.writeManifest(); err != nil {
+		return nil, err
+	}
+	s.logs = make([]*wal.Log, n)
+	for i := 0; i < n; i++ {
+		if err := os.MkdirAll(shardDir(dir, i), 0o755); err != nil {
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+		if err := s.writeShardSnapshot(i, 0); err != nil {
+			return nil, err
+		}
+		if err := s.openLog(i); err != nil {
+			return nil, err
+		}
+	}
+	s.report = RecoveryReport{Shards: n}
+	obs.Inc("shard.store.created")
+	return s, nil
+}
+
+// Open recovers the sharded store at dir. want, when non-zero, must
+// match the manifest's shard count — refusing to re-partition an
+// existing store under a different map. Missing manifest reports
+// persist.ErrNoStore so the caller can fall back to Create.
+func Open(dir string, want int, opts Options) (*Store, error) {
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if want != 0 && man.Shards != want {
+		return nil, fmt.Errorf("shard: store at %s has %d shards, -shards asked for %d (the shard map is fixed at create time)", dir, man.Shards, want)
+	}
+	m, err := NewMap(man.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("shard: manifest: %w", err)
+	}
+	n := man.Shards
+	s := &Store{dir: dir, m: m, opts: opts, broken: make([]error, n), keys: make([][]string, n)}
+	s.report = RecoveryReport{Shards: n}
+
+	// Phase 1: load every shard snapshot and rebuild the global schema
+	// (sans inclusions) as the union of their declarations. The union
+	// matters: a crash mid-checkpoint can leave shards at mixed schema
+	// versions, and new relations are empty at DDL time, so the union
+	// is always the newest schema.
+	snaps := make([]*persist.Snapshot, n)
+	for i := 0; i < n; i++ {
+		snaps[i], err = persist.ReadSnapshotFile(filepath.Join(shardDir(dir, i), persist.SnapshotFile))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	merged := mergeSnapshots(snaps)
+	s.db, err = persist.Restore(merged)
+	if err != nil {
+		return nil, fmt.Errorf("shard: restoring merged snapshot: %w", err)
+	}
+	sch := s.db.Schema()
+
+	// Phase 2: scan every shard's WAL, truncate torn tails, union the
+	// decision records, and resolve each shard's committed prefix.
+	results := make([]*wal.ScanResult, n)
+	for i := 0; i < n; i++ {
+		walPath := filepath.Join(shardDir(dir, i), persist.WALFile)
+		res, err := wal.ScanFile(walPath)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if res.Torn() {
+			if err := os.Truncate(walPath, res.TornAt); err != nil {
+				return nil, fmt.Errorf("shard %d: truncating torn WAL tail: %w", i, err)
+			}
+			s.report.TornShards++
+		}
+		results[i] = res
+	}
+	decisions := map[uint64]bool{}
+	for _, res := range results {
+		for seq := range res.Decisions() {
+			decisions[seq] = true
+		}
+	}
+	type shardRec struct {
+		shard int
+		rec   wal.Record
+	}
+	var all []shardRec
+	maxSeq := uint64(0)
+	for i, res := range results {
+		committed, discarded, inDoubt := res.CommittedWith(decisions)
+		s.report.Discarded += discarded
+		s.report.PreparesAborted += inDoubt
+		if res.MaxSeq() > maxSeq {
+			maxSeq = res.MaxSeq()
+		}
+		if snaps[i].Seq > maxSeq {
+			maxSeq = snaps[i].Seq
+		}
+		for _, rec := range committed {
+			if rec.Kind == wal.KindPrepare {
+				s.report.PreparesCommitted++
+			}
+			if rec.Key != "" {
+				s.keys[i] = append(s.keys[i], rec.Key)
+			}
+			if rec.Seq <= snaps[i].Seq {
+				s.report.Skipped++
+				continue
+			}
+			all = append(all, shardRec{shard: i, rec: rec})
+		}
+	}
+
+	// Phase 3: replay in global sequence order. Per-shard log order can
+	// diverge from the order memory applied in (each shard fsyncs
+	// independently), but global seqs — allocated under the engine's
+	// state lock — recover the true total order. Inclusions are not
+	// registered yet, so replay never trips a dependency check that the
+	// original (globally validated) commit order satisfied.
+	sort.SliceStable(all, func(a, b int) bool { return all[a].rec.Seq < all[b].rec.Seq })
+	for _, sr := range all {
+		tr, err := wal.DecodeTranslation(sch, sr.rec)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", sr.shard, err)
+		}
+		if err := s.db.Apply(tr); err != nil {
+			return nil, fmt.Errorf("shard %d: replaying seq %d: %w", sr.shard, sr.rec.Seq, err)
+		}
+		s.report.Replayed++
+	}
+
+	// Phase 4: prune orphans, then register inclusions. A crash between
+	// shard fsyncs can persist a child while its (applied but unsynced)
+	// parent on another shard is lost; the commit fence guarantees no
+	// such child was ever acknowledged, so dropping it restores
+	// consistency without losing acked data.
+	deps := make([]schema.InclusionDependency, 0, len(man.Inclusions))
+	for _, ij := range man.Inclusions {
+		if sch.Relation(ij.Child) == nil || sch.Relation(ij.Parent) == nil {
+			// Residue of a crash between a DDL checkpoint's manifest
+			// rename and its snapshot writes; the DDL was never acked.
+			s.report.InclusionsSkipped++
+			continue
+		}
+		deps = append(deps, schema.InclusionDependency{Child: ij.Child, ChildAttrs: ij.ChildAttrs, Parent: ij.Parent})
+	}
+	pruned, err := pruneOrphans(s.db, deps)
+	if err != nil {
+		return nil, err
+	}
+	s.report.OrphansPruned = pruned
+	for _, d := range deps {
+		if err := sch.AddInclusion(d); err != nil {
+			return nil, fmt.Errorf("shard: manifest inclusion %s: %w", d, err)
+		}
+	}
+	if err := s.db.SyncSchema(); err != nil {
+		return nil, fmt.Errorf("shard: rebuilding reference index: %w", err)
+	}
+	if err := s.db.CheckAllInclusions(); err != nil {
+		return nil, fmt.Errorf("shard: recovered state inconsistent: %w", err)
+	}
+
+	// Phase 5: partition the recovered global state into the shard
+	// databases and reopen the logs.
+	if err := s.buildShardDBs(); err != nil {
+		return nil, err
+	}
+	s.logs = make([]*wal.Log, n)
+	for i := 0; i < n; i++ {
+		if err := s.openLog(i); err != nil {
+			return nil, err
+		}
+	}
+	s.seq.Store(maxSeq)
+	s.report.MaxSeq = maxSeq
+	obs.Inc("shard.store.recovered")
+	obs.Add("shard.store.replayed", int64(s.report.Replayed))
+	return s, nil
+}
+
+// mergeSnapshots unions shard snapshots into one global snapshot with
+// no inclusions (those come from the manifest, after replay).
+func mergeSnapshots(snaps []*persist.Snapshot) *persist.Snapshot {
+	merged := &persist.Snapshot{Format: persist.FormatVersion, Tuples: map[string][][]string{}}
+	seenDom := map[string]bool{}
+	seenRel := map[string]bool{}
+	for _, snap := range snaps {
+		for _, dj := range snap.Domains {
+			if !seenDom[dj.Name] {
+				seenDom[dj.Name] = true
+				merged.Domains = append(merged.Domains, dj)
+			}
+		}
+		for _, rj := range snap.Relations {
+			if !seenRel[rj.Name] {
+				seenRel[rj.Name] = true
+				merged.Relations = append(merged.Relations, rj)
+			}
+		}
+		for rn, rows := range snap.Tuples {
+			merged.Tuples[rn] = append(merged.Tuples[rn], rows...)
+		}
+	}
+	return merged
+}
+
+// pruneOrphans deletes, to a fixpoint, every child tuple referencing a
+// parent key that is absent (or itself being pruned). Called before
+// inclusions are registered on db's schema, so the deletions apply
+// without constraint interference.
+func pruneOrphans(db *storage.Database, deps []schema.InclusionDependency) (int, error) {
+	orphans := map[string]tuple.T{}  // by tuple encoding
+	deadParents := map[string]bool{} // by tuple.Key() form: "rel\nkeyenc"
+	probeFor := func(d schema.InclusionDependency, t tuple.T) (string, error) {
+		keyEnc, err := t.ProjectEncode(d.ChildAttrs)
+		if err != nil {
+			return "", fmt.Errorf("shard: inclusion %s on %s: %w", d, t, err)
+		}
+		if keyEnc == "" {
+			return d.Parent, nil
+		}
+		return d.Parent + "\n" + keyEnc, nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range deps {
+			parentExt := db.Extension(d.Parent)
+			for _, t := range db.Tuples(d.Child) {
+				if _, gone := orphans[t.Encode()]; gone {
+					continue
+				}
+				probe, err := probeFor(d, t)
+				if err != nil {
+					return 0, err
+				}
+				alive := parentExt != nil && parentExt.ContainsKeyEncoding(probe) && !deadParents[probe]
+				if !alive {
+					orphans[t.Encode()] = t
+					deadParents[t.Key()] = true
+					changed = true
+				}
+			}
+		}
+	}
+	if len(orphans) == 0 {
+		return 0, nil
+	}
+	tr := update.NewTranslation()
+	for _, t := range orphans {
+		tr.Add(update.NewDelete(t))
+	}
+	if err := db.Apply(tr); err != nil {
+		return 0, fmt.Errorf("shard: pruning %d orphans: %w", len(orphans), err)
+	}
+	obs.Add("shard.store.orphans_pruned", int64(len(orphans)))
+	return len(orphans), nil
+}
+
+// buildShardDBs (re)builds the per-shard databases as partitions of the
+// global database. The shard schema shares the global schema's
+// *Relation pointers (extensions match relations by identity) but
+// carries no inclusion dependencies: a shard's slice of a child
+// relation routinely references parents on other shards.
+func (s *Store) buildShardDBs() error {
+	sch := s.db.Schema()
+	shsch := schema.NewDatabase()
+	for _, name := range sch.RelationNames() {
+		if err := shsch.AddRelation(sch.Relation(name)); err != nil {
+			return fmt.Errorf("shard: %w", err)
+		}
+	}
+	s.shsch = shsch
+	s.dbs = make([]*storage.Database, s.m.N())
+	parts := make([]*update.Translation, s.m.N())
+	for i := range parts {
+		s.dbs[i] = storage.Open(shsch)
+		parts[i] = update.NewTranslation()
+	}
+	for _, name := range sch.RelationNames() {
+		for _, t := range s.db.Tuples(name) {
+			parts[s.m.Of(t)].Add(update.NewInsert(t))
+		}
+	}
+	for i, p := range parts {
+		if p.Len() == 0 {
+			continue
+		}
+		if err := s.dbs[i].Apply(p); err != nil {
+			return fmt.Errorf("shard %d: partitioning: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (s *Store) openLog(i int) error {
+	path := filepath.Join(shardDir(s.dir, i), persist.WALFile)
+	log, size, err := wal.OpenFile(path, s.opts.Sync)
+	if err != nil {
+		return err
+	}
+	if s.opts.WrapWAL != nil {
+		f, ferr := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if ferr != nil {
+			return fmt.Errorf("shard: %w", ferr)
+		}
+		log.Close()
+		s.logs[i] = wal.NewAt(s.opts.WrapWAL(i, f), s.opts.Sync, size)
+		return nil
+	}
+	s.logs[i] = log
+	return nil
+}
+
+func readManifest(dir string) (*Manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%w (no %s in %s)", persist.ErrNoStore, ManifestFile, dir)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, fmt.Errorf("shard: decoding manifest: %w", err)
+	}
+	if man.Format != manifestFormat {
+		return nil, fmt.Errorf("shard: unsupported manifest format %d", man.Format)
+	}
+	return &man, nil
+}
+
+func (s *Store) writeManifest() error {
+	man := Manifest{Format: manifestFormat, Shards: s.m.N()}
+	for _, d := range s.db.Schema().Inclusions() {
+		man.Inclusions = append(man.Inclusions, persist.InclusionJSON{
+			Child: d.Child, ChildAttrs: d.ChildAttrs, Parent: d.Parent,
+		})
+	}
+	raw, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("shard: encoding manifest: %w", err)
+	}
+	path := filepath.Join(s.dir, ManifestFile)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return fmt.Errorf("shard: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("shard: syncing manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	return syncDir(s.dir)
+}
+
+func (s *Store) writeShardSnapshot(i int, watermark uint64) error {
+	snap, err := persist.Capture(s.dbs[i])
+	if err != nil {
+		return fmt.Errorf("shard %d: %w", i, err)
+	}
+	snap.Seq = watermark
+	dir := shardDir(s.dir, i)
+	path := filepath.Join(dir, persist.SnapshotFile)
+	tmp := path + ".tmp"
+	if err := persist.WriteSnapshotFile(tmp, snap); err != nil {
+		return fmt.Errorf("shard %d: %w", i, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("shard %d: %w", i, err)
+	}
+	return syncDir(dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("shard: syncing %s: %w", dir, err)
+	}
+	return nil
+}
+
+// DB returns the global authoritative database.
+func (s *Store) DB() *storage.Database { return s.db }
+
+// ShardDB returns shard i's partition (tests and the engine's
+// committers use it; all writes go through the engine's state lock).
+func (s *Store) ShardDB(i int) *storage.Database { return s.dbs[i] }
+
+// Map returns the partitioning function.
+func (s *Store) Map() *Map { return s.m }
+
+// N returns the shard count.
+func (s *Store) N() int { return s.m.N() }
+
+// Report returns the recovery report from Open (zero for Create).
+func (s *Store) Report() RecoveryReport { return s.report }
+
+// KeysByShard returns, per shard, the idempotency keys of the committed
+// records that shard's WAL held at Open, in log order.
+func (s *Store) KeysByShard() [][]string { return s.keys }
+
+// NextSeq allocates the next global sequence number. The engine calls
+// it under its state lock, so sequence order equals memory-apply order.
+func (s *Store) NextSeq() uint64 { return s.seq.Add(1) }
+
+// Seq returns the last allocated global sequence number.
+func (s *Store) Seq() uint64 { return s.seq.Load() }
+
+// MarkBroken records a journaling failure on shard i: its media no
+// longer reflects applied memory, so every further append on i is
+// refused and the engine degrades until restart (recovery re-derives
+// memory from the durable prefix).
+func (s *Store) MarkBroken(i int, err error) {
+	s.brokenMu.Lock()
+	defer s.brokenMu.Unlock()
+	if s.broken[i] == nil {
+		s.broken[i] = err
+		obs.Inc("shard.store.broken")
+	}
+}
+
+// Broken returns the first journaling failure recorded on shard i, or
+// nil.
+func (s *Store) Broken(i int) error {
+	s.brokenMu.Lock()
+	defer s.brokenMu.Unlock()
+	return s.broken[i]
+}
+
+// BrokenAny returns the first journaling failure across the fleet.
+func (s *Store) BrokenAny() error {
+	s.brokenMu.Lock()
+	defer s.brokenMu.Unlock()
+	for _, err := range s.broken {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendBatch journals recs on shard i's WAL in one write (+ at most
+// one fsync, per policy). On failure the shard is marked broken: the
+// records may be partially on media while memory has already moved, so
+// only a restart (and recovery) reconciles the two.
+func (s *Store) AppendBatch(i int, recs []wal.Record) (wal.BatchStats, error) {
+	if err := s.Broken(i); err != nil {
+		return wal.BatchStats{}, err
+	}
+	stats, err := s.logs[i].AppendBatchStats(recs)
+	if err != nil {
+		s.MarkBroken(i, err)
+		return stats, err
+	}
+	return stats, nil
+}
+
+// CommitCross runs the two-phase journal protocol for a cross-shard
+// commit whose memory application already happened: parallel prepare
+// records (each fsynced) on every participant, then the decision record
+// (fsynced) on the coordinator shard, then best-effort resolve markers.
+// decided reports whether the decision reached media — once true the
+// commit survives any crash; while false, recovery presumes abort.
+func (s *Store) CommitCross(xid uint64, key string, route *Route) (decided bool, err error) {
+	coord := route.Home()
+	var wg sync.WaitGroup
+	errs := make([]error, len(route.Participants))
+	for idx, p := range route.Participants {
+		wg.Add(1)
+		go func(idx, p int) {
+			defer wg.Done()
+			if berr := s.Broken(p); berr != nil {
+				errs[idx] = berr
+				return
+			}
+			rec := wal.PrepareRecord(xid, key, coord, route.Parts[p])
+			if _, aerr := s.logs[p].AppendBatchStats([]wal.Record{rec}); aerr != nil {
+				s.MarkBroken(p, aerr)
+				errs[idx] = aerr
+			}
+		}(idx, p)
+	}
+	wg.Wait()
+	for _, perr := range errs {
+		if perr != nil {
+			return false, fmt.Errorf("shard: cross-shard prepare: %w", perr)
+		}
+	}
+	obs.Inc("shard.cross.prepared")
+	if ferr := faultinject.Hit(faultinject.SiteShardPrepare); ferr != nil {
+		// The crash window the chaos soak aims at: prepares durable,
+		// no decision. Recovery rolls the commit back (presumed abort);
+		// the client was never acknowledged.
+		return false, fmt.Errorf("shard: %w", ferr)
+	}
+	if err := s.Broken(coord); err != nil {
+		return false, fmt.Errorf("shard: cross-shard decision: %w", err)
+	}
+	if _, derr := s.logs[coord].AppendBatchStats([]wal.Record{wal.DecisionRecord(xid)}); derr != nil {
+		s.MarkBroken(coord, derr)
+		return false, fmt.Errorf("shard: cross-shard decision: %w", derr)
+	}
+	obs.Inc("shard.cross.decided")
+	// Past the point of no return: the commit is durable everywhere it
+	// matters. Injected errors here arm crash tests only.
+	_ = faultinject.Hit(faultinject.SiteShardDecision)
+	// Lazy resolve markers let each participant settle the prepare from
+	// its own log at recovery. No fsync — the decision already carries
+	// durability — and failures only cost a decision-table lookup later.
+	for _, p := range route.Participants {
+		if s.Broken(p) == nil {
+			if aerr := s.logs[p].Append(wal.ResolveRecord(xid)); aerr != nil {
+				s.MarkBroken(p, aerr)
+			}
+		}
+	}
+	return true, nil
+}
+
+// invert returns the translation undoing tr.
+func invert(tr *update.Translation) *update.Translation {
+	inv := update.NewTranslation()
+	for _, o := range tr.Ops() {
+		switch o.Kind {
+		case update.Insert:
+			inv.Add(update.NewDelete(o.Tuple))
+		case update.Delete:
+			inv.Add(update.NewInsert(o.Tuple))
+		case update.Replace:
+			inv.Add(update.NewReplace(o.New, o.Old))
+		}
+	}
+	return inv
+}
+
+// Apply is the synchronous durable commit used by the script/session
+// path (the engine's pipelined commits journal through AppendBatch and
+// CommitCross instead). It applies tr to the global database and the
+// participant shards, then journals — translation+commit on a single
+// participant, the full two-phase protocol across several. Callers
+// serialize Apply against the pipelined path (the engine holds its
+// state lock). On a journaling failure before the point of no return,
+// memory is rolled back and the commit reports persist.ErrNotDurable.
+func (s *Store) Apply(tr *update.Translation) error {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	route, err := Classify(s.m, s.db.Schema(), tr)
+	if err != nil {
+		return err
+	}
+	if len(route.Participants) == 0 {
+		return nil
+	}
+	if err := s.db.Apply(tr); err != nil {
+		return err
+	}
+	for _, p := range route.Participants {
+		if err := s.dbs[p].Apply(route.Parts[p]); err != nil {
+			// Cannot happen after the global apply succeeded (the shard
+			// schema checks strictly less); treat as corruption.
+			s.MarkBroken(p, err)
+			return fmt.Errorf("shard %d: partition diverged: %w", p, err)
+		}
+	}
+	rollback := func() error {
+		for _, p := range route.Participants {
+			if err := s.dbs[p].Apply(invert(route.Parts[p])); err != nil {
+				s.MarkBroken(p, err)
+				return err
+			}
+		}
+		return s.db.Apply(invert(tr))
+	}
+	xid := s.NextSeq()
+	if !route.Cross() {
+		p := route.Participants[0]
+		recs := []wal.Record{wal.EncodeTranslation(xid, tr), wal.CommitRecord(xid)}
+		if _, aerr := s.AppendBatch(p, recs); aerr != nil {
+			if rerr := rollback(); rerr != nil {
+				return fmt.Errorf("shard: memory diverged after failed append: %v (rollback: %w)", aerr, rerr)
+			}
+			return fmt.Errorf("%w: %w", persist.ErrNotDurable, aerr)
+		}
+		return nil
+	}
+	decided, cerr := s.CommitCross(xid, "", route)
+	if !decided {
+		if rerr := rollback(); rerr != nil {
+			return fmt.Errorf("shard: memory diverged after failed 2pc: %v (rollback: %w)", cerr, rerr)
+		}
+		return fmt.Errorf("%w: %w", persist.ErrNotDurable, cerr)
+	}
+	return nil
+}
+
+// SyncSchema absorbs global schema growth (new relations from DDL) into
+// the shard schema and every shard database. Inclusion dependencies
+// stay global-only by design.
+func (s *Store) SyncSchema() error {
+	sch := s.db.Schema()
+	for _, name := range sch.RelationNames() {
+		if s.shsch.Relation(name) == nil {
+			if err := s.shsch.AddRelation(sch.Relation(name)); err != nil {
+				return fmt.Errorf("shard: %w", err)
+			}
+		}
+	}
+	for i, db := range s.dbs {
+		if err := db.SyncSchema(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Checkpoint folds every shard's WAL into a fresh snapshot stamped with
+// the current global sequence watermark and rewrites the manifest (DDL
+// may have added inclusions). The caller must have quiesced the
+// pipelines: no append may be in flight, and every decided cross-shard
+// commit must have its resolve markers appended (the engine answers
+// waiters only after appending them, so idle pipelines imply it).
+//
+// Order matters for crash safety: logs are synced first (making resolve
+// markers durable, so truncating one shard's decisions cannot orphan
+// another shard's prepare), then the manifest, then each snapshot, then
+// the truncations. Every intermediate crash state recovers — see the
+// recovery matrix in docs/SHARDING.md.
+func (s *Store) Checkpoint() error {
+	if err := s.BrokenAny(); err != nil {
+		return fmt.Errorf("shard: refusing checkpoint on broken fleet: %w", err)
+	}
+	for i, log := range s.logs {
+		if err := log.Sync(); err != nil {
+			s.MarkBroken(i, err)
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	if err := s.writeManifest(); err != nil {
+		return err
+	}
+	w := s.seq.Load()
+	for i := range s.dbs {
+		if err := s.writeShardSnapshot(i, w); err != nil {
+			return err
+		}
+	}
+	for i := range s.logs {
+		if err := s.logs[i].Close(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if err := os.Truncate(filepath.Join(shardDir(s.dir, i), persist.WALFile), 0); err != nil {
+			return fmt.Errorf("shard %d: resetting WAL: %w", i, err)
+		}
+		if err := s.openLog(i); err != nil {
+			return err
+		}
+	}
+	obs.Inc("shard.store.checkpoint")
+	return nil
+}
+
+// Close releases every shard's WAL after a final sync (skipped on
+// sealed logs). It does not checkpoint; pair with Checkpoint for a
+// graceful shutdown.
+func (s *Store) Close() error {
+	var first error
+	for _, log := range s.logs {
+		if log == nil {
+			continue
+		}
+		if err := log.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,487 @@
+package shard
+
+import (
+	"errors"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"viewupdate/internal/faultinject"
+	"viewupdate/internal/persist"
+	"viewupdate/internal/storage"
+	"viewupdate/internal/update"
+	"viewupdate/internal/wal"
+)
+
+// render dumps a database as a sorted tuple listing, comparable across
+// restore boundaries (encodings carry the relation name).
+func render(db *storage.Database) string {
+	names := append([]string(nil), db.Schema().RelationNames()...)
+	sort.Strings(names)
+	var lines []string
+	for _, name := range names {
+		for _, t := range db.Tuples(name) {
+			lines = append(lines, t.Encode())
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, ";")
+}
+
+// checkPartition verifies the per-shard databases are exactly the
+// map-partition of the global database.
+func checkPartition(t *testing.T, st *Store) {
+	t.Helper()
+	total := 0
+	for i := 0; i < st.N(); i++ {
+		for _, name := range st.ShardDB(i).Schema().RelationNames() {
+			for _, tp := range st.ShardDB(i).Tuples(name) {
+				total++
+				if st.Map().Of(tp) != i {
+					t.Fatalf("tuple %v on shard %d, owner %d", tp, i, st.Map().Of(tp))
+				}
+				if !st.DB().Contains(tp) {
+					t.Fatalf("shard %d holds %v, global db does not", i, tp)
+				}
+			}
+		}
+	}
+	global := 0
+	for _, name := range st.DB().Schema().RelationNames() {
+		global += len(st.DB().Tuples(name))
+	}
+	if total != global {
+		t.Fatalf("shards hold %d tuples, global db %d", total, global)
+	}
+}
+
+func newTestStore(t *testing.T, dir string, n int, opts Options) *Store {
+	t.Helper()
+	sch, _, _ := fkSchema(t)
+	st, err := Create(dir, n, storage.Open(sch), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// keysOnShards returns (a, b): two parent keys owned by different
+// shards under m.
+func keysOnShards(t *testing.T, st *Store) (int64, int64) {
+	t.Helper()
+	sch := st.DB().Schema()
+	p := sch.Relation("P")
+	for b := int64(1); b < 500; b++ {
+		if st.Map().Of(pt(t, p, b, "u")) != st.Map().Of(pt(t, p, 0, "u")) {
+			return 0, b
+		}
+	}
+	t.Fatal("no cross-shard key pair found")
+	return 0, 0
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := newTestStore(t, dir, 4, Options{Sync: wal.SyncOnCommit})
+	sch := st.DB().Schema()
+	p, c := sch.Relation("P"), sch.Relation("C")
+	a, b := keysOnShards(t, st)
+	// Single-shard commit, then a cross-shard commit (two parents on
+	// different shards plus a child referencing one of them).
+	if err := st.Apply(update.NewTranslation(update.NewInsert(pt(t, p, a, "u")))); err != nil {
+		t.Fatal(err)
+	}
+	cross := update.NewTranslation(
+		update.NewInsert(pt(t, p, b, "v")),
+		update.NewInsert(ct(t, c, 7, a)),
+	)
+	if err := st.Apply(cross); err != nil {
+		t.Fatal(err)
+	}
+	want := render(st.DB())
+	checkPartition(t, st)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Open(dir, 0, Options{Sync: wal.SyncOnCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if got := render(rec.DB()); got != want {
+		t.Fatalf("recovered state\n  %s\nwant\n  %s", got, want)
+	}
+	checkPartition(t, rec)
+	if rec.N() != 4 {
+		t.Fatalf("recovered %d shards, want 4", rec.N())
+	}
+	rep := rec.Report()
+	if rep.PreparesAborted != 0 || rep.Discarded != 0 || rep.OrphansPruned != 0 {
+		t.Fatalf("clean shutdown report: %s", rep)
+	}
+	if rep.MaxSeq != 2 || rec.Seq() != 2 {
+		t.Fatalf("recovered seq %d (report max %d), want 2", rec.Seq(), rep.MaxSeq)
+	}
+	if err := rec.DB().CheckAllInclusions(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenShardCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	st := newTestStore(t, dir, 4, Options{})
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, 3, Options{}); err == nil {
+		t.Fatal("opening a 4-shard store with -shards 3 should fail")
+	}
+	if _, err := Open(t.TempDir(), 4, Options{}); !errors.Is(err, persist.ErrNoStore) {
+		t.Fatalf("opening an empty dir: %v, want ErrNoStore", err)
+	}
+}
+
+func TestCheckpointFoldsLogs(t *testing.T) {
+	dir := t.TempDir()
+	st := newTestStore(t, dir, 4, Options{Sync: wal.SyncOnCommit})
+	sch := st.DB().Schema()
+	p := sch.Relation("P")
+	a, b := keysOnShards(t, st)
+	if err := st.Apply(update.NewTranslation(
+		update.NewInsert(pt(t, p, a, "u")), update.NewInsert(pt(t, p, b, "u")),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint commit, recovered from the fresh logs.
+	if err := st.Apply(update.NewTranslation(update.NewInsert(pt(t, p, a+b+1, "v")))); err != nil {
+		t.Fatal(err)
+	}
+	want := render(st.DB())
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Open(dir, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if got := render(rec.DB()); got != want {
+		t.Fatalf("recovered %s, want %s", got, want)
+	}
+	rep := rec.Report()
+	if rep.Replayed != 1 || rep.Skipped != 0 {
+		t.Fatalf("report after checkpoint: %s, want 1 replayed (the post-checkpoint commit)", rep)
+	}
+	if rec.Seq() != 2 {
+		t.Fatalf("recovered seq %d, want 2 (checkpoint watermark covers seq 1)", rec.Seq())
+	}
+	checkPartition(t, rec)
+}
+
+// appendRecords writes raw records to shard i's WAL of a closed store —
+// the test's scalpel for constructing exact crash states.
+func appendRecords(t *testing.T, dir string, i int, recs ...wal.Record) {
+	t.Helper()
+	log, _, err := wal.OpenFile(filepath.Join(shardDir(dir, i), persist.WALFile), wal.SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := log.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatermarkSkip pins the crash-during-checkpoint window where a
+// shard's snapshot is fresh but its WAL was not yet truncated: records
+// at or below the snapshot watermark must be skipped, not re-applied.
+func TestWatermarkSkip(t *testing.T) {
+	dir := t.TempDir()
+	st := newTestStore(t, dir, 4, Options{Sync: wal.SyncOnCommit})
+	p := st.DB().Schema().Relation("P")
+	if err := st.Apply(update.NewTranslation(update.NewInsert(pt(t, p, 1, "u")))); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := render(st.DB())
+	home := st.Map().Of(pt(t, p, 1, "u"))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-append the already-snapshotted commit (seq 1 <= watermark 1).
+	// Without the skip, replay would hit a duplicate-key violation.
+	tr := update.NewTranslation(update.NewInsert(pt(t, p, 1, "u")))
+	appendRecords(t, dir, home, wal.EncodeTranslation(1, tr), wal.CommitRecord(1))
+	rec, err := Open(dir, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	rep := rec.Report()
+	if rep.Skipped != 1 || rep.Replayed != 0 {
+		t.Fatalf("report: %s, want 1 skipped 0 replayed", rep)
+	}
+	if got := render(rec.DB()); got != want {
+		t.Fatalf("recovered %s, want %s", got, want)
+	}
+}
+
+// TestRecoveryMatrix drives the 2PC recovery decision table record by
+// record: a prepare with a resolve marker commits, a prepare with a
+// decision on another shard's log commits, and an in-doubt prepare
+// (neither) rolls back under presumed abort.
+func TestRecoveryMatrix(t *testing.T) {
+	dir := t.TempDir()
+	st := newTestStore(t, dir, 4, Options{Sync: wal.SyncOnCommit})
+	p := st.DB().Schema().Relation("P")
+	a, b := keysOnShards(t, st)
+	sa, sb := st.Map().Of(pt(t, p, a, "u")), st.Map().Of(pt(t, p, b, "u"))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(k int64) *update.Translation {
+		return update.NewTranslation(update.NewInsert(pt(t, p, k, "u")))
+	}
+	// xid 1: cross-shard commit fully decided — resolve on sa, decision
+	// on coordinator sa reaches sb's prepare through the decision table.
+	appendRecords(t, dir, sa,
+		wal.PrepareRecord(1, "", sa, mk(a)),
+		wal.DecisionRecord(1),
+		wal.ResolveRecord(1))
+	appendRecords(t, dir, sb,
+		wal.PrepareRecord(1, "", sa, mk(b)))
+	// xid 2: in-doubt — prepare durable on sb, crash before decision.
+	appendRecords(t, dir, sb,
+		wal.PrepareRecord(2, "", sb, mk(b+sbDistinct(t, st, b))))
+
+	rec, err := Open(dir, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	rep := rec.Report()
+	if rep.PreparesCommitted != 2 || rep.PreparesAborted != 1 {
+		t.Fatalf("report: %s, want 2 prepares committed, 1 aborted", rep)
+	}
+	// The reopened store rebuilt its relations from the snapshots, so
+	// probe tuples must be built against the recovered schema.
+	rp := rec.DB().Schema().Relation("P")
+	if !rec.DB().Contains(pt(t, rp, a, "u")) || !rec.DB().Contains(pt(t, rp, b, "u")) {
+		t.Fatal("decided cross-shard commit lost")
+	}
+	if len(rec.DB().Tuples("P")) != 2 {
+		t.Fatalf("in-doubt prepare leaked: P holds %v", rec.DB().Tuples("P"))
+	}
+	if rec.Seq() != 2 {
+		t.Fatalf("recovered seq %d, want 2 (aborted xids stay burned)", rec.Seq())
+	}
+	checkPartition(t, rec)
+}
+
+// sbDistinct returns an offset o such that key b+o still lands on b's
+// shard (so the in-doubt prepare in the matrix test stays on sb) and
+// differs from every key already used.
+func sbDistinct(t *testing.T, st *Store, b int64) int64 {
+	t.Helper()
+	p := st.DB().Schema().Relation("P")
+	home := st.Map().Of(pt(t, p, b, "u"))
+	for o := int64(1); b+o < 999; o++ {
+		if st.Map().Of(pt(t, p, b+o, "u")) == home {
+			return o
+		}
+	}
+	t.Fatal("no colocated key found")
+	return 0
+}
+
+// TestOrphanPrune pins the fence's failure mode repair: a durable child
+// whose parent insert was applied on another shard but never became
+// durable must be pruned at recovery, leaving a consistent state.
+func TestOrphanPrune(t *testing.T) {
+	dir := t.TempDir()
+	st := newTestStore(t, dir, 4, Options{Sync: wal.SyncOnCommit})
+	sch := st.DB().Schema()
+	c := sch.Relation("C")
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A committed child insert referencing parent key 77 — which exists
+	// nowhere (its shard lost the unsynced parent in the crash).
+	child := ct(t, c, 5, 77)
+	home := st.Map().Of(child)
+	appendRecords(t, dir, home,
+		wal.EncodeTranslation(1, update.NewTranslation(update.NewInsert(child))),
+		wal.CommitRecord(1))
+	rec, err := Open(dir, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Report().OrphansPruned != 1 {
+		t.Fatalf("report: %s, want 1 orphan pruned", rec.Report())
+	}
+	if len(rec.DB().Tuples("C")) != 0 {
+		t.Fatal("orphaned child survived recovery")
+	}
+	if err := rec.DB().CheckAllInclusions(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashInsidePrepareWindow is the store-level acked-implies-durable
+// property: a failure injected between the prepare barrier and the
+// decision append must leave memory rolled back (the client was never
+// acked) and recovery must presume abort for the durable prepares.
+func TestCrashInsidePrepareWindow(t *testing.T) {
+	dir := t.TempDir()
+	st := newTestStore(t, dir, 4, Options{Sync: wal.SyncOnCommit})
+	p := st.DB().Schema().Relation("P")
+	a, b := keysOnShards(t, st)
+	baseline := render(st.DB())
+
+	boom := errors.New("power cut")
+	faultinject.Enable(faultinject.NewPlan(1).FailNth(faultinject.SiteShardPrepare, 1, boom))
+	defer faultinject.Disable()
+	err := st.Apply(update.NewTranslation(
+		update.NewInsert(pt(t, p, a, "u")), update.NewInsert(pt(t, p, b, "u")),
+	))
+	if !errors.Is(err, persist.ErrNotDurable) || !errors.Is(err, boom) {
+		t.Fatalf("apply across the crash window: %v, want ErrNotDurable wrapping the injected fault", err)
+	}
+	if got := render(st.DB()); got != baseline {
+		t.Fatalf("memory not rolled back: %s, want %s", got, baseline)
+	}
+	checkPartition(t, st)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Open(dir, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Report().PreparesAborted != 2 {
+		t.Fatalf("report: %s, want both durable prepares presumed aborted", rec.Report())
+	}
+	if got := render(rec.DB()); got != baseline {
+		t.Fatalf("recovered %s, want baseline %s", got, baseline)
+	}
+}
+
+// TestBrokenShardDegrades pins the journaling-failure contract: the
+// failing commit rolls back and reports not-durable, the shard is
+// marked broken, later commits touching it fail fast, commits on
+// healthy shards keep working, checkpoint refuses, and a restart
+// recovers the durable prefix.
+func TestBrokenShardDegrades(t *testing.T) {
+	dir := t.TempDir()
+	sch, _, _ := fkSchema(t)
+	probe, err := Create(dir, 4, storage.Open(sch), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := probe.DB().Schema().Relation("P")
+	a, b := keysOnShards(t, probe)
+	victim := probe.Map().Of(pt(t, p, a, "u"))
+	if err := probe.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := Open(dir, 4, Options{Sync: wal.SyncOnCommit, WrapWAL: func(i int, f wal.File) wal.File {
+		if i == victim {
+			return &faultinject.CrashWriter{W: f, Limit: 0}
+		}
+		return f
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reopened store rebuilt its relations from the snapshots.
+	p = st.DB().Schema().Relation("P")
+	// Healthy shard commits fine.
+	if err := st.Apply(update.NewTranslation(update.NewInsert(pt(t, p, b, "u")))); err != nil {
+		t.Fatal(err)
+	}
+	want := render(st.DB())
+	// Victim shard: first write crashes; memory must roll back.
+	err = st.Apply(update.NewTranslation(update.NewInsert(pt(t, p, a, "u"))))
+	if !errors.Is(err, persist.ErrNotDurable) {
+		t.Fatalf("apply on crashed shard: %v, want ErrNotDurable", err)
+	}
+	if render(st.DB()) != want {
+		t.Fatal("failed apply left memory state behind")
+	}
+	if st.Broken(victim) == nil || st.BrokenAny() == nil {
+		t.Fatal("victim shard not marked broken")
+	}
+	// Fail-fast on the broken shard, healthy shards still commit.
+	if err := st.Apply(update.NewTranslation(update.NewInsert(pt(t, p, a, "v")))); err == nil {
+		t.Fatal("apply on broken shard should fail fast")
+	}
+	if err := st.Apply(update.NewTranslation(update.NewInsert(pt(t, p, b+sbDistinct(t, st, b), "u")))); err != nil {
+		t.Fatalf("healthy shard after breakage: %v", err)
+	}
+	if err := st.Checkpoint(); err == nil {
+		t.Fatal("checkpoint on a broken fleet should refuse")
+	}
+	want = render(st.DB())
+	st.Close()
+
+	rec, err := Open(dir, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if got := render(rec.DB()); got != want {
+		t.Fatalf("recovered %s, want the committed prefix %s", got, want)
+	}
+}
+
+// TestKeysByShard checks idempotency-key recovery is per shard and in
+// log order, across both plain commits and resolved prepares.
+func TestKeysByShard(t *testing.T) {
+	dir := t.TempDir()
+	st := newTestStore(t, dir, 2, Options{})
+	p := st.DB().Schema().Relation("P")
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var k0, k1 int64 = -1, -1
+	for k := int64(0); k < 500 && (k0 < 0 || k1 < 0); k++ {
+		if st.Map().Of(pt(t, p, k, "u")) == 0 && k0 < 0 {
+			k0 = k
+		} else if st.Map().Of(pt(t, p, k, "u")) == 1 && k1 < 0 {
+			k1 = k
+		}
+	}
+	appendRecords(t, dir, 0,
+		wal.EncodeTranslationKeyed(1, "alpha", update.NewTranslation(update.NewInsert(pt(t, p, k0, "u")))),
+		wal.CommitRecord(1))
+	appendRecords(t, dir, 1,
+		wal.PrepareRecord(2, "beta", 1, update.NewTranslation(update.NewInsert(pt(t, p, k1, "u")))),
+		wal.ResolveRecord(2))
+	rec, err := Open(dir, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	keys := rec.KeysByShard()
+	if len(keys[0]) != 1 || keys[0][0] != "alpha" {
+		t.Fatalf("shard 0 keys = %v, want [alpha]", keys[0])
+	}
+	if len(keys[1]) != 1 || keys[1][0] != "beta" {
+		t.Fatalf("shard 1 keys = %v, want [beta]", keys[1])
+	}
+}

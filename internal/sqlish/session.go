@@ -35,6 +35,12 @@ type Session struct {
 	explain   bool                              // render explain traces for view updates
 	store     *persist.Store                    // durable store, when attached
 	tx        *txState                          // open transaction, when any
+
+	// External engine hooks (see hooks.go). applier replaces the
+	// non-transactional durable apply path; schemaChanged fires after
+	// DDL grows the schema. Both are nil in plain sessions.
+	applier       func(*update.Translation) error
+	schemaChanged func() error
 }
 
 // ErrExists reports that a CREATE names a domain, table or view that is
@@ -326,6 +332,10 @@ func (s *Session) execCreateTable(st CreateTable) (string, error) {
 	// the log into a fresh snapshot that includes the new table.
 	if s.store != nil {
 		if err := s.store.Checkpoint(); err != nil {
+			return "", err
+		}
+	} else if s.schemaChanged != nil {
+		if err := s.schemaChanged(); err != nil {
 			return "", err
 		}
 	}

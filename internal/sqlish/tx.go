@@ -29,14 +29,17 @@ func (s *Session) cur() *storage.Database {
 }
 
 // applyTr applies a translation at the right level: the staged clone
-// inside a transaction, the durable store when one is attached, the
-// plain in-memory database otherwise.
+// inside a transaction, the durable store (or an installed external
+// applier) otherwise, the plain in-memory database as the fallback.
 func (s *Session) applyTr(tr *update.Translation) error {
 	if s.tx != nil {
 		return s.tx.staged.Apply(tr)
 	}
 	if s.store != nil {
 		return s.store.Apply(tr)
+	}
+	if s.applier != nil {
+		return s.applier(tr)
 	}
 	return s.db.Apply(tr)
 }
@@ -108,6 +111,8 @@ func (s *Session) execCommit() (string, error) {
 	}
 	if s.store != nil {
 		err = s.store.Apply(diff)
+	} else if s.applier != nil {
+		err = s.applier(diff)
 	} else {
 		err = s.db.Apply(diff)
 	}

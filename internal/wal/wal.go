@@ -11,7 +11,7 @@
 //	[payload  JSON-encoded Record]
 //
 // Each frame is written with a single Write call, so a crash tears at
-// most the last frame. Two record kinds exist: a translation record
+// most the last frame. The core record kinds are a translation record
 // (sequence number plus the translation's operations, with every tuple
 // value in its canonical text encoding) and a commit marker carrying
 // just the sequence number. The commit protocol is
@@ -20,6 +20,12 @@
 //
 // so a translation record without a later commit marker is, by
 // construction, uncommitted and is discarded at recovery.
+//
+// Three further kinds serve the sharded engine's two-phase commit
+// (internal/shard): a prepare record journals one participant's slice
+// of a cross-shard commit, a decision record on the coordinator shard
+// marks it committed, and a resolve marker lazily settles a prepare in
+// place. See CommittedWith for how recovery resolves them.
 //
 // # Torn tails
 //
@@ -40,6 +46,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -58,11 +65,39 @@ const (
 	// KindCommit marks the translation with the same Seq as durably
 	// applied.
 	KindCommit = 2
+	// KindPrepare journals one participant's slice of a cross-shard
+	// commit (see internal/shard): the ops this shard applies, the
+	// idempotency key, and the coordinator shard index. A prepare is
+	// provisional — it commits only if a KindDecision record with the
+	// same Seq exists on the coordinator (or a later KindResolve marker
+	// on this log), and is otherwise presumed aborted at recovery.
+	KindPrepare = 3
+	// KindDecision, written on the coordinator shard's log after every
+	// participant's prepare is durable, marks the cross-shard commit
+	// with the same Seq as committed. Abort decisions are never
+	// journaled: no decision means abort (presumed abort).
+	KindDecision = 4
+	// KindResolve is a lazy completion marker appended to a
+	// participant's log after the decision is durable, so that shard's
+	// recovery can resolve the prepare locally instead of consulting
+	// the coordinator. It carries no durability requirement of its own
+	// and never triggers a sync.
+	KindResolve = 5
 )
 
 // MaxRecordSize bounds a frame payload; Scan treats larger claimed
 // lengths as corruption rather than allocating unbounded memory.
 const MaxRecordSize = 1 << 26
+
+// kindNeedsSync reports whether a record of the given kind acts as a
+// durability point under SyncOnCommit. Commit markers do (the classic
+// group-commit barrier); prepare and decision records do too — the 2PC
+// protocol's correctness ("acked implies durable on every participant")
+// rests on each being on media before the protocol advances. Resolve
+// markers are pure hints and explicitly do not.
+func kindNeedsSync(kind int) bool {
+	return kind == KindCommit || kind == KindPrepare || kind == KindDecision
+}
 
 // ErrSealed marks a log that suffered an append failure it could not
 // repair: the media may hold a partial frame, and appending after it
@@ -92,12 +127,15 @@ type Record struct {
 	Seq  uint64     `json:"seq"`
 	Kind int        `json:"kind"`
 	Ops  []OpRecord `json:"ops,omitempty"`
-	// Key is the client-supplied idempotency key of a translation
-	// record, when the commit carried one. Recovery replays keys into
-	// the serving layer's dedup table, so a client retrying an
-	// ambiguous ack across a crash still gets the original outcome
+	// Key is the client-supplied idempotency key of a translation or
+	// prepare record, when the commit carried one. Recovery replays
+	// keys into the serving layer's dedup table, so a client retrying
+	// an ambiguous ack across a crash still gets the original outcome
 	// instead of a double apply.
 	Key string `json:"id,omitempty"`
+	// Coord is the coordinator shard index of a prepare record: the
+	// shard whose log holds (or would hold) the decision for this Seq.
+	Coord int `json:"coord,omitempty"`
 }
 
 // SyncPolicy controls when the log calls Sync on its media.
@@ -277,7 +315,7 @@ func (l *Log) Append(rec Record) error {
 	}
 	l.off += int64(len(frame))
 	obs.Inc("wal.append")
-	if l.policy == SyncAlways || (l.policy == SyncOnCommit && rec.Kind == KindCommit) {
+	if l.policy == SyncAlways || (l.policy == SyncOnCommit && kindNeedsSync(rec.Kind)) {
 		if _, err := l.syncTimedLocked(); err != nil {
 			// After a failed durability barrier the fate of every
 			// unsynced byte is unknown; no truncate can re-prove the
@@ -368,7 +406,7 @@ func (l *Log) AppendBatchStats(recs []Record) (BatchStats, error) {
 			return stats, err
 		}
 		buf = append(buf, frame...)
-		if rec.Kind == KindCommit {
+		if kindNeedsSync(rec.Kind) {
 			hasCommit = true
 		}
 	}
@@ -558,6 +596,67 @@ func (r *ScanResult) Committed() (committed []Record, discarded int) {
 	return committed, len(pending)
 }
 
+// Decisions returns the set of sequence numbers with a KindDecision
+// record in the scanned prefix. A cross-shard recovery unions the
+// decision sets of every shard's log before resolving prepares.
+func (r *ScanResult) Decisions() map[uint64]bool {
+	var out map[uint64]bool
+	for _, rec := range r.Records {
+		if rec.Kind == KindDecision {
+			if out == nil {
+				out = make(map[uint64]bool)
+			}
+			out[rec.Seq] = true
+		}
+	}
+	return out
+}
+
+// CommittedWith is Committed extended with cross-shard prepares: a
+// prepare record commits if a KindResolve marker with the same Seq
+// follows it in this log, or if decisions — the union of KindDecision
+// seqs across every shard — contains its Seq. Prepares satisfying
+// neither are in-doubt and, under presumed abort, discarded; inDoubt
+// counts them separately from ordinary uncommitted translations.
+// Records are returned in log order (the caller merges shards and
+// orders globally by Seq).
+func (r *ScanResult) CommittedWith(decisions map[uint64]bool) (committed []Record, discarded, inDoubt int) {
+	pending := make(map[uint64]Record)
+	prepared := make(map[uint64]Record)
+	var order []Record
+	settle := func(rec Record) { order = append(order, rec) }
+	for _, rec := range r.Records {
+		switch rec.Kind {
+		case KindTranslation:
+			pending[rec.Seq] = rec
+		case KindCommit:
+			if tr, ok := pending[rec.Seq]; ok {
+				settle(tr)
+				delete(pending, rec.Seq)
+			}
+		case KindPrepare:
+			prepared[rec.Seq] = rec
+		case KindResolve:
+			if p, ok := prepared[rec.Seq]; ok {
+				settle(p)
+				delete(prepared, rec.Seq)
+			}
+		}
+	}
+	for seq, p := range prepared {
+		if decisions[seq] {
+			settle(p)
+			delete(prepared, seq)
+		}
+	}
+	// settle appended resolve-time and decision-time commits out of log
+	// order for the decision stragglers; restore record order by Seq
+	// within this log (seqs are globally monotone, so Seq order is log
+	// order for one shard's committed set).
+	sort.Slice(order, func(i, j int) bool { return order[i].Seq < order[j].Seq })
+	return order, len(pending), len(prepared)
+}
+
 // MaxSeq returns the highest sequence number in the scanned prefix (0
 // for an empty log).
 func (r *ScanResult) MaxSeq() uint64 {
@@ -579,22 +678,42 @@ func EncodeTranslation(seq uint64, tr *update.Translation) Record {
 // EncodeTranslationKeyed is EncodeTranslation stamping the record with
 // a client-supplied idempotency key (empty means none).
 func EncodeTranslationKeyed(seq uint64, key string, tr *update.Translation) Record {
-	rec := Record{Seq: seq, Kind: KindTranslation, Key: key}
+	return Record{Seq: seq, Kind: KindTranslation, Key: key, Ops: encodeOps(tr)}
+}
+
+func encodeOps(tr *update.Translation) []OpRecord {
+	var out []OpRecord
 	for _, o := range tr.Ops() {
 		switch o.Kind {
 		case update.Insert:
-			rec.Ops = append(rec.Ops, OpRecord{Kind: "i", Rel: o.RelationName(), Vals: encodeVals(o.Tuple)})
+			out = append(out, OpRecord{Kind: "i", Rel: o.RelationName(), Vals: encodeVals(o.Tuple)})
 		case update.Delete:
-			rec.Ops = append(rec.Ops, OpRecord{Kind: "d", Rel: o.RelationName(), Vals: encodeVals(o.Tuple)})
+			out = append(out, OpRecord{Kind: "d", Rel: o.RelationName(), Vals: encodeVals(o.Tuple)})
 		case update.Replace:
-			rec.Ops = append(rec.Ops, OpRecord{Kind: "r", Rel: o.RelationName(), Old: encodeVals(o.Old), New: encodeVals(o.New)})
+			out = append(out, OpRecord{Kind: "r", Rel: o.RelationName(), Old: encodeVals(o.Old), New: encodeVals(o.New)})
 		}
 	}
-	return rec
+	return out
 }
 
 // CommitRecord builds the commit marker for seq.
 func CommitRecord(seq uint64) Record { return Record{Seq: seq, Kind: KindCommit} }
+
+// PrepareRecord builds one participant's prepare record of a
+// cross-shard commit: the ops that participant applies, the client's
+// idempotency key (empty means none), and the coordinator shard whose
+// log will carry the decision. All participants of one cross-shard
+// commit share the same (globally allocated) seq.
+func PrepareRecord(seq uint64, key string, coord int, part *update.Translation) Record {
+	return Record{Seq: seq, Kind: KindPrepare, Key: key, Coord: coord, Ops: encodeOps(part)}
+}
+
+// DecisionRecord builds the commit decision for the cross-shard commit
+// with the given seq.
+func DecisionRecord(seq uint64) Record { return Record{Seq: seq, Kind: KindDecision} }
+
+// ResolveRecord builds the lazy resolution marker for seq.
+func ResolveRecord(seq uint64) Record { return Record{Seq: seq, Kind: KindResolve} }
 
 func encodeVals(t tuple.T) []string {
 	vals := t.Values()
@@ -605,13 +724,14 @@ func encodeVals(t tuple.T) []string {
 	return out
 }
 
-// DecodeTranslation rebuilds the translation journaled in rec against
-// sch. It fails on unknown relations, arity mismatches, or values that
-// do not decode or fall outside their domains — a record that passed
-// its checksum but disagrees with the schema indicates corruption or a
-// snapshot/WAL mismatch.
+// DecodeTranslation rebuilds the translation journaled in rec — a
+// translation record or a cross-shard prepare — against sch. It fails
+// on unknown relations, arity mismatches, or values that do not decode
+// or fall outside their domains — a record that passed its checksum but
+// disagrees with the schema indicates corruption or a snapshot/WAL
+// mismatch.
 func DecodeTranslation(sch *schema.Database, rec Record) (*update.Translation, error) {
-	if rec.Kind != KindTranslation {
+	if rec.Kind != KindTranslation && rec.Kind != KindPrepare {
 		return nil, fmt.Errorf("wal: record seq %d is not a translation", rec.Seq)
 	}
 	tr := update.NewTranslation()
