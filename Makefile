@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race race-core soak chaos-soak bench bench-obs obs-bench bench-translate bench-ivm bench-shard serve-bench metrics-smoke clean
+.PHONY: all build test check vet fmt race race-core soak chaos-soak bench bench-obs obs-bench bench-translate bench-ivm bench-shard serve-bench bench-wire metrics-smoke clean
 
 all: build
 
@@ -134,23 +134,46 @@ bench-shard:
 	$(GO) test -bench 'BenchmarkShardScale' -run '^$$' -benchtime 2000x -timeout 900s .
 	@cat BENCH_shard.json
 
-# serve-bench boots vuserved on a scratch store, drives it with vuload
-# (8 clients, wire-level inserts/replaces/deletes) and emits
-# BENCH_server.json: throughput, p50/p99 latency, conflict/overload
-# rates, and the group-commit evidence (commits per fsync must exceed 1
-# or the target fails — see docs/SERVING.md).
+# serve-bench boots vuserved on a scratch store and drives it with
+# vuload in two phases, each against a fresh store. Phase 1 (idle): one
+# client, no queueing — the latency floor; a solo commit never waits
+# for the batch window, so this pins the unloaded p50 the adaptive
+# batcher must not regress. Phase 2 (loaded): 8 clients with a 1ms
+# batch window — emits BENCH_server.json with throughput, latency
+# quantiles, per-stage breakdowns, connection reuse, and the
+# group-commit evidence, and fails unless batch-size p99 and
+# commits/fsync both reach 4 (see docs/SERVING.md and
+# docs/PERFORMANCE.md).
 serve-bench:
 	$(GO) build -o /tmp/vuserved-bench ./cmd/vuserved
 	$(GO) build -o /tmp/vuload-bench ./cmd/vuload
 	@rm -rf /tmp/vuserved-bench-data; \
 	/tmp/vuserved-bench -addr 127.0.0.1:18099 -data /tmp/vuserved-bench-data -log-level warn & \
 	SRV=$$!; sleep 1; \
-	/tmp/vuload-bench -addr http://127.0.0.1:18099 -clients 8 -requests 200 \
-		-out BENCH_server.json -assert-batching; RC=$$?; \
+	/tmp/vuload-bench -addr http://127.0.0.1:18099 -clients 1 -requests 200 \
+		-out BENCH_server_idle.json; RC=$$?; \
 	kill -TERM $$SRV 2>/dev/null; wait $$SRV 2>/dev/null; \
+	rm -rf /tmp/vuserved-bench-data; \
+	if [ $$RC -eq 0 ]; then \
+		/tmp/vuserved-bench -addr 127.0.0.1:18099 -data /tmp/vuserved-bench-data \
+			-log-level warn -batch-delay 1ms & \
+		SRV=$$!; sleep 1; \
+		/tmp/vuload-bench -addr http://127.0.0.1:18099 -clients 8 -requests 200 \
+			-out BENCH_server.json -assert-batching \
+			-min-batch-p99 4 -min-commits-per-sync 4; RC=$$?; \
+		kill -TERM $$SRV 2>/dev/null; wait $$SRV 2>/dev/null; \
+	fi; \
 	rm -rf /tmp/vuserved-bench-data /tmp/vuserved-bench /tmp/vuload-bench; \
 	exit $$RC
 	@cat BENCH_server.json
+
+# bench-wire runs the pooled wire-codec microbenchmarks — decode,
+# encode, and full round trip with allocation counts. The allocs/op
+# ceilings themselves are pinned by the codec regression tests in
+# internal/server (skipped under -race, whose instrumentation inflates
+# allocation counts).
+bench-wire:
+	$(GO) test -bench 'BenchmarkWire' -run '^$$' -benchtime 2000x ./internal/server/
 
 # metrics-smoke boots an in-memory vuserved, exercises one update, and
 # fails unless /metrics serves every required family, /debug/slow serves

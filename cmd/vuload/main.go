@@ -24,6 +24,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/http/httptrace"
 	"os"
 	"strconv"
 	"strings"
@@ -47,16 +48,48 @@ type benchReport struct {
 	Throughput float64               `json:"throughput_rps"`
 	Latency    obs.HistogramSnapshot `json:"latency_ns"`
 	Rates      benchRates            `json:"rates"`
+	Client     clientStats           `json:"client"`
 	Server     serverStats           `json:"server"`
 }
 
+// benchConfig records everything needed to compare runs across PRs:
+// the workload shape plus the server build's batching knobs and
+// GOMAXPROCS, scraped from /healthz at run start.
 type benchConfig struct {
-	Addr     string  `json:"addr"`
-	Clients  int     `json:"clients"`
-	Requests int     `json:"requests_per_client"`
-	Keys     int64   `json:"keys"`
-	HotFrac  float64 `json:"hot_frac"`
-	Seed     int64   `json:"seed"`
+	Addr       string  `json:"addr"`
+	Clients    int     `json:"clients"`
+	Requests   int     `json:"requests_per_client"`
+	Keys       int64   `json:"keys"`
+	HotFrac    float64 `json:"hot_frac"`
+	Seed       int64   `json:"seed"`
+	MaxBatch   int     `json:"max_batch"`
+	BatchDelay int64   `json:"batch_delay_ns"`
+	GoMaxProcs int     `json:"server_gomaxprocs"`
+}
+
+// clientStats is the connection-reuse evidence from httptrace: a
+// healthy keep-alive run dials about one connection per client and
+// reuses it for everything else. A reuse fraction near zero means the
+// client is paying a dial (and its latency) per request and the
+// throughput number measures the dialer, not the server.
+type clientStats struct {
+	ConnsDialed   int64   `json:"conns_dialed"`
+	ConnsReused   int64   `json:"conns_reused"`
+	ReuseFraction float64 `json:"reuse_fraction"`
+}
+
+// connCounts feeds clientStats; GotConn fires once per request with
+// the connection's provenance.
+var connCounts struct{ dialed, reused atomic.Int64 }
+
+var connTrace = &httptrace.ClientTrace{
+	GotConn: func(info httptrace.GotConnInfo) {
+		if info.Reused {
+			connCounts.reused.Add(1)
+		} else {
+			connCounts.dialed.Add(1)
+		}
+	},
 }
 
 type benchRates struct {
@@ -114,9 +147,21 @@ func main() {
 	assertBatching := flag.Bool("assert-batching", false, "exit 1 unless group commit averaged >1 commit per fsync")
 	chaos := flag.Bool("chaos", false, "chaos mode: idempotent keyed inserts, retry-through-outage, ack verification; writes BENCH_chaos.json")
 	opTimeout := flag.Duration("op-timeout", 60*time.Second, "chaos mode: per-operation retry budget (must cover the server outage)")
+	minBatchP99 := flag.Int64("min-batch-p99", 0, "exit 1 unless the server's batch_size_p99 reaches this")
+	minCommitsPerSync := flag.Float64("min-commits-per-sync", 0, "exit 1 unless commits/fsync reaches this")
 	flag.Parse()
 
-	hc := &http.Client{Timeout: 30 * time.Second}
+	// One keep-alive pool sized for the fleet: the default transport
+	// caps idle connections at 2 per host, so anything beyond 2 clients
+	// would dial (and slow-start) on nearly every request.
+	hc := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        2 * *clients,
+			MaxIdleConnsPerHost: 2 * *clients,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
 	if *setup {
 		if err := runSetup(hc, *addr, *keys); err != nil {
 			fmt.Fprintln(os.Stderr, "setup:", err)
@@ -168,11 +213,22 @@ func main() {
 		os.Exit(1)
 	}
 
-	rep := buildReport(benchConfig{
+	cfg := benchConfig{
 		Addr: *addr, Clients: *clients, Requests: *requests,
 		Keys: *keys, HotFrac: *hotFrac, Seed: *seed,
-	}, elapsed, lat, &cnt, before, after)
+	}
+	if h, err := scrapeHealth(hc, *addr); err == nil {
+		cfg.MaxBatch, cfg.BatchDelay, cfg.GoMaxProcs = h.MaxBatch, h.BatchDelayNS, h.GoMaxProcs
+	} else {
+		fmt.Fprintln(os.Stderr, "healthz:", err)
+	}
+	rep := buildReport(cfg, elapsed, lat, &cnt, before, after)
 	rep.Server.Stages = stageBreakdowns(promBefore, promAfter)
+	rep.Client.ConnsDialed = connCounts.dialed.Load()
+	rep.Client.ConnsReused = connCounts.reused.Load()
+	if total := rep.Client.ConnsDialed + rep.Client.ConnsReused; total > 0 {
+		rep.Client.ReuseFraction = float64(rep.Client.ConnsReused) / float64(total)
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -188,6 +244,9 @@ func main() {
 		rep.OK, rep.Sent, elapsed.Round(time.Millisecond), rep.Throughput,
 		time.Duration(rep.Latency.P50), time.Duration(rep.Latency.P99),
 		time.Duration(rep.Latency.P999), rep.Server.CommitsPerSync)
+	fmt.Printf("vuload: conns dialed %d reused %d (%.1f%% reuse), batch p99 %d max %d\n",
+		rep.Client.ConnsDialed, rep.Client.ConnsReused, 100*rep.Client.ReuseFraction,
+		rep.Server.BatchSizeP99, rep.Server.BatchSizeMax)
 	for _, name := range pipelineStages {
 		if st, ok := rep.Server.Stages[name]; ok && st.Count > 0 {
 			fmt.Printf("vuload:   stage %-9s n=%-6d p50 %-10s p99 %s\n",
@@ -198,6 +257,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vuload: group commit did not batch (%.2f commits/fsync)\n", rep.Server.CommitsPerSync)
 		os.Exit(1)
 	}
+	if *minBatchP99 > 0 && rep.Server.BatchSizeP99 < *minBatchP99 {
+		fmt.Fprintf(os.Stderr, "vuload: batch_size_p99 %d below floor %d\n", rep.Server.BatchSizeP99, *minBatchP99)
+		os.Exit(1)
+	}
+	if *minCommitsPerSync > 0 && rep.Server.CommitsPerSync < *minCommitsPerSync {
+		fmt.Fprintf(os.Stderr, "vuload: %.2f commits/fsync below floor %.2f\n", rep.Server.CommitsPerSync, *minCommitsPerSync)
+		os.Exit(1)
+	}
+}
+
+// healthKnobs is the slice of /healthz this tool records into the
+// bench config block.
+type healthKnobs struct {
+	MaxBatch     int   `json:"max_batch"`
+	BatchDelayNS int64 `json:"batch_delay_ns"`
+	GoMaxProcs   int   `json:"gomaxprocs"`
+}
+
+// scrapeHealth fetches the server's batching knobs from /healthz.
+func scrapeHealth(hc *http.Client, addr string) (healthKnobs, error) {
+	var h healthKnobs
+	resp, err := hc.Get(addr + "/healthz")
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	return h, json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h)
 }
 
 func buildReport(cfg benchConfig, elapsed time.Duration, lat *obs.Histogram, cnt *counters, before, after obs.Snapshot) benchReport {
@@ -252,6 +338,14 @@ func runSetup(hc *http.Client, addr string, keys int64) error {
 		"CREATE DOMAIN LocDom AS STRING ('New York', 'San Francisco', 'Austin');",
 		"CREATE TABLE EMP (EmpNo KeyDom, Location LocDom, PRIMARY KEY (EmpNo));",
 		"CREATE VIEW NY AS SELECT * FROM EMP WHERE Location = 'New York';",
+		// Pin in-place translation classes. The default pick-first
+		// policy orders candidates by canonical encoding, which ranks a
+		// key-moving replace's R-4 (insert new + flip old out of the
+		// view) ahead of R-2 (replace in place): semantically fine, but
+		// every R-4 leaks the flipped tuple into the base table, so a
+		// steady-state workload grows the base without bound and the
+		// snapshot copy-on-write pays O(leaked rows) per publish.
+		"SET POLICY NY PREFER 'R-1', 'R-2', 'I-1', 'D-1';",
 	}
 	for _, stmt := range stmts {
 		body, _ := json.Marshal(map[string]string{"script": stmt})
@@ -445,8 +539,15 @@ func issue(hc *http.Client, url string, body map[string]any, lat *obs.Histogram,
 	payload, _ := json.Marshal(body)
 	for attempt := 0; ; attempt++ {
 		cnt.sent.Add(1)
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+		if err != nil {
+			cnt.failed.Add(1)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req = req.WithContext(httptrace.WithClientTrace(req.Context(), connTrace))
 		start := time.Now()
-		resp, err := hc.Post(url, "application/json", bytes.NewReader(payload))
+		resp, err := hc.Do(req)
 		lat.Observe(int64(time.Since(start)))
 		if err != nil {
 			cnt.failed.Add(1)

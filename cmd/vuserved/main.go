@@ -48,6 +48,7 @@ func main() {
 	syncMode := flag.String("sync", "commit", "WAL sync policy: commit|always|never")
 	maxInFlight := flag.Int("max-in-flight", 64, "bounded commit queue; beyond it requests get 429")
 	maxBatch := flag.Int("max-batch", 32, "max commits per group-commit WAL append")
+	batchDelay := flag.Duration("batch-delay", 200*time.Microsecond, "adaptive group-commit window: max wait for more commits before fsync under load (0 disables; idle commits never wait)")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
@@ -77,12 +78,19 @@ func main() {
 		script = string(data)
 	}
 
+	// The flag's 0 means "no window"; the Config encodes that as a
+	// negative delay (its own 0 means "default").
+	delay := *batchDelay
+	if delay <= 0 {
+		delay = -1
+	}
 	eng, err := server.NewEngine(server.Config{
 		Dir:            *data,
 		Shards:         *shards,
 		Sync:           pol,
 		MaxInFlight:    *maxInFlight,
 		MaxBatch:       *maxBatch,
+		MaxBatchDelay:  delay,
 		RequestTimeout: *timeout,
 		Logger:         logger,
 		EnablePprof:    *enablePprof,
@@ -114,7 +122,8 @@ func main() {
 
 	slog.Info("serving", "addr", *addr, "data", *data, "shards", *shards,
 		"sync", pol.String(), "max_in_flight", *maxInFlight,
-		"max_batch", *maxBatch, "pprof", *enablePprof)
+		"max_batch", *maxBatch, "batch_delay", batchDelay.String(),
+		"pprof", *enablePprof)
 	err = srv.ListenAndServe()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		slog.Error("serve", "err", err)

@@ -157,6 +157,11 @@ func Run(cfg Config) (*Report, error) {
 	var armed *faultinject.ArmedCrashWriter
 	eng, err := server.NewEngine(server.Config{
 		Dir: cfg.Dir, MaxInFlight: 16, MaxBatch: 8,
+		// Much wider than the production default: with the window larger
+		// than the workload's inter-arrival estimate, the committer opens
+		// it on nearly every gather, so the mid-window kill scenarios
+		// reach SiteServerBatchWindow reliably on any scheduler timing.
+		MaxBatchDelay:   2 * time.Millisecond,
 		RequestTimeout:  2 * time.Second,
 		BreakerCooldown: time.Minute, // stay browned out once tripped
 		WrapWAL: func(f wal.File) wal.File {

@@ -24,6 +24,11 @@ func TestChaosSoak(t *testing.T) {
 		{"wal-append", faultinject.SiteWALAppend, 10, 4},
 		{"wal-sync", faultinject.SiteWALSync, 3, 5},
 		{"publish", faultinject.SiteServerPublish, 3, 6},
+		// Crash while the committer holds gathered commits inside an open
+		// batching window: nothing is applied or journaled yet, so every
+		// windowed commit must resolve as absent-or-atomic on retry.
+		{"batch-window", faultinject.SiteServerBatchWindow, 2, 9},
+		{"batch-window-alt", faultinject.SiteServerBatchWindow, 5, 10},
 		// A second seed on the WAL sites varies the surviving byte
 		// prefix, exercising different torn-tail shapes at recovery.
 		{"wal-append-alt", faultinject.SiteWALAppend, 17, 7},

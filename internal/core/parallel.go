@@ -6,37 +6,61 @@ import (
 	"sync/atomic"
 )
 
-// runParallel executes fn(0) … fn(n-1) on a bounded worker pool of at
-// most GOMAXPROCS goroutines, returning when all calls are done. Work
-// is handed out by an atomic counter, so workers stay busy regardless
-// of per-item cost; callers keep determinism by writing results into
-// index i of a pre-sized slice. For n <= 1 (or a single-processor
-// GOMAXPROCS) the calls run inline on the caller's goroutine.
-func runParallel(n int, fn func(int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+// workerTokens is the package-global budget of extra worker goroutines
+// shared by every concurrent runParallel call. Each call always works
+// on its own goroutine; tokens only gate the additional workers it may
+// spawn. Sizing the budget at GOMAXPROCS-1 means the whole process —
+// one translation or fifty concurrent ones — runs candidate judging on
+// at most GOMAXPROCS busy goroutines plus the callers themselves,
+// instead of each call privately assuming it owns the machine and
+// oversubscribing the scheduler under serving load.
+var workerTokens = func() chan struct{} {
+	n := runtime.GOMAXPROCS(0) - 1
+	if n < 0 {
+		n = 0
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
+	return make(chan struct{}, n)
+}()
+
+// runParallel executes fn(0) … fn(n-1) and returns when all calls are
+// done. The caller's goroutine always participates, so a call makes
+// progress even with the global budget exhausted; extra workers are
+// spawned only by non-blocking token acquisition (never waited for —
+// a loaded system degrades to inline execution, not to queuing).
+// Work is handed out by an atomic counter, so workers stay busy
+// regardless of per-item cost; callers keep determinism by writing
+// results into index i of a pre-sized slice.
+func runParallel(n int, fn func(int)) {
+	if n <= 0 {
 		return
 	}
 	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
 			}
-		}()
+			fn(i)
+		}
 	}
+	var wg sync.WaitGroup
+spawn:
+	for extra := 0; extra < n-1; extra++ {
+		select {
+		case workerTokens <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-workerTokens
+					wg.Done()
+				}()
+				run()
+			}()
+		default:
+			break spawn
+		}
+	}
+	run()
 	wg.Wait()
 }

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// runParallel must visit every index exactly once whatever the budget
+// state, including the inline-only degenerate cases.
+func TestRunParallelVisitsAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		seen := make([]atomic.Int32, n)
+		runParallel(n, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d visited %d times, want 1", n, i, got)
+			}
+		}
+	}
+}
+
+// The global budget must hold across concurrent calls: with K callers
+// racing, total busy workers may not exceed K inline goroutines plus
+// the GOMAXPROCS-1 shared tokens. The pre-budget pool would have
+// allowed K×GOMAXPROCS.
+func TestRunParallelGlobalBudget(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 2 {
+		t.Skip("needs GOMAXPROCS >= 2 to observe extra workers")
+	}
+	const callers = 8
+	const perCall = 64
+	limit := int32(callers + procs - 1)
+
+	var busy, peak atomic.Int32
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runParallel(perCall, func(int) {
+				now := busy.Add(1)
+				for {
+					p := peak.Load()
+					if now <= p || peak.CompareAndSwap(p, now) {
+						break
+					}
+				}
+				time.Sleep(200 * time.Microsecond)
+				busy.Add(-1)
+			})
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > limit {
+		t.Fatalf("observed %d concurrent workers across %d callers, budget allows at most %d", got, callers, limit)
+	}
+}
+
+// A solo call with a free budget must actually fan out — the budget
+// bounds oversubscription, it must not serialize the common case.
+func TestRunParallelUsesBudgetWhenFree(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 2 {
+		t.Skip("needs GOMAXPROCS >= 2 to observe extra workers")
+	}
+	var busy, peak atomic.Int32
+	runParallel(procs*4, func(int) {
+		now := busy.Add(1)
+		for {
+			p := peak.Load()
+			if now <= p || peak.CompareAndSwap(p, now) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		busy.Add(-1)
+	})
+	if got := peak.Load(); got < 2 {
+		t.Fatalf("peak concurrency %d, want >= 2 (budget tokens unused)", got)
+	}
+}
+
+// Every token taken must come back: after any mix of calls the channel
+// is drainable to empty, so a leak would starve later callers into
+// permanent inline execution.
+func TestRunParallelReturnsTokens(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		runParallel(16, func(int) {})
+	}
+	if len(workerTokens) != 0 {
+		t.Fatalf("%d tokens still held after all calls returned", len(workerTokens))
+	}
+	if cap(workerTokens) > 0 {
+		select {
+		case workerTokens <- struct{}{}:
+			<-workerTokens
+		default:
+			t.Fatal("worker token budget exhausted after idle: tokens leaked")
+		}
+	}
+}

@@ -52,8 +52,22 @@ type Verifier struct {
 // NewVerifier materializes the view and the requested view state once
 // and returns a verifier for candidates of r against v over src.
 func NewVerifier(src storage.Source, v view.View, r Request) *Verifier {
+	return NewVerifierWithBefore(src, v, r, nil)
+}
+
+// NewVerifierWithBefore is NewVerifier taking a precomputed
+// materialization of v over src. Callers that already hold the view's
+// current state — the serving engine memoizes one per snapshot version
+// — pass it here to skip the per-verifier Materialize, which otherwise
+// dominates the verify cost. before must equal v.Materialize(src); it
+// is treated as shared and never mutated (every evaluation path copies
+// before editing). nil falls back to materializing.
+func NewVerifierWithBefore(src storage.Source, v view.View, r Request, before *tuple.Set) *Verifier {
 	vf := &Verifier{src: src, v: v, r: r}
-	vf.before = v.Materialize(src)
+	if before == nil {
+		before = v.Materialize(src)
+	}
+	vf.before = before
 	vf.want, vf.wantErr = r.ApplyToViewSet(vf.before)
 	switch vv := v.(type) {
 	case *view.SP:

@@ -380,3 +380,56 @@ func TestTraceByteIdenticalUnderParallelism(t *testing.T) {
 		})
 	}
 }
+
+// TestVerifierWithBeforeAgreesAndSharesSafely pins the contract of
+// NewVerifierWithBefore: judged with a caller-supplied materialization
+// (the serving engine hands in its per-snapshot cached set), every
+// candidate gets the identical verdict and side effects as the
+// materialize-it-yourself constructor, and the supplied set comes back
+// untouched — the verifier must treat it as shared, copy-on-write.
+func TestVerifierWithBeforeAgreesAndSharesSafely(t *testing.T) {
+	e := fixtures.NewEmp(12)
+	checked := 0
+	for seed := int64(100); seed < 112; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := randEmpDB(t, e, rng)
+		for _, v := range []*view.SP{e.ViewP, e.ViewB} {
+			for i := 0; i < 6; i++ {
+				r, ok := randSPRequest(e, v, db, rng)
+				if !ok {
+					continue
+				}
+				cands, ok := candidatesAndProbes(db, v, r)
+				if !ok {
+					continue
+				}
+				before := v.Materialize(db)
+				snapshot := before.Clone()
+				plain := NewVerifier(db, v, r)
+				preset := NewVerifierWithBefore(db, v, r, before)
+				for _, c := range cands {
+					if got, want := preset.Valid(c.Translation), plain.Valid(c.Translation); got != want {
+						t.Fatalf("Valid(%s) with before=%v, without=%v", c.Translation, got, want)
+					}
+					effP, errP := preset.SideEffects(c.Translation)
+					effQ, errQ := plain.SideEffects(c.Translation)
+					if (errP == nil) != (errQ == nil) {
+						t.Fatalf("SideEffects(%s) err with before=%v, without=%v", c.Translation, errP, errQ)
+					}
+					if errP == nil {
+						if !effP.ExtraAdded.Equal(effQ.ExtraAdded) || !effP.ExtraRemoved.Equal(effQ.ExtraRemoved) {
+							t.Fatalf("SideEffects(%s) diverge: %s vs %s", c.Translation, effP, effQ)
+						}
+					}
+					checked++
+				}
+				if !before.Equal(snapshot) {
+					t.Fatalf("verifier mutated the caller-supplied before-set (view %s, request %s)", v.Name(), r)
+				}
+			}
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("property test exercised only %d candidates; workload generator is broken", checked)
+	}
+}

@@ -56,6 +56,15 @@ const (
 	// Injected errors at this site are ignored by the server (a durable
 	// batch cannot be unlanded); it exists for CallNth crash triggers.
 	SiteServerPublish = "server.publish"
+	// SiteServerBatchWindow fires when the committer opens an adaptive
+	// batching window: at least one commit is gathered and the batcher
+	// has decided to wait for more before the WAL append. Injected
+	// errors are ignored (the window is a latency hint, not a failure
+	// boundary); it exists for CallNth crash triggers — a crash armed
+	// here kills the media while gathered commits are neither applied
+	// nor journaled, and recovery must neither lose an acked commit nor
+	// double-apply a retried one.
+	SiteServerBatchWindow = "server.batch.window"
 	// SiteShardPrepare fires inside the two-phase-commit window of a
 	// cross-shard commit: after every participant's prepare record is
 	// durable and before the decision record is appended. A crash armed

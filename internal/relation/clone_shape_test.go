@@ -1,0 +1,61 @@
+package relation
+
+import (
+	"strconv"
+	"testing"
+
+	"viewupdate/internal/schema"
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/value"
+)
+
+// BenchmarkCloneBenchShape mirrors the serve-bench EMP table: a small
+// live set behind heavy insert/delete churn (Go maps never shrink, so
+// the clone pays for historical capacity, not len), plus the Location
+// secondary index the NY view maintains.
+func BenchmarkCloneBenchShape(b *testing.B) {
+	kd, err := schema.IntRangeDomain("KeyDom", 1, 100000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ld, err := schema.StringDomain("LocDom", "New York", "San Francisco", "Austin")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel, err := schema.NewRelation("EMP",
+		[]schema.Attribute{{Name: "EmpNo", Domain: kd}, {Name: "Location", Domain: ld}},
+		[]string{"EmpNo"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mk := func(k int) tuple.T {
+		t, err := tuple.New(rel, value.NewInt(int64(k)), value.NewString("New York"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return t
+	}
+	e := NewExtension(rel)
+	if err := e.EnsureIndex("Location"); err != nil {
+		b.Fatal(err)
+	}
+	// Churn: 2400 inserts, all but 8 deleted again — the bench's
+	// steady-state table.
+	for k := 1; k <= 2400; k++ {
+		if err := e.Insert(mk(k)); err != nil {
+			b.Fatal(err)
+		}
+		if k > 8 {
+			if err := e.Delete(mk(k - 8)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Logf("len=%d", e.Len())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Clone()
+	}
+	_ = strconv.IntSize
+}

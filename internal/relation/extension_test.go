@@ -161,6 +161,70 @@ func TestTuplesDeterministicOrder(t *testing.T) {
 	}
 }
 
+// The sorted-order cache must stay correct through every mutation kind
+// and across Clone: each step re-checks the full ordering against a
+// from-scratch rebuild.
+func TestTuplesCacheSurvivesMutation(t *testing.T) {
+	kvals := make([]value.Value, 9)
+	for i := range kvals {
+		kvals[i] = value.NewInt(int64(i + 1))
+	}
+	k := schema.MustDomain("KD9", kvals...)
+	a := schema.MustDomain("AD3", value.NewString("x"), value.NewString("y"), value.NewString("z"))
+	rel := schema.MustRelation("R9", []schema.Attribute{
+		{Name: "K", Domain: k},
+		{Name: "A", Domain: a},
+	}, []string{"K"})
+	e := NewExtension(rel)
+	check := func(e *Extension, want int) {
+		t.Helper()
+		got := e.Tuples()
+		if len(got) != want {
+			t.Fatalf("Tuples len = %d, want %d", len(got), want)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1].Key() >= got[i].Key() {
+				t.Fatalf("Tuples out of order at %d: %s >= %s", i, got[i-1].Key(), got[i].Key())
+			}
+		}
+		if fresh := len(e.byKey); fresh != want {
+			t.Fatalf("byKey len %d, want %d", fresh, want)
+		}
+	}
+	for _, kv := range []int64{5, 1, 9, 3} {
+		if err := e.Insert(mk(t, rel, kv, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(e, 4) // warms the cache
+	if err := e.Insert(mk(t, rel, 7, "x")); err != nil {
+		t.Fatal(err)
+	}
+	check(e, 5) // spliced insert
+	if err := e.Delete(mk(t, rel, 1, "x")); err != nil {
+		t.Fatal(err)
+	}
+	check(e, 4) // spliced delete
+	if err := e.Replace(mk(t, rel, 9, "x"), mk(t, rel, 2, "y")); err != nil {
+		t.Fatal(err)
+	}
+	check(e, 4) // key-moving replace
+
+	// The clone shares the cached slice; diverging mutations must stay
+	// invisible to the other side.
+	c := e.Clone()
+	beforeClone := e.Tuples()
+	if err := c.Insert(mk(t, rel, 6, "z")); err != nil {
+		t.Fatal(err)
+	}
+	check(c, 5)
+	check(e, 4)
+	after := e.Tuples()
+	if len(beforeClone) != len(after) {
+		t.Fatalf("original reordered by clone mutation: %d vs %d", len(beforeClone), len(after))
+	}
+}
+
 func TestEachEarlyStop(t *testing.T) {
 	rel := testRel(t)
 	e := NewExtension(rel)

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"time"
+
+	"viewupdate/internal/faultinject"
+	"viewupdate/internal/obs"
+)
+
+// The adaptive group-commit batcher. The committer's whole reason to
+// exist is amortizing the WAL durability barrier across concurrent
+// commits, but the original gather loop only batched what had already
+// accumulated in the queue — under a closed-loop load (each client
+// waits for its ack before sending the next request) the queue is
+// almost always empty at gather time and commits_per_sync sits at ~1.
+//
+// The batcher fixes that with a bounded wait-a-little window: when a
+// commit arrives and either the queue is non-empty or the recent
+// arrival rate says another commit is due within the window, it waits —
+// up to maxDelay, adaptively shortened to the expected fill time — for
+// more commits to share the append+fsync. An idle engine never waits:
+// a single commit with no recent traffic commits immediately, so the
+// window adds zero latency at low load. See docs/PERFORMANCE.md.
+
+// batchWaitNS is the histogram of time spent inside open batching
+// windows, per batch. Idle commits never open a window and do not
+// observe into it.
+const batchWaitNS = "server.commit.batch_wait_ns"
+
+// ewmaShift is the EWMA smoothing factor for inter-arrival gaps:
+// new = old + (sample-old)/2^ewmaShift. 2 ≈ weighting the last ~4
+// arrivals, quick to adapt when a burst starts or ends.
+const ewmaShift = 2
+
+// batchClock abstracts the batcher's clock so unit tests drive the
+// window deterministically. realClock is the production implementation.
+type batchClock interface {
+	Now() time.Time
+	// NewTimer returns a one-shot timer firing d after now.
+	NewTimer(d time.Duration) batchTimer
+}
+
+type batchTimer interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) NewTimer(d time.Duration) batchTimer { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) C() <-chan time.Time { return t.t.C }
+func (t realTimer) Stop()               { t.t.Stop() }
+
+// A batcher gathers commit requests from the admission queue into
+// batches for one committer goroutine (the single-pipeline committer or
+// the sharded sequencer — both use it). It is single-goroutine state:
+// only the committer calls next.
+type batcher struct {
+	src      <-chan *commitReq
+	maxBatch int
+	maxDelay time.Duration // <= 0 disables the window
+	clock    batchClock
+
+	// ewma is the smoothed inter-arrival gap in nanoseconds (0 until
+	// two arrivals have been seen); last is the previous arrival time.
+	ewma int64
+	last time.Time
+
+	// scratch is the reused batch backing array; the returned batch is
+	// only valid until the next call to next.
+	scratch []*commitReq
+}
+
+func newBatcher(src <-chan *commitReq, maxBatch int, maxDelay time.Duration, clock batchClock) *batcher {
+	return &batcher{
+		src: src, maxBatch: maxBatch, maxDelay: maxDelay, clock: clock,
+		scratch: make([]*commitReq, 0, maxBatch),
+	}
+}
+
+// noteArrival folds one arrival into the inter-arrival EWMA.
+func (b *batcher) noteArrival(now time.Time) {
+	if !b.last.IsZero() {
+		gap := int64(now.Sub(b.last))
+		if b.ewma == 0 {
+			b.ewma = gap
+		} else {
+			b.ewma += (gap - b.ewma) >> ewmaShift
+		}
+	}
+	b.last = now
+}
+
+// expectSoon reports whether, on recent inter-arrival evidence, another
+// commit should arrive within the window. A cold EWMA (engine idle
+// since start, or gaps longer than the window) says no — that is the
+// idle fast path.
+func (b *batcher) expectSoon() bool {
+	return b.ewma > 0 && b.ewma <= int64(b.maxDelay)
+}
+
+// window is the adaptive wait bound for a batch currently holding n
+// commits: the expected time for the remaining arrivals to fill the
+// batch, capped at maxDelay. With no estimate it is maxDelay.
+func (b *batcher) window(n int) time.Duration {
+	if b.ewma <= 0 {
+		return b.maxDelay
+	}
+	w := time.Duration(b.ewma * int64(b.maxBatch-n))
+	if w <= 0 || w > b.maxDelay {
+		return b.maxDelay
+	}
+	return w
+}
+
+// next blocks for the next batch. It returns the gathered batch and
+// whether the source is still open; on close the final (possibly
+// non-empty) batch is returned with more=false and the caller must
+// still commit it. The returned slice is reused by the following call.
+func (b *batcher) next() (batch []*commitReq, more bool) {
+	first, ok := <-b.src
+	if !ok {
+		return nil, false
+	}
+	b.noteArrival(b.clock.Now())
+	batch = append(b.scratch[:0], first)
+
+	// Fast drain: everything already queued joins the batch for free.
+drain:
+	for len(batch) < b.maxBatch {
+		select {
+		case r, open := <-b.src:
+			if !open {
+				return batch, false
+			}
+			b.noteArrival(b.clock.Now())
+			batch = append(batch, r)
+		default:
+			break drain
+		}
+	}
+	if len(batch) >= b.maxBatch || b.maxDelay <= 0 {
+		return batch, true
+	}
+	// Idle fast path: a lone commit with no evidence of imminent
+	// traffic commits immediately — the window must not tax an idle
+	// engine.
+	if len(batch) == 1 && !b.expectSoon() {
+		return batch, true
+	}
+
+	// Open the window: the queue was non-empty or arrivals are coming
+	// fast enough that waiting buys a bigger batch per fsync. The
+	// failpoint is a chaos kill trigger (mid-window crash); injected
+	// errors are meaningless here and ignored.
+	_ = faultinject.Hit(faultinject.SiteServerBatchWindow)
+	obs.Inc("server.commit.windows")
+	timed := obs.Enabled()
+	var start time.Time
+	if timed {
+		start = b.clock.Now()
+	}
+	t := b.clock.NewTimer(b.window(len(batch)))
+	defer t.Stop()
+	observe := func() {
+		if timed {
+			obs.Observe(batchWaitNS, int64(b.clock.Now().Sub(start)))
+		}
+	}
+	for len(batch) < b.maxBatch {
+		select {
+		case r, open := <-b.src:
+			if !open {
+				observe()
+				return batch, false
+			}
+			b.noteArrival(b.clock.Now())
+			batch = append(batch, r)
+		case <-t.C():
+			observe()
+			return batch, true
+		}
+	}
+	observe()
+	return batch, true
+}

@@ -1,0 +1,255 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// The batcher's clock is injectable exactly so these tests can drive
+// arrival gaps and the window timer deterministically: no sleeps, no
+// real timers, no flaky wall-clock dependence.
+
+// fakeClock advances by step on every Now call (one call per arrival
+// while obs is disabled), so arrival gaps are exact. NewTimer records
+// the requested duration and returns a manually fired timer; with
+// forbidTimers set it panics, which is how the zero-added-latency
+// tests prove the idle path never even arms a window.
+type fakeClock struct {
+	mu           sync.Mutex
+	now          time.Time
+	step         time.Duration
+	timers       []*fakeTimer
+	forbidTimers bool
+}
+
+func newFakeClock(step time.Duration) *fakeClock {
+	return &fakeClock{now: time.Unix(0, 0), step: step}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.now
+	c.now = c.now.Add(c.step)
+	return t
+}
+
+func (c *fakeClock) NewTimer(d time.Duration) batchTimer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.forbidTimers {
+		panic("batch window opened: the idle path must commit without arming a timer")
+	}
+	t := &fakeTimer{d: d, ch: make(chan time.Time, 1)}
+	c.timers = append(c.timers, t)
+	return t
+}
+
+func (c *fakeClock) timerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}
+
+func (c *fakeClock) timer(i int) *fakeTimer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.timers[i]
+}
+
+type fakeTimer struct {
+	d  time.Duration
+	ch chan time.Time
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+func (t *fakeTimer) Stop()               {}
+func (t *fakeTimer) fire()               { t.ch <- time.Time{} }
+
+type nextResult struct {
+	batch []*commitReq
+	more  bool
+}
+
+// startNext runs one next() call in the background and returns the
+// channel its result lands on.
+func startNext(b *batcher) chan nextResult {
+	res := make(chan nextResult, 1)
+	go func() {
+		batch, more := b.next()
+		res <- nextResult{batch, more}
+	}()
+	return res
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+func mustNext(t *testing.T, res chan nextResult) nextResult {
+	t.Helper()
+	select {
+	case r := <-res:
+		return r
+	case <-time.After(5 * time.Second):
+		t.Fatal("next() did not return")
+		return nextResult{}
+	}
+}
+
+// An idle engine — single commit, no queue, cold arrival history — must
+// commit immediately: no timer is armed (NewTimer panics if it were)
+// and next returns without any window wait.
+func TestBatcherIdleCommitsImmediately(t *testing.T) {
+	clock := newFakeClock(time.Second) // gaps of 1s: far beyond the window
+	clock.forbidTimers = true
+	src := make(chan *commitReq, 16)
+	b := newBatcher(src, 8, time.Millisecond, clock)
+	for i := 0; i < 3; i++ {
+		src <- &commitReq{}
+		batch, more := b.next()
+		if len(batch) != 1 || !more {
+			t.Fatalf("commit %d: got batch of %d (more=%v), want immediate solo batch", i, len(batch), more)
+		}
+	}
+	if got := clock.timerCount(); got != 0 {
+		t.Fatalf("idle commits armed %d timers, want 0", got)
+	}
+}
+
+// A disabled window (maxDelay <= 0) must behave exactly like the old
+// drain-only gather loop: take everything queued, never arm a timer.
+func TestBatcherDisabledWindowDrainsOnly(t *testing.T) {
+	clock := newFakeClock(time.Microsecond)
+	clock.forbidTimers = true
+	src := make(chan *commitReq, 16)
+	b := newBatcher(src, 8, 0, clock)
+	for i := 0; i < 5; i++ {
+		src <- &commitReq{}
+	}
+	batch, more := b.next()
+	if len(batch) != 5 || !more {
+		t.Fatalf("got batch of %d (more=%v), want drained batch of 5", len(batch), more)
+	}
+}
+
+// A full batch gathered by the fast drain commits at once — the window
+// only exists to fill underfull batches.
+func TestBatcherFullBatchSkipsWindow(t *testing.T) {
+	clock := newFakeClock(time.Microsecond)
+	clock.forbidTimers = true
+	src := make(chan *commitReq, 16)
+	b := newBatcher(src, 4, time.Millisecond, clock)
+	for i := 0; i < 6; i++ {
+		src <- &commitReq{}
+	}
+	batch, more := b.next()
+	if len(batch) != 4 || !more {
+		t.Fatalf("got batch of %d (more=%v), want full batch of 4", len(batch), more)
+	}
+}
+
+// A burst coalesces: commits queued behind the first open the window,
+// commits arriving during the window join the batch, and the timer
+// bounds the wait. One batch, one (eventual) fsync.
+func TestBatcherBurstCoalescesWithinWindow(t *testing.T) {
+	clock := newFakeClock(10 * time.Microsecond)
+	src := make(chan *commitReq, 16)
+	b := newBatcher(src, 8, time.Millisecond, clock)
+	src <- &commitReq{}
+	src <- &commitReq{}
+	src <- &commitReq{}
+	res := startNext(b)
+	waitFor(t, "window to open", func() bool { return len(src) == 0 && clock.timerCount() == 1 })
+	// Two more commits arrive mid-window; they must join this batch.
+	src <- &commitReq{}
+	src <- &commitReq{}
+	waitFor(t, "mid-window arrivals to join", func() bool { return len(src) == 0 })
+	clock.timer(0).fire()
+	r := mustNext(t, res)
+	if len(r.batch) != 5 || !r.more {
+		t.Fatalf("got batch of %d (more=%v), want coalesced batch of 5", len(r.batch), r.more)
+	}
+}
+
+// The window is adaptive: with an inter-arrival estimate of g and room
+// for k more commits, the timer is armed for min(maxDelay, g*k), not a
+// flat maxDelay.
+func TestBatcherWindowAdaptsToArrivalRate(t *testing.T) {
+	const gap = 100 * time.Microsecond
+	clock := newFakeClock(gap)
+	src := make(chan *commitReq, 16)
+	b := newBatcher(src, 8, time.Millisecond, clock)
+	src <- &commitReq{}
+	src <- &commitReq{}
+	res := startNext(b)
+	waitFor(t, "window to open", func() bool { return clock.timerCount() == 1 })
+	// Two arrivals, one observed gap: ewma == gap; 6 slots remain.
+	if want, got := 6*gap, clock.timer(0).d; got != want {
+		t.Fatalf("window armed for %v, want ewma*(maxBatch-len) = %v", got, want)
+	}
+	clock.timer(0).fire()
+	if r := mustNext(t, res); len(r.batch) != 2 || !r.more {
+		t.Fatalf("got batch of %d (more=%v), want 2", len(r.batch), r.more)
+	}
+}
+
+// Under a hot arrival rate even a momentarily solo commit waits: recent
+// inter-arrival evidence says a partner is due within the window.
+func TestBatcherHotRateOpensWindowForSoloCommit(t *testing.T) {
+	clock := newFakeClock(10 * time.Microsecond)
+	src := make(chan *commitReq, 16)
+	b := newBatcher(src, 8, time.Millisecond, clock)
+	// Warm the estimate: a pair of close arrivals.
+	src <- &commitReq{}
+	src <- &commitReq{}
+	res := startNext(b)
+	waitFor(t, "first window", func() bool { return clock.timerCount() == 1 })
+	clock.timer(0).fire()
+	mustNext(t, res)
+	// A solo commit now opens a window instead of committing alone.
+	src <- &commitReq{}
+	res = startNext(b)
+	waitFor(t, "solo-commit window", func() bool { return clock.timerCount() == 2 })
+	src <- &commitReq{}
+	waitFor(t, "partner to join", func() bool { return len(src) == 0 })
+	clock.timer(1).fire()
+	if r := mustNext(t, res); len(r.batch) != 2 || !r.more {
+		t.Fatalf("got batch of %d (more=%v), want solo commit joined by partner", len(r.batch), r.more)
+	}
+}
+
+// Closing the source mid-window neither loses nor duplicates requests:
+// the partial batch comes back exactly once with more=false, and the
+// caller commits it (TestDrainFlushesQueuedCommits proves the engine-
+// level half of the same contract).
+func TestBatcherCloseMidWindowReturnsPartialBatch(t *testing.T) {
+	clock := newFakeClock(10 * time.Microsecond)
+	src := make(chan *commitReq, 16)
+	b := newBatcher(src, 8, time.Millisecond, clock)
+	a, c := &commitReq{}, &commitReq{}
+	src <- a
+	src <- c
+	res := startNext(b)
+	waitFor(t, "window to open", func() bool { return clock.timerCount() == 1 })
+	close(src)
+	r := mustNext(t, res)
+	if len(r.batch) != 2 || r.more {
+		t.Fatalf("got batch of %d (more=%v), want final batch of 2 with more=false", len(r.batch), r.more)
+	}
+	if r.batch[0] != a || r.batch[1] != c {
+		t.Fatal("final batch lost or reordered the gathered requests")
+	}
+	// The drained source yields no further batch.
+	if batch, more := b.next(); batch != nil || more {
+		t.Fatalf("next() after close returned batch of %d (more=%v), want nil/false", len(batch), more)
+	}
+}

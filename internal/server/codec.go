@@ -1,0 +1,131 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Pooled wire codecs. The serving hot path encodes one JSON reply and
+// decodes one JSON body per request; with json.NewEncoder/NewDecoder
+// allocated per call, codec garbage dominated the request allocation
+// profile once the commit path itself stopped allocating. Both
+// directions now run on sync.Pool-backed scratch:
+//
+//   - replies render into a pooled {bytes.Buffer, json.Encoder} pair
+//     and leave in one Write (which also lets net/http set
+//     Content-Length instead of chunking);
+//   - bodies drain into a pooled buffer and decode from a pooled
+//     bytes.Reader.
+//
+// Pool safety: a pooled object is returned only after the last read of
+// its memory — the reply buffer after ResponseWriter.Write copied it
+// out, the body buffer after Decode finished (json strings are copied,
+// never aliased into the input). BenchmarkWire* and the AllocsPerRun
+// regression tests in codec_test.go pin the savings; the -race stress
+// test proves no aliasing under concurrency.
+
+// maxPooledCodec caps the capacity of buffers worth keeping: a huge
+// view read or exec script should not pin its buffer in the pool
+// forever. Oversized scratch is dropped for the GC.
+const maxPooledCodec = 64 << 10
+
+// A wireEncoder is one reusable reply encoder: the json.Encoder is
+// permanently wired to the buffer, so per-reply work is a buffer reset
+// plus the encode itself.
+type wireEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	e := &wireEncoder{}
+	e.enc = json.NewEncoder(&e.buf)
+	// Indented output is part of the wire format: operators curl these
+	// endpoints, and the smoke tooling greps for `"status": "ok"`.
+	e.enc.SetIndent("", "  ")
+	return e
+}}
+
+// writeJSON renders v with the given status through the encoder pool.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	e := encPool.Get().(*wireEncoder)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		// Wire types are plain structs; an encode failure is a
+		// programming error. Answer a hand-built envelope rather than a
+		// half-written body.
+		e.buf.Reset()
+		fmt.Fprintf(&e.buf, "{\n  \"error\": %q,\n  \"code\": \"internal\"\n}\n", err.Error())
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(e.buf.Len()))
+	w.WriteHeader(status)
+	_, _ = w.Write(e.buf.Bytes())
+	if e.buf.Cap() <= maxPooledCodec {
+		encPool.Put(e)
+	}
+}
+
+// A bodyBuffer is one reusable request-body scratch: the raw bytes and
+// the reader the decoder consumes them through.
+type bodyBuffer struct {
+	buf bytes.Buffer
+	rd  bytes.Reader
+}
+
+var bodyPool = sync.Pool{New: func() any { return &bodyBuffer{} }}
+
+// decodeBody reads and decodes a JSON update body through the body
+// pool. Unknown fields are still rejected — the decoder is fresh per
+// call (it cannot be pooled: json.Decoder keeps internal read-ahead
+// that survives a reader swap), but it is one small allocation against
+// the buffer churn the pool absorbs.
+func decodeBody(r *http.Request, into any) error {
+	b := bodyPool.Get().(*bodyBuffer)
+	defer func() {
+		if b.buf.Cap() <= maxPooledCodec {
+			bodyPool.Put(b)
+		}
+	}()
+	b.buf.Reset()
+	if _, err := b.buf.ReadFrom(http.MaxBytesReader(nil, r.Body, maxBodyBytes)); err != nil {
+		return fmt.Errorf("server: decoding body: %w", err)
+	}
+	b.rd.Reset(b.buf.Bytes())
+	dec := json.NewDecoder(&b.rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("server: decoding body: %w", err)
+	}
+	return nil
+}
+
+// commitReqPool recycles pipeline requests, each with its reusable
+// buffered done channel. Only requests that completed a clean
+// round-trip — the waiter actually received the committer's answer —
+// may be recycled: a request abandoned on a deadline still has a send
+// in flight (or pending) on its channel and must leak to the GC
+// instead. Requests built by hand in tests simply never enter the
+// pool.
+var commitReqPool = sync.Pool{New: func() any {
+	return &commitReq{done: make(chan commitRes, 1)}
+}}
+
+// getCommitReq returns a zeroed request with a ready done channel.
+func getCommitReq() *commitReq {
+	return commitReqPool.Get().(*commitReq)
+}
+
+// putCommitReq recycles r after its done channel has been received
+// from. References are dropped so a pooled request pins neither the
+// translation nor the trace.
+func putCommitReq(r *commitReq) {
+	done := r.done
+	*r = commitReq{done: done}
+	commitReqPool.Put(r)
+}

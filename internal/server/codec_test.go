@@ -1,0 +1,218 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// nullResponseWriter is an allocation-free ResponseWriter: the header
+// map is built once and Write discards. AllocsPerRun over it measures
+// only the codec's own allocations.
+type nullResponseWriter struct {
+	h http.Header
+	n int
+}
+
+func (w *nullResponseWriter) Header() http.Header { return w.h }
+func (w *nullResponseWriter) WriteHeader(int)     {}
+func (w *nullResponseWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+func bodyRequest(t testing.TB, payload []byte) (*http.Request, *bytes.Reader) {
+	t.Helper()
+	rd := bytes.NewReader(payload)
+	req, err := http.NewRequest(http.MethodPost, "/views/NY/insert", rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req, rd
+}
+
+// The decode→encode round trip must stay allocation-light: the pools
+// absorb the buffer and encoder churn, leaving only the decoder, the
+// decoded field values, and the reply's map headers. A regression that
+// reintroduces per-request buffers shows up here as a hard failure.
+func TestWireRoundTripAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	payload := []byte(`{"values": ["123", "NY"], "prefer": ["keyed"]}`)
+	req, rd := bodyRequest(t, payload)
+	w := &nullResponseWriter{h: make(http.Header, 4)}
+	reply := updateReply{OK: true, Class: "keyed", Ops: []string{"insert EMP (123, NY)"}, Version: 42}
+
+	round := func() {
+		rd.Reset(payload)
+		req.Body = io.NopCloser(rd)
+		var body updateBody
+		if err := decodeBody(req, &body); err != nil {
+			t.Fatal(err)
+		}
+		for k := range w.h {
+			delete(w.h, k)
+		}
+		writeJSON(w, http.StatusOK, reply)
+	}
+	round() // warm the pools
+	got := testing.AllocsPerRun(200, round)
+	// Measured 20 allocs/op (fresh decoder + MaxBytesReader + decoded
+	// body fields + header values); the pre-pool path also paid a buffer,
+	// an encoder, and chunked-write bookkeeping per request and grew with
+	// reply size. Headroom for stdlib drift, not for regressions.
+	if got > 24 {
+		t.Fatalf("decode→encode round trip costs %.1f allocs/op, want <= 24 (codec pooling regressed)", got)
+	}
+	t.Logf("round trip: %.1f allocs/op", got)
+}
+
+// Pooled reply buffers must never alias across concurrent requests:
+// every goroutine round-trips its own distinct payload many times and
+// verifies both the decoded body and the rendered reply byte-for-byte.
+// Run under -race (the race-core target does) this also proves the
+// pools hand each buffer to exactly one goroutine at a time.
+func TestPooledCodecsNotAliased(t *testing.T) {
+	const goroutines = 8
+	const rounds = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			payload := []byte(fmt.Sprintf(`{"values": ["%d", "loc-%d"]}`, g*1000, g))
+			want, err := json.MarshalIndent(updateReply{OK: true, Version: uint64(g)}, "", "  ")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			want = append(want, '\n')
+			for i := 0; i < rounds; i++ {
+				req, rd := bodyRequest(t, payload)
+				rd.Reset(payload)
+				req.Body = io.NopCloser(rd)
+				var body updateBody
+				if err := decodeBody(req, &body); err != nil {
+					t.Error(err)
+					return
+				}
+				if len(body.Values) != 2 || body.Values[0] != strconv.Itoa(g*1000) || body.Values[1] != fmt.Sprintf("loc-%d", g) {
+					t.Errorf("goroutine %d decoded foreign body %v: pooled buffer aliased", g, body.Values)
+					return
+				}
+				rec := httptest.NewRecorder()
+				writeJSON(rec, http.StatusOK, updateReply{OK: true, Version: uint64(g)})
+				if !bytes.Equal(rec.Body.Bytes(), want) {
+					t.Errorf("goroutine %d rendered foreign reply %q: pooled buffer aliased", g, rec.Body.String())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// The pooled encoder must keep the wire format byte-identical to the
+// json.Encoder-per-request path it replaced: two-space indent, trailing
+// newline, exact Content-Length.
+func TestWriteJSONFormat(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusTeapot, errorReply{Error: "boom", Code: "internal"})
+	want, _ := json.MarshalIndent(errorReply{Error: "boom", Code: "internal"}, "", "  ")
+	want = append(want, '\n')
+	if !bytes.Equal(rec.Body.Bytes(), want) {
+		t.Fatalf("writeJSON rendered %q, want %q", rec.Body.String(), want)
+	}
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("status %d, want %d", rec.Code, http.StatusTeapot)
+	}
+	if cl := rec.Header().Get("Content-Length"); cl != strconv.Itoa(len(want)) {
+		t.Fatalf("Content-Length %q, want %d", cl, len(want))
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+}
+
+// Unknown-field rejection and the body size cap must survive the
+// pooled decode path.
+func TestDecodeBodyStillStrict(t *testing.T) {
+	req, _ := bodyRequest(t, []byte(`{"values": ["1"], "bogus": true}`))
+	var body updateBody
+	if err := decodeBody(req, &body); err == nil {
+		t.Fatal("decodeBody accepted an unknown field")
+	}
+	huge := append([]byte(`{"values": ["`), bytes.Repeat([]byte("x"), maxBodyBytes+1024)...)
+	huge = append(huge, []byte(`"]}`)...)
+	req, _ = bodyRequest(t, huge)
+	if err := decodeBody(req, &body); err == nil {
+		t.Fatal("decodeBody accepted a body beyond maxBodyBytes")
+	}
+}
+
+// An oversized reply buffer must not re-enter the pool (it would pin
+// its high-water capacity forever); the next writeJSON still works.
+func TestOversizedEncoderNotPooled(t *testing.T) {
+	big := rowsReply{View: "NY", Rows: make([][]string, 0)}
+	for i := 0; i < 4096; i++ {
+		big.Rows = append(big.Rows, []string{strconv.Itoa(i), "somewhere-rather-long"})
+	}
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, big)
+	if rec.Body.Len() <= maxPooledCodec {
+		t.Skipf("reply only %d bytes; enlarge the fixture", rec.Body.Len())
+	}
+	rec = httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, errorReply{Error: "after big", Code: "x"})
+	var er errorReply
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error != "after big" {
+		t.Fatalf("writeJSON after oversized reply broke: %v %+v", err, er)
+	}
+}
+
+func BenchmarkWireDecode(b *testing.B) {
+	payload := []byte(`{"values": ["123", "NY"], "prefer": ["keyed"]}`)
+	req, rd := bodyRequest(b, payload)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(payload)
+		req.Body = io.NopCloser(rd)
+		var body updateBody
+		if err := decodeBody(req, &body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireEncode(b *testing.B) {
+	w := &nullResponseWriter{h: make(http.Header, 4)}
+	reply := updateReply{OK: true, Class: "keyed", Ops: []string{"insert EMP (123, NY)"}, Version: 42}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		writeJSON(w, http.StatusOK, reply)
+	}
+}
+
+func BenchmarkWireRoundTrip(b *testing.B) {
+	payload := []byte(`{"values": ["123", "NY"], "prefer": ["keyed"]}`)
+	req, rd := bodyRequest(b, payload)
+	w := &nullResponseWriter{h: make(http.Header, 4)}
+	reply := updateReply{OK: true, Class: "keyed", Ops: []string{"insert EMP (123, NY)"}, Version: 42}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(payload)
+		req.Body = io.NopCloser(rd)
+		var body updateBody
+		if err := decodeBody(req, &body); err != nil {
+			b.Fatal(err)
+		}
+		writeJSON(w, http.StatusOK, reply)
+	}
+}

@@ -57,30 +57,21 @@ type commitRes struct {
 
 // runCommitter is the single writer: it owns every mutation of the
 // live database that goes through the pipeline. It gathers queued
-// commits into batches — everything already waiting, up to MaxBatch —
-// so that concurrent commits share one WAL append and one fsync.
+// commits into batches through the adaptive batcher — everything
+// already waiting, up to MaxBatch, plus whatever a bounded wait-a-
+// little window accumulates under load — so that concurrent commits
+// share one WAL append and one fsync (see batch.go).
 func (e *Engine) runCommitter() {
 	defer close(e.drained)
+	b := newBatcher(e.commitC, e.cfg.MaxBatch, e.cfg.batchDelay(), realClock{})
 	for {
-		first, ok := <-e.commitC
-		if !ok {
+		batch, more := b.next()
+		if len(batch) > 0 {
+			e.commitBatch(batch)
+		}
+		if !more {
 			return
 		}
-		batch := []*commitReq{first}
-		for len(batch) < e.cfg.MaxBatch {
-			select {
-			case r, more := <-e.commitC:
-				if !more {
-					e.commitBatch(batch)
-					return
-				}
-				batch = append(batch, r)
-			default:
-				goto gathered
-			}
-		}
-	gathered:
-		e.commitBatch(batch)
 	}
 }
 

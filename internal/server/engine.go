@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -76,6 +77,14 @@ type Config struct {
 	// MaxBatch caps how many queued commits one WAL append may carry.
 	// Default 32.
 	MaxBatch int
+	// MaxBatchDelay bounds the committer's adaptive batching window: on
+	// a commit arrival with more traffic queued or expected (by recent
+	// inter-arrival times), the committer waits up to this long to
+	// gather a fuller batch before the WAL append+fsync. An idle engine
+	// never waits. 0 means the default (200µs); negative disables the
+	// window entirely, restoring drain-only gathering. See batch.go and
+	// docs/PERFORMANCE.md.
+	MaxBatchDelay time.Duration
 	// RequestTimeout is the per-request deadline enforced by the HTTP
 	// layer. Default 5s.
 	RequestTimeout time.Duration
@@ -136,6 +145,24 @@ func (c Config) withDefaults() Config {
 		c.IdemCapacity = 4096
 	}
 	return c
+}
+
+// defaultBatchDelay is the adaptive window bound when Config leaves
+// MaxBatchDelay zero: roughly half a commodity-SSD fsync, so a waited
+// batch never more than ~1.5x-es the durability barrier it amortizes.
+const defaultBatchDelay = 200 * time.Microsecond
+
+// batchDelay resolves the configured window: 0 → default, negative →
+// disabled (0 for the batcher).
+func (c Config) batchDelay() time.Duration {
+	switch {
+	case c.MaxBatchDelay < 0:
+		return 0
+	case c.MaxBatchDelay == 0:
+		return defaultBatchDelay
+	default:
+		return c.MaxBatchDelay
+	}
 }
 
 // A snapshot is one published immutable state: handlers translate
@@ -336,6 +363,7 @@ func (e *Engine) preregisterMetrics() {
 		"server.breaker.trip", "server.breaker.probe", "server.breaker.recovered",
 		"server.viewcache.hit", "server.viewcache.miss",
 		"server.ivm.patch", "server.ivm.rebuild",
+		"server.commit.windows",
 		"wal.append", "wal.append_batch", "wal.sync",
 	} {
 		reg.Counter(c)
@@ -348,7 +376,7 @@ func (e *Engine) preregisterMetrics() {
 		reg.Gauge(g)
 	}
 	for _, h := range []string{
-		"server.request.ns", "server.commit.batch_size",
+		"server.request.ns", "server.commit.batch_size", batchWaitNS,
 		stageTranslateNS, stageVerifyNS, stageQueueNS,
 		stageCommitNS, stageFsyncNS, stagePublishNS,
 		"wal.fsync.ns",
@@ -533,7 +561,12 @@ func (e *Engine) Translate(ctx context.Context, viewName string, prefer []string
 		return core.Candidate{}, nil, req, 0, err
 	}
 	vsp := obs.StartSpan("server.verify")
-	eff, err := core.SideEffects(snap, v, req, cand.Translation)
+	// Feed the verifier the memoized materialization for this snapshot
+	// version instead of letting it rematerialize per request; the
+	// cached set is copy-on-write on both sides (patchViewCache and the
+	// verifier clone before editing), so sharing it is safe.
+	eff, err := core.NewVerifierWithBefore(snap, v, req, e.materializeOn(v, snap)).
+		SideEffects(cand.Translation)
 	vd := vsp.End()
 	rt.Stage("verify", vd)
 	obs.Observe(stageVerifyNS, int64(vd))
@@ -568,12 +601,14 @@ func (e *Engine) CommitKeyed(ctx context.Context, tr *update.Translation, strict
 		}
 		return v, nil
 	}
-	req := &commitReq{tr: tr, strict: strict, baseVersion: baseVersion, key: key, done: make(chan commitRes, 1)}
+	req := getCommitReq()
+	req.tr, req.strict, req.baseVersion, req.key = tr, strict, baseVersion, key
 	if rt := obs.TraceFrom(ctx); rt != nil {
 		req.trace = rt
 		req.enqueued = time.Now()
 	}
 	if err := e.submit(req); err != nil {
+		putCommitReq(req)
 		if key != "" {
 			e.idem.release(key)
 		}
@@ -581,10 +616,13 @@ func (e *Engine) CommitKeyed(ctx context.Context, tr *update.Translation, strict
 	}
 	select {
 	case res := <-req.done:
+		putCommitReq(req)
 		return res.version, res.err
 	case <-ctx.Done():
 		// The commit stays queued and may still land; the caller only
-		// knows its fate is unknown.
+		// knows its fate is unknown. The request is abandoned, NOT
+		// recycled: the committer's eventual send lands in its buffered
+		// done channel and the whole object leaks to the GC.
 		obs.Inc("server.commit.deadline")
 		return 0, fmt.Errorf("server: commit result not observed: %w", ctx.Err())
 	}
@@ -678,6 +716,11 @@ type Healthz struct {
 	Breaker   string   `json:"breaker"`
 	IdemKeys  int      `json:"idem_keys"`
 	UptimeSec float64  `json:"uptime_sec"`
+	// Pipeline tuning, surfaced so bench clients (cmd/vuload) can
+	// record the server's effective knobs in their artifacts.
+	MaxBatch     int   `json:"max_batch"`
+	BatchDelayNS int64 `json:"batch_delay_ns"`
+	GoMaxProcs   int   `json:"gomaxprocs"`
 	// Sharded mode only: shard count and the per-shard durable
 	// watermarks (the shard version vector of docs/SHARDING.md).
 	Shards        int      `json:"shards,omitempty"`
@@ -711,17 +754,20 @@ func (e *Engine) Ready() bool {
 func (e *Engine) Health() Healthz {
 	_, version := e.Snapshot()
 	h := Healthz{
-		Status:    "ok",
-		Version:   version,
-		Views:     e.ViewNames(),
-		Queue:     e.QueueDepth(),
-		MaxQueue:  e.cfg.MaxInFlight,
-		OpenTxs:   e.txs.open(),
-		Durable:   e.store != nil || e.shst != nil,
-		Degraded:  e.brk.degraded(),
-		Breaker:   e.brk.stateName(),
-		IdemKeys:  e.idem.size(),
-		UptimeSec: time.Since(e.start).Seconds(),
+		Status:       "ok",
+		Version:      version,
+		Views:        e.ViewNames(),
+		Queue:        e.QueueDepth(),
+		MaxQueue:     e.cfg.MaxInFlight,
+		OpenTxs:      e.txs.open(),
+		Durable:      e.store != nil || e.shst != nil,
+		Degraded:     e.brk.degraded(),
+		Breaker:      e.brk.stateName(),
+		IdemKeys:     e.idem.size(),
+		UptimeSec:    time.Since(e.start).Seconds(),
+		MaxBatch:     e.cfg.MaxBatch,
+		BatchDelayNS: int64(e.cfg.batchDelay()),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
 	}
 	sort.Strings(h.Views)
 	if h.Degraded {

@@ -2,7 +2,6 @@ package server
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -99,15 +98,6 @@ func (e *Engine) withDeadline(h http.Handler) http.Handler {
 		}
 		h.ServeHTTP(w, r.WithContext(ctx))
 	})
-}
-
-// writeJSON renders v with the given status.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
 }
 
 // writeError maps an error to its HTTP status and JSON envelope. The
@@ -278,16 +268,6 @@ func parseOpKind(op string) (update.Kind, error) {
 	default:
 		return 0, fmt.Errorf("server: unknown operation %q (want insert|delete|replace)", op)
 	}
-}
-
-// decodeBody reads and decodes a JSON update body.
-func decodeBody(r *http.Request, into any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(into); err != nil {
-		return fmt.Errorf("server: decoding body: %w", err)
-	}
-	return nil
 }
 
 // handleUpdate is the single-shot path: translate against the

@@ -1,0 +1,7 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; its allocation overhead invalidates AllocsPerRun ceilings.
+const raceEnabled = true

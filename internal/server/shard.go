@@ -208,26 +208,15 @@ func (e *Engine) runShardSequencer() {
 		sr.wg.Wait()
 		close(e.drained)
 	}()
+	b := newBatcher(e.commitC, e.cfg.MaxBatch, e.cfg.batchDelay(), realClock{})
 	for {
-		first, ok := <-e.commitC
-		if !ok {
+		batch, more := b.next()
+		if len(batch) > 0 {
+			sr.commitBatch(batch)
+		}
+		if !more {
 			return
 		}
-		batch := []*commitReq{first}
-		for len(batch) < e.cfg.MaxBatch {
-			select {
-			case r, more := <-e.commitC:
-				if !more {
-					sr.commitBatch(batch)
-					return
-				}
-				batch = append(batch, r)
-			default:
-				goto gathered
-			}
-		}
-	gathered:
-		sr.commitBatch(batch)
 	}
 }
 
@@ -321,6 +310,11 @@ func (sr *shardRuntime) commitBatch(batch []*commitReq) {
 		version++
 		landed++
 		landedTrs = append(landedTrs, r.tr)
+		// Everything the job loop below needs from the pooled request
+		// must be copied out before the ack is published: once it is in
+		// sr.acks the acker may answer it (e.g. a shard already failed)
+		// and the waiter recycles r immediately.
+		key := r.key
 		ack := &pendingAck{r: r, seq: seq, version: version,
 			parts: route.Participants, fence: route.Fence}
 		if timed {
@@ -359,7 +353,7 @@ func (sr *shardRuntime) commitBatch(batch []*commitReq) {
 				j.kind = jobCommit
 			}
 			if p == route.Participants[0] {
-				j.key = r.key // idempotency key rides the home shard's record
+				j.key = key // idempotency key rides the home shard's record
 			}
 			sr.queues[p].put(j)
 		}

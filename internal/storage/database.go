@@ -234,6 +234,12 @@ func (db *Database) CloneShared() *Database {
 func (db *Database) writableExt(name string) *relation.Extension {
 	e := db.exts[name]
 	if e != nil && db.sharedExts[name] {
+		// The clone count and size trend is the early-warning signal for
+		// workloads whose chosen translations grow the base state: every
+		// publish makes the next write re-clone the touched extension,
+		// so COW cost scales with table size, not delta size.
+		obs.Inc("storage.cow.clone")
+		obs.Observe("storage.cow.clone_len", int64(e.Len()))
 		e = e.Clone()
 		db.exts[name] = e
 		delete(db.sharedExts, name)

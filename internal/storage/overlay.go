@@ -163,17 +163,36 @@ func (o *Overlay) Tuples(name string) []tuple.T {
 		return o.base.Tuples(name)
 	}
 	base := o.base.Tuples(name)
-	out := make([]tuple.T, 0, len(base)-len(d.removed)+len(d.added))
+	// The base is already in key order and filtering preserves it, so
+	// only the (typically tiny) added set needs sorting before a linear
+	// merge — re-sorting the whole result put an n·log n pass on every
+	// staged-state scan. Key() allocates its encoding per call, so base
+	// keys are computed only while a removal or merge still needs them.
+	addedKeys := make([]string, 0, len(d.added))
+	for k := range d.added {
+		addedKeys = append(addedKeys, k)
+	}
+	sort.Strings(addedKeys)
+	out := make([]tuple.T, 0, len(base)-len(d.removed)+len(addedKeys))
+	ai := 0
 	for _, t := range base {
-		if _, gone := d.removed[t.Key()]; gone {
+		if len(d.removed) == 0 && ai == len(addedKeys) {
+			out = append(out, t)
 			continue
+		}
+		k := t.Key()
+		if _, gone := d.removed[k]; gone {
+			continue
+		}
+		for ai < len(addedKeys) && addedKeys[ai] < k {
+			out = append(out, d.added[addedKeys[ai]])
+			ai++
 		}
 		out = append(out, t)
 	}
-	for _, t := range d.added {
-		out = append(out, t)
+	for ; ai < len(addedKeys); ai++ {
+		out = append(out, d.added[addedKeys[ai]])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
 	return out
 }
 
