@@ -9,15 +9,29 @@
 // publish) scraped from the Prometheus /metrics endpoint before and
 // after the run.
 //
+// Against a replicated deployment (vuserved -follow) the workload can
+// additionally mix in view reads spread across the read replicas and
+// hold live /subscribe streams open: -read-fraction sets the read mix,
+// -read-addrs points reads (and subscriptions) at the follower fleet,
+// and -subscribers counts pushed change events. The report then grows
+// a "replica" block: read throughput and latency, fan-out events/sec,
+// shed events, and the follower staleness quantiles (commit-visibility
+// lag, primary publish → follower apply) scraped from each follower's
+// server.replica.lag.ns histogram.
+//
 // Usage:
 //
 //	vuload -addr http://localhost:8080 -clients 8 -requests 200
 //	vuload -addr ... -hot 0.2            # 20% contended ops → conflicts
 //	vuload -addr ... -assert-batching    # exit 1 unless >1 commit/fsync
+//	vuload -addr http://primary:8080 -read-fraction 0.8 \
+//	       -read-addrs http://f1:8081,http://f2:8082 -subscribers 4
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -50,6 +64,26 @@ type benchReport struct {
 	Rates      benchRates            `json:"rates"`
 	Client     clientStats           `json:"client"`
 	Server     serverStats           `json:"server"`
+	Replica    *replicaStats         `json:"replica,omitempty"`
+}
+
+// replicaStats is the read-replica evidence of a mixed read/write run:
+// aggregate read throughput across the read fleet, live-subscription
+// fan-out, and follower staleness. Staleness quantiles are the worst
+// follower's commit-visibility lag (primary publish wall clock →
+// follower apply) from the closing /metricsz scrape.
+type replicaStats struct {
+	ReadAddrs      []string              `json:"read_addrs"`
+	Reads          int64                 `json:"reads"`
+	ReadsPerSec    float64               `json:"reads_per_sec"`
+	ReadLatency    obs.HistogramSnapshot `json:"read_latency_ns"`
+	Subscribers    int                   `json:"subscribers,omitempty"`
+	FanoutEvents   int64                 `json:"fanout_events"`
+	FanoutPerSec   float64               `json:"fanout_events_per_sec"`
+	DroppedEvents  int64                 `json:"dropped_events"`
+	StalenessP50MS float64               `json:"staleness_p50_ms"`
+	StalenessP99MS float64               `json:"staleness_p99_ms"`
+	MaxLagSeq      int64                 `json:"max_lag_seq"`
 }
 
 // benchConfig records everything needed to compare runs across PRs:
@@ -133,6 +167,18 @@ var pipelineStages = []string{"translate", "verify", "queue", "commit", "fsync",
 // counters aggregates client-side outcomes.
 type counters struct {
 	sent, ok, conflicts, overloaded, rejected, failed atomic.Int64
+	reads                                             atomic.Int64
+}
+
+// readRing round-robins reads (and subscriptions) across the read
+// fleet — the follower base URLs, or just the primary.
+type readRing struct {
+	addrs []string
+	next  atomic.Int64
+}
+
+func (r *readRing) pick() string {
+	return r.addrs[int(r.next.Add(1))%len(r.addrs)]
 }
 
 func main() {
@@ -149,7 +195,24 @@ func main() {
 	opTimeout := flag.Duration("op-timeout", 60*time.Second, "chaos mode: per-operation retry budget (must cover the server outage)")
 	minBatchP99 := flag.Int64("min-batch-p99", 0, "exit 1 unless the server's batch_size_p99 reaches this")
 	minCommitsPerSync := flag.Float64("min-commits-per-sync", 0, "exit 1 unless commits/fsync reaches this")
+	readFraction := flag.Float64("read-fraction", 0, "fraction of ops issued as view reads (GET /views/NY) against -read-addrs")
+	readAddrs := flag.String("read-addrs", "", "comma-separated base URLs reads and subscriptions round-robin over (default: -addr); point at the read replicas to load a replicated deployment")
+	subscribers := flag.Int("subscribers", 0, "live /subscribe/NY streams held open across the run (round-robin over -read-addrs); pushed change events are counted into the replica report")
 	flag.Parse()
+
+	readFleet := &readRing{addrs: []string{*addr}}
+	if *readAddrs != "" {
+		readFleet.addrs = nil
+		for _, a := range strings.Split(*readAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				readFleet.addrs = append(readFleet.addrs, a)
+			}
+		}
+		if len(readFleet.addrs) == 0 {
+			fmt.Fprintln(os.Stderr, "-read-addrs: no usable addresses")
+			os.Exit(2)
+		}
+	}
 
 	// One keep-alive pool sized for the fleet: the default transport
 	// caps idle connections at 2 per host, so anything beyond 2 clients
@@ -187,8 +250,51 @@ func main() {
 		fmt.Fprintln(os.Stderr, "prom metrics:", err)
 		os.Exit(1)
 	}
+	readBefore := make([]obs.Snapshot, len(readFleet.addrs))
+	if *readFraction > 0 || *subscribers > 0 {
+		for i, a := range readFleet.addrs {
+			readBefore[i], _ = scrapeMetrics(hc, a)
+		}
+	}
+
+	// Subscriptions are long-lived; they need a client without the load
+	// client's per-request timeout, and a cancel to tear them down once
+	// the workload drains.
+	subCtx, subCancel := context.WithCancel(context.Background())
+	defer subCancel()
+	var fanout atomic.Int64
+	var subWG sync.WaitGroup
+	activeSubs := 0
+	subHC := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *subscribers + 1}}
+	for i := 0; i < *subscribers; i++ {
+		req, err := http.NewRequestWithContext(subCtx, http.MethodGet, readFleet.pick()+"/subscribe/NY", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := subHC.Do(req)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "subscribe %d: %v (status %v)\n", i, err, resp)
+			if resp != nil {
+				resp.Body.Close()
+			}
+			continue
+		}
+		activeSubs++
+		subWG.Add(1)
+		go func(body io.ReadCloser) {
+			defer subWG.Done()
+			defer body.Close()
+			sc := bufio.NewScanner(body)
+			for sc.Scan() {
+				if strings.HasPrefix(sc.Text(), "event: change") {
+					fanout.Add(1)
+				}
+			}
+		}(resp.Body)
+	}
 
 	lat := obs.NewHistogram()
+	readLat := obs.NewHistogram()
 	var cnt counters
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -196,11 +302,14 @@ func main() {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			runClient(hc, *addr, id, *clients, *requests, *keys, *hotFrac, *seed, lat, &cnt)
+			runClient(hc, *addr, id, *clients, *requests, *keys, *hotFrac, *seed,
+				*readFraction, readFleet, lat, readLat, &cnt)
 		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	subCancel()
+	subWG.Wait()
 
 	after, err := scrapeMetrics(hc, *addr)
 	if err != nil {
@@ -224,6 +333,42 @@ func main() {
 	}
 	rep := buildReport(cfg, elapsed, lat, &cnt, before, after)
 	rep.Server.Stages = stageBreakdowns(promBefore, promAfter)
+	if *readFraction > 0 || *subscribers > 0 {
+		rs := &replicaStats{
+			ReadAddrs:    readFleet.addrs,
+			Reads:        cnt.reads.Load(),
+			ReadLatency:  readLat.Stats(),
+			Subscribers:  activeSubs,
+			FanoutEvents: fanout.Load(),
+		}
+		if elapsed > 0 {
+			rs.ReadsPerSec = float64(rs.Reads) / elapsed.Seconds()
+			rs.FanoutPerSec = float64(rs.FanoutEvents) / elapsed.Seconds()
+		}
+		// Staleness is the worst follower's closing lag quantiles; shed
+		// events are summed as deltas across the fleet.
+		for i, a := range readFleet.addrs {
+			snap, err := scrapeMetrics(hc, a)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "replica metrics %s: %v\n", a, err)
+				continue
+			}
+			if lag, ok := snap.Histograms["server.replica.lag.ns"]; ok {
+				if ms := float64(lag.P50) / 1e6; ms > rs.StalenessP50MS {
+					rs.StalenessP50MS = ms
+				}
+				if ms := float64(lag.P99) / 1e6; ms > rs.StalenessP99MS {
+					rs.StalenessP99MS = ms
+				}
+			}
+			if g := snap.Gauges["server.replica.lag_seq"]; g > rs.MaxLagSeq {
+				rs.MaxLagSeq = g
+			}
+			rs.DroppedEvents += snap.Counters["server.replica.dropped_events"] -
+				readBefore[i].Counters["server.replica.dropped_events"]
+		}
+		rep.Replica = rs
+	}
 	rep.Client.ConnsDialed = connCounts.dialed.Load()
 	rep.Client.ConnsReused = connCounts.reused.Load()
 	if total := rep.Client.ConnsDialed + rep.Client.ConnsReused; total > 0 {
@@ -247,6 +392,14 @@ func main() {
 	fmt.Printf("vuload: conns dialed %d reused %d (%.1f%% reuse), batch p99 %d max %d\n",
 		rep.Client.ConnsDialed, rep.Client.ConnsReused, 100*rep.Client.ReuseFraction,
 		rep.Server.BatchSizeP99, rep.Server.BatchSizeMax)
+	if rs := rep.Replica; rs != nil {
+		fmt.Printf("vuload: reads %d (%.0f/s) over %d addrs, read p50 %s p99 %s\n",
+			rs.Reads, rs.ReadsPerSec, len(rs.ReadAddrs),
+			time.Duration(rs.ReadLatency.P50), time.Duration(rs.ReadLatency.P99))
+		fmt.Printf("vuload: staleness p50 %.2fms p99 %.2fms (max lag %d commits), fanout %d events (%.0f/s, %d shed) to %d subscribers\n",
+			rs.StalenessP50MS, rs.StalenessP99MS, rs.MaxLagSeq,
+			rs.FanoutEvents, rs.FanoutPerSec, rs.DroppedEvents, rs.Subscribers)
+	}
 	for _, name := range pipelineStages {
 		if st, ok := rep.Server.Stages[name]; ok && st.Count > 0 {
 			fmt.Printf("vuload:   stage %-9s n=%-6d p50 %-10s p99 %s\n",
@@ -455,10 +608,11 @@ func scrapeMetrics(hc *http.Client, addr string) (obs.Snapshot, error) {
 
 // runClient drives one client's share of the workload: a rotation of
 // insert → replace (move to a fresh key) → delete over the client's own
-// key partition, with an optional fraction of contended hot-key ops.
-// 429 and 503 responses are retried on a per-client jittered backoff
-// schedule seeded from the workload seed.
-func runClient(hc *http.Client, addr string, id, clients, requests int, keys int64, hotFrac float64, seed int64, lat *obs.Histogram, cnt *counters) {
+// key partition, with an optional fraction of contended hot-key ops and
+// an optional fraction of view reads round-robined across the read
+// fleet. 429 and 503 responses are retried on a per-client jittered
+// backoff schedule seeded from the workload seed.
+func runClient(hc *http.Client, addr string, id, clients, requests int, keys int64, hotFrac float64, seed int64, readFrac float64, reads *readRing, lat, readLat *obs.Histogram, cnt *counters) {
 	rng := rand.New(rand.NewSource(seed + int64(id)))
 	bo := newBackoff(50*time.Millisecond, 800*time.Millisecond, seed+int64(id))
 	hotBase := keys - 16 // top 16 keys are the shared hot range
@@ -479,6 +633,10 @@ func runClient(hc *http.Client, addr string, id, clients, requests int, keys int
 	for n := 0; n < requests; n++ {
 		var path string
 		var body map[string]any
+		if readFrac > 0 && rng.Float64() < readFrac {
+			issueRead(hc, reads.pick()+"/views/NY", readLat, cnt)
+			continue
+		}
 		if hotFrac > 0 && rng.Float64() < hotFrac {
 			// Contended: everyone fights over the same hot key with a
 			// delete-then-reinsert pair; losers see 409 (commit conflict)
@@ -527,6 +685,33 @@ func runClient(hc *http.Client, addr string, id, clients, requests int, keys int
 			}
 		}
 		issue(hc, addr+path, body, lat, cnt, bo)
+	}
+}
+
+// issueRead fetches the view once from one read-fleet node. Reads are
+// counted separately from update outcomes (cnt.reads) so the write
+// throughput headline keeps its meaning in a mixed run.
+func issueRead(hc *http.Client, url string, lat *obs.Histogram, cnt *counters) {
+	cnt.sent.Add(1)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		cnt.failed.Add(1)
+		return
+	}
+	req = req.WithContext(httptrace.WithClientTrace(req.Context(), connTrace))
+	start := time.Now()
+	resp, err := hc.Do(req)
+	lat.Observe(int64(time.Since(start)))
+	if err != nil {
+		cnt.failed.Add(1)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<22))
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		cnt.reads.Add(1)
+	} else {
+		cnt.failed.Add(1)
 	}
 }
 

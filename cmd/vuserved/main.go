@@ -7,11 +7,19 @@
 //	vuserved -addr :8080 -data ./data
 //	vuserved -addr :8080 -data ./data -init schema.sql -sync commit
 //	vuserved -addr :8080 -data ./data -shards 8
+//	vuserved -addr :8081 -data ./replica -follow http://primary:8080 -init views.sql
 //
 // With -shards N the base relations are partitioned by root-key hash
 // into N independent WAL pipelines behind a cross-shard two-phase
 // coordinator; see docs/SHARDING.md. The shard count is fixed at store
 // creation and must match on every restart.
+//
+// With -follow URL the engine runs as a read replica: it bootstraps
+// from the source's /wal/snapshot (or recovers its local -data dir),
+// streams every commit over /wal/stream, and serves reads — including
+// /subscribe — while answering 403 on writes. Follower init scripts
+// should hold only DDL (definitions skip when already present; INSERTs
+// are refused). See docs/REPLICATION.md.
 //
 // Views and policies are not durable; pass -init with a sqlish script
 // (CREATE DOMAIN/TABLE/VIEW, SET POLICY) to define them at boot, or
@@ -44,6 +52,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	data := flag.String("data", "", "durable store directory (empty = in-memory only)")
 	shards := flag.Int("shards", 1, "root-key hash shards; >1 runs N WAL pipelines behind the cross-shard coordinator (requires -data, fixed at store creation)")
+	follow := flag.String("follow", "", "run as a read replica of the engine at this base URL (streams its WAL; writes answer 403); -data makes the replica durable")
 	initScript := flag.String("init", "", "sqlish script executed at boot (schema, views, policies)")
 	syncMode := flag.String("sync", "commit", "WAL sync policy: commit|always|never")
 	maxInFlight := flag.Int("max-in-flight", 64, "bounded commit queue; beyond it requests get 429")
@@ -87,6 +96,7 @@ func main() {
 	eng, err := server.NewEngine(server.Config{
 		Dir:            *data,
 		Shards:         *shards,
+		Follow:         *follow,
 		Sync:           pol,
 		MaxInFlight:    *maxInFlight,
 		MaxBatch:       *maxBatch,
@@ -120,7 +130,7 @@ func main() {
 		}
 	}()
 
-	slog.Info("serving", "addr", *addr, "data", *data, "shards", *shards,
+	slog.Info("serving", "addr", *addr, "data", *data, "shards", *shards, "follow", *follow,
 		"sync", pol.String(), "max_in_flight", *maxInFlight,
 		"max_batch", *maxBatch, "batch_delay", batchDelay.String(),
 		"pprof", *enablePprof)

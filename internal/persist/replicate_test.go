@@ -1,0 +1,298 @@
+package persist
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"viewupdate/internal/faultinject"
+	"viewupdate/internal/fixtures"
+	"viewupdate/internal/update"
+	"viewupdate/internal/wal"
+)
+
+// followerWorkload returns primary-assigned (seq, key, translation)
+// triples with gaps in the sequence numbers, as a real stream has after
+// the primary burned some.
+type replicatedCommit struct {
+	seq uint64
+	key string
+	tr  *update.Translation
+}
+
+func followerWorkload(fx *fixtures.ABCXD) []replicatedCommit {
+	return []replicatedCommit{
+		{12, "k-12", update.NewTranslation(
+			update.NewInsert(fx.ABTuple("a1", 5)),
+			update.NewInsert(fx.CXDTuple("c3", "a1", 7)))},
+		{13, "", update.NewTranslation(update.NewDelete(fx.CXDTuple("c2", "a2", 4)))},
+		{17, "k-17", update.NewTranslation(
+			update.NewReplace(fx.CXDTuple("c1", "a", 3), fx.CXDTuple("c1", "a1", 9)))},
+		{20, "k-20", update.NewTranslation(update.NewInsert(fx.ABTuple("a3", 8)))},
+	}
+}
+
+// referenceState applies the same commits to a fresh in-memory copy and
+// renders it — the oracle a follower must match.
+func referenceState(t *testing.T, fx *fixtures.ABCXD, commits []replicatedCommit) string {
+	t.Helper()
+	db := fx.PaperInstance()
+	for _, c := range commits {
+		if err := db.Apply(c.tr); err != nil {
+			t.Fatalf("reference seq %d: %v", c.seq, err)
+		}
+	}
+	return render(db)
+}
+
+// TestCreateAtApplyAtReopen is the follower lifecycle: bootstrap at a
+// nonzero watermark, replay primary-sequenced commits with gaps, and
+// recover every watermark plus the idempotency keys after a restart.
+func TestCreateAtApplyAtReopen(t *testing.T) {
+	fx := fixtures.NewABCXD()
+	dir := t.TempDir()
+	st, err := CreateAt(dir, fx.PaperInstance(), 10, Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seq() != 10 || st.CommittedSeq() != 10 || st.SnapshotSeq() != 10 {
+		t.Fatalf("fresh watermarks: seq=%d committed=%d snap=%d, want 10/10/10",
+			st.Seq(), st.CommittedSeq(), st.SnapshotSeq())
+	}
+	commits := followerWorkload(fx)
+	for _, c := range commits {
+		if err := st.ApplyAt(c.seq, c.key, c.tr); err != nil {
+			t.Fatalf("ApplyAt %d: %v", c.seq, err)
+		}
+		if st.CommittedSeq() != c.seq {
+			t.Fatalf("after seq %d: committed=%d", c.seq, st.CommittedSeq())
+		}
+	}
+	want := referenceState(t, fx, commits)
+	if render(st.DB()) != want {
+		t.Fatal("follower state diverged from reference")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if render(re.DB()) != want {
+		t.Fatal("recovered follower state diverged from reference")
+	}
+	if re.CommittedSeq() != 20 || re.Seq() != 20 || re.SnapshotSeq() != 10 {
+		t.Fatalf("recovered watermarks: seq=%d committed=%d snap=%d, want 20/20/10",
+			re.Seq(), re.CommittedSeq(), re.SnapshotSeq())
+	}
+	keys := re.RecoveredKeys()
+	if strings.Join(keys, ",") != "k-12,k-17,k-20" {
+		t.Fatalf("recovered keys = %v", keys)
+	}
+}
+
+func TestApplyAtRejectsCommittedSeq(t *testing.T) {
+	fx := fixtures.NewABCXD()
+	st, err := CreateAt(t.TempDir(), fx.PaperInstance(), 10, Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	tr := update.NewTranslation(update.NewInsert(fx.ABTuple("a1", 5)))
+	if err := st.ApplyAt(10, "", tr); err == nil {
+		t.Fatal("ApplyAt at the watermark must be rejected")
+	}
+	if err := st.ApplyAt(11, "", tr); err != nil {
+		t.Fatal(err)
+	}
+	dup := update.NewTranslation(update.NewInsert(fx.ABTuple("a3", 8)))
+	if err := st.ApplyAt(11, "", dup); err == nil {
+		t.Fatal("replaying a committed seq must be rejected")
+	}
+}
+
+// TestApplyAtRetryAfterFailedAppend: a failed translation append must
+// not burn the primary's seq — the follower retries the same record
+// after reconnecting and it must land.
+func TestApplyAtRetryAfterFailedAppend(t *testing.T) {
+	fx := fixtures.NewABCXD()
+	st, err := CreateAt(t.TempDir(), fx.PaperInstance(), 10, Options{
+		Sync: wal.SyncNever,
+		WrapWAL: func(f wal.File) wal.File {
+			return &faultinject.FlakyWriter{W: f, FailNth: 1}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	tr := update.NewTranslation(update.NewInsert(fx.ABTuple("a1", 5)))
+	if err := st.ApplyAt(12, "k", tr); err == nil {
+		t.Fatal("want the injected append failure")
+	}
+	if st.Seq() != 10 || st.CommittedSeq() != 10 {
+		t.Fatalf("failed append must not move watermarks: seq=%d committed=%d", st.Seq(), st.CommittedSeq())
+	}
+	if err := st.ApplyAt(12, "k", tr); err != nil {
+		t.Fatalf("retry of the same seq: %v", err)
+	}
+	if st.CommittedSeq() != 12 {
+		t.Fatalf("committed=%d after retry", st.CommittedSeq())
+	}
+}
+
+// TestApplyAtCrashResidueRetry: the follower crashes between a commit's
+// translation record and its commit marker, restarts, and replays the
+// same primary seq. The orphaned record must be discarded at recovery
+// and the retry — at a seq at or below Seq() but above CommittedSeq()
+// — must land exactly once.
+func TestApplyAtCrashResidueRetry(t *testing.T) {
+	fx := fixtures.NewABCXD()
+	dir := t.TempDir()
+	commit := followerWorkload(fx)[0]
+	frame, err := wal.Frame(wal.EncodeTranslationKeyed(commit.seq, commit.key, commit.tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := CreateAt(dir, fx.PaperInstance(), 10, Options{
+		Sync: wal.SyncNever,
+		WrapWAL: func(f wal.File) wal.File {
+			// Let exactly the translation record through, then cut power.
+			return &faultinject.CrashWriter{W: f, Limit: int64(len(frame))}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ApplyAt(commit.seq, commit.key, commit.tr); err == nil {
+		t.Fatal("want the injected crash on the commit marker")
+	}
+	// Crash: reopen from disk without closing.
+	re, err := Open(dir, Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rep := re.Report()
+	if rep.Discarded != 1 || rep.Replayed != 0 {
+		t.Fatalf("report = %s, want the orphan discarded", rep)
+	}
+	if re.CommittedSeq() != 10 || re.Seq() != commit.seq {
+		t.Fatalf("recovered watermarks: seq=%d committed=%d", re.Seq(), re.CommittedSeq())
+	}
+	if len(re.RecoveredKeys()) != 0 {
+		t.Fatalf("uncommitted key must not be recovered: %v", re.RecoveredKeys())
+	}
+	// The retry reuses a seq the store has seen (residue) but never
+	// committed. Rebuild the translation against the recovered schema,
+	// exactly as a follower decodes streamed records.
+	retry, err := wal.DecodeTranslation(re.DB().Schema(),
+		wal.EncodeTranslationKeyed(commit.seq, commit.key, commit.tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.ApplyAt(commit.seq, commit.key, retry); err != nil {
+		t.Fatalf("retry after crash: %v", err)
+	}
+	want := referenceState(t, fx, []replicatedCommit{commit})
+	if render(re.DB()) != want {
+		t.Fatal("retried commit applied wrong")
+	}
+
+	// And the state survives another recovery without double-applying
+	// the duplicate translation records.
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if render(again.DB()) != want {
+		t.Fatal("state after second recovery diverged")
+	}
+	if again.CommittedSeq() != commit.seq {
+		t.Fatalf("committed=%d after second recovery", again.CommittedSeq())
+	}
+}
+
+// TestOnCommitFeed checks the replication feed: every durable commit's
+// translation record, in commit order, across all three apply paths.
+func TestOnCommitFeed(t *testing.T) {
+	fx := fixtures.NewABCXD()
+	st, err := Create(t.TempDir(), fx.PaperInstance(), Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var feed []wal.Record
+	st.SetOnCommit(func(recs []wal.Record) { feed = append(feed, recs...) })
+
+	if err := st.Apply(update.NewTranslation(update.NewInsert(fx.ABTuple("a1", 5)))); err != nil {
+		t.Fatal(err)
+	}
+	trs := []*update.Translation{
+		update.NewTranslation(update.NewDelete(fx.CXDTuple("c2", "a2", 4))),
+		// Conflicts (already deleted): skipped, must not reach the feed.
+		update.NewTranslation(update.NewDelete(fx.CXDTuple("c2", "a2", 4))),
+		update.NewTranslation(update.NewInsert(fx.ABTuple("a3", 8))),
+	}
+	errs, _ := st.ApplyBatchKeyed(trs, []string{"b-1", "", "b-3"})
+	if errs[0] != nil || errs[1] == nil || errs[2] != nil {
+		t.Fatalf("batch errs = %v", errs)
+	}
+	if err := st.ApplyAt(9, "r-9", update.NewTranslation(update.NewInsert(fx.CXDTuple("c3", "a1", 7)))); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(feed) != 4 {
+		t.Fatalf("feed has %d records, want 4", len(feed))
+	}
+	var prev uint64
+	for i, rec := range feed {
+		if rec.Kind != wal.KindTranslation {
+			t.Fatalf("feed[%d] kind = %d", i, rec.Kind)
+		}
+		if rec.Seq <= prev {
+			t.Fatalf("feed out of order at %d: %d after %d", i, rec.Seq, prev)
+		}
+		prev = rec.Seq
+	}
+	if feed[1].Key != "b-1" || feed[2].Key != "b-3" || feed[3].Key != "r-9" {
+		t.Fatalf("feed keys = %q %q %q", feed[1].Key, feed[2].Key, feed[3].Key)
+	}
+	if st.CommittedSeq() != 9 {
+		t.Fatalf("committed=%d", st.CommittedSeq())
+	}
+}
+
+// TestSnapshotSeqAdvances: a checkpoint folds the WAL into the snapshot
+// and must advance the stream-resumption floor with it.
+func TestSnapshotSeqAdvances(t *testing.T) {
+	fx := fixtures.NewABCXD()
+	dir := t.TempDir()
+	st, err := Create(dir, fx.PaperInstance(), Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Apply(update.NewTranslation(update.NewInsert(fx.ABTuple("a1", 5)))); err != nil {
+		t.Fatal(err)
+	}
+	if st.SnapshotSeq() != 0 {
+		t.Fatalf("snapSeq=%d before checkpoint", st.SnapshotSeq())
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if st.SnapshotSeq() != st.Seq() {
+		t.Fatalf("snapSeq=%d after checkpoint, want %d", st.SnapshotSeq(), st.Seq())
+	}
+	if _, err := wal.ScanFile(filepath.Join(dir, WALFile)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -86,14 +86,31 @@ func (r RecoveryReport) String() string {
 // loading the snapshot, truncating any torn WAL tail, and replaying the
 // committed records.
 type Store struct {
-	mu     sync.Mutex
-	dir    string
-	db     *storage.Database
-	log    *wal.Log
-	opts   Options
-	seq    uint64
-	report RecoveryReport
-	broken error // non-nil once the store can no longer trust its state
+	mu   sync.Mutex
+	dir  string
+	db   *storage.Database
+	log  *wal.Log
+	opts Options
+	seq  uint64
+	// committed is the highest sequence number with a durable commit
+	// (or prepare+decision) on media — unlike seq, which also counts
+	// burned numbers (failed appends, uncommitted records found at
+	// recovery). A follower resumes replication from committed: its
+	// state reflects exactly the primary's prefix up to there.
+	committed uint64
+	// snapSeq is the snapshot file's applied-seq watermark: records at
+	// or below it are folded into the snapshot and no longer on the
+	// WAL. The replication source refuses stream resumption below it.
+	snapSeq uint64
+	// onCommit, when set, receives the translation records of every
+	// durable commit, in commit order, immediately after their WAL
+	// append succeeded (still under the store lock, so delivery order
+	// is commit order). The serving layer feeds its replication hub
+	// with it. The callback must be fast and must not call back into
+	// the store.
+	onCommit func(recs []wal.Record)
+	report   RecoveryReport
+	broken   error // non-nil once the store can no longer trust its state
 	// recoveredKeys are the idempotency keys of every committed
 	// translation found in the WAL at Open, in commit order. The
 	// serving layer replays them into its dedup table at boot. The
@@ -110,6 +127,15 @@ func (s *Store) RecoveredKeys() []string { return s.recoveredKeys }
 // Create initializes dir as a new store holding db's current state and
 // an empty WAL. It fails if dir already contains a snapshot.
 func Create(dir string, db *storage.Database, opts Options) (*Store, error) {
+	return CreateAt(dir, db, 0, opts)
+}
+
+// CreateAt is Create starting at a nonzero applied-seq watermark: the
+// follower bootstrap path, where db is a snapshot of the primary at
+// seq and every later record arrives with a primary-assigned sequence
+// number through ApplyAt. The snapshot written to disk is stamped with
+// seq, so a restart recovers the watermark along with the state.
+func CreateAt(dir string, db *storage.Database, seq uint64, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
@@ -117,7 +143,8 @@ func Create(dir string, db *storage.Database, opts Options) (*Store, error) {
 	if _, err := os.Stat(snapPath); err == nil {
 		return nil, fmt.Errorf("persist: store already exists at %s", dir)
 	}
-	s := &Store{dir: dir, db: db, opts: opts, report: RecoveryReport{TornAt: -1}}
+	s := &Store{dir: dir, db: db, opts: opts, seq: seq, committed: seq,
+		report: RecoveryReport{TornAt: -1, SnapshotSeq: seq}}
 	if err := s.writeSnapshot(); err != nil {
 		return nil, err
 	}
@@ -171,7 +198,11 @@ func Open(dir string, opts Options) (*Store, error) {
 	committed, discarded := res.Committed()
 	report.Discarded = discarded
 	var keys []string
+	maxCommitted := snap.Seq
 	for _, rec := range committed {
+		if rec.Seq > maxCommitted {
+			maxCommitted = rec.Seq
+		}
 		if rec.Key != "" {
 			// Keys of durably committed translations — replayed or
 			// already folded into the snapshot — seed the serving
@@ -205,7 +236,8 @@ func Open(dir string, opts Options) (*Store, error) {
 	if snap.Seq > seq {
 		seq = snap.Seq
 	}
-	s := &Store{dir: dir, db: db, opts: opts, seq: seq, report: report, recoveredKeys: keys}
+	s := &Store{dir: dir, db: db, opts: opts, seq: seq, committed: maxCommitted,
+		snapSeq: snap.Seq, report: report, recoveredKeys: keys}
 	if err := s.openLog(); err != nil {
 		return nil, err
 	}
@@ -234,6 +266,52 @@ func (s *Store) openLog() error {
 
 // DB returns the store's live database.
 func (s *Store) DB() *storage.Database { return s.db }
+
+// Dir returns the store directory. The replication stream handler
+// scans the WAL file inside it to serve commits a follower's watermark
+// trails the in-memory backlog by.
+func (s *Store) Dir() string { return s.dir }
+
+// Seq returns the applied-sequence watermark, including burned
+// numbers (failed appends, uncommitted records found at recovery).
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// CommittedSeq returns the highest sequence number with a durable
+// commit on media — the watermark a follower resumes replication
+// from. Burned sequence numbers above it never had (and never will
+// have) a committed record.
+func (s *Store) CommittedSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.committed
+}
+
+// SnapshotSeq returns the snapshot file's applied-seq watermark:
+// records at or below it are folded away and can no longer be served
+// from the WAL. The replication source answers stream requests below
+// it with "snapshot required".
+func (s *Store) SnapshotSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapSeq
+}
+
+// SetOnCommit installs the durable-commit feed: fn receives the
+// translation records (kind KindTranslation, with seq and idempotency
+// key) of every commit, in commit order, immediately after the commit
+// became durable. Delivery runs under the store lock — fn must be
+// fast, must not block, and must not call back into the store. The
+// serving layer points this at its replication hub. Pass nil to
+// detach.
+func (s *Store) SetOnCommit(fn func(recs []wal.Record)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onCommit = fn
+}
 
 // Report returns what recovery found (zero-valued with TornAt == -1
 // for a freshly created store).
@@ -270,7 +348,8 @@ func (s *Store) Apply(tr *update.Translation) error {
 	// a stale or damaged record from the failed attempt.
 	s.seq++
 	seq := s.seq
-	if err := s.log.Append(wal.EncodeTranslation(seq, tr)); err != nil {
+	rec := wal.EncodeTranslation(seq, tr)
+	if err := s.log.Append(rec); err != nil {
 		return err
 	}
 	if err := s.db.Apply(tr); err != nil {
@@ -286,6 +365,65 @@ func (s *Store) Apply(tr *update.Translation) error {
 			return s.broken
 		}
 		return fmt.Errorf("persist: commit not durable, rolled back: %w", err)
+	}
+	s.committed = seq
+	if s.onCommit != nil {
+		s.onCommit([]wal.Record{rec})
+	}
+	return nil
+}
+
+// ApplyAt durably applies tr under a caller-assigned sequence number —
+// the follower's replay-from-watermark entry point. The record goes
+// through the exact commit protocol of Apply (translation record,
+// memory apply, commit marker) but with the primary's seq instead of a
+// locally allocated one, so the follower's watermark stays aligned
+// with the primary's even across the gaps burned sequence numbers
+// leave. seq must exceed CommittedSeq; it may be at or below Seq when
+// a crashed previous attempt left an uncommitted record for it (the
+// re-appended record simply supersedes the orphan at recovery). key is
+// journaled like ApplyBatchKeyed's, so RecoveredKeys covers replicated
+// commits across a follower restart.
+func (s *Store) ApplyAt(seq uint64, key string, tr *update.Translation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken != nil {
+		return s.broken
+	}
+	if seq <= s.committed {
+		return fmt.Errorf("persist: ApplyAt seq %d at or below committed watermark %d", seq, s.committed)
+	}
+	prev := s.seq
+	if seq > s.seq {
+		s.seq = seq
+	}
+	rec := wal.EncodeTranslationKeyed(seq, key, tr)
+	if err := s.log.Append(rec); err != nil {
+		// Nothing of seq reached media (the log truncated back or
+		// sealed); un-burn it so the follower can retry the same record
+		// after reconnecting.
+		s.seq = prev
+		return err
+	}
+	if err := s.db.Apply(tr); err != nil {
+		// A replicated record that fails validation means the follower
+		// has diverged from the primary — fatal for the caller. The
+		// journaled record stays uncommitted and is discarded at the
+		// next recovery.
+		return fmt.Errorf("persist: replicated seq %d does not apply: %w", seq, err)
+	}
+	if err := s.log.Append(wal.CommitRecord(seq)); err != nil {
+		if uerr := s.db.Apply(invert(tr)); uerr != nil {
+			s.broken = fmt.Errorf("persist: store broken: commit append failed (%v), rollback failed: %w (%w)",
+				err, uerr, vuerr.ErrCorrupt)
+			obs.Inc("persist.store.broken")
+			return s.broken
+		}
+		return fmt.Errorf("persist: commit not durable, rolled back: %w", err)
+	}
+	s.committed = seq
+	if s.onCommit != nil {
+		s.onCommit([]wal.Record{rec})
 	}
 	return nil
 }
@@ -412,6 +550,18 @@ func (s *Store) ApplyBatchKeyed(trs []*update.Translation, keys []string) ([]err
 	obs.Inc("persist.batch")
 	obs.Add("persist.batch.commits", int64(len(landed)))
 	obs.Observe("persist.batch.size", int64(len(landed)))
+	// Every staged seq up to s.seq is now durably committed (skipped
+	// translations never allocated one).
+	s.committed = s.seq
+	if s.onCommit != nil {
+		// recs holds [translation, commit] pairs; the feed carries the
+		// translation records only.
+		trRecs := make([]wal.Record, 0, len(landed))
+		for i := 0; i < len(recs); i += 2 {
+			trRecs = append(trRecs, recs[i])
+		}
+		s.onCommit(trRecs)
+	}
 	return errs, stats
 }
 
@@ -491,7 +641,11 @@ func (s *Store) writeSnapshot() error {
 	if err := os.Rename(tmp, filepath.Join(s.dir, SnapshotFile)); err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	return syncDir(s.dir)
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	s.snapSeq = s.seq
+	return nil
 }
 
 // syncDir fsyncs a directory so renames inside it are durable.

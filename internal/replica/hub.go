@@ -1,0 +1,230 @@
+// Package replica implements WAL-streaming read replication: the
+// primary side (Hub — an in-memory backlog of framed commit records
+// fanned out to attached stream tails) and the follower side (Client —
+// snapshot bootstrap + stream resumption; Follower — replay into a
+// local database with a durable applied-seq watermark). The protocol
+// and its staleness model are documented in docs/REPLICATION.md.
+//
+// The stream carries exactly two record kinds: KindTranslation (one
+// per durable commit, in commit order, stamped with the primary's
+// wall clock) and KindHeartbeat (watermark + clock while idle). Commit
+// markers never travel — a record is streamed only after its commit is
+// durable, so presence implies commitment.
+package replica
+
+import (
+	"sync"
+	"time"
+
+	"viewupdate/internal/obs"
+	"viewupdate/internal/wal"
+)
+
+// Hub defaults.
+const (
+	// DefaultBacklogBytes bounds the in-memory frame backlog. A follower
+	// whose watermark has fallen off the backlog re-reads the gap from
+	// the source's WAL (or, past a checkpoint, re-bootstraps).
+	DefaultBacklogBytes = 4 << 20
+	// tailBuffer is each attached stream's channel capacity. A tail that
+	// stays full — a consumer slower than the commit rate for this many
+	// frames — is closed, forcing the follower to reconnect and resume.
+	tailBuffer = 1024
+)
+
+// A Tail is one attached stream consumer. Frames arrive on C in commit
+// order; the channel is closed when the consumer falls too far behind
+// or the hub shuts down, which a stream handler turns into a clean
+// end-of-stream (the follower reconnects from its watermark).
+type Tail struct {
+	C chan []byte
+}
+
+// A Hub retains recently published commit frames and fans them out to
+// attached tails. Publishing is single-producer in practice (the
+// commit path is serialized) but the hub locks anyway; attaching is
+// atomic with respect to publishing, so a consumer that replays the
+// returned backlog and then drains its tail sees every frame exactly
+// once.
+type Hub struct {
+	mu             sync.Mutex
+	frames         []hubFrame
+	bytes          int64
+	maxBytes       int64
+	evictedThrough uint64 // frames at or below this seq may be gone
+	lastSeq        uint64
+	tails          map[*Tail]struct{}
+	closed         bool
+}
+
+type hubFrame struct {
+	seq  uint64
+	data []byte
+}
+
+// NewHub builds a hub retaining about maxBytes of frame backlog
+// (DefaultBacklogBytes when maxBytes <= 0).
+func NewHub(maxBytes int64) *Hub {
+	if maxBytes <= 0 {
+		maxBytes = DefaultBacklogBytes
+	}
+	return &Hub{maxBytes: maxBytes, tails: map[*Tail]struct{}{}}
+}
+
+// Publish frames one durable commit's translation record and delivers
+// it: appended to the backlog, sent to every tail. rec.TS is stamped
+// with the current wall clock — the timestamp followers turn lag-in-
+// seqs into lag-in-time with. Records must arrive in commit order;
+// out-of-order seqs are dropped (counted as replica.hub.outoforder).
+func (h *Hub) Publish(rec wal.Record) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	if rec.Seq <= h.lastSeq {
+		obs.Inc("replica.hub.outoforder")
+		return
+	}
+	rec.TS = time.Now().UnixNano()
+	data, err := wal.Frame(rec)
+	if err != nil {
+		// A record that does not encode cannot have landed in the WAL;
+		// treat as unreachable but never panic the commit path.
+		obs.Inc("replica.hub.encode_error")
+		return
+	}
+	h.lastSeq = rec.Seq
+	h.frames = append(h.frames, hubFrame{seq: rec.Seq, data: data})
+	h.bytes += int64(len(data))
+	for h.bytes > h.maxBytes && len(h.frames) > 1 {
+		h.evictedThrough = h.frames[0].seq
+		h.bytes -= int64(len(h.frames[0].data))
+		h.frames[0].data = nil
+		h.frames = h.frames[1:]
+	}
+	for t := range h.tails {
+		select {
+		case t.C <- data:
+		default:
+			// Slow stream consumer: shed it. The follower reconnects and
+			// resumes from its watermark.
+			obs.Inc("replica.hub.tail_overrun")
+			close(t.C)
+			delete(h.tails, t)
+		}
+	}
+}
+
+// Heartbeat sends a stream-only heartbeat (current durable watermark +
+// wall clock) to every tail. Heartbeats never enter the backlog.
+func (h *Hub) Heartbeat(seq uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed || len(h.tails) == 0 {
+		return
+	}
+	data, err := wal.Frame(wal.HeartbeatRecord(seq, time.Now().UnixNano()))
+	if err != nil {
+		return
+	}
+	for t := range h.tails {
+		select {
+		case t.C <- data:
+		default: // a heartbeat is never worth shedding a tail over
+		}
+	}
+}
+
+// SeedWatermark initializes the hub's position at boot: commits at or
+// below seq predate the hub (they were recovered from the WAL, never
+// published through it), so an Attach below that point must report
+// uncovered and let the stream handler serve the gap from the WAL.
+// Call once, before any Publish.
+func (h *Hub) SeedWatermark(seq uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if seq > h.evictedThrough {
+		h.evictedThrough = seq
+	}
+	if seq > h.lastSeq {
+		h.lastSeq = seq
+	}
+}
+
+// Attach registers a new tail resuming after seq `from`. It returns the
+// backlog frames with seq > from and whether the backlog actually
+// covers that point (covered == false means frames between from and
+// the backlog's start were evicted — the caller must serve the gap
+// from the WAL and attach again). Backlog copy and tail registration
+// are atomic, so no frame is lost between them.
+func (h *Hub) Attach(from uint64) (backlog [][]byte, t *Tail, covered bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	t = &Tail{C: make(chan []byte, tailBuffer)}
+	if h.closed {
+		close(t.C)
+		return nil, t, true
+	}
+	if from < h.evictedThrough {
+		return nil, nil, false
+	}
+	for _, f := range h.frames {
+		if f.seq > from {
+			backlog = append(backlog, f.data)
+		}
+	}
+	h.tails[t] = struct{}{}
+	return backlog, t, true
+}
+
+// Detach removes a tail (idempotent; safe on a tail the hub already
+// shed).
+func (h *Hub) Detach(t *Tail) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.tails[t]; ok {
+		delete(h.tails, t)
+		close(t.C)
+	}
+}
+
+// Tails reports the number of attached stream consumers.
+func (h *Hub) Tails() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.tails)
+}
+
+// LastSeq reports the highest published seq.
+func (h *Hub) LastSeq() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lastSeq
+}
+
+// ShedTails closes every attached tail without closing the hub — the
+// server's drain path. Consumers see a clean end-of-stream and
+// reconnect (or give up, when the server is going away).
+func (h *Hub) ShedTails() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for t := range h.tails {
+		close(t.C)
+		delete(h.tails, t)
+	}
+}
+
+// Close sheds every tail and rejects further publishes.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for t := range h.tails {
+		close(t.C)
+		delete(h.tails, t)
+	}
+}

@@ -1,0 +1,126 @@
+package replica
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"viewupdate/internal/wal"
+)
+
+func pubRec(seq uint64) wal.Record {
+	return wal.Record{Seq: seq, Kind: wal.KindTranslation,
+		Ops: []wal.OpRecord{{Kind: "i", Rel: "R", Vals: []string{"x"}}}}
+}
+
+func decodeFrames(t *testing.T, frames [][]byte) []wal.Record {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, f := range frames {
+		buf.Write(f)
+	}
+	var recs []wal.Record
+	sr := wal.NewStreamReader(&buf)
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			return recs
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+func TestHubAttachReplaysBacklogOnce(t *testing.T) {
+	h := NewHub(1 << 20)
+	for seq := uint64(1); seq <= 5; seq++ {
+		h.Publish(pubRec(seq))
+	}
+	backlog, tail, covered := h.Attach(2)
+	if !covered {
+		t.Fatal("backlog from seq 0 must be covered, nothing evicted")
+	}
+	defer h.Detach(tail)
+	recs := decodeFrames(t, backlog)
+	if len(recs) != 3 || recs[0].Seq != 3 || recs[2].Seq != 5 {
+		t.Fatalf("backlog = %+v, want seqs 3..5", recs)
+	}
+	if recs[0].TS == 0 {
+		t.Fatal("published frames must carry a commit timestamp")
+	}
+	// Frames published after Attach arrive on the tail, never in both
+	// places.
+	h.Publish(pubRec(6))
+	select {
+	case data := <-tail.C:
+		got := decodeFrames(t, [][]byte{data})
+		if got[0].Seq != 6 {
+			t.Fatalf("tail got seq %d", got[0].Seq)
+		}
+	default:
+		t.Fatal("tail missed the live frame")
+	}
+}
+
+func TestHubEvictionForcesWALGapFill(t *testing.T) {
+	h := NewHub(1) // evict after every frame beyond the newest
+	for seq := uint64(1); seq <= 4; seq++ {
+		h.Publish(pubRec(seq))
+	}
+	if _, _, covered := h.Attach(1); covered {
+		t.Fatal("attach below the evicted range must report uncovered")
+	}
+	backlog, tail, covered := h.Attach(h.LastSeq())
+	if !covered || len(backlog) != 0 {
+		t.Fatalf("attach at the head: covered=%v backlog=%d", covered, len(backlog))
+	}
+	h.Detach(tail)
+}
+
+func TestHubShedsSlowTail(t *testing.T) {
+	h := NewHub(1 << 20)
+	_, tail, _ := h.Attach(0)
+	for seq := uint64(1); seq <= tailBuffer+2; seq++ {
+		h.Publish(pubRec(seq))
+	}
+	if h.Tails() != 0 {
+		t.Fatal("overrun tail must be shed")
+	}
+	// The shed tail's channel is closed after the buffered frames.
+	n := 0
+	for range tail.C {
+		n++
+	}
+	if n != tailBuffer {
+		t.Fatalf("drained %d frames, want %d", n, tailBuffer)
+	}
+	// Detach after shed is a no-op, not a double close.
+	h.Detach(tail)
+}
+
+func TestHubDropsOutOfOrderPublish(t *testing.T) {
+	h := NewHub(1 << 20)
+	h.Publish(pubRec(5))
+	h.Publish(pubRec(5))
+	h.Publish(pubRec(3))
+	backlog, tail, _ := h.Attach(0)
+	defer h.Detach(tail)
+	if len(backlog) != 1 {
+		t.Fatalf("backlog holds %d frames, want the single in-order one", len(backlog))
+	}
+}
+
+func TestHubCloseShedsTails(t *testing.T) {
+	h := NewHub(0)
+	_, tail, _ := h.Attach(0)
+	h.Close()
+	if _, ok := <-tail.C; ok {
+		t.Fatal("closed hub must close its tails")
+	}
+	h.Publish(pubRec(1)) // must not panic
+	if h.LastSeq() != 0 {
+		t.Fatal("publish after close must be dropped")
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"viewupdate/internal/faultinject"
 	"viewupdate/internal/obs"
 	"viewupdate/internal/persist"
+	"viewupdate/internal/replica"
 	"viewupdate/internal/shard"
 	"viewupdate/internal/sqlish"
 	"viewupdate/internal/storage"
@@ -126,6 +127,14 @@ type Config struct {
 	// BreakerCooldown is how long the write-path circuit breaker stays
 	// open after tripping before it admits a probe. Default 2s.
 	BreakerCooldown time.Duration
+	// Follow, when non-empty, runs the engine as a read replica of the
+	// source at this base URL: state bootstraps from /wal/snapshot (or
+	// recovers from Dir), every source commit streams in over
+	// /wal/stream and applies locally, and the write API answers 403
+	// read_only. Dir makes the follower durable (restart resumes from
+	// the local watermark); empty Dir re-bootstraps every start.
+	// Incompatible with Shards. See docs/REPLICATION.md.
+	Follow string
 }
 
 func (c Config) withDefaults() Config {
@@ -210,6 +219,27 @@ type Engine struct {
 	brk      *breaker
 	shedTick atomic.Uint64
 
+	// Replication. repHub fans durable commits out to /wal/stream tails
+	// (non-nil exactly when the engine is durable — a replication
+	// source); repFeed reorders the sharded pipeline's out-of-order
+	// durability notifications for it; hbStop stops the heartbeat
+	// ticker. See walstream.go and docs/REPLICATION.md.
+	repHub  *replica.Hub
+	repFeed *walFeed
+	hbStop  chan struct{}
+
+	// subs fans per-commit view deltas out to /subscribe streams; see
+	// subscribe.go. Zero value ready; closed after the pipeline drains.
+	subs subHub
+
+	// Follower mode (Config.Follow): fol replays the source's WAL
+	// stream, folCancel stops it, folMu/folFatal record a fatal
+	// replication error (divergence) for Health. See follower.go.
+	fol       *replica.Follower
+	folCancel context.CancelFunc
+	folMu     sync.Mutex
+	folFatal  error
+
 	start time.Time
 }
 
@@ -233,7 +263,14 @@ func NewEngine(cfg Config, initScript string) (*Engine, error) {
 	if cfg.Shards > 1 && cfg.Dir == "" {
 		return nil, fmt.Errorf("server: Shards requires a store directory")
 	}
-	if cfg.Shards > 1 {
+	if cfg.Follow != "" && cfg.Shards > 1 {
+		return nil, fmt.Errorf("server: Follow is incompatible with Shards (follow each shard primary separately)")
+	}
+	if cfg.Follow != "" {
+		if err := e.openFollower(); err != nil {
+			return nil, err
+		}
+	} else if cfg.Shards > 1 {
 		sopts := shard.Options{Sync: cfg.Sync, WrapWAL: cfg.WrapShardWAL}
 		st, err := shard.Open(cfg.Dir, cfg.Shards, sopts)
 		switch {
@@ -332,13 +369,47 @@ func NewEngine(cfg Config, initScript string) (*Engine, error) {
 			e.logf("replayed idempotency keys", "keys", len(keys))
 		}
 	}
+	if e.store != nil || e.shst != nil {
+		// A durable engine is a replication source: durable commits feed
+		// the stream hub in commit order. The hub's watermark is seeded
+		// with the boot-time committed seq, so a follower resuming below
+		// it is served from the WAL on disk instead of silently skipped.
+		e.repHub = replica.NewHub(0)
+		e.hbStop = make(chan struct{})
+		if e.store != nil {
+			e.repHub.SeedWatermark(e.store.CommittedSeq())
+			e.store.SetOnCommit(func(recs []wal.Record) {
+				for _, rec := range recs {
+					e.repHub.Publish(rec)
+				}
+			})
+		} else {
+			boot := e.shst.Seq()
+			e.repFeed = newWalFeed(e.repHub, boot)
+			e.repHub.SeedWatermark(boot)
+			// The synchronous script path (DDL, admin writes) bypasses the
+			// acker; its commits are durable when Apply returns, so they
+			// register and resolve in one step. stateMu serializes them
+			// against the sequencer's registrations.
+			e.shst.SetOnCommit(func(seq uint64, key string, tr *update.Translation) {
+				e.repFeed.register(seq, key, tr)
+				e.repFeed.resolve(seq, true)
+			})
+		}
+		go e.runHeartbeats()
+	}
 	e.preregisterMetrics()
-	if e.shst != nil {
+	switch {
+	case e.shst != nil:
 		e.shr = newShardRuntime(e, e.shst)
 		e.preregisterShardMetrics()
 		e.shr.start()
 		go e.runShardSequencer()
-	} else {
+	case e.fol != nil:
+		ctx, cancel := context.WithCancel(context.Background())
+		e.folCancel = cancel
+		go e.runReplicator(ctx)
+	default:
 		go e.runCommitter()
 	}
 	return e, nil
@@ -365,13 +436,33 @@ func (e *Engine) preregisterMetrics() {
 		"server.ivm.patch", "server.ivm.rebuild",
 		"server.commit.windows",
 		"wal.append", "wal.append_batch", "wal.sync",
+		"server.walstream.opened", "server.walstream.frames", "server.walstream.bytes",
+		"server.walstream.snapshots", "server.replica.dropped_events",
+		"server.subscribe.opened",
+		"replica.hub.tail_overrun", "replica.hub.outoforder",
 	} {
 		reg.Counter(c)
+	}
+	if e.fol != nil {
+		for _, c := range []string{
+			"replica.bootstrap", "replica.reconnects",
+			"replica.skipped_kind", "replica.skipped_applied",
+		} {
+			reg.Counter(c)
+		}
+		for _, g := range []string{
+			"server.replica.applied_seq", "server.replica.lag_seq",
+			"server.replica.lag_ns",
+		} {
+			reg.Gauge(g)
+		}
+		reg.Histogram("server.replica.lag.ns")
 	}
 	for _, g := range []string{
 		"server.http.inflight", "server.commit.queue_depth",
 		"server.tx.open", "server.viewcache.entries", "server.viewcache.version",
 		"server.degraded", "server.breaker.state", "server.idem.entries",
+		"server.walstream.streams", "server.replica.subscribers",
 	} {
 		reg.Gauge(g)
 	}
@@ -594,6 +685,12 @@ func (e *Engine) Commit(ctx context.Context, tr *update.Translation, strict bool
 // fired while the commit was still queued — the reservation is left in
 // place for the pipeline to settle, so a retry observes the true fate.
 func (e *Engine) CommitKeyed(ctx context.Context, tr *update.Translation, strict bool, baseVersion uint64, key string) (uint64, error) {
+	if e.fol != nil {
+		if key != "" {
+			e.idem.release(key)
+		}
+		return 0, ErrReadOnly
+	}
 	if tr.Len() == 0 {
 		_, v := e.Snapshot()
 		if key != "" {
@@ -725,7 +822,28 @@ type Healthz struct {
 	// watermarks (the shard version vector of docs/SHARDING.md).
 	Shards        int      `json:"shards,omitempty"`
 	ShardVersions []uint64 `json:"shard_versions,omitempty"`
-	Error         string   `json:"error,omitempty"`
+	// Replication: the engine's role, the attached /wal/stream tail
+	// count (replication sources), and the follower's replica state.
+	Role           string         `json:"role,omitempty"`
+	WalStreamTails int            `json:"wal_stream_tails,omitempty"`
+	Replica        *ReplicaHealth `json:"replica,omitempty"`
+	Error          string         `json:"error,omitempty"`
+}
+
+// ReplicaHealth is the follower block of Healthz.
+type ReplicaHealth struct {
+	// Primary is the source URL the follower streams from.
+	Primary string `json:"primary"`
+	// AppliedSeq is the highest locally applied source commit;
+	// SourceSeq the highest the source has reported (stream or
+	// heartbeat); LagSeq their difference — replication lag in commits.
+	AppliedSeq uint64 `json:"applied_seq"`
+	SourceSeq  uint64 `json:"source_seq"`
+	LagSeq     uint64 `json:"lag_seq"`
+	// Durable reports whether replayed state survives restarts.
+	Durable bool `json:"durable"`
+	// Streaming reports a live stream connection to the source.
+	Streaming bool `json:"streaming"`
 }
 
 // Ready reports whether the engine can currently serve writes: not
@@ -738,6 +856,15 @@ func (e *Engine) Ready() bool {
 	e.sendMu.RUnlock()
 	if draining || e.brk.degraded() {
 		return false
+	}
+	if e.fol != nil {
+		// A follower is "ready" when it is actually replicating: load
+		// balancers steer reads away from one that lost its source (its
+		// data only goes staler) or diverged.
+		e.folMu.Lock()
+		fatal := e.folFatal
+		e.folMu.Unlock()
+		return fatal == nil && e.fol.Streaming() && e.db.Err() == nil
 	}
 	if e.store != nil && e.store.Err() != nil {
 		return false
@@ -768,8 +895,34 @@ func (e *Engine) Health() Healthz {
 		MaxBatch:     e.cfg.MaxBatch,
 		BatchDelayNS: int64(e.cfg.batchDelay()),
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Role:         "primary",
 	}
 	sort.Strings(h.Views)
+	if e.repHub != nil {
+		h.WalStreamTails = e.repHub.Tails()
+	}
+	if e.fol != nil {
+		h.Role = "follower"
+		applied, source := e.fol.AppliedSeq(), e.fol.SourceSeq()
+		lag := uint64(0)
+		if source > applied {
+			lag = source - applied
+		}
+		h.Replica = &ReplicaHealth{
+			Primary:    e.cfg.Follow,
+			AppliedSeq: applied,
+			SourceSeq:  source,
+			LagSeq:     lag,
+			Durable:    e.store != nil,
+			Streaming:  e.fol.Streaming(),
+		}
+		e.folMu.Lock()
+		if e.folFatal != nil {
+			h.Status = "broken"
+			h.Error = e.folFatal.Error()
+		}
+		e.folMu.Unlock()
+	}
 	if h.Degraded {
 		h.Status = "degraded"
 	}
@@ -816,7 +969,14 @@ func (e *Engine) Kill() {
 		close(e.commitC)
 	}
 	e.sendMu.Unlock()
+	if !already && e.folCancel != nil {
+		e.folCancel()
+	}
 	<-e.drained
+	if !already {
+		e.stopReplication()
+		e.subs.close()
+	}
 	if !already && e.store != nil {
 		// Crashed media makes close errors expected; the next Open
 		// recovers from whatever bytes survived.
@@ -838,7 +998,14 @@ func (e *Engine) Close() error {
 		close(e.commitC)
 	}
 	e.sendMu.Unlock()
+	if !already && e.folCancel != nil {
+		e.folCancel()
+	}
 	<-e.drained
+	if !already {
+		e.stopReplication()
+		e.subs.close()
+	}
 	if already || (e.store == nil && e.shst == nil) {
 		return nil
 	}

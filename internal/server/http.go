@@ -68,6 +68,9 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("POST /tx/{token}/views/{name}/{op}", e.handleTxUpdate)
 	mux.HandleFunc("GET /tx/{token}/views/{name}", e.handleTxReadView)
 	mux.HandleFunc("POST /execz", e.handleExec)
+	mux.HandleFunc("GET /wal/snapshot", e.handleWalSnapshot)
+	mux.HandleFunc("GET /wal/stream", e.handleWalStream)
+	mux.HandleFunc("GET /subscribe/{view}", e.handleSubscribe)
 	return e.withDeadline(mux)
 }
 
@@ -86,7 +89,13 @@ func (e *Engine) withDeadline(h http.Handler) http.Handler {
 		obs.AddGauge("server.http.inflight", 1)
 		defer obs.AddGauge("server.http.inflight", -1)
 		ctx := r.Context()
-		if !strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+		// pprof is exempt from the deadline (a 30s CPU profile must
+		// outlive the per-request timeout); so are the replication and
+		// subscription streams, which are long-lived by design.
+		exempt := strings.HasPrefix(r.URL.Path, "/debug/pprof/") ||
+			r.URL.Path == "/wal/stream" ||
+			strings.HasPrefix(r.URL.Path, "/subscribe/")
+		if !exempt {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, e.cfg.RequestTimeout)
 			defer cancel()
@@ -104,6 +113,7 @@ func (e *Engine) withDeadline(h http.Handler) http.Handler {
 // taxonomy:
 //
 //	400 bad_request      malformed body, unknown attribute, domain violation
+//	403 read_only        write against a follower (it replicates, the primary writes)
 //	404 not_found        unknown view or transaction token
 //	409 conflict         optimistic conflict at apply time
 //	422 no_candidates    the view update admits no translation
@@ -124,6 +134,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status, code = http.StatusNotFound, "not_found"
 	case errors.Is(err, ErrConflict):
 		status, code = http.StatusConflict, "conflict"
+	case errors.Is(err, ErrReadOnly):
+		status, code = http.StatusForbidden, "read_only"
 	case errors.Is(err, core.ErrNoCandidates):
 		status, code = http.StatusUnprocessableEntity, "no_candidates"
 	case errors.Is(err, core.ErrAmbiguous):

@@ -15,23 +15,65 @@ import (
 // view delta. Readers share cached sets, so patching is copy-on-write:
 // a patched entry is a fresh set and sets already handed out are never
 // mutated.
+//
+// The same per-view deltas drive live subscriptions (subscribe.go):
+// each commit's row changes fan out to /subscribe/{view} tails, for
+// subscribed views whether or not any reader has warmed the cache.
 
-// patchViewCache carries the view cache across a publish: given the
-// snapshot that was current when commitBatch started, the snapshot just
-// published, and the translations that landed between them (in apply
-// order), it patches each warm cached set with the corresponding view
-// delta and advances the cache to the new version. If the cache is cold
-// or stale — or IVM is disabled — it does nothing and the cache
-// invalidates implicitly as before.
+// patchViewCache carries the view cache across a publish and feeds the
+// subscription hub: given the snapshot that was current when
+// commitBatch started, the snapshot just published, and the
+// translations that landed between them (in apply order), it patches
+// each warm cached set with the corresponding view delta, advances the
+// cache to the new version, and broadcasts each subscribed view's row
+// changes. If the cache is cold or stale — or IVM is disabled — the
+// cache invalidates implicitly as before (subscriptions still get
+// their deltas).
 //
 // Called with stateMu held. Reading e.sess without sessMu is safe here:
 // DDL mutation (ExecScript) requires sessMu AND stateMu, and we hold
 // stateMu.
 func (e *Engine) patchViewCache(old, new *snapshot, landed []*update.Translation) {
-	if e.cfg.DisableIVM || len(landed) == 0 {
+	if len(landed) == 0 {
+		return
+	}
+	subbed := e.subs.active()
+	ivmOn := !e.cfg.DisableIVM
+	if !ivmOn && len(subbed) == 0 {
 		return
 	}
 	removed, added := netDelta(landed)
+
+	// Subscribed views compute their deltas first — a live subscription
+	// needs the row changes even when no reader has materialized the
+	// view — and the results are reused by the cache patch below.
+	type delta struct {
+		rem, add []tuple.T
+		ok       bool
+	}
+	var deltas map[string]delta
+	for _, name := range subbed {
+		v := e.sess.View(name)
+		if v == nil {
+			// View dropped since the subscribers attached; cut them loose
+			// so they notice and re-subscribe (or give up).
+			e.subs.drop(name)
+			continue
+		}
+		rem, add, ok := viewDeltaFor(v, old, new, removed, added)
+		if !ok {
+			e.subs.drop(name)
+			continue
+		}
+		if deltas == nil {
+			deltas = make(map[string]delta, len(subbed))
+		}
+		deltas[name] = delta{rem: rem, add: add, ok: true}
+		e.subs.publish(name, v, new.version, rem, add)
+	}
+	if !ivmOn {
+		return
+	}
 
 	c := &e.views
 	c.mu.Lock()
@@ -41,8 +83,13 @@ func (e *Engine) patchViewCache(old, new *snapshot, landed []*update.Translation
 		return
 	}
 	for name, set := range c.sets {
-		v := e.sess.View(name)
-		patched, ok := patchMaterialization(v, old, new, set, removed, added)
+		var rem, add []tuple.T
+		ok := false
+		if d, hit := deltas[name]; hit {
+			rem, add, ok = d.rem, d.add, d.ok
+		} else if v := e.sess.View(name); v != nil {
+			rem, add, ok = viewDeltaFor(v, old, new, removed, added)
+		}
 		if !ok {
 			// View dropped, redefined, or of a shape we cannot patch:
 			// evict and let the next read rematerialize.
@@ -50,7 +97,7 @@ func (e *Engine) patchViewCache(old, new *snapshot, landed []*update.Translation
 			obs.Inc("server.ivm.rebuild")
 			continue
 		}
-		c.sets[name] = patched
+		c.sets[name] = patchSet(set, rem, add)
 		obs.Inc("server.ivm.patch")
 	}
 	c.version = new.version
@@ -58,53 +105,54 @@ func (e *Engine) patchViewCache(old, new *snapshot, landed []*update.Translation
 	obs.SetGauge("server.viewcache.version", int64(c.version))
 }
 
-// patchMaterialization computes the cached set of v at the new snapshot
-// from its set at the old snapshot plus the net base delta. ok=false
-// means the set cannot be patched and must be rematerialized.
-func patchMaterialization(v view.View, old, new *snapshot, set *tuple.Set, removed, added []tuple.T) (*tuple.Set, bool) {
+// viewDeltaFor computes the view-row delta of v across a publish from
+// the net base delta. ok=false means v's shape cannot be maintained
+// incrementally (the set must be rematerialized, and subscriptions
+// cannot be served).
+func viewDeltaFor(v view.View, old, new *snapshot, removed, added []tuple.T) (remRows, addRows []tuple.T, ok bool) {
 	switch vv := v.(type) {
 	case *view.SP:
 		// The base key is the view key: removed/added base tuples map
 		// (through the selection) one-to-one onto removed/added rows.
 		base := vv.Base().Name()
-		removedRows, addedRows := tuple.NewSet(), tuple.NewSet()
+		rem, add := tuple.NewSet(), tuple.NewSet()
 		for _, t := range removed {
 			if t.Relation().Name() != base {
 				continue
 			}
-			if row, ok := vv.RowFor(t); ok {
-				removedRows.Add(row)
+			if row, rok := vv.RowFor(t); rok {
+				rem.Add(row)
 			}
 		}
 		for _, t := range added {
 			if t.Relation().Name() != base {
 				continue
 			}
-			if row, ok := vv.RowFor(t); ok {
-				addedRows.Add(row)
+			if row, rok := vv.RowFor(t); rok {
+				add.Add(row)
 			}
 		}
-		return patchSet(set, removedRows, addedRows), true
+		return rem.Slice(), add.Slice(), true
 	case *view.Join:
-		removedRows, addedRows := vv.DeltaForChange(old.db, new.db, removed, added)
-		return patchSet(set, removedRows, addedRows), true
+		remSet, addSet := vv.DeltaForChange(old.db, new.db, removed, added)
+		return remSet.Slice(), addSet.Slice(), true
 	default:
-		return nil, false
+		return nil, nil, false
 	}
 }
 
 // patchSet applies a view-row delta copy-on-write: the input set is
 // shared with readers and never mutated; an empty delta returns it
 // unchanged.
-func patchSet(set *tuple.Set, removedRows, addedRows *tuple.Set) *tuple.Set {
-	if removedRows.Len() == 0 && addedRows.Len() == 0 {
+func patchSet(set *tuple.Set, removedRows, addedRows []tuple.T) *tuple.Set {
+	if len(removedRows) == 0 && len(addedRows) == 0 {
 		return set
 	}
 	out := set.Clone()
-	for _, row := range removedRows.Slice() {
+	for _, row := range removedRows {
 		out.Remove(row)
 	}
-	for _, row := range addedRows.Slice() {
+	for _, row := range addedRows {
 		out.Add(row)
 	}
 	return out

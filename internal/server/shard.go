@@ -310,6 +310,12 @@ func (sr *shardRuntime) commitBatch(batch []*commitReq) {
 		version++
 		landed++
 		landedTrs = append(landedTrs, r.tr)
+		if e.repFeed != nil {
+			// Register with the replication feed in allocation order
+			// (stateMu is held); the acker resolves publish-or-skip once
+			// the commit's durability verdict is in.
+			e.repFeed.register(seq, r.key, r.tr)
+		}
 		// Everything the job loop below needs from the pooled request
 		// must be copied out before the ack is published: once it is in
 		// sr.acks the acker may answer it (e.g. a shard already failed)
@@ -516,10 +522,19 @@ func (sr *shardRuntime) runAcker() {
 					a.r.trace.Stage("fsync", time.Since(a.start))
 				}
 				obs.Inc(sr.cCommit[home])
+				if e.repFeed != nil {
+					// Durable everywhere it matters: release the commit to
+					// the replication stream (the feed restores seq order).
+					e.repFeed.resolve(a.seq, true)
+				}
 				a.r.done <- commitRes{version: a.version}
 			case ackFailed:
 				err := sr.ackErrLocked(a)
 				e.releaseKey(a.r)
+				if e.repFeed != nil {
+					// The seq is burned; unblock the feed without publishing.
+					e.repFeed.resolve(a.seq, false)
+				}
 				a.r.done <- commitRes{err: classifyApplyError(err)}
 			default:
 				kept = append(kept, a)

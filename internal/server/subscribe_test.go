@@ -1,0 +1,189 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"viewupdate/internal/tuple"
+	"viewupdate/internal/update"
+	"viewupdate/internal/value"
+)
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// readSSE parses events off the stream, skipping comment keepalives.
+func readSSE(t *testing.T, r *bufio.Reader, n int) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	var cur sseEvent
+	for len(out) < n {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SSE after %d events: %v", len(out), err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "" && cur.name != "":
+			out = append(out, cur)
+			cur = sseEvent{}
+		}
+	}
+	return out
+}
+
+// TestSubscribeStream: a /subscribe stream opens with a hello frame
+// (columns + live-from version) and pushes each commit's row delta.
+func TestSubscribeStream(t *testing.T) {
+	e, srv := newTestServer(t, nil)
+
+	resp, err := http.Get(srv.URL + "/subscribe/NY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "text/event-stream" {
+		t.Fatalf("subscribe = %d %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	br := bufio.NewReader(resp.Body)
+	hello := readSSE(t, br, 1)[0]
+	if hello.name != "hello" || !strings.Contains(hello.data, `"columns":["EmpNo","Location"]`) {
+		t.Fatalf("hello = %+v", hello)
+	}
+
+	if err := insertKey(e, 7); err != nil {
+		t.Fatal(err)
+	}
+	ev := readSSE(t, br, 1)[0]
+	if ev.name != "change" {
+		t.Fatalf("event = %+v", ev)
+	}
+	if !strings.Contains(ev.data, `"added":[["7","NY"]]`) || !strings.Contains(ev.data, `"removed":[]`) {
+		t.Fatalf("change data = %s", ev.data)
+	}
+
+	// A commit that misses the view's selection produces no event; the
+	// next hit arrives as the very next frame.
+	if _, err := e.ExecScript("CREATE VIEW SF AS SELECT * FROM EMP WHERE Location = 'SF';"); err != nil {
+		t.Fatal(err)
+	}
+	if err := insertSF(e, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := insertKey(e, 9); err != nil {
+		t.Fatal(err)
+	}
+	ev = readSSE(t, br, 1)[0]
+	if !strings.Contains(ev.data, `"added":[["9","NY"]]`) {
+		t.Fatalf("filtered change = %s", ev.data)
+	}
+}
+
+// insertSF lands a base row outside the NY selection through a second
+// selection view.
+func insertSF(e *Engine, k int) error {
+	body := updateBody{Values: []string{strconv.Itoa(k), "SF"}}
+	cand, _, _, base, err := e.Translate(context.Background(), "SF", nil, e.buildRequest(update.Insert, body))
+	if err != nil {
+		return err
+	}
+	_, err = e.Commit(context.Background(), cand.Translation, false, base)
+	return err
+}
+
+// TestSubscribeErrors: unknown views 404; a draining engine refuses
+// new subscriptions.
+func TestSubscribeErrors(t *testing.T) {
+	_, srv := newTestServer(t, nil)
+	resp, err := http.Get(srv.URL + "/subscribe/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown view subscribe = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSubscribeSlowConsumerShed: a subscriber that stops draining is
+// shed — its channel closed, the dropped-events counter bumped — and
+// the commit path never blocks.
+func TestSubscribeSlowConsumerShed(t *testing.T) {
+	sink := metricsSink(t)
+	e := newTestEngine(t, "", nil)
+	v, _, err := e.lookupView("NY", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := e.subs.attach("NY", v)
+	row := tuple.MustNew(v.Schema(), value.NewInt(1), value.NewString("NY"))
+	add := []tuple.T{row}
+	for i := 0; i <= subBuffer; i++ {
+		e.subs.publish("NY", v, uint64(i+1), nil, add)
+	}
+	select {
+	case _, ok := <-sub.ch:
+		if !ok {
+			t.Fatal("first receive: channel already closed with queued events unread")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no event queued")
+	}
+	// Drain to the close: the overflow publish shed the subscriber.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev, ok := <-sub.ch:
+			if !ok {
+				if got := sink.Metrics().Snapshot().Counters["server.replica.dropped_events"]; got == 0 {
+					t.Fatal("dropped_events counter not bumped")
+				}
+				return
+			}
+			ev.release()
+		case <-deadline:
+			t.Fatal("subscriber never shed")
+		}
+	}
+}
+
+// TestSubscribeFanoutAllocs pins the fan-out hot path: encoding one
+// commit's delta into a pooled, reference-counted event and queueing
+// it on every subscriber allocates nothing in steady state.
+func TestSubscribeFanoutAllocs(t *testing.T) {
+	e := newTestEngine(t, "", nil)
+	v, _, err := e.lookupView("NY", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := make([]*subscriber, 3)
+	for i := range subs {
+		subs[i] = e.subs.attach("NY", v)
+	}
+	rows := []tuple.T{
+		tuple.MustNew(v.Schema(), value.NewInt(1), value.NewString("NY")),
+		tuple.MustNew(v.Schema(), value.NewInt(2), value.NewString("NY")),
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.subs.publish("NY", v, 42, rows[:1], rows[1:])
+		for _, s := range subs {
+			ev := <-s.ch
+			ev.release()
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("subscription fan-out allocates %.1f per event, want 0", allocs)
+	}
+}

@@ -99,6 +99,11 @@ func newToken() (string, error) {
 // the snapshot — statements record deltas in the overlay; the snapshot
 // stays immutable for concurrent readers and nothing is copied.
 func (e *Engine) BeginTx() (string, error) {
+	if e.fol != nil {
+		// Transactions exist to stage writes; fail at BEGIN rather than
+		// at a commit the client already invested statements in.
+		return "", ErrReadOnly
+	}
 	snap, version := e.Snapshot()
 	token, err := newToken()
 	if err != nil {

@@ -1,0 +1,349 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"viewupdate/internal/obs"
+	"viewupdate/internal/persist"
+	"viewupdate/internal/replica"
+	"viewupdate/internal/update"
+	"viewupdate/internal/wal"
+)
+
+// The primary side of WAL-streaming replication. A durable engine owns
+// a replica.Hub; every durable commit is framed and published to it in
+// commit order, and /wal/stream serves attached followers from the
+// hub's backlog (falling back to a disk scan of the WAL when a
+// follower's resume point has aged off). /wal/snapshot serves the full
+// state for bootstrap. See docs/REPLICATION.md.
+//
+// Feeding the hub differs by pipeline:
+//
+//   - Unsharded: persist.Store fires its onCommit hook under the store
+//     lock, post-fsync, in commit order — the hub is wired directly.
+//   - Sharded: commits become durable out of order (each shard fsyncs
+//     independently), but the stream must carry them in sequence
+//     order, and only once durable (the sharded engine publishes
+//     snapshots before durability; streaming at publish time would
+//     replicate state a crash could still lose). The walFeed below
+//     registers every allocated seq in order (under stateMu) and the
+//     acker resolves each to publish-or-skip; the feed drains the
+//     resolved prefix to the hub, restoring order.
+
+// heartbeatInterval is how often an otherwise idle source streams its
+// watermark + wall clock, so followers can measure staleness and
+// detect dead connections.
+const heartbeatInterval = time.Second
+
+// walGapFillRetries bounds the attach/gap-fill loop: each round serves
+// the backlog shortfall from the WAL and retries the attach. More than
+// a couple of rounds means a checkpoint is racing the stream; give up
+// and let the follower reconnect (or re-bootstrap on 410).
+const walGapFillRetries = 3
+
+// A feedEntry is one allocated global seq awaiting its durability
+// verdict.
+type feedEntry struct {
+	seq   uint64
+	key   string
+	tr    *update.Translation
+	state feedState
+}
+
+type feedState uint8
+
+const (
+	feedPending feedState = iota
+	feedPublish
+	feedSkip
+)
+
+// A walFeed reorders the sharded pipeline's out-of-order durability
+// notifications back into global sequence order for the hub. Every
+// allocated seq is registered exactly once (in order — the sequencer
+// holds stateMu across allocation and registration) and resolved
+// exactly once: publish when the commit's durability conditions came
+// true, skip when it failed (the seq is burned; followers never see
+// it, exactly like recovery).
+type walFeed struct {
+	hub *replica.Hub
+
+	mu        sync.Mutex
+	pending   []feedEntry
+	published uint64 // last seq offered to the hub (boot watermark at start)
+}
+
+func newWalFeed(hub *replica.Hub, boot uint64) *walFeed {
+	return &walFeed{hub: hub, published: boot}
+}
+
+// register appends seq to the feed. Callers serialize in sequence
+// order (the sequencer's stateMu, which also covers the synchronous
+// script path).
+func (f *walFeed) register(seq uint64, key string, tr *update.Translation) {
+	f.mu.Lock()
+	f.pending = append(f.pending, feedEntry{seq: seq, key: key, tr: tr})
+	f.mu.Unlock()
+}
+
+// resolve delivers seq's verdict and drains the resolved prefix to the
+// hub. Encoding happens here, off the sequencer's critical path, and
+// only for commits that actually publish.
+func (f *walFeed) resolve(seq uint64, publish bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.pending {
+		if f.pending[i].seq == seq {
+			if publish {
+				f.pending[i].state = feedPublish
+			} else {
+				f.pending[i].state = feedSkip
+			}
+			break
+		}
+	}
+	for len(f.pending) > 0 && f.pending[0].state != feedPending {
+		ent := f.pending[0]
+		f.pending = f.pending[1:]
+		if ent.state == feedPublish {
+			f.hub.Publish(wal.EncodeTranslationKeyed(ent.seq, ent.key, ent.tr))
+			f.published = ent.seq
+		}
+	}
+	if len(f.pending) == 0 {
+		f.pending = nil
+	}
+}
+
+// publishedSeq is the highest seq the feed has offered to the hub —
+// the sharded engine's durable replication watermark.
+func (f *walFeed) publishedSeq() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.published
+}
+
+// replicationSeq is the watermark heartbeats carry: the highest commit
+// a newly attached follower could have been streamed.
+func (e *Engine) replicationSeq() uint64 {
+	switch {
+	case e.store != nil:
+		return e.store.CommittedSeq()
+	case e.repFeed != nil:
+		return e.repFeed.publishedSeq()
+	}
+	return 0
+}
+
+// walSnapshotFloor is the seq below which stream resumption is
+// impossible: records at or below it are folded into a snapshot.
+func (e *Engine) walSnapshotFloor() uint64 {
+	switch {
+	case e.store != nil:
+		return e.store.SnapshotSeq()
+	case e.shst != nil:
+		return e.shst.SnapshotSeq()
+	}
+	return 0
+}
+
+// walCommittedAfter reassembles committed records with seq > cursor
+// from the WAL(s) on disk — the gap-fill path for followers whose
+// resume point predates the hub's in-memory backlog.
+func (e *Engine) walCommittedAfter(cursor uint64) ([]wal.Record, error) {
+	if e.shst != nil {
+		return e.shst.CommittedAfter(cursor)
+	}
+	res, err := wal.ScanFile(filepath.Join(e.store.Dir(), persist.WALFile))
+	if err != nil {
+		return nil, err
+	}
+	committed, _ := res.Committed()
+	out := make([]wal.Record, 0, len(committed))
+	for _, rec := range committed {
+		if rec.Seq > cursor {
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// runHeartbeats periodically streams the durable watermark to attached
+// tails until the engine shuts down.
+func (e *Engine) runHeartbeats() {
+	t := time.NewTicker(heartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.hbStop:
+			return
+		case <-t.C:
+			e.repHub.Heartbeat(e.replicationSeq())
+		}
+	}
+}
+
+// stopReplication shuts the replication source down: heartbeats stop
+// and every attached tail is closed (followers see a clean end of
+// stream and reconnect elsewhere or give up). Called once, after the
+// pipeline drained.
+func (e *Engine) stopReplication() {
+	if e.repHub == nil {
+		return
+	}
+	close(e.hbStop)
+	e.repHub.Close()
+}
+
+// handleWalSnapshot serves the full state for follower bootstrap,
+// stamped with the watermark the stream resumes from. The sharded
+// pipeline publishes before durability, so it is quiesced first: the
+// captured state is exactly the durable prefix, never ahead of it.
+func (e *Engine) handleWalSnapshot(w http.ResponseWriter, r *http.Request) {
+	if e.repHub == nil {
+		writeJSON(w, http.StatusNotFound, errorReply{
+			Error: "server: not a replication source (no durable store)", Code: "not_found"})
+		return
+	}
+	e.stateMu.Lock()
+	if e.shr != nil {
+		e.shr.quiesce()
+	}
+	db := e.db.CloneShared()
+	seq := e.replicationSeq()
+	e.stateMu.Unlock()
+	snap, err := persist.Capture(db)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorReply{Error: err.Error(), Code: "internal"})
+		return
+	}
+	snap.Seq = seq
+	obs.Inc("server.walstream.snapshots")
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleWalStream streams CRC-framed commit records with seq > from,
+// in commit order, until the client disconnects or the engine drains.
+// Resume points below the snapshot floor answer 410 (the follower must
+// re-bootstrap); resume points behind the in-memory backlog are served
+// from the WAL on disk first. Exempt from the per-request deadline.
+func (e *Engine) handleWalStream(w http.ResponseWriter, r *http.Request) {
+	if e.repHub == nil {
+		writeJSON(w, http.StatusNotFound, errorReply{
+			Error: "server: not a replication source (no durable store)", Code: "not_found"})
+		return
+	}
+	from := uint64(0)
+	if s := r.URL.Query().Get("from"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorReply{
+				Error: fmt.Sprintf("server: bad from=%q: %v", s, err), Code: "bad_request"})
+			return
+		}
+		from = v
+	}
+	if floor := e.walSnapshotFloor(); from < floor {
+		writeJSON(w, http.StatusGone, errorReply{
+			Error: fmt.Sprintf("server: resume point %d predates snapshot floor %d; bootstrap from /wal/snapshot", from, floor),
+			Code:  "snapshot_required"})
+		return
+	}
+	flush := func() {}
+	if fl, ok := w.(http.Flusher); ok {
+		flush = fl.Flush
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	obs.Inc("server.walstream.opened")
+	obs.AddGauge("server.walstream.streams", 1)
+	defer obs.AddGauge("server.walstream.streams", -1)
+
+	send := func(data []byte) bool {
+		if _, err := w.Write(data); err != nil {
+			return false
+		}
+		obs.Inc("server.walstream.frames")
+		obs.Add("server.walstream.bytes", int64(len(data)))
+		return true
+	}
+
+	cursor := from
+	var tail *replica.Tail
+	for attempt := 0; ; attempt++ {
+		backlog, t, covered := e.repHub.Attach(cursor)
+		if covered {
+			tail = t
+			for _, frame := range backlog {
+				if !send(frame) {
+					e.repHub.Detach(t)
+					return
+				}
+			}
+			break
+		}
+		if attempt >= walGapFillRetries {
+			// A checkpoint keeps racing the catch-up; end the stream and
+			// let the follower reconnect (it will see 410 and bootstrap).
+			return
+		}
+		recs, err := e.walCommittedAfter(cursor)
+		if err != nil {
+			e.logf("walstream gap-fill failed", "err", err.Error())
+			return
+		}
+		for _, rec := range recs {
+			if rec.Seq <= cursor {
+				continue
+			}
+			data, ferr := wal.Frame(rec)
+			if ferr != nil {
+				e.logf("walstream gap-fill frame failed", "err", ferr.Error())
+				return
+			}
+			if !send(data) {
+				return
+			}
+			cursor = rec.Seq
+		}
+		flush()
+	}
+	defer e.repHub.Detach(tail)
+	flush()
+	ctx := r.Context()
+	for {
+		select {
+		case data, ok := <-tail.C:
+			if !ok {
+				return // shed (slow consumer) or engine shutdown
+			}
+			if !send(data) {
+				return
+			}
+			// Drain whatever is already queued before paying one flush
+			// for the lot.
+			for drained := false; !drained; {
+				select {
+				case more, ok := <-tail.C:
+					if !ok {
+						flush()
+						return
+					}
+					if !send(more) {
+						return
+					}
+				default:
+					drained = true
+				}
+			}
+			flush()
+		case <-ctx.Done():
+			return
+		}
+	}
+}

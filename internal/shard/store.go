@@ -115,6 +115,21 @@ type Store struct {
 
 	seq atomic.Uint64 // global sequence counter
 
+	// snapSeq is the snapshot floor: the highest per-shard snapshot
+	// watermark. Commits at or below it may be folded into a snapshot on
+	// their shard and can no longer be reassembled from the WALs, so the
+	// replication source answers stream requests below it with
+	// "snapshot required".
+	snapSeq atomic.Uint64
+
+	// onCommit, when set, receives every commit landed by the
+	// synchronous Apply path (script/session statements) right after it
+	// became durable: the global sequence number, the idempotency key
+	// (empty on this path) and the whole translation. The engine's
+	// pipelined commits feed the replication stream through the acker
+	// instead; this hook covers the one path the acker never sees.
+	onCommit func(seq uint64, key string, tr *update.Translation)
+
 	brokenMu sync.Mutex
 	broken   []error // per-shard: first journaling failure; memory may be ahead of media
 
@@ -194,6 +209,9 @@ func Open(dir string, want int, opts Options) (*Store, error) {
 		snaps[i], err = persist.ReadSnapshotFile(filepath.Join(shardDir(dir, i), persist.SnapshotFile))
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if snaps[i].Seq > s.snapSeq.Load() {
+			s.snapSeq.Store(snaps[i].Seq)
 		}
 	}
 	merged := mergeSnapshots(snaps)
@@ -742,6 +760,9 @@ func (s *Store) Apply(tr *update.Translation) error {
 			}
 			return fmt.Errorf("%w: %w", persist.ErrNotDurable, aerr)
 		}
+		if s.onCommit != nil {
+			s.onCommit(xid, "", tr)
+		}
 		return nil
 	}
 	decided, cerr := s.CommitCross(xid, "", route)
@@ -751,8 +772,23 @@ func (s *Store) Apply(tr *update.Translation) error {
 		}
 		return fmt.Errorf("%w: %w", persist.ErrNotDurable, cerr)
 	}
+	if s.onCommit != nil {
+		s.onCommit(xid, "", tr)
+	}
 	return nil
 }
+
+// SetOnCommit installs the synchronous-path commit hook (see the field
+// doc). Call before serving; delivery runs under applyMu and must not
+// call back into the store.
+func (s *Store) SetOnCommit(fn func(seq uint64, key string, tr *update.Translation)) {
+	s.onCommit = fn
+}
+
+// SnapshotSeq reports the snapshot floor: the highest watermark any
+// shard's snapshot has been folded up to. Stream resumptions below it
+// cannot be served from the WALs.
+func (s *Store) SnapshotSeq() uint64 { return s.snapSeq.Load() }
 
 // SyncSchema absorbs global schema growth (new relations from DDL) into
 // the shard schema and every shard database. Inclusion dependencies
@@ -816,6 +852,7 @@ func (s *Store) Checkpoint() error {
 			return err
 		}
 	}
+	s.snapSeq.Store(w)
 	obs.Inc("shard.store.checkpoint")
 	return nil
 }

@@ -1,0 +1,133 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// streamFrames encodes recs as consecutive frames.
+func streamFrames(t *testing.T, recs ...Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		frame, err := Frame(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(frame)
+	}
+	return buf.Bytes()
+}
+
+func TestStreamReaderRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Seq: 1, Kind: KindTranslation, Key: "k-1", TS: 42,
+			Ops: []OpRecord{{Kind: "i", Rel: "EMP", Vals: []string{"1", "NY"}}}},
+		HeartbeatRecord(1, 99),
+		{Seq: 3, Kind: KindTranslation,
+			Ops: []OpRecord{{Kind: "d", Rel: "EMP", Vals: []string{"1", "NY"}}}},
+	}
+	sr := NewStreamReader(bytes.NewReader(streamFrames(t, recs...)))
+	for i, want := range recs {
+		got, err := sr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Seq != want.Seq || got.Kind != want.Kind || got.Key != want.Key || got.TS != want.TS {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+		if len(got.Ops) != len(want.Ops) {
+			t.Fatalf("frame %d: %d ops, want %d", i, len(got.Ops), len(want.Ops))
+		}
+	}
+	if _, err := sr.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want io.EOF at clean boundary, got %v", err)
+	}
+	frames, n := sr.Stats()
+	if frames != 3 || n == 0 {
+		t.Fatalf("stats: frames=%d bytes=%d", frames, n)
+	}
+}
+
+// A stream cut mid-frame must surface as io.ErrUnexpectedEOF — the
+// network twin of a torn tail — at every possible cut point, and the
+// partial frame must never be surfaced as a record.
+func TestStreamReaderTornEveryPrefix(t *testing.T) {
+	full := streamFrames(t,
+		Record{Seq: 1, Kind: KindTranslation, Ops: []OpRecord{{Kind: "i", Rel: "R", Vals: []string{"1"}}}},
+		Record{Seq: 1, Kind: KindCommit},
+	)
+	boundaries := map[int]bool{0: true, len(full): true}
+	// Recompute the frame boundary between the two records.
+	first, _ := Frame(Record{Seq: 1, Kind: KindTranslation, Ops: []OpRecord{{Kind: "i", Rel: "R", Vals: []string{"1"}}}})
+	boundaries[len(first)] = true
+	for cut := 0; cut <= len(full); cut++ {
+		sr := NewStreamReader(bytes.NewReader(full[:cut]))
+		var lastErr error
+		seen := 0
+		for {
+			_, err := sr.Next()
+			if err != nil {
+				lastErr = err
+				break
+			}
+			seen++
+		}
+		if boundaries[cut] {
+			if !errors.Is(lastErr, io.EOF) || errors.Is(lastErr, io.ErrUnexpectedEOF) {
+				t.Fatalf("cut %d (boundary): want clean EOF, got %v", cut, lastErr)
+			}
+		} else if !errors.Is(lastErr, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d (mid-frame): want ErrUnexpectedEOF, got %v", cut, lastErr)
+		}
+		wantSeen := 0
+		if cut >= len(first) {
+			wantSeen = 1
+		}
+		if cut == len(full) {
+			wantSeen = 2
+		}
+		if seen != wantSeen {
+			t.Fatalf("cut %d: surfaced %d records, want %d", cut, seen, wantSeen)
+		}
+	}
+}
+
+func TestStreamReaderCorrupt(t *testing.T) {
+	rec := Record{Seq: 7, Kind: KindTranslation, Ops: []OpRecord{{Kind: "i", Rel: "R", Vals: []string{"7"}}}}
+	t.Run("bitflip", func(t *testing.T) {
+		data := streamFrames(t, rec)
+		data[headerSize+2] ^= 0x40 // damage the payload, keep the header
+		if _, err := NewStreamReader(bytes.NewReader(data)).Next(); !errors.Is(err, ErrStreamCorrupt) {
+			t.Fatalf("want ErrStreamCorrupt, got %v", err)
+		}
+	})
+	t.Run("implausible length", func(t *testing.T) {
+		data := streamFrames(t, rec)
+		data[3] = 0xff // claims a multi-GB payload
+		if _, err := NewStreamReader(bytes.NewReader(data)).Next(); !errors.Is(err, ErrStreamCorrupt) {
+			t.Fatalf("want ErrStreamCorrupt, got %v", err)
+		}
+	})
+}
+
+// TS is a stream-only field: records framed without it must decode
+// with TS zero, and Frame/Scan must round-trip it when present, so the
+// stream and disk formats stay byte-compatible.
+func TestStreamRecordTSCompat(t *testing.T) {
+	plain := streamFrames(t, Record{Seq: 1, Kind: KindCommit})
+	res, err := Scan(bytes.NewReader(plain))
+	if err != nil || res.Torn() || len(res.Records) != 1 {
+		t.Fatalf("scan: %v torn=%v n=%d", err, res.Torn(), len(res.Records))
+	}
+	if res.Records[0].TS != 0 {
+		t.Fatalf("unstamped record decoded TS=%d", res.Records[0].TS)
+	}
+	stamped := streamFrames(t, Record{Seq: 2, Kind: KindCommit, TS: 1234})
+	got, err := NewStreamReader(bytes.NewReader(stamped)).Next()
+	if err != nil || got.TS != 1234 {
+		t.Fatalf("stamped round trip: %v TS=%d", err, got.TS)
+	}
+}

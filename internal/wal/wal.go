@@ -84,6 +84,13 @@ const (
 	// the coordinator. It carries no durability requirement of its own
 	// and never triggers a sync.
 	KindResolve = 5
+	// KindHeartbeat is a stream-only record (never written to disk):
+	// the replication source emits it periodically on /wal/stream with
+	// Seq set to its current durable watermark and TS to its wall
+	// clock, so an idle follower can still measure sequence lag and
+	// detect a dead connection. Followers never apply it. See
+	// docs/REPLICATION.md.
+	KindHeartbeat = 6
 )
 
 // MaxRecordSize bounds a frame payload; Scan treats larger claimed
@@ -137,6 +144,13 @@ type Record struct {
 	// Coord is the coordinator shard index of a prepare record: the
 	// shard whose log holds (or would hold) the decision for this Seq.
 	Coord int `json:"coord,omitempty"`
+	// TS is the source's commit wall clock in unix nanoseconds,
+	// stamped only on records sent over /wal/stream (and on heartbeat
+	// frames); disk frames never carry it. Followers subtract it from
+	// their own apply time for the replication staleness gauges. Zero
+	// means unknown — a record served from the source's disk during
+	// gap-fill rather than from its live commit feed.
+	TS int64 `json:"ts,omitempty"`
 }
 
 // SyncPolicy controls when the log calls Sync on its media.
@@ -749,6 +763,12 @@ func encodeOps(tr *update.Translation) []OpRecord {
 
 // CommitRecord builds the commit marker for seq.
 func CommitRecord(seq uint64) Record { return Record{Seq: seq, Kind: KindCommit} }
+
+// HeartbeatRecord builds a stream-only heartbeat frame: the source's
+// current durable watermark plus its wall clock (unix nanoseconds).
+func HeartbeatRecord(seq uint64, ts int64) Record {
+	return Record{Seq: seq, Kind: KindHeartbeat, TS: ts}
+}
 
 // PrepareRecord builds one participant's prepare record of a
 // cross-shard commit: the ops that participant applies, the client's
